@@ -1,0 +1,99 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! `p_chunk`, the merge threshold, and instrumentation overhead
+//! (`NoProbe` vs `CountingProbe`).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsl::{Gfsl, GfslParams, TeamSize};
+use gfsl_bench::{ops, KeyStream};
+use gfsl_gpu_mem::{CountingProbe, L2Cache};
+use gfsl_workload::{Op, OpMix, Prefill};
+
+fn built_with(params: GfslParams, range: u32) -> Gfsl {
+    let list = Gfsl::new(params).unwrap();
+    let mut h = list.handle();
+    for k in Prefill::HalfRandom.keys(range, 5) {
+        h.insert(k, k).unwrap();
+    }
+    list
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    const RANGE: u32 = 50_000;
+    let stream = ops(OpMix::C60, RANGE, 1 << 15);
+    let mut g = c.benchmark_group("ablation");
+
+    // p_chunk: lower values mean fewer raised keys, longer lateral walks.
+    for p_chunk in [0.25, 1.0] {
+        let list = built_with(
+            GfslParams {
+                p_chunk,
+                pool_chunks: GfslParams::chunks_for(RANGE as u64 * 2, TeamSize::ThirtyTwo),
+                ..Default::default()
+            },
+            RANGE,
+        );
+        let mut h = list.handle();
+        let mut keys = KeyStream::new(RANGE);
+        g.bench_function(format!("contains_p_chunk_{p_chunk}"), |b| {
+            b.iter(|| h.contains(keys.next_key()))
+        });
+    }
+
+    // Merge threshold: DSIZE/2 merges eagerly, DSIZE/6 lazily.
+    for divisor in [2u32, 3, 6] {
+        let list = built_with(
+            GfslParams {
+                merge_divisor: divisor,
+                pool_chunks: GfslParams::chunks_for(RANGE as u64 * 3, TeamSize::ThirtyTwo),
+                ..Default::default()
+            },
+            RANGE,
+        );
+        let mut h = list.handle();
+        let mut i = 0usize;
+        g.bench_function(format!("mixed_c60_merge_div{divisor}"), |b| {
+            b.iter(|| {
+                let op = &stream[i % stream.len()];
+                i += 1;
+                match *op {
+                    Op::Insert(k, v) => {
+                        let _ = h.insert(k, v).unwrap();
+                    }
+                    Op::Delete(k) => {
+                        let _ = h.remove(k);
+                    }
+                    Op::Contains(k) => {
+                        let _ = h.contains(k);
+                    }
+                }
+            })
+        });
+    }
+
+    // Probe overhead: the NoProbe fast path must cost nothing; the
+    // CountingProbe path pays for coalescing math + shared L2 probes.
+    let list = built_with(
+        GfslParams {
+            pool_chunks: GfslParams::chunks_for(RANGE as u64 * 2, TeamSize::ThirtyTwo),
+            ..Default::default()
+        },
+        RANGE,
+    );
+    let mut h = list.handle();
+    let mut keys = KeyStream::new(RANGE);
+    g.bench_function("contains_noprobe", |b| b.iter(|| h.contains(keys.next_key())));
+
+    let l2 = Arc::new(L2Cache::gtx970());
+    let mut hp = list.handle_with(CountingProbe::new(l2));
+    let mut keys = KeyStream::new(RANGE);
+    g.bench_function("contains_countingprobe", |b| {
+        b.iter(|| hp.contains(keys.next_key()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fig. 5.1 — chunk/team size. Benchmarks the identical mixed workload on
+//! GFSL-16, GFSL-32, and M&C (host per-op cost; the figure's modeled MOPS
+//! come from `repro --experiment fig5_1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsl::TeamSize;
+use gfsl_bench::{ops, prefilled_gfsl, prefilled_mc};
+use gfsl_workload::{Op, OpMix};
+
+fn run_stream<F: FnMut(&Op)>(stream: &[Op], i: &mut usize, mut f: F) {
+    let op = &stream[*i % stream.len()];
+    *i += 1;
+    f(op);
+}
+
+fn bench_chunk_size(c: &mut Criterion) {
+    const RANGE: u32 = 100_000;
+    let stream = ops(OpMix::C80, RANGE, 1 << 16);
+    let mut g = c.benchmark_group("fig5_1_chunk_size");
+
+    for team in [TeamSize::Sixteen, TeamSize::ThirtyTwo] {
+        let list = prefilled_gfsl(RANGE, team);
+        let mut h = list.handle();
+        let mut i = 0usize;
+        g.bench_function(format!("gfsl{}_mixed_c80", team.lanes()), |b| {
+            b.iter(|| {
+                run_stream(&stream, &mut i, |op| match *op {
+                    Op::Insert(k, v) => {
+                        let _ = h.insert(k, v).unwrap();
+                    }
+                    Op::Delete(k) => {
+                        let _ = h.remove(k);
+                    }
+                    Op::Contains(k) => {
+                        let _ = h.contains(k);
+                    }
+                })
+            })
+        });
+    }
+
+    let mc = prefilled_mc(RANGE);
+    let mut h = mc.handle();
+    let mut i = 0usize;
+    g.bench_function("mc_mixed_c80", |b| {
+        b.iter(|| {
+            run_stream(&stream, &mut i, |op| match *op {
+                Op::Insert(k, v) => {
+                    let _ = h.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    let _ = h.remove(k);
+                }
+                Op::Contains(k) => {
+                    let _ = h.contains(k);
+                }
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_chunk_size);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 5.2 — the GFSL/M&C ratio is a derived artifact; this bench covers
+//! the piece unique to it: generating the four paper mixtures' operation
+//! streams and the prefill key sets that every ratio cell consumes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsl_workload::{OpMix, Prefill, WorkloadSpec};
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_2_workloads");
+
+    for mix in OpMix::MIXED {
+        g.bench_function(format!("stream_{mix}_100k_ops"), |b| {
+            b.iter(|| mix.stream(42, 1_000_000, 100_000))
+        });
+    }
+
+    g.bench_function("prefill_half_random_1M", |b| {
+        b.iter(|| Prefill::HalfRandom.keys(1_000_000, 42))
+    });
+
+    g.bench_function("prefill_full_shuffled_1M", |b| {
+        b.iter(|| Prefill::FullShuffled.keys(1_000_000, 42))
+    });
+
+    g.bench_function("spec_single_op_insert_1M", |b| {
+        b.iter(|| {
+            WorkloadSpec::single(gfsl_workload::BenchKind::InsertOnly, 1_000_000, 0, 42).ops()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_workload_generation);
+criterion_main!(benches);

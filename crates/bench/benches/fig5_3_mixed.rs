@@ -1,0 +1,88 @@
+//! Figs. 5.2/5.3 — mixed-operation workloads across mixtures and key
+//! ranges (host per-op cost of the real code paths; modeled MOPS from
+//! `repro --experiment fig5_3`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsl::TeamSize;
+use gfsl_bench::{ops, prefilled_gfsl, prefilled_mc};
+use gfsl_workload::{Op, OpMix};
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_3_mixed");
+
+    // Mixture sweep at one range.
+    const RANGE: u32 = 30_000;
+    for mix in OpMix::MIXED {
+        let stream = ops(mix, RANGE, 1 << 15);
+        let list = prefilled_gfsl(RANGE, TeamSize::ThirtyTwo);
+        let mut h = list.handle();
+        let mut i = 0usize;
+        g.bench_function(format!("gfsl32_{mix}_30K"), |b| {
+            b.iter(|| {
+                let op = &stream[i % stream.len()];
+                i += 1;
+                match *op {
+                    Op::Insert(k, v) => {
+                        let _ = h.insert(k, v).unwrap();
+                    }
+                    Op::Delete(k) => {
+                        let _ = h.remove(k);
+                    }
+                    Op::Contains(k) => {
+                        let _ = h.contains(k);
+                    }
+                }
+            })
+        });
+    }
+
+    // Range sweep at one mixture (the degradation curve), both structures.
+    for range in [10_000u32, 100_000, 1_000_000] {
+        let stream = ops(OpMix::C80, range, 1 << 15);
+        let list = prefilled_gfsl(range, TeamSize::ThirtyTwo);
+        let mut h = list.handle();
+        let mut i = 0usize;
+        g.bench_function(format!("gfsl32_c80_range{range}"), |b| {
+            b.iter(|| {
+                let op = &stream[i % stream.len()];
+                i += 1;
+                match *op {
+                    Op::Insert(k, v) => {
+                        let _ = h.insert(k, v).unwrap();
+                    }
+                    Op::Delete(k) => {
+                        let _ = h.remove(k);
+                    }
+                    Op::Contains(k) => {
+                        let _ = h.contains(k);
+                    }
+                }
+            })
+        });
+        let mc = prefilled_mc(range);
+        let mut mh = mc.handle();
+        let mut i = 0usize;
+        g.bench_function(format!("mc_c80_range{range}"), |b| {
+            b.iter(|| {
+                let op = &stream[i % stream.len()];
+                i += 1;
+                match *op {
+                    Op::Insert(k, v) => {
+                        let _ = mh.insert(k, v);
+                    }
+                    Op::Delete(k) => {
+                        let _ = mh.remove(k);
+                    }
+                    Op::Contains(k) => {
+                        let _ = mh.contains(k);
+                    }
+                }
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

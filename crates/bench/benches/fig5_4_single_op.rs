@@ -1,0 +1,80 @@
+//! Fig. 5.4 — single-operation-type benchmarks: Contains-only over a full
+//! structure, Insert-only into a fresh structure, Delete-only from a full
+//! structure (host per-op cost; modeled MOPS from `repro --experiment
+//! fig5_4`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gfsl::{Gfsl, GfslParams, TeamSize};
+use gfsl_bench::{prefilled_mc, KeyStream};
+use gfsl_workload::Prefill;
+
+fn full_gfsl(range: u32) -> Gfsl {
+    let list = Gfsl::new(GfslParams {
+        team_size: TeamSize::ThirtyTwo,
+        pool_chunks: GfslParams::chunks_for(range as u64 * 2, TeamSize::ThirtyTwo),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut h = list.handle();
+    for k in Prefill::FullShuffled.keys(range, 3) {
+        h.insert(k, k).unwrap();
+    }
+    list
+}
+
+fn bench_single_op(c: &mut Criterion) {
+    const RANGE: u32 = 100_000;
+    let mut g = c.benchmark_group("fig5_4_single_op");
+
+    // 5.4a: Contains-only (all probes hit).
+    let list = full_gfsl(RANGE);
+    let mut h = list.handle();
+    let mut keys = KeyStream::new(RANGE);
+    g.bench_function("gfsl32_contains_full", |b| {
+        b.iter(|| assert!(h.contains(keys.next_key())))
+    });
+
+    let mc = prefilled_mc(RANGE); // half full: probe hit/miss mix
+    let mut mh = mc.handle();
+    let mut keys = KeyStream::new(RANGE);
+    g.bench_function("mc_contains_half", |b| b.iter(|| mh.contains(keys.next_key())));
+
+    // 5.4b: Insert-only — amortized cost of building 10K-key structures.
+    g.bench_function("gfsl32_insert_only_10k", |b| {
+        b.iter_batched(
+            || Gfsl::new(GfslParams::sized_for(20_000)).unwrap(),
+            |list| {
+                let mut h = list.handle();
+                for k in Prefill::FullShuffled.keys(10_000, 11) {
+                    h.insert(k, k).unwrap();
+                }
+                list
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // 5.4c: Delete-only — drain a freshly built 10K structure.
+    g.bench_function("gfsl32_delete_only_10k", |b| {
+        b.iter_batched(
+            || {
+                let list = full_gfsl(10_000);
+                let order = Prefill::FullShuffled.keys(10_000, 13);
+                (list, order)
+            },
+            |(list, order)| {
+                let mut h = list.handle();
+                for k in order {
+                    assert!(h.remove(k));
+                }
+                list
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_op);
+criterion_main!(benches);

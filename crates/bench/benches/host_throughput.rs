@@ -1,0 +1,97 @@
+//! Host-side per-operation throughput of the real structures, against a
+//! `Mutex<BTreeMap>` reference — a sanity baseline showing the concurrent
+//! structures run at competitive native speed.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gfsl_bench::{ops, prefilled_gfsl, prefilled_mc, KeyStream};
+use gfsl_workload::{Op, OpMix};
+
+fn bench_host(c: &mut Criterion) {
+    const RANGE: u32 = 100_000;
+    let mut g = c.benchmark_group("host_throughput");
+
+    let gfsl = prefilled_gfsl(RANGE, gfsl::TeamSize::ThirtyTwo);
+    let mut gh = gfsl.handle();
+    let mut keys = KeyStream::new(RANGE);
+    g.bench_function("gfsl32_contains", |b| {
+        b.iter(|| gh.contains(keys.next_key()))
+    });
+
+    let stream = ops(OpMix::C80, RANGE, 1 << 16);
+    let mut i = 0usize;
+    g.bench_function("gfsl32_mixed_c80", |b| {
+        b.iter(|| {
+            let op = &stream[i & (stream.len() - 1)];
+            i += 1;
+            match *op {
+                Op::Insert(k, v) => {
+                    let _ = gh.insert(k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    let _ = gh.remove(k);
+                }
+                Op::Contains(k) => {
+                    let _ = gh.contains(k);
+                }
+            }
+        })
+    });
+
+    let mc = prefilled_mc(RANGE);
+    let mut mh = mc.handle();
+    let mut keys = KeyStream::new(RANGE);
+    g.bench_function("mc_contains", |b| b.iter(|| mh.contains(keys.next_key())));
+
+    let mut i = 0usize;
+    g.bench_function("mc_mixed_c80", |b| {
+        b.iter(|| {
+            let op = &stream[i & (stream.len() - 1)];
+            i += 1;
+            match *op {
+                Op::Insert(k, v) => {
+                    let _ = mh.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    let _ = mh.remove(k);
+                }
+                Op::Contains(k) => {
+                    let _ = mh.contains(k);
+                }
+            }
+        })
+    });
+
+    // Reference: coarse-locked BTreeMap.
+    let reference = Mutex::new(BTreeMap::new());
+    for k in (1..RANGE).step_by(2) {
+        reference.lock().unwrap().insert(k, k);
+    }
+    let mut keys = KeyStream::new(RANGE);
+    g.bench_function("btreemap_mutex_contains", |b| {
+        b.iter(|| reference.lock().unwrap().contains_key(&keys.next_key()))
+    });
+
+    // Construction cost.
+    g.bench_function("gfsl32_build_10k", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let list = gfsl::Gfsl::new(gfsl::GfslParams::sized_for(10_000)).unwrap();
+                let mut h = list.handle();
+                for k in 1..=10_000u32 {
+                    h.insert(k, k).unwrap();
+                }
+                list
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_host);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Tables 5.1/5.2 — the warps-per-block sweep. Criterion measures the
+//! occupancy calculator and full model-evaluation pipeline (they run inside
+//! every experiment cell), plus one small end-to-end measured cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsl::GfslParams;
+use gfsl_gpu_model::{occupancy, CostModel, GpuArch, KernelProfile, LaunchConfig};
+use gfsl_harness::runner::{run_gfsl, RunConfig};
+use gfsl_harness::{evaluate_with_launch, StructureKind};
+use gfsl_workload::{OpMix, WorkloadSpec};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_warps");
+    let arch = GpuArch::gtx970();
+    let cm = CostModel::calibrated();
+
+    g.bench_function("occupancy_sweep_gfsl", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for warps in [8u32, 16, 24, 32] {
+                let o = occupancy::occupancy(
+                    &arch,
+                    &KernelProfile::gfsl(),
+                    &LaunchConfig { warps_per_block: warps },
+                );
+                acc += o.achieved + o.spill_share;
+            }
+            acc
+        })
+    });
+
+    g.bench_function("occupancy_sweep_mc", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for warps in [8u32, 16, 24, 32] {
+                let o = occupancy::occupancy(
+                    &arch,
+                    &KernelProfile::mc(),
+                    &LaunchConfig { warps_per_block: warps },
+                );
+                acc += o.theoretical + o.spill_share;
+            }
+            acc
+        })
+    });
+
+    // One measured cell: collect metrics once, then bench the model
+    // evaluation across configurations (the per-row work of the tables).
+    let spec = WorkloadSpec::mixed(OpMix::C80, 30_000, 10_000, 7);
+    let metrics = run_gfsl(
+        &spec,
+        GfslParams::sized_for(60_000),
+        &RunConfig { workers: 2, warp_lanes: 32 },
+    );
+    g.bench_function("model_eval_four_configs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for warps in [8u32, 16, 24, 32] {
+                acc += evaluate_with_launch(
+                    StructureKind::Gfsl,
+                    &metrics,
+                    &LaunchConfig { warps_per_block: warps },
+                )
+                .mops;
+            }
+            acc
+        })
+    });
+
+    let _ = cm; // constants used implicitly by evaluate_with_launch
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

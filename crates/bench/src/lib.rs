@@ -1,0 +1,63 @@
+//! Shared helpers for the criterion benchmark targets.
+//!
+//! Each bench target corresponds to one paper artifact (see DESIGN.md's
+//! experiment index). Criterion measures *host-side* per-operation cost of
+//! the real code paths; the modeled GPU numbers that regenerate the paper's
+//! actual rows come from `cargo run -p gfsl-harness --bin repro`.
+
+use gfsl::{Gfsl, GfslParams, TeamSize};
+use gfsl_workload::{Op, OpMix, Prefill, SplitMix64};
+use mc_skiplist::{McParams, McSkipList};
+
+/// Build a GFSL prefilled with `range/2` random keys (the paper's mixed-ops
+/// initial condition).
+pub fn prefilled_gfsl(range: u32, team: TeamSize) -> Gfsl {
+    let list = Gfsl::new(GfslParams {
+        team_size: team,
+        pool_chunks: GfslParams::chunks_for(range as u64 * 2, team),
+        ..Default::default()
+    })
+    .unwrap();
+    let mut h = list.handle();
+    for k in Prefill::HalfRandom.keys(range, 7) {
+        h.insert(k, k).unwrap();
+    }
+    list
+}
+
+/// Build an M&C list prefilled the same way.
+pub fn prefilled_mc(range: u32) -> McSkipList {
+    let list = McSkipList::new(McParams::sized_for(range as u64 * 2)).unwrap();
+    let mut h = list.handle();
+    for k in Prefill::HalfRandom.keys(range, 7) {
+        h.insert(k, k);
+    }
+    list
+}
+
+/// A repeatable mixed operation stream.
+pub fn ops(mix: OpMix, range: u32, n: usize) -> Vec<Op> {
+    mix.stream(0xBE7C4, range, n)
+}
+
+/// Endless uniform keys for steady-state single-op benches.
+pub struct KeyStream {
+    rng: SplitMix64,
+    range: u32,
+}
+
+impl KeyStream {
+    /// Uniform keys in `1..=range`.
+    pub fn new(range: u32) -> KeyStream {
+        KeyStream {
+            rng: SplitMix64::new(0x5EED),
+            range,
+        }
+    }
+
+    /// Next key.
+    #[inline]
+    pub fn next_key(&mut self) -> u32 {
+        self.rng.below(self.range as u64) as u32 + 1
+    }
+}

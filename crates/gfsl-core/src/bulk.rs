@@ -1,0 +1,263 @@
+//! Bulk loading and quiescent compaction.
+//!
+//! The paper leaves memory reclamation as future work and sketches the
+//! intended mechanism: "a possible reclamation scheme would be to compact
+//! the structure between kernel launches" (§4.1). [`Gfsl::compacted`] is
+//! that scheme: at quiescence, rebuild the structure into a fresh pool,
+//! dropping every zombie and defragmenting chunks to a uniform fill.
+//!
+//! The underlying [`Gfsl::from_sorted_pairs`] is also useful on its own: it
+//! bulk-loads a sorted stream without any splits, producing an ideal
+//! structure (exactly one index key per chunk per level — the paper's "in
+//! an ideal structure at most one key from each chunk in level i would
+//! appear in level i+1").
+
+use gfsl_gpu_mem::NoProbe;
+
+use crate::chunk::{is_user_key, ChunkRef, Entry, KEY_INF, KEY_NEG_INF, LOCK_UNLOCKED, NIL};
+use crate::params::GfslParams;
+use crate::skiplist::{Error, Gfsl};
+
+impl Gfsl {
+    /// Build a structure from strictly-ascending `(key, value)` pairs.
+    ///
+    /// Bottom-level chunks are packed to ~3/4 fill (comfortably above the
+    /// merge threshold, with room for inserts before the first split), and
+    /// each chunk beyond the first contributes its minimum key to the level
+    /// above, recursively — the deterministic ideal of `p_chunk = 1`.
+    ///
+    /// # Errors
+    /// [`Error::InvalidKey`] if a key is reserved, out of order, or
+    /// duplicated; [`Error::PoolExhausted`] if `params.pool_chunks` is too
+    /// small.
+    pub fn from_sorted_pairs(
+        params: GfslParams,
+        pairs: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<Gfsl, Error> {
+        let list = Gfsl::new(params)?;
+        let team = list.team;
+        let dsize = team.dsize();
+        // Fill target: at least one above the merge threshold so a single
+        // delete never immediately merges, at most dsize - 2 so a couple of
+        // inserts fit before a split.
+        let fill = ((dsize * 3) / 4)
+            .max(params.merge_threshold() as usize + 1)
+            .min(dsize - 2)
+            .max(1);
+
+        // Level 0: pack pairs into chained chunks. The level sentinel keeps
+        // -inf and receives the first fill-1 pairs.
+        let mut handle = list.handle_with(NoProbe);
+        let mut last_key: Option<u32> = None;
+        // (chunk index, min key) of every non-sentinel chunk, for level 1.
+        let mut raised: Vec<(u32, u32)> = Vec::new();
+
+        let mut cur = list.head_of(0);
+        let mut cur_ref = list.chunk(cur);
+        let mut slot = 1usize; // sentinel slot 0 = -inf
+        let mut cur_min = KEY_NEG_INF;
+        let mut prev_written_max = KEY_NEG_INF;
+
+        let finish_chunk = |list: &Gfsl, ch: ChunkRef, max: u32, next: u32| {
+            list.pool
+                .write(ch.entry_addr(team.next_lane()), Entry::new(max, next).0);
+            list.pool.write(ch.entry_addr(team.lock_lane()), LOCK_UNLOCKED);
+        };
+
+        for (k, v) in pairs {
+            if !is_user_key(k) || last_key.is_some_and(|p| p >= k) {
+                return Err(Error::InvalidKey(k));
+            }
+            last_key = Some(k);
+            if slot == fill.max(1) || slot == dsize {
+                // Seal the current chunk and open a new one.
+                let new_idx = handle.alloc_chunk()?;
+                finish_chunk(&list, cur_ref, prev_written_max, new_idx);
+                if cur != list.head_of(0) {
+                    raised.push((cur, cur_min));
+                }
+                cur = new_idx;
+                cur_ref = list.chunk(cur);
+                slot = 0;
+                cur_min = k;
+            }
+            list.pool.write(cur_ref.entry_addr(slot), Entry::new(k, v).0);
+            if slot == 0 {
+                cur_min = k;
+            }
+            prev_written_max = k;
+            slot += 1;
+        }
+        // Seal the last chunk: it is the end of the level.
+        finish_chunk(&list, cur_ref, KEY_INF, NIL);
+        if cur != list.head_of(0) {
+            raised.push((cur, cur_min));
+        }
+        list.level_chunks[0].store(raised.len() as u32, std::sync::atomic::Ordering::Relaxed);
+
+        // Upper levels: each non-sentinel chunk of level i is indexed by one
+        // (min key -> chunk) entry in level i+1.
+        let mut level = 1usize;
+        while !raised.is_empty() && level < params.max_levels() {
+            let mut next_raised: Vec<(u32, u32)> = Vec::new();
+            let mut cur = list.head_of(level);
+            let mut cur_ref = list.chunk(cur);
+            let mut slot = 1usize;
+            let mut cur_min = KEY_NEG_INF;
+            let mut prev_max = KEY_NEG_INF;
+            for &(below_chunk, k) in &raised {
+                if slot == fill.max(1) || slot == dsize {
+                    let new_idx = handle.alloc_chunk()?;
+                    finish_chunk(&list, cur_ref, prev_max, new_idx);
+                    if cur != list.head_of(level) {
+                        next_raised.push((cur, cur_min));
+                    }
+                    cur = new_idx;
+                    cur_ref = list.chunk(cur);
+                    slot = 0;
+                }
+                list.pool
+                    .write(cur_ref.entry_addr(slot), Entry::new(k, below_chunk).0);
+                if slot == 0 {
+                    cur_min = k;
+                }
+                prev_max = k;
+                slot += 1;
+            }
+            finish_chunk(&list, cur_ref, KEY_INF, NIL);
+            if cur != list.head_of(level) {
+                next_raised.push((cur, cur_min));
+            }
+            list.level_chunks[level]
+                .store(raised.len() as u32, std::sync::atomic::Ordering::Relaxed);
+            raised = next_raised;
+            level += 1;
+        }
+
+        let _ = handle;
+        Ok(list)
+    }
+
+    /// Rebuild this structure into a fresh pool at quiescence, dropping
+    /// zombies and defragmenting — the paper's sketched "compact between
+    /// kernel launches" reclamation scheme (§4.1, future work there).
+    ///
+    /// Takes `&mut self` as a compile-time proof of quiescence (no handles
+    /// can be alive). Returns the compacted replacement.
+    pub fn compacted(&mut self) -> Result<Gfsl, Error> {
+        Gfsl::from_sorted_pairs(self.params, self.pairs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfsl_simt::TeamSize;
+
+    fn params16() -> GfslParams {
+        GfslParams {
+            team_size: TeamSize::Sixteen,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bulk_load_roundtrips_and_validates() {
+        let pairs: Vec<(u32, u32)> = (1..=5_000u32).map(|k| (k * 2, k)).collect();
+        let list = Gfsl::from_sorted_pairs(params16(), pairs.iter().copied()).unwrap();
+        list.assert_valid();
+        assert_eq!(list.pairs(), pairs);
+        let mut h = list.handle();
+        assert_eq!(h.get(10_000), Some(5_000));
+        assert!(!h.contains(9_999));
+        assert!(list.height() >= 1, "bulk load builds index levels");
+    }
+
+    #[test]
+    fn bulk_loaded_structure_accepts_updates() {
+        let list =
+            Gfsl::from_sorted_pairs(params16(), (1..=1_000u32).map(|k| (k * 10, k))).unwrap();
+        let mut h = list.handle();
+        // Inserts between, below, and above the loaded keys; deletes too.
+        assert!(h.insert(5, 5).unwrap());
+        assert!(h.insert(10_005, 5).unwrap());
+        assert!(h.insert(55, 55).unwrap());
+        assert!(h.remove(500));
+        assert!(!h.contains(500));
+        assert!(h.contains(55));
+        list.assert_valid();
+        assert_eq!(list.len(), 1_002);
+    }
+
+    #[test]
+    fn bulk_load_rejects_disorder_and_reserved_keys() {
+        assert!(matches!(
+            Gfsl::from_sorted_pairs(params16(), [(5, 0), (5, 1)]),
+            Err(Error::InvalidKey(5))
+        ));
+        assert!(matches!(
+            Gfsl::from_sorted_pairs(params16(), [(9, 0), (3, 1)]),
+            Err(Error::InvalidKey(3))
+        ));
+        assert!(matches!(
+            Gfsl::from_sorted_pairs(params16(), [(0, 0)]),
+            Err(Error::InvalidKey(0))
+        ));
+        assert!(matches!(
+            Gfsl::from_sorted_pairs(params16(), [(u32::MAX, 0)]),
+            Err(Error::InvalidKey(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn empty_bulk_load_is_an_empty_list() {
+        let list = Gfsl::from_sorted_pairs(params16(), std::iter::empty()).unwrap();
+        assert!(list.is_empty());
+        list.assert_valid();
+        let mut h = list.handle();
+        assert!(h.insert(1, 1).unwrap());
+    }
+
+    #[test]
+    fn compaction_reclaims_zombie_chunks() {
+        let mut list = Gfsl::new(params16()).unwrap();
+        {
+            let mut h = list.handle();
+            for k in 1..=5_000u32 {
+                h.insert(k, k).unwrap();
+            }
+            for k in 1..=4_500u32 {
+                h.remove(k);
+            }
+            assert!(h.stats().merges > 0);
+        }
+        let before = list.chunks_allocated();
+        let compacted = list.compacted().unwrap();
+        compacted.assert_valid();
+        assert_eq!(compacted.pairs(), list.pairs());
+        assert!(
+            compacted.chunks_allocated() < before / 4,
+            "compaction must shed zombies and fragmentation: {} -> {}",
+            before,
+            compacted.chunks_allocated()
+        );
+        // And the compacted structure is fully usable.
+        let mut h = compacted.handle();
+        assert!(h.insert(3, 3).unwrap());
+        assert!(h.remove(4_999));
+        compacted.assert_valid();
+    }
+
+    #[test]
+    fn bulk_load_32_lane_chunks() {
+        let list = Gfsl::from_sorted_pairs(
+            GfslParams::default(),
+            (1..=20_000u32).map(|k| (k, k ^ 0xAA)),
+        )
+        .unwrap();
+        list.assert_valid();
+        assert_eq!(list.len(), 20_000);
+        let mut h = list.handle();
+        assert_eq!(h.get(12_345), Some(12_345 ^ 0xAA));
+    }
+}

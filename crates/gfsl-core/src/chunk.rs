@@ -1,0 +1,400 @@
+//! Chunk layout: entry packing, lock states, and the team-wide chunk view.
+//!
+//! A chunk of size `N` (Fig. 3.1 of the paper) is `N` consecutive 64-bit
+//! words:
+//!
+//! ```text
+//!   index:   0 .. N-3            N-2               N-1
+//!   entry:   DATA (key,value)    NEXT (max,next)   LOCK
+//!   low 32:  key                 max key           lock state
+//!   high 32: value / down-ptr    next chunk index  (unused)
+//! ```
+//!
+//! Data entries are sorted ascending with `EMPTY` (∞) entries grouped at the
+//! end. The first chunk of every level holds the `-∞` key in entry 0. The
+//! last chunk of every level has `max = ∞` and `next = NIL`.
+
+use gfsl_gpu_mem::{MemProbe, WordAddr, WordPool};
+use gfsl_simt::{LaneId, Lanes, Team, WARP_SIZE};
+
+/// The `-∞` key stored in the first chunk of every level. Distinct from all
+/// user keys.
+pub const KEY_NEG_INF: u32 = 0;
+
+/// The `∞` key: marks EMPTY data entries and the max field of the last chunk
+/// in a level. Distinct from all user keys.
+pub const KEY_INF: u32 = u32::MAX;
+
+/// Null chunk pointer (the next field of the last chunk in a level).
+pub const NIL: u32 = u32::MAX;
+
+/// Lock word: chunk is unlocked.
+pub const LOCK_UNLOCKED: u64 = 0;
+/// Lock word: chunk is locked by some team.
+pub const LOCK_LOCKED: u64 = 1;
+/// Lock word: chunk has been merged away. Terminal — a zombie's contents
+/// never change again and the chunk is never unlocked or reused.
+pub const LOCK_ZOMBIE: u64 = 2;
+
+/// Is `k` usable as a user key? (`-∞` and `∞` are reserved.)
+#[inline]
+pub const fn is_user_key(k: u32) -> bool {
+    k != KEY_NEG_INF && k != KEY_INF
+}
+
+/// A packed 8-byte chunk entry: key in the low 32 bits, value (or pointer)
+/// in the high 32 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry(pub u64);
+
+impl Entry {
+    /// An EMPTY (∞) data entry.
+    pub const EMPTY: Entry = Entry::new(KEY_INF, 0);
+
+    /// Pack a key/value pair.
+    #[inline]
+    pub const fn new(key: u32, val: u32) -> Entry {
+        Entry(((val as u64) << 32) | key as u64)
+    }
+
+    /// The key half.
+    #[inline]
+    pub const fn key(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The value half (a user value at level 0, a down-pointer above, the
+    /// next-pointer in the NEXT entry).
+    #[inline]
+    pub const fn val(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Is this an EMPTY data entry?
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.key() == KEY_INF
+    }
+}
+
+/// A chunk's address plus the team geometry needed to interpret it.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkRef {
+    /// Base word address of the chunk in the pool.
+    pub base: WordAddr,
+}
+
+impl ChunkRef {
+    /// Word address of entry `i`.
+    #[inline]
+    pub fn entry_addr(self, i: usize) -> WordAddr {
+        self.base + i as u32
+    }
+}
+
+/// The team-wide registers holding one chunk read: lane `i` holds entry `i`.
+///
+/// This is the result of the single lockstep "read the whole chunk"
+/// instruction: each lane's load is individually atomic, the combination is
+/// a point-in-time-per-word snapshot only — exactly what the GPU provides
+/// and what the algorithm is designed to tolerate.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkView {
+    regs: Lanes<u64>,
+}
+
+impl ChunkView {
+    /// Read all `N` entries of the chunk at `ch` in one lockstep team read.
+    #[inline]
+    pub fn read<P: MemProbe>(team: &Team, pool: &WordPool, probe: &mut P, ch: ChunkRef) -> Self {
+        let mut addrs = [0u32; WARP_SIZE];
+        for (lane, a) in addrs.iter_mut().enumerate().take(team.lanes()) {
+            *a = ch.entry_addr(lane);
+        }
+        probe.warp_read(&addrs[..team.lanes()]);
+        let regs = team.each_lane(|lane| pool.read(ch.entry_addr(lane)));
+        ChunkView { regs }
+    }
+
+    /// Entry held by lane `lane`.
+    #[inline]
+    pub fn entry(&self, lane: LaneId) -> Entry {
+        Entry(self.regs.get(lane))
+    }
+
+    /// The chunk's max field (key half of the NEXT entry).
+    #[inline]
+    pub fn max(&self, team: &Team) -> u32 {
+        self.entry(team.next_lane()).key()
+    }
+
+    /// The chunk's next pointer (value half of the NEXT entry), `NIL` for
+    /// the last chunk in a level.
+    #[inline]
+    pub fn next(&self, team: &Team) -> u32 {
+        self.entry(team.next_lane()).val()
+    }
+
+    /// Raw lock word.
+    #[inline]
+    pub fn lock_word(&self, team: &Team) -> u64 {
+        self.regs.get(team.lock_lane())
+    }
+
+    /// Was the chunk a zombie at read time?
+    #[inline]
+    pub fn is_zombie(&self, team: &Team) -> bool {
+        self.lock_word(team) == LOCK_ZOMBIE
+    }
+
+    /// Was the chunk locked at read time?
+    #[inline]
+    pub fn is_locked(&self, team: &Team) -> bool {
+        self.lock_word(team) == LOCK_LOCKED
+    }
+
+    /// Number of non-EMPTY data entries (cooperative `numKeysInChunk`).
+    #[inline]
+    pub fn num_keys(&self, team: &Team) -> u32 {
+        team.ballot(|lane| team.is_data_lane(lane) && !self.entry(lane).is_empty())
+            .count()
+    }
+
+    /// Does the chunk's data array contain `k`? (cooperative
+    /// `chunkContains`).
+    #[inline]
+    pub fn contains_key(&self, team: &Team, k: u32) -> bool {
+        self.lane_of_key(team, k).is_some()
+    }
+
+    /// The *highest* data lane holding `k`, if any. Highest matters: during
+    /// shifts a key may transiently appear twice and the rightmost copy is
+    /// the authoritative one (paper §4.2.2).
+    #[inline]
+    pub fn lane_of_key(&self, team: &Team, k: u32) -> Option<LaneId> {
+        team.ballot(|lane| team.is_data_lane(lane) && self.entry(lane).key() == k)
+            .highest()
+    }
+
+    /// Is the chunk *not* enclosing `k`: a zombie, or `max < k`
+    /// (cooperative `chunkNotEnclosing`).
+    #[inline]
+    pub fn not_enclosing(&self, team: &Team, k: u32) -> bool {
+        self.is_zombie(team) || self.max(team) < k
+    }
+
+    /// Data entries as `(lane, entry)` pairs, non-EMPTY only.
+    pub fn live_entries<'a>(&'a self, team: &'a Team) -> impl Iterator<Item = (LaneId, Entry)> + 'a {
+        (0..team.dsize())
+            .map(|lane| (lane, self.entry(lane)))
+            .filter(|(_, e)| !e.is_empty())
+    }
+}
+
+/// Lock/write-side chunk operations. These are free functions over the pool
+/// (rather than methods on a guard type) because the GPU algorithm threads
+/// lock ownership through team control flow, not RAII — e.g. the bottom
+/// chunk stays locked across an entire multi-level insert while other chunks
+/// lock and unlock around it, and a merge converts a held lock into a
+/// terminal zombie marker.
+pub mod ops {
+    use super::*;
+
+    /// Word address of a chunk's lock entry.
+    #[inline]
+    pub fn lock_addr(team: &Team, ch: ChunkRef) -> WordAddr {
+        ch.entry_addr(team.lock_lane())
+    }
+
+    /// Word address of a chunk's NEXT entry.
+    #[inline]
+    pub fn next_addr(team: &Team, ch: ChunkRef) -> WordAddr {
+        ch.entry_addr(team.next_lane())
+    }
+
+    /// One CAS attempt to lock the chunk. The paper's `LockChunkWithCAS`.
+    #[inline]
+    pub fn try_lock<P: MemProbe>(team: &Team, pool: &WordPool, probe: &mut P, ch: ChunkRef) -> bool {
+        let addr = lock_addr(team, ch);
+        probe.atomic(addr);
+        pool.cas(addr, LOCK_UNLOCKED, LOCK_LOCKED).is_ok()
+    }
+
+    /// Release a held lock.
+    #[inline]
+    pub fn unlock<P: MemProbe>(team: &Team, pool: &WordPool, probe: &mut P, ch: ChunkRef) {
+        let addr = lock_addr(team, ch);
+        debug_assert_eq!(pool.read(addr), LOCK_LOCKED, "unlocking a chunk we do not hold");
+        probe.lane_write(addr);
+        pool.write(addr, LOCK_UNLOCKED);
+    }
+
+    /// Convert a held lock into the terminal zombie marker.
+    #[inline]
+    pub fn mark_zombie<P: MemProbe>(team: &Team, pool: &WordPool, probe: &mut P, ch: ChunkRef) {
+        let addr = lock_addr(team, ch);
+        debug_assert_eq!(pool.read(addr), LOCK_LOCKED, "only the lock holder may zombify");
+        probe.lane_write(addr);
+        pool.write(addr, LOCK_ZOMBIE);
+    }
+
+    /// Atomically overwrite data entry `lane` (the paper's per-lane
+    /// `AtomicWrite` used by the shift loops).
+    #[inline]
+    pub fn write_entry<P: MemProbe>(
+        pool: &WordPool,
+        probe: &mut P,
+        ch: ChunkRef,
+        lane: LaneId,
+        e: Entry,
+    ) {
+        let addr = ch.entry_addr(lane);
+        probe.lane_write(addr);
+        pool.write(addr, e.0);
+    }
+
+    /// Atomically set the NEXT entry: `(max, next)` in a single 64-bit store.
+    /// Publishing a split and lowering a max are each one such store, which
+    /// is what keeps lock-free readers consistent.
+    #[inline]
+    pub fn write_next_field<P: MemProbe>(
+        team: &Team,
+        pool: &WordPool,
+        probe: &mut P,
+        ch: ChunkRef,
+        max: u32,
+        next: u32,
+    ) {
+        let addr = next_addr(team, ch);
+        probe.lane_write(addr);
+        pool.write(addr, Entry::new(max, next).0);
+    }
+
+    /// Read just the NEXT entry (single-lane read; used under lock where a
+    /// full team read would be wasted).
+    #[inline]
+    pub fn read_next_field<P: MemProbe>(
+        team: &Team,
+        pool: &WordPool,
+        probe: &mut P,
+        ch: ChunkRef,
+    ) -> Entry {
+        let addr = next_addr(team, ch);
+        probe.lane_read(addr);
+        Entry(pool.read(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfsl_gpu_mem::NoProbe;
+    use gfsl_simt::TeamSize;
+
+    fn setup() -> (Team, WordPool) {
+        (Team::new(TeamSize::Sixteen), WordPool::new(1024))
+    }
+
+    fn write_chunk(pool: &WordPool, base: u32, entries: &[(u32, u32)], max: u32, next: u32, lock: u64) {
+        let team = Team::new(TeamSize::Sixteen);
+        for i in 0..team.dsize() {
+            let e = entries.get(i).map(|&(k, v)| Entry::new(k, v)).unwrap_or(Entry::EMPTY);
+            pool.write(base + i as u32, e.0);
+        }
+        pool.write(base + team.next_lane() as u32, Entry::new(max, next).0);
+        pool.write(base + team.lock_lane() as u32, lock);
+    }
+
+    #[test]
+    fn entry_packing_roundtrip() {
+        let e = Entry::new(0x1234_5678, 0x9ABC_DEF0);
+        assert_eq!(e.key(), 0x1234_5678);
+        assert_eq!(e.val(), 0x9ABC_DEF0);
+        assert!(!e.is_empty());
+        assert!(Entry::EMPTY.is_empty());
+        assert_eq!(Entry::EMPTY.key(), KEY_INF);
+    }
+
+    #[test]
+    fn user_key_range_excludes_sentinels() {
+        assert!(!is_user_key(KEY_NEG_INF));
+        assert!(!is_user_key(KEY_INF));
+        assert!(is_user_key(1));
+        assert!(is_user_key(u32::MAX - 1));
+    }
+
+    #[test]
+    fn view_reads_fields() {
+        let (team, pool) = setup();
+        write_chunk(&pool, 0, &[(5, 50), (9, 90)], 9, 64, LOCK_UNLOCKED);
+        let v = ChunkView::read(&team, &pool, &mut NoProbe, ChunkRef { base: 0 });
+        assert_eq!(v.entry(0), Entry::new(5, 50));
+        assert_eq!(v.entry(1), Entry::new(9, 90));
+        assert!(v.entry(2).is_empty());
+        assert_eq!(v.max(&team), 9);
+        assert_eq!(v.next(&team), 64);
+        assert!(!v.is_zombie(&team));
+        assert!(!v.is_locked(&team));
+        assert_eq!(v.num_keys(&team), 2);
+    }
+
+    #[test]
+    fn lane_of_key_prefers_highest_duplicate() {
+        let (team, pool) = setup();
+        // Simulate a mid-shift chunk: key 7 appears at lanes 2 and 3.
+        write_chunk(&pool, 0, &[(3, 0), (5, 0), (7, 0), (7, 1)], 7, NIL, LOCK_LOCKED);
+        let v = ChunkView::read(&team, &pool, &mut NoProbe, ChunkRef { base: 0 });
+        assert_eq!(v.lane_of_key(&team, 7), Some(3));
+        assert_eq!(v.entry(3).val(), 1, "rightmost copy wins");
+        assert_eq!(v.lane_of_key(&team, 4), None);
+    }
+
+    #[test]
+    fn not_enclosing_for_zombie_or_small_max() {
+        let (team, pool) = setup();
+        write_chunk(&pool, 0, &[(5, 0)], 5, 64, LOCK_UNLOCKED);
+        let v = ChunkView::read(&team, &pool, &mut NoProbe, ChunkRef { base: 0 });
+        assert!(!v.not_enclosing(&team, 5));
+        assert!(!v.not_enclosing(&team, 3));
+        assert!(v.not_enclosing(&team, 6));
+
+        write_chunk(&pool, 64, &[(5, 0)], 5, NIL, LOCK_ZOMBIE);
+        let z = ChunkView::read(&team, &pool, &mut NoProbe, ChunkRef { base: 64 });
+        assert!(z.not_enclosing(&team, 3), "zombies never enclose");
+        assert!(z.is_zombie(&team));
+    }
+
+    #[test]
+    fn lock_unlock_zombie_lifecycle() {
+        let (team, pool) = setup();
+        let ch = ChunkRef { base: 0 };
+        write_chunk(&pool, 0, &[], KEY_INF, NIL, LOCK_UNLOCKED);
+        assert!(ops::try_lock(&team, &pool, &mut NoProbe, ch));
+        assert!(!ops::try_lock(&team, &pool, &mut NoProbe, ch), "second lock fails");
+        ops::unlock(&team, &pool, &mut NoProbe, ch);
+        assert!(ops::try_lock(&team, &pool, &mut NoProbe, ch));
+        ops::mark_zombie(&team, &pool, &mut NoProbe, ch);
+        assert!(!ops::try_lock(&team, &pool, &mut NoProbe, ch), "zombies cannot be locked");
+        let v = ChunkView::read(&team, &pool, &mut NoProbe, ch);
+        assert!(v.is_zombie(&team));
+    }
+
+    #[test]
+    fn write_next_field_is_one_word() {
+        let (team, pool) = setup();
+        let ch = ChunkRef { base: 0 };
+        ops::write_next_field(&team, &pool, &mut NoProbe, ch, 42, 128);
+        let e = ops::read_next_field(&team, &pool, &mut NoProbe, ch);
+        assert_eq!(e.key(), 42);
+        assert_eq!(e.val(), 128);
+    }
+
+    #[test]
+    fn live_entries_skips_empties() {
+        let (team, pool) = setup();
+        write_chunk(&pool, 0, &[(2, 20), (4, 40), (6, 60)], 6, NIL, LOCK_UNLOCKED);
+        let v = ChunkView::read(&team, &pool, &mut NoProbe, ChunkRef { base: 0 });
+        let live: Vec<_> = v.live_entries(&team).map(|(l, e)| (l, e.key())).collect();
+        assert_eq!(live, vec![(0, 2), (1, 4), (2, 6)]);
+    }
+}

@@ -1,0 +1,408 @@
+//! `Delete` (paper §4.2.3): top-down removal under the bottom-level lock,
+//! merging underfull chunks into their right neighbour and marking them as
+//! zombies.
+
+use gfsl_gpu_mem::MemProbe;
+use std::sync::atomic::Ordering;
+
+use crate::chunk::{is_user_key, ops, ChunkView, Entry, KEY_NEG_INF};
+use crate::skiplist::GfslHandle;
+use crate::split::MovedKeys;
+
+impl<'a, P: MemProbe> GfslHandle<'a, P> {
+    /// Remove `k`. Returns `true` if the key was present.
+    ///
+    /// The bottom-level enclosing chunk stays locked until `k` has been
+    /// removed from every level, which serializes updates to the same key.
+    /// Upper levels are processed top-down with per-level lock/remove/unlock
+    /// and a containment pre-check to keep contention off the sparse upper
+    /// levels.
+    ///
+    /// Deviation from the paper (documented): if a merge needs to pre-split
+    /// the absorbing chunk and the pool is exhausted, we fall back to a
+    /// plain (merge-free) removal instead of failing — the chunk is merely
+    /// left underfull, which every traversal tolerates.
+    pub fn remove(&mut self, k: u32) -> bool {
+        self.stats.remove_ops += 1;
+        if !is_user_key(k) {
+            return false;
+        }
+        let team = self.list.team;
+        let (found, path) = self.search_slow(k);
+        if found.found.is_none() {
+            return false;
+        }
+        let (p_bottom, bview) = self.find_and_lock_enclosing(path[0], k);
+        if bview.lane_of_key(&team, k).is_none() {
+            // Lost the race to another deleter.
+            self.unlock(p_bottom);
+            return false;
+        }
+
+        // Re-read the height under the bottom lock so levels added since the
+        // traversal are not missed; path entries above the traversal height
+        // already default to the level heads.
+        let height = self.list.height();
+        for level in (1..=height).rev() {
+            let probe_result = self.search_lateral(k, path[level]);
+            if probe_result.found.is_none() {
+                continue; // k was never raised this high
+            }
+            let (p_enc, eview) = self.find_and_lock_enclosing(probe_result.enclosing, k);
+            if eview.lane_of_key(&team, k).is_none() {
+                // Cannot happen while we hold k's bottom lock (no other team
+                // may update k), but a defensive unlock is free.
+                self.unlock(p_enc);
+                continue;
+            }
+            self.remove_from_chunk(k, p_enc, &eview, level);
+        }
+
+        // Finally remove from the bottom level; only then is k logically
+        // gone from the structure.
+        let bview = self.read_chunk(p_bottom);
+        debug_assert!(bview.lane_of_key(&team, k).is_some());
+        self.remove_from_chunk(k, p_bottom, &bview, 0);
+        true
+    }
+
+    /// Remove and return the smallest key (with its value), or `None` when
+    /// the set is empty — the extract-min of a skiplist priority queue.
+    ///
+    /// Implemented as a scan-then-remove loop: [`min_entry`] is lock-free,
+    /// and losing the removal race to a concurrent consumer simply rescans
+    /// (the new minimum may differ). Each successful call removes exactly
+    /// one element; concurrent callers never remove the same one.
+    ///
+    /// Caveat: the returned *value* comes from the scan. If another thread
+    /// removes and reinserts the same key with a different value between
+    /// the scan and this call's removal, the returned value may belong to
+    /// the earlier incarnation (the key itself is always the one this call
+    /// removed).
+    ///
+    /// [`min_entry`]: crate::skiplist::GfslHandle::min_entry
+    pub fn pop_min(&mut self) -> Option<(u32, u32)> {
+        loop {
+            let (k, v) = self.min_entry()?;
+            if self.remove(k) {
+                return Some((k, v));
+            }
+        }
+    }
+
+    /// Remove `k` from a locked chunk at `level`, merging if that crosses
+    /// the minimum-fill threshold (`removeFromChunk`, Algorithm 4.12). The
+    /// chunk is unlocked (or zombified) on return.
+    pub(crate) fn remove_from_chunk(&mut self, k: u32, p_enc: u32, view: &ChunkView, level: usize) {
+        let team = self.list.team;
+        let count = view.num_keys(&team);
+        let threshold = self.list.params.merge_threshold();
+
+        if count > threshold {
+            // Plenty left: plain removal.
+            self.execute_remove_no_merge(p_enc, view, k);
+            self.unlock(p_enc);
+            return;
+        }
+
+        match self.lock_next_chunk(p_enc) {
+            None => {
+                // Last chunk in the level: never merged, never zombified;
+                // just remove, even if that empties it completely.
+                self.execute_remove_no_merge(p_enc, view, k);
+                if level > 0 {
+                    self.note_possible_level_empty(p_enc, level);
+                }
+                self.unlock(p_enc);
+            }
+            Some(p_next) => {
+                let mut nview = self.read_chunk(p_next);
+                if nview.num_keys(&team) + count - 1 > team.dsize() as u32 {
+                    // The absorber is too full: split it first (splitRemove).
+                    match self.split_remove(p_next, &nview, level) {
+                        Ok(()) => {
+                            self.list.inc_level_chunks(level);
+                            nview = self.read_chunk(p_next);
+                        }
+                        Err(_) => {
+                            // Pool exhausted: degrade to a merge-free remove.
+                            self.unlock(p_next);
+                            self.execute_remove_no_merge(p_enc, view, k);
+                            self.unlock(p_enc);
+                            return;
+                        }
+                    }
+                }
+                let moved = self.execute_remove_merge(p_enc, view, p_next, &nview, k);
+                ops::mark_zombie(
+                    &team,
+                    &self.list.pool,
+                    &mut self.probe,
+                    self.list.chunk(p_enc),
+                );
+                self.stats.merges += 1;
+                self.list.dec_level_chunks(level);
+                self.unlock(p_next);
+                self.update_down_ptrs(level, moved.as_slice(), p_next);
+            }
+        }
+    }
+
+    /// Physically remove `k` by shifting larger keys one entry left
+    /// (`executeRemoveNoMerge`, Fig. 4.6). Writes proceed left-to-right so
+    /// no key transiently disappears; if `k` was the chunk's max, the max
+    /// field is lowered *first* so lock-free readers never chase a max that
+    /// is no longer present.
+    pub(crate) fn execute_remove_no_merge(&mut self, p_enc: u32, view: &ChunkView, k: u32) {
+        let team = self.list.team;
+        let idx = view
+            .lane_of_key(&team, k)
+            .expect("removing a key that is not in the locked chunk");
+        let ch = self.list.chunk(p_enc);
+
+        if view.max(&team) == k {
+            let new_max = if idx == 0 {
+                KEY_NEG_INF
+            } else {
+                view.entry(idx - 1).key()
+            };
+            ops::write_next_field(
+                &team,
+                &self.list.pool,
+                &mut self.probe,
+                ch,
+                new_max,
+                view.next(&team),
+            );
+        }
+
+        let mut cleared = false;
+        for i in idx + 1..team.dsize() {
+            let e = view.entry(i);
+            ops::write_entry(&self.list.pool, &mut self.probe, ch, i - 1, e);
+            if e.is_empty() {
+                cleared = true;
+                break;
+            }
+        }
+        if !cleared {
+            // k sat in (or the shift reached) the final data slot: the NEXT
+            // lane empties it explicitly (no lane to its right to do so).
+            ops::write_entry(
+                &self.list.pool,
+                &mut self.probe,
+                ch,
+                team.dsize() - 1,
+                Entry::EMPTY,
+            );
+        }
+    }
+
+    /// Move every live entry except `k` from `p_enc` into `p_next`
+    /// (`executeRemoveMerge`, Fig. 4.5c). Both chunks are locked. Target
+    /// entries are written in descending index order so concurrent readers
+    /// (which give precedence to higher lanes) never lose a key. Returns the
+    /// moved keys for the down-pointer repair pass.
+    pub(crate) fn execute_remove_merge(
+        &mut self,
+        _p_enc: u32,
+        eview: &ChunkView,
+        p_next: u32,
+        nview: &ChunkView,
+        k: u32,
+    ) -> MovedKeys {
+        let team = self.list.team;
+        let mut merged = [Entry::EMPTY; gfsl_simt::WARP_SIZE];
+        let mut moved = MovedKeys::new();
+        let mut m = 0usize;
+        for (_, e) in eview.live_entries(&team) {
+            if e.key() != k {
+                merged[m] = e;
+                moved.push(e.key());
+                m += 1;
+            }
+        }
+        let s_count = m;
+        for (_, e) in nview.live_entries(&team) {
+            merged[m] = e;
+            m += 1;
+        }
+        debug_assert!(m <= team.dsize(), "absorber overfull despite pre-split");
+        if s_count == 0 {
+            // The dying chunk held only k: nothing moves.
+            return moved;
+        }
+        let ch = self.list.chunk(p_next);
+        for j in (0..m).rev() {
+            ops::write_entry(&self.list.pool, &mut self.probe, ch, j, merged[j]);
+        }
+        moved
+    }
+
+    /// After emptying the last chunk of an upper level, mark the level
+    /// unused when it holds nothing but `-∞` (paper: "the chunk counter for
+    /// that level is decremented to show that the level is empty").
+    fn note_possible_level_empty(&mut self, p_enc: u32, level: usize) {
+        let team = self.list.team;
+        if self.list.head_of(level) != p_enc {
+            return; // not the only chunk in the level
+        }
+        let v = self.read_chunk(p_enc);
+        let live = v.num_keys(&team);
+        let only_sentinel = live == 0 || (live == 1 && v.entry(0).key() == KEY_NEG_INF);
+        if only_sentinel {
+            // We hold the level's only chunk locked, so no split can race.
+            self.list.level_chunks[level].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::GfslParams;
+    use crate::skiplist::Gfsl;
+    use gfsl_simt::TeamSize;
+
+    fn list16() -> Gfsl {
+        Gfsl::new(GfslParams {
+            team_size: TeamSize::Sixteen,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let list = list16();
+        let mut h = list.handle();
+        assert!(h.insert(5, 50).unwrap());
+        assert!(h.remove(5));
+        assert!(!h.contains(5));
+        assert!(!h.remove(5), "double remove fails");
+        assert!(h.insert(5, 51).unwrap(), "reinsert after remove");
+        assert_eq!(h.get(5), Some(51));
+    }
+
+    #[test]
+    fn remove_missing_and_reserved_keys() {
+        let list = list16();
+        let mut h = list.handle();
+        assert!(!h.remove(77));
+        assert!(!h.remove(0));
+        assert!(!h.remove(u32::MAX));
+    }
+
+    #[test]
+    fn remove_max_key_of_chunk_updates_max() {
+        let list = list16();
+        let mut h = list.handle();
+        // Force a split so the first chunk has a finite max.
+        for k in 1..=14u32 {
+            h.insert(k, k).unwrap();
+        }
+        let team = &list.team;
+        let head = list.head_of(0);
+        let v = h.read_chunk(head);
+        let max = v.max(team);
+        assert!(max < u32::MAX);
+        assert!(h.remove(max));
+        let v = h.read_chunk(head);
+        assert!(v.max(team) < max, "max lowered after removing the max key");
+        assert!(!h.contains(max));
+        // All other keys survive.
+        for k in 1..=14u32 {
+            assert_eq!(h.contains(k), k != max, "k={k}");
+        }
+    }
+
+    #[test]
+    fn deletions_trigger_merges_and_keys_stay_consistent() {
+        let list = list16();
+        let mut h = list.handle();
+        for k in 1..=200u32 {
+            h.insert(k, k).unwrap();
+        }
+        // Delete a dense band to force underfull chunks.
+        for k in 50..=150u32 {
+            assert!(h.remove(k), "k={k}");
+        }
+        assert!(h.stats().merges > 0, "deleting half the keys must merge");
+        for k in 1..=200u32 {
+            let expect = !(50..=150).contains(&k);
+            assert_eq!(h.contains(k), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn drain_everything_then_refill() {
+        let list = list16();
+        let mut h = list.handle();
+        for k in 1..=500u32 {
+            h.insert(k, k).unwrap();
+        }
+        for k in 1..=500u32 {
+            assert!(h.remove(k), "k={k}");
+        }
+        for k in 1..=500u32 {
+            assert!(!h.contains(k), "k={k}");
+        }
+        // The emptied structure accepts new keys (chunk-entry reuse is the
+        // paper's answer to reclamation pressure).
+        for k in 1..=100u32 {
+            assert!(h.insert(k, k + 1).unwrap(), "k={k}");
+        }
+        for k in 1..=100u32 {
+            assert_eq!(h.get(k), Some(k + 1), "k={k}");
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_delete_random_order() {
+        let list = list16();
+        let mut h = list.handle();
+        let mut reference = std::collections::BTreeSet::new();
+        let mut x: u64 = 88172645463325252;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..20_000 {
+            let k = (rng() % 500 + 1) as u32;
+            match rng() % 3 {
+                0 => {
+                    assert_eq!(h.insert(k, k).unwrap(), reference.insert(k), "insert {k}");
+                }
+                1 => {
+                    assert_eq!(h.remove(k), reference.remove(&k), "remove {k}");
+                }
+                _ => {
+                    assert_eq!(h.contains(k), reference.contains(&k), "contains {k}");
+                }
+            }
+        }
+        for k in 1..=500u32 {
+            assert_eq!(h.contains(k), reference.contains(&k), "final k={k}");
+        }
+    }
+
+    #[test]
+    fn upper_level_entries_removed_with_key() {
+        let list = list16();
+        let mut h = list.handle();
+        for k in 1..=1000u32 {
+            h.insert(k, k).unwrap();
+        }
+        assert!(list.height() >= 1);
+        // Remove every key; upper levels must drain too (structure returns
+        // to height 0 via the level-empty bookkeeping).
+        for k in 1..=1000u32 {
+            assert!(h.remove(k), "k={k}");
+        }
+        for k in 1..=1000u32 {
+            assert!(!h.contains(k));
+        }
+        assert_eq!(list.height(), 0, "levels marked empty after draining");
+    }
+}

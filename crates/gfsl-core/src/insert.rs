@@ -1,0 +1,349 @@
+//! `Insert` (paper §4.2.2): bottom-up insertion under the bottom-level lock,
+//! with per-level lock/insert/unlock above and probabilistic key raising
+//! after splits.
+
+use gfsl_gpu_mem::MemProbe;
+
+use crate::chunk::{is_user_key, ops, ChunkView, Entry};
+use crate::skiplist::{Error, GfslHandle};
+
+/// What happened when inserting into one level.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LevelOutcome {
+    /// The key was already present; the enclosing chunk is returned locked.
+    AlreadyPresent { locked: u32 },
+    /// The key went in; the chunk now containing it is returned locked.
+    Inserted {
+        locked: u32,
+        /// Should a key be raised to the next level (a split happened and
+        /// the `p_chunk` coin came up heads)?
+        raise: bool,
+        /// The key to raise (`max(k, min-of-new-chunk)` at level 0, `k`
+        /// above — paper §4.2.2, `keyForNextLevel`).
+        raised_key: u32,
+    },
+}
+
+impl<'a, P: MemProbe> GfslHandle<'a, P> {
+    /// Insert `(k, v)`. Returns `Ok(true)` if the key was added, `Ok(false)`
+    /// if it was already present.
+    ///
+    /// # Errors
+    /// [`Error::InvalidKey`] for the reserved keys `0` and `u32::MAX`;
+    /// [`Error::PoolExhausted`] when the preallocated chunk pool is full
+    /// (the structure is left consistent and usable).
+    pub fn insert(&mut self, k: u32, v: u32) -> Result<bool, Error> {
+        self.stats.insert_ops += 1;
+        if !is_user_key(k) {
+            return Err(Error::InvalidKey(k));
+        }
+        let (found, path) = self.search_slow(k);
+        if found.found.is_some() {
+            return Ok(false);
+        }
+
+        // Bottom level: the chunk that receives k stays locked until every
+        // upper-level insertion completes, which is what serializes updates
+        // to the same key.
+        let (p_bottom, mut raise, mut kk) = match self.insert_to_level(0, path[0], k, v)? {
+            LevelOutcome::AlreadyPresent { locked } => {
+                self.unlock(locked);
+                return Ok(false);
+            }
+            LevelOutcome::Inserted {
+                locked,
+                raise,
+                raised_key,
+            } => (locked, raise, raised_key),
+        };
+
+        // Value inserted at level i+1 is a pointer to the chunk holding the
+        // raised key at level i.
+        let mut vv = p_bottom;
+        let mut level = 1;
+        while raise && level < self.list.params.max_levels() {
+            match self.insert_to_level(level, path[level], kk, vv) {
+                Ok(LevelOutcome::AlreadyPresent { locked }) => {
+                    // The raised key already has an index entry here (it was
+                    // raised by an earlier split and never removed). Keep
+                    // climbing: it may be missing higher up.
+                    vv = locked;
+                    self.unlock(locked);
+                }
+                Ok(LevelOutcome::Inserted {
+                    locked,
+                    raise: r,
+                    raised_key,
+                }) => {
+                    vv = locked;
+                    kk = raised_key;
+                    raise = r;
+                    self.unlock(locked);
+                }
+                Err(e) => {
+                    // Pool exhausted mid-climb: the key is fully inserted at
+                    // all levels up to here; only index levels are missing,
+                    // which is always legal. Surface the error after
+                    // releasing the bottom lock.
+                    self.unlock(p_bottom);
+                    return Err(e);
+                }
+            }
+            level += 1;
+        }
+
+        self.unlock(p_bottom);
+        Ok(true)
+    }
+
+    /// Insert `(k, v)`, or overwrite the value if `k` is already present.
+    /// Returns the previous value, if any.
+    ///
+    /// Not part of the paper's API, but a natural extension: the overwrite
+    /// is a single atomic store of the entry (same key, new value) under the
+    /// bottom-level chunk lock, so it serializes with other updates to `k`
+    /// exactly like insert/remove do, and lock-free readers see either the
+    /// old or the new value.
+    pub fn upsert(&mut self, k: u32, v: u32) -> Result<Option<u32>, Error> {
+        if !is_user_key(k) {
+            return Err(Error::InvalidKey(k));
+        }
+        let team = self.list.team;
+        loop {
+            let (_, path) = self.search_slow(k);
+            let (p_bottom, view) = self.find_and_lock_enclosing(path[0], k);
+            if let Some(lane) = view.lane_of_key(&team, k) {
+                let old = view.entry(lane).val();
+                ops::write_entry(
+                    &self.list.pool,
+                    &mut self.probe,
+                    self.list.chunk(p_bottom),
+                    lane,
+                    Entry::new(k, v),
+                );
+                self.unlock(p_bottom);
+                return Ok(Some(old));
+            }
+            // Absent at lock time: release and take the plain insert path
+            // (it redoes the locking); a racing inserter may still beat us,
+            // in which case we loop back to the overwrite path.
+            self.unlock(p_bottom);
+            if self.insert(k, v)? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Lock `k`'s enclosing chunk at `level` (starting the walk at `start`,
+    /// a path hint at-or-left of it) and insert, splitting on overflow
+    /// (`insertToLevel`, Algorithm 4.5). All outcomes return with exactly
+    /// one chunk locked; errors return with none.
+    pub(crate) fn insert_to_level(
+        &mut self,
+        level: usize,
+        start: u32,
+        k: u32,
+        v: u32,
+    ) -> Result<LevelOutcome, Error> {
+        let team = self.list.team;
+        let (p_enc, view) = self.find_and_lock_enclosing(start, k);
+        if view.contains_key(&team, k) {
+            return Ok(LevelOutcome::AlreadyPresent { locked: p_enc });
+        }
+        if (view.num_keys(&team) as usize) < team.dsize() {
+            self.execute_insert(p_enc, &view, k, v);
+            if level > 0 && self.list.level_chunk_count(level) == 0 {
+                // First key in this level: mark it in use so searches start
+                // here. (Benign race: two first-inserters may both count.)
+                self.list.inc_level_chunks(level);
+            }
+            Ok(LevelOutcome::Inserted {
+                locked: p_enc,
+                raise: false,
+                raised_key: k,
+            })
+        } else {
+            let (p_insert, raised_key) = self.split_insert(p_enc, &view, k, v, level)?;
+            self.list.inc_level_chunks(level);
+            let raise =
+                level + 1 < self.list.params.max_levels() && self.rng.coin(self.list.params.p_chunk);
+            Ok(LevelOutcome::Inserted {
+                locked: p_insert,
+                raise,
+                raised_key,
+            })
+        }
+    }
+
+    /// Physically insert `(k, v)` into a locked, non-full chunk while
+    /// keeping it sorted (`executeInsert`, Algorithm 4.7 / Fig. 4.3).
+    ///
+    /// Each lane takes its left neighbour's entry; writes proceed serially
+    /// from the highest DATA lane down to the insertion index so no key ever
+    /// transiently disappears (a key may transiently appear twice, which
+    /// readers resolve by highest-lane precedence).
+    pub(crate) fn execute_insert(&mut self, p_enc: u32, view: &ChunkView, k: u32, v: u32) {
+        let team = self.list.team;
+        debug_assert!(view.lane_of_key(&team, k).is_none(), "inserting duplicate {k}");
+        // Sorted + left-packed under the lock, so the insertion index is the
+        // number of keys smaller than k.
+        let insert_idx = team
+            .ballot(|lane| team.is_data_lane(lane) && view.entry(lane).key() < k)
+            .count() as usize;
+        debug_assert!(insert_idx < team.dsize(), "chunk was full");
+        let ch = self.list.chunk(p_enc);
+        for i in (insert_idx..team.dsize()).rev() {
+            let e = if i == insert_idx {
+                Entry::new(k, v)
+            } else {
+                view.entry(i - 1)
+            };
+            if !e.is_empty() {
+                ops::write_entry(&self.list.pool, &mut self.probe, ch, i, e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{KEY_INF, KEY_NEG_INF};
+    use crate::params::GfslParams;
+    use crate::skiplist::Gfsl;
+    use gfsl_simt::TeamSize;
+
+    fn list16() -> Gfsl {
+        Gfsl::new(GfslParams {
+            team_size: TeamSize::Sixteen,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let list = list16();
+        let mut h = list.handle();
+        assert_eq!(h.insert(42, 420), Ok(true));
+        assert!(h.contains(42));
+        assert_eq!(h.get(42), Some(420));
+        assert!(!h.contains(41));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let list = list16();
+        let mut h = list.handle();
+        assert_eq!(h.insert(7, 1), Ok(true));
+        assert_eq!(h.insert(7, 2), Ok(false));
+        assert_eq!(h.get(7), Some(1), "original value preserved");
+    }
+
+    #[test]
+    fn reserved_keys_error() {
+        let list = list16();
+        let mut h = list.handle();
+        assert_eq!(h.insert(KEY_NEG_INF, 0), Err(Error::InvalidKey(0)));
+        assert_eq!(h.insert(KEY_INF, 0), Err(Error::InvalidKey(KEY_INF)));
+    }
+
+    #[test]
+    fn inserts_stay_sorted_within_chunk() {
+        let list = list16();
+        let mut h = list.handle();
+        for k in [50u32, 10, 30, 20, 40] {
+            assert_eq!(h.insert(k, k * 2), Ok(true));
+        }
+        let head = list.head_of(0);
+        let v = h.read_chunk(head);
+        let keys: Vec<u32> = v.live_entries(&list.team).map(|(_, e)| e.key()).collect();
+        assert_eq!(keys, vec![KEY_NEG_INF, 10, 20, 30, 40, 50]);
+        for k in [10u32, 20, 30, 40, 50] {
+            assert_eq!(h.get(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn fill_one_chunk_to_capacity_without_split() {
+        let list = list16();
+        let mut h = list.handle();
+        // Sentinel holds -inf, so 13 more keys fill the 14-entry data array.
+        for k in 1..=13u32 {
+            assert_eq!(h.insert(k, k), Ok(true));
+        }
+        assert_eq!(list.chunks_allocated(), 16, "no split yet");
+        assert_eq!(h.stats().splits, 0);
+        for k in 1..=13u32 {
+            assert!(h.contains(k));
+        }
+    }
+
+    #[test]
+    fn overflow_triggers_split_and_all_keys_survive() {
+        let list = list16();
+        let mut h = list.handle();
+        for k in 1..=14u32 {
+            assert_eq!(h.insert(k, k * 10), Ok(true), "k={k}");
+        }
+        assert!(h.stats().splits >= 1);
+        for k in 1..=14u32 {
+            assert_eq!(h.get(k), Some(k * 10), "k={k}");
+        }
+        assert!(!h.contains(15));
+    }
+
+    #[test]
+    fn many_inserts_build_multiple_levels() {
+        let list = list16();
+        let mut h = list.handle();
+        for k in 1..=2000u32 {
+            assert_eq!(h.insert(k, k), Ok(true), "k={k}");
+        }
+        assert!(list.height() >= 1, "p_chunk=1 must raise keys");
+        for k in 1..=2000u32 {
+            assert_eq!(h.get(k), Some(k), "k={k}");
+        }
+        assert!(!h.contains(2001));
+    }
+
+    #[test]
+    fn descending_inserts_exercise_index_zero_path() {
+        let list = list16();
+        let mut h = list.handle();
+        for k in (1..=500u32).rev() {
+            assert_eq!(h.insert(k, k + 1), Ok(true), "k={k}");
+        }
+        for k in 1..=500u32 {
+            assert_eq!(h.get(k), Some(k + 1), "k={k}");
+        }
+    }
+
+    #[test]
+    fn pool_exhaustion_surfaces_and_leaves_structure_usable() {
+        let list = Gfsl::new(GfslParams {
+            team_size: TeamSize::Sixteen,
+            pool_chunks: 18, // 16 sentinels + 2 spare chunks
+            ..Default::default()
+        })
+        .unwrap();
+        let mut h = list.handle();
+        let mut inserted = Vec::new();
+        let mut exhausted = false;
+        for k in 1..=2000u32 {
+            match h.insert(k, k) {
+                Ok(true) => inserted.push(k),
+                Ok(false) => unreachable!(),
+                Err(Error::PoolExhausted(_)) => {
+                    exhausted = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(exhausted, "tiny pool must run out");
+        for &k in &inserted {
+            assert!(h.contains(k), "k={k} must survive exhaustion");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal deterministic RNG for the raise-key coin.
+//!
+//! The paper decides "whether to raise a key after a split ... randomly
+//! generated (on-device) according to `p_chunk`" (§4.2.2). Each handle owns
+//! an independent SplitMix64 stream so runs are reproducible regardless of
+//! thread interleaving. (SplitMix64: Steele, Lea & Flood, "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014.)
+
+/// SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    #[inline]
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    #[inline]
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub(crate) fn coin(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            true
+        } else if p <= 0.0 {
+            false
+        } else {
+            self.next_f64() < p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain
+        // reference implementation (Vigna).
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn coin_extremes_are_deterministic() {
+        let mut r = SplitMix64::new(7);
+        assert!((0..100).all(|_| r.coin(1.0)));
+        assert!((0..100).all(|_| !r.coin(0.0)));
+    }
+
+    #[test]
+    fn coin_frequency_tracks_p() {
+        let mut r = SplitMix64::new(99);
+        let hits = (0..10_000).filter(|_| r.coin(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn streams_with_different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,554 @@
+//! Traversal: `Contains`/`get`, `searchDown`, `searchLateral`, and the
+//! path-recording `searchSlow` used by updates (paper §4.2.1–4.2.2).
+
+use gfsl_gpu_mem::MemProbe;
+use gfsl_simt::{LaneId, Team};
+
+use crate::chunk::{ops, is_user_key, ChunkView, NIL};
+use crate::skiplist::GfslHandle;
+
+/// Team decision for the next traversal step (result of the ballot in
+/// `getTidForNextStep`, Algorithm 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextStep {
+    /// The searched key is greater than the chunk's max: follow the next
+    /// pointer.
+    Lateral,
+    /// Step down through the pointer held by this DATA lane (the highest
+    /// lane whose key is `<= k`).
+    Down(LaneId),
+    /// Every key in the chunk is greater than `k`: back up to the previous
+    /// chunk (`NONE` in the paper).
+    Backtrack,
+}
+
+/// The cooperative `getTidForNextStep`: DATA lanes vote `key <= k`, the NEXT
+/// lane votes `max < k`, the LOCK lane abstains; the highest voting lane
+/// wins. EMPTY (∞) keys never vote because `k` is a user key `< ∞`; the
+/// `-∞` key always votes.
+#[inline]
+pub fn tid_for_next_step(team: &Team, k: u32, view: &ChunkView) -> NextStep {
+    let ballot = team.ballot(|lane| {
+        if team.is_data_lane(lane) {
+            view.entry(lane).key() <= k
+        } else if lane == team.next_lane() {
+            view.entry(lane).key() < k
+        } else {
+            false
+        }
+    });
+    match ballot.highest() {
+        None => NextStep::Backtrack,
+        Some(lane) if lane == team.next_lane() => NextStep::Lateral,
+        Some(lane) => NextStep::Down(lane),
+    }
+}
+
+/// Bottom-level (and per-level) lateral search decision: DATA lanes vote
+/// `key == k`, the NEXT lane votes `max < k` (`isTidWithEqualKey`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LateralStep {
+    /// Keep walking right.
+    Continue,
+    /// Found `k` at this DATA lane.
+    Found(LaneId),
+    /// Reached the enclosing chunk and `k` is not present.
+    NotFound,
+}
+
+/// The cooperative `isTidWithEqualKey`: DATA lanes vote `key == k`, the
+/// NEXT lane votes `max < k`; the highest voting lane wins.
+#[inline]
+pub fn tid_with_equal_key(team: &Team, k: u32, view: &ChunkView) -> LateralStep {
+    let ballot = team.ballot(|lane| {
+        if team.is_data_lane(lane) {
+            view.entry(lane).key() == k
+        } else if lane == team.next_lane() {
+            view.entry(lane).key() < k
+        } else {
+            false
+        }
+    });
+    match ballot.highest() {
+        None => LateralStep::NotFound,
+        Some(lane) if lane == team.next_lane() => LateralStep::Continue,
+        Some(lane) => LateralStep::Found(lane),
+    }
+}
+
+/// Result of a lateral search: where it ended and what it found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LateralResult {
+    /// The enclosing chunk reached (non-zombie).
+    pub enclosing: u32,
+    /// The DATA lane holding `k` and its value, if present.
+    pub found: Option<(LaneId, u32)>,
+}
+
+impl<'a, P: MemProbe> GfslHandle<'a, P> {
+    /// Is `k` in the set? Lock-free (paper §4.2.1).
+    pub fn contains(&mut self, k: u32) -> bool {
+        self.get(k).is_some()
+    }
+
+    /// Look up `k`'s value. Lock-free.
+    ///
+    /// Returns `None` for reserved keys (`0`, `u32::MAX`) as they can never
+    /// be inserted.
+    pub fn get(&mut self, k: u32) -> Option<u32> {
+        self.stats.contains_ops += 1;
+        if !is_user_key(k) {
+            return None;
+        }
+        let bottom = self.search_down(k);
+        let res = self.search_lateral(k, bottom);
+        res.found.map(|(_, v)| v)
+    }
+
+    /// The smallest key currently in the set (with its value), or `None`
+    /// when empty. Lock-free, like `contains`: walks the bottom level from
+    /// the head until the first live key.
+    ///
+    /// This is the primitive skiplist-based priority queues are built on
+    /// (the paper cites Shavit & Lotan's skiplist priority queue as a
+    /// motivating application).
+    pub fn min_entry(&mut self) -> Option<(u32, u32)> {
+        let team = self.list.team;
+        self.stats.contains_ops += 1;
+        let mut cur = self.list.head_of(0);
+        loop {
+            let view = self.read_chunk(cur);
+            if !view.is_zombie(&team) {
+                // First live key above -inf; data arrays are sorted with
+                // empties at the end, and the -inf sentinel can only sit in
+                // entry 0, so the lowest voting lane is the minimum.
+                let ballot = team.ballot(|lane| {
+                    team.is_data_lane(lane) && {
+                        let e = view.entry(lane);
+                        !e.is_empty() && e.key() != crate::chunk::KEY_NEG_INF
+                    }
+                });
+                if let Some(lane) = ballot.lowest() {
+                    let e = view.entry(lane);
+                    return Some((e.key(), e.val()));
+                }
+            }
+            let next = view.next(&team);
+            if next == NIL {
+                return None;
+            }
+            cur = next;
+        }
+    }
+
+    /// Traverse the upper levels and return the level-0 chunk reached by the
+    /// final down-step (Algorithm 4.2). Restarts from the top in the rare
+    /// backtrack-with-no-previous case.
+    pub(crate) fn search_down(&mut self, k: u32) -> u32 {
+        let team = self.list.team;
+        'restart: loop {
+            // prev = the chunk we lateral-stepped from (pointer + snapshot).
+            let mut prev: Option<(u32, ChunkView)> = None;
+            let mut height = self.list.height();
+            let mut cur = self.list.head_of(height);
+            while height > 0 {
+                let view = self.read_chunk(cur);
+                if view.is_zombie(&team) {
+                    // Zombies keep pointing at the chunk that absorbed their
+                    // keys; just step through.
+                    let next = view.next(&team);
+                    if next == NIL {
+                        // Defensive: the last chunk is never zombified, so
+                        // this indicates we raced something unusual.
+                        self.stats.search_restarts += 1;
+                        continue 'restart;
+                    }
+                    cur = next;
+                    continue;
+                }
+                match tid_for_next_step(&team, k, &view) {
+                    NextStep::Lateral => {
+                        prev = Some((cur, view));
+                        cur = view.next(&team);
+                    }
+                    NextStep::Down(lane) => {
+                        height -= 1;
+                        prev = None;
+                        cur = view.entry(lane).val();
+                    }
+                    NextStep::Backtrack => match prev.take() {
+                        None => {
+                            // The key we stepped down through was deleted
+                            // concurrently; not enough context to back up.
+                            self.stats.search_restarts += 1;
+                            continue 'restart;
+                        }
+                        Some((_, pview)) => {
+                            height -= 1;
+                            cur = match down_step_lane(&team, k, &pview) {
+                                Some(lane) => pview.entry(lane).val(),
+                                None => {
+                                    self.stats.search_restarts += 1;
+                                    continue 'restart;
+                                }
+                            };
+                        }
+                    },
+                }
+            }
+            return cur;
+        }
+    }
+
+    /// Walk right along one level until `k`'s enclosing chunk, skipping
+    /// zombies (Algorithm 4.4).
+    pub(crate) fn search_lateral(&mut self, k: u32, start: u32) -> LateralResult {
+        let team = self.list.team;
+        let mut cur = start;
+        loop {
+            let view = self.read_chunk(cur);
+            if view.is_zombie(&team) {
+                cur = view.next(&team);
+                debug_assert_ne!(cur, NIL);
+                continue;
+            }
+            match tid_with_equal_key(&team, k, &view) {
+                LateralStep::Continue => cur = view.next(&team),
+                LateralStep::Found(lane) => {
+                    return LateralResult {
+                        enclosing: cur,
+                        found: Some((lane, view.entry(lane).val())),
+                    }
+                }
+                LateralStep::NotFound => {
+                    return LateralResult {
+                        enclosing: cur,
+                        found: None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The update-path search (`searchSlow`, Algorithm 4.6): same traversal
+    /// as `search_down` + bottom lateral, but records the per-level path and
+    /// lazily unlinks zombies it meets after lateral steps.
+    ///
+    /// `path[i]` = chunk in level `i` at-or-left of `k`'s enclosing chunk;
+    /// levels the traversal never visited default to the level head.
+    pub(crate) fn search_slow(&mut self, k: u32) -> (LateralResult, [u32; gfsl_simt::WARP_SIZE]) {
+        let team = self.list.team;
+        'restart: loop {
+            let mut path = [NIL; gfsl_simt::WARP_SIZE];
+            for (i, slot) in path.iter_mut().enumerate().take(self.list.params.max_levels()) {
+                *slot = self.list.head_of(i);
+            }
+            let mut prev: Option<(u32, ChunkView)> = None;
+            let mut height = self.list.height();
+            let mut cur = self.list.head_of(height);
+            while height > 0 {
+                let mut view = self.read_chunk(cur);
+                if view.is_zombie(&team) {
+                    let (nz, nz_view) = match self.first_non_zombie(view) {
+                        Some(x) => x,
+                        None => {
+                            self.stats.search_restarts += 1;
+                            continue 'restart;
+                        }
+                    };
+                    match prev {
+                        Some((pptr, _)) => self.redirect_past_zombies(pptr, cur, nz),
+                        None => {
+                            if self.list.head_of(height) == cur {
+                                self.update_head(height, cur, nz);
+                            }
+                        }
+                    }
+                    cur = nz;
+                    view = nz_view;
+                }
+                match tid_for_next_step(&team, k, &view) {
+                    NextStep::Lateral => {
+                        prev = Some((cur, view));
+                        cur = view.next(&team);
+                    }
+                    NextStep::Down(lane) => {
+                        path[height] = cur;
+                        height -= 1;
+                        prev = None;
+                        cur = view.entry(lane).val();
+                    }
+                    NextStep::Backtrack => match prev.take() {
+                        None => {
+                            self.stats.search_restarts += 1;
+                            continue 'restart;
+                        }
+                        Some((pptr, pview)) => {
+                            path[height] = pptr;
+                            height -= 1;
+                            cur = match down_step_lane(&team, k, &pview) {
+                                Some(lane) => pview.entry(lane).val(),
+                                None => {
+                                    self.stats.search_restarts += 1;
+                                    continue 'restart;
+                                }
+                            };
+                        }
+                    },
+                }
+            }
+            let res = self.search_lateral_redirect(k, cur);
+            path[0] = res.enclosing;
+            return (res, path);
+        }
+    }
+
+    /// Like [`Self::search_lateral`] but lazily unlinks zombie runs it walks
+    /// through (the bottom-level half of `findLateralWithZombieRedirect`).
+    pub(crate) fn search_lateral_redirect(&mut self, k: u32, start: u32) -> LateralResult {
+        let team = self.list.team;
+        let mut prev: Option<u32> = None;
+        let mut cur = start;
+        loop {
+            let view = self.read_chunk(cur);
+            if view.is_zombie(&team) {
+                match self.first_non_zombie(view) {
+                    Some((nz, _)) => {
+                        if let Some(p) = prev {
+                            self.redirect_past_zombies(p, cur, nz);
+                        }
+                        cur = nz;
+                        continue;
+                    }
+                    None => {
+                        // Torn race; fall back to the plain walk which will
+                        // simply keep stepping.
+                        cur = view.next(&team);
+                        debug_assert_ne!(cur, NIL);
+                        continue;
+                    }
+                }
+            }
+            match tid_with_equal_key(&team, k, &view) {
+                LateralStep::Continue => {
+                    prev = Some(cur);
+                    cur = view.next(&team);
+                }
+                LateralStep::Found(lane) => {
+                    return LateralResult {
+                        enclosing: cur,
+                        found: Some((lane, view.entry(lane).val())),
+                    }
+                }
+                LateralStep::NotFound => {
+                    return LateralResult {
+                        enclosing: cur,
+                        found: None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Follow next pointers from a zombie's snapshot until a non-zombie
+    /// chunk. Returns `None` only on a torn race (caller restarts).
+    fn first_non_zombie(&mut self, zombie_view: ChunkView) -> Option<(u32, ChunkView)> {
+        let team = self.list.team;
+        let mut cur = zombie_view.next(&team);
+        loop {
+            if cur == NIL {
+                return None;
+            }
+            let view = self.read_chunk(cur);
+            if view.is_zombie(&team) {
+                cur = view.next(&team);
+            } else {
+                return Some((cur, view));
+            }
+        }
+    }
+
+    /// Lazily rewrite `prev`'s next pointer to skip a zombie run:
+    /// best-effort try-lock, re-verify, single-word write (paper §4.2.2:
+    /// "the redirection is performed lazily by calling try-lock on the
+    /// previous chunk; if the lock fails the team continues").
+    fn redirect_past_zombies(&mut self, prev: u32, old_next: u32, new_next: u32) {
+        let team = self.list.team;
+        let pool = &self.list.pool;
+        let pch = self.list.chunk(prev);
+        if !ops::try_lock(&team, pool, &mut self.probe, pch) {
+            return;
+        }
+        self.stats.locks_taken += 1;
+        // Under the lock, prev cannot be zombified or split concurrently.
+        let nf = ops::read_next_field(&team, &self.list.pool, &mut self.probe, pch);
+        if nf.val() == old_next {
+            ops::write_next_field(
+                &team,
+                &self.list.pool,
+                &mut self.probe,
+                pch,
+                nf.key(),
+                new_next,
+            );
+            self.stats.zombie_unlinks += 1;
+        }
+        self.unlock(prev);
+    }
+
+    /// CAS the head-array pointer of `level` from a zombified first chunk to
+    /// its replacement.
+    fn update_head(&mut self, level: usize, old: u32, new: u32) {
+        use std::sync::atomic::Ordering;
+        if self.list.head[level]
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.stats.zombie_unlinks += 1;
+        }
+    }
+}
+
+/// The down-step lane within a backtracked-to chunk: highest DATA lane with
+/// `key <= k` (`getTidOfDownStep`). The previous chunk was lateral-stepped
+/// from, so its max (hence every key) is `< k`; a candidate always exists
+/// unless a racing merge emptied it, in which case the caller restarts.
+#[inline]
+fn down_step_lane(team: &Team, k: u32, view: &ChunkView) -> Option<LaneId> {
+    team.ballot(|lane| team.is_data_lane(lane) && view.entry(lane).key() <= k)
+        .highest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{Entry, KEY_INF, KEY_NEG_INF, LOCK_UNLOCKED, LOCK_ZOMBIE};
+    use crate::params::GfslParams;
+    use crate::skiplist::Gfsl;
+    use gfsl_simt::TeamSize;
+
+    /// Hand-build a chunk inside a list's pool for decision-logic tests.
+    fn raw_chunk(list: &Gfsl, entries: &[(u32, u32)], max: u32, next: u32, lock: u64) -> u32 {
+        let mut h = list.handle();
+        let idx = h.alloc_chunk().unwrap();
+        let team = &list.team;
+        let ch = list.chunk(idx);
+        for (i, &(k, v)) in entries.iter().enumerate() {
+            list.pool.write(ch.entry_addr(i), Entry::new(k, v).0);
+        }
+        list.pool
+            .write(ch.entry_addr(team.next_lane()), Entry::new(max, next).0);
+        list.pool.write(ch.entry_addr(team.lock_lane()), lock);
+        idx
+    }
+
+    fn small_list() -> Gfsl {
+        Gfsl::new(GfslParams {
+            team_size: TeamSize::Sixteen,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn next_step_down_on_largest_le_key() {
+        let list = small_list();
+        let idx = raw_chunk(&list, &[(KEY_NEG_INF, 0), (10, 1), (20, 2)], 20, NIL, LOCK_UNLOCKED);
+        let mut h = list.handle();
+        let v = h.read_chunk(idx);
+        assert_eq!(tid_for_next_step(&list.team, 15, &v), NextStep::Down(1));
+        assert_eq!(tid_for_next_step(&list.team, 10, &v), NextStep::Down(1));
+        assert_eq!(tid_for_next_step(&list.team, 9, &v), NextStep::Down(0));
+        assert_eq!(tid_for_next_step(&list.team, 20, &v), NextStep::Down(2));
+    }
+
+    #[test]
+    fn next_step_lateral_when_k_beyond_max() {
+        let list = small_list();
+        let idx = raw_chunk(&list, &[(10, 1), (20, 2)], 20, 99, LOCK_UNLOCKED);
+        let mut h = list.handle();
+        let v = h.read_chunk(idx);
+        assert_eq!(tid_for_next_step(&list.team, 21, &v), NextStep::Lateral);
+        // k == max: NOT lateral (strict <), down through lane 1 instead.
+        assert_eq!(tid_for_next_step(&list.team, 20, &v), NextStep::Down(1));
+    }
+
+    #[test]
+    fn next_step_backtrack_when_all_keys_greater() {
+        let list = small_list();
+        let idx = raw_chunk(&list, &[(30, 1), (40, 2)], 40, NIL, LOCK_UNLOCKED);
+        let mut h = list.handle();
+        let v = h.read_chunk(idx);
+        assert_eq!(tid_for_next_step(&list.team, 25, &v), NextStep::Backtrack);
+    }
+
+    #[test]
+    fn equal_key_lateral_decisions() {
+        let list = small_list();
+        let idx = raw_chunk(&list, &[(10, 7), (20, 8)], 20, 42, LOCK_UNLOCKED);
+        let mut h = list.handle();
+        let v = h.read_chunk(idx);
+        assert_eq!(tid_with_equal_key(&list.team, 10, &v), LateralStep::Found(0));
+        assert_eq!(tid_with_equal_key(&list.team, 20, &v), LateralStep::Found(1));
+        assert_eq!(tid_with_equal_key(&list.team, 15, &v), LateralStep::NotFound);
+        assert_eq!(tid_with_equal_key(&list.team, 25, &v), LateralStep::Continue);
+    }
+
+    #[test]
+    fn empty_entries_never_vote() {
+        let list = small_list();
+        // Chunk with one key, lots of EMPTY tails; k bigger than the key but
+        // smaller than max must go Down via the key, not via an EMPTY lane.
+        let idx = raw_chunk(&list, &[(10, 1)], KEY_INF, NIL, LOCK_UNLOCKED);
+        let mut h = list.handle();
+        let v = h.read_chunk(idx);
+        assert_eq!(tid_for_next_step(&list.team, 1000, &v), NextStep::Down(0));
+    }
+
+    #[test]
+    fn search_on_empty_list_finds_nothing() {
+        let list = small_list();
+        let mut h = list.handle();
+        assert!(!h.contains(5));
+        assert_eq!(h.get(5), None);
+        assert_eq!(h.stats().contains_ops, 2);
+    }
+
+    #[test]
+    fn reserved_keys_are_never_contained() {
+        let list = small_list();
+        let mut h = list.handle();
+        assert!(!h.contains(KEY_NEG_INF));
+        assert!(!h.contains(KEY_INF));
+    }
+
+    #[test]
+    fn search_lateral_walks_chain_and_skips_zombies() {
+        let list = small_list();
+        // chain: A(10,20) -> Z(zombie) -> B(30,40)
+        let b = raw_chunk(&list, &[(30, 3), (40, 4)], KEY_INF, NIL, LOCK_UNLOCKED);
+        let z = raw_chunk(&list, &[(21, 9)], 25, b, LOCK_ZOMBIE);
+        let a = raw_chunk(&list, &[(10, 1), (20, 2)], 20, z, LOCK_UNLOCKED);
+        let mut h = list.handle();
+        let r = h.search_lateral(40, a);
+        assert_eq!(r.enclosing, b);
+        assert_eq!(r.found, Some((1, 4)));
+        let r = h.search_lateral(25, a);
+        assert_eq!(r.enclosing, b, "zombie contents ignored");
+        assert_eq!(r.found, None);
+        let r = h.search_lateral(10, a);
+        assert_eq!(r.found, Some((0, 1)));
+    }
+
+    #[test]
+    fn search_slow_path_defaults_to_heads() {
+        let list = small_list();
+        let mut h = list.handle();
+        let (res, path) = h.search_slow(123);
+        assert_eq!(res.found, None);
+        assert_eq!(path[0], list.head_of(0));
+        for (lvl, &p) in path.iter().enumerate().take(list.params.max_levels()).skip(1) {
+            assert_eq!(p, list.head_of(lvl));
+        }
+    }
+}

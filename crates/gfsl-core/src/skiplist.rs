@@ -1,0 +1,493 @@
+//! The GFSL structure and per-thread operation handles.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use gfsl_gpu_mem::{MemProbe, NoProbe, PoolExhausted, WordPool};
+use gfsl_simt::Team;
+
+use crate::chunk::{ops, ChunkRef, ChunkView, Entry, KEY_INF, KEY_NEG_INF, LOCK_UNLOCKED, NIL};
+use crate::params::GfslParams;
+use crate::rng::SplitMix64;
+use crate::stats::OpStats;
+
+/// Errors surfaced by updating operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The preallocated device pool ran out of chunks.
+    PoolExhausted(PoolExhausted),
+    /// The key collides with a reserved sentinel (`0` is `-∞`,
+    /// `u32::MAX` is `∞`).
+    InvalidKey(u32),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::PoolExhausted(e) => write!(f, "{e}"),
+            Error::InvalidKey(k) => write!(f, "key {k} is reserved (0 = -inf, u32::MAX = inf)"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A GPU-friendly skiplist (GFSL).
+///
+/// The structure itself is `Sync`: share it by reference between worker
+/// threads and give each thread its own [`GfslHandle`] (via
+/// [`Gfsl::handle`]) to run operations, mirroring one GPU team per handle.
+///
+/// ```
+/// use gfsl::{Gfsl, GfslParams};
+///
+/// let list = Gfsl::new(GfslParams::default()).unwrap();
+/// let mut h = list.handle();
+/// assert!(h.insert(10, 100).unwrap());
+/// assert_eq!(h.get(10), Some(100));
+/// assert!(h.remove(10));
+/// assert!(!h.contains(10));
+/// ```
+pub struct Gfsl {
+    pub(crate) pool: WordPool,
+    pub(crate) params: GfslParams,
+    pub(crate) team: Team,
+    /// `head[i]` = pointer to the first chunk of level `i`. Redirected
+    /// (CAS) only when the first chunk becomes a zombie.
+    pub(crate) head: Vec<AtomicU32>,
+    /// Per-level utilized-chunk counters; `level_chunks[i] > 0` marks level
+    /// `i` as in use (drives [`Gfsl::height`]).
+    pub(crate) level_chunks: Vec<AtomicU32>,
+    handle_seq: AtomicU32,
+}
+
+impl Gfsl {
+    /// Create an empty skiplist: one unlocked sentinel chunk per level
+    /// holding `-∞` and a down-pointer to the sentinel below (§4.1).
+    /// # Panics
+    /// Panics if `params` fail [`GfslParams::validate`] (misconfiguration is
+    /// a programming error, not a runtime condition).
+    pub fn new(params: GfslParams) -> Result<Gfsl, Error> {
+        if let Err(msg) = params.validate() {
+            panic!("invalid GfslParams: {msg}");
+        }
+        let lanes = params.lanes() as u32;
+        let capacity_words = params.pool_chunks as usize * lanes as usize;
+        let pool = WordPool::new(capacity_words);
+        let team = Team::new(params.team_size);
+        let levels = params.max_levels();
+
+        // Allocate the per-level sentinels bottom-up so each can point to
+        // the one below.
+        let mut sentinels = vec![0u32; levels];
+        for level in 0..levels {
+            let base = pool.alloc(lanes, lanes).map_err(Error::PoolExhausted)?;
+            sentinels[level] = base / lanes; // store chunk index
+            let ch = ChunkRef { base };
+            let below = if level == 0 { 0 } else { sentinels[level - 1] };
+            pool.write(ch.entry_addr(0), Entry::new(KEY_NEG_INF, below).0);
+            for i in 1..team.dsize() {
+                pool.write(ch.entry_addr(i), Entry::EMPTY.0);
+            }
+            pool.write(ch.entry_addr(team.next_lane()), Entry::new(KEY_INF, NIL).0);
+            pool.write(ch.entry_addr(team.lock_lane()), LOCK_UNLOCKED);
+        }
+
+        Ok(Gfsl {
+            pool,
+            team,
+            head: sentinels.iter().map(|&c| AtomicU32::new(c)).collect(),
+            level_chunks: (0..levels).map(|_| AtomicU32::new(0)).collect(),
+            params,
+            handle_seq: AtomicU32::new(0),
+        })
+    }
+
+    /// The configuration this instance was built with.
+    pub fn params(&self) -> &GfslParams {
+        &self.params
+    }
+
+    /// The team geometry.
+    pub fn team(&self) -> &Team {
+        &self.team
+    }
+
+    /// Raw access to the underlying device-memory pool (for external
+    /// simulators and tooling; the pool is append-only and safe to read
+    /// concurrently).
+    pub fn raw_pool(&self) -> &WordPool {
+        &self.pool
+    }
+
+    /// The chunk reference for a pool chunk index (advanced/simulator API).
+    pub fn chunk_ref(&self, index: u32) -> ChunkRef {
+        self.chunk(index)
+    }
+
+    /// First-chunk index of a level (advanced/simulator API; lock-free
+    /// snapshot).
+    pub fn head_chunk(&self, level: usize) -> u32 {
+        self.head_of(level)
+    }
+
+    /// Chunks allocated so far (sentinels included).
+    pub fn chunks_allocated(&self) -> u32 {
+        self.pool.used() / self.params.lanes() as u32
+    }
+
+    /// Create an uninstrumented operation handle. Each worker thread gets
+    /// its own handle; the handle embeds an independent RNG stream for the
+    /// raise-key coin.
+    pub fn handle(&self) -> GfslHandle<'_, NoProbe> {
+        self.handle_with(NoProbe)
+    }
+
+    /// Create a handle with a custom memory probe (the harness passes a
+    /// `CountingProbe` sharing the run's L2 model).
+    pub fn handle_with<P: MemProbe>(&self, probe: P) -> GfslHandle<'_, P> {
+        let n = self.handle_seq.fetch_add(1, Ordering::Relaxed) as u64;
+        GfslHandle {
+            list: self,
+            probe,
+            rng: SplitMix64::new(self.params.seed ^ (n.wrapping_mul(0xA076_1D64_78BD_642F))),
+            stats: OpStats::new(),
+        }
+    }
+
+    /// Resolve a chunk index to its pool word base.
+    #[inline]
+    pub(crate) fn chunk(&self, index: u32) -> ChunkRef {
+        debug_assert_ne!(index, NIL, "dereferencing NIL chunk pointer");
+        ChunkRef {
+            base: index * self.params.lanes() as u32,
+        }
+    }
+
+    /// Highest level currently in use (0 when only the bottom level holds
+    /// keys). Reads are unlocked: a stale-low answer merely starts searches
+    /// lower (level 0 always holds every key), a stale-high answer starts at
+    /// an empty sentinel — both are benign.
+    pub fn height(&self) -> usize {
+        for i in (1..self.params.max_levels()).rev() {
+            if self.level_chunks[i].load(Ordering::Relaxed) > 0 {
+                return i;
+            }
+        }
+        0
+    }
+
+    /// First-chunk pointer for a level.
+    #[inline]
+    pub(crate) fn head_of(&self, level: usize) -> u32 {
+        self.head[level].load(Ordering::Acquire)
+    }
+
+    pub(crate) fn inc_level_chunks(&self, level: usize) {
+        self.level_chunks[level].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dec_level_chunks(&self, level: usize) {
+        // Saturating decrement: counters are a heuristic height signal, and
+        // racing "level emptied" stores may otherwise underflow.
+        let _ = self.level_chunks[level].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            v.checked_sub(1)
+        });
+    }
+
+    pub(crate) fn level_chunk_count(&self, level: usize) -> u32 {
+        self.level_chunks[level].load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gfsl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gfsl")
+            .field("team_size", &self.params.team_size)
+            .field("height", &self.height())
+            .field("chunks_allocated", &self.chunks_allocated())
+            .finish()
+    }
+}
+
+/// A per-thread session on a [`Gfsl`]: the moral equivalent of one GPU team.
+///
+/// Holds the thread's memory probe, RNG stream, and operation statistics.
+/// All skiplist operations ([`contains`](GfslHandle::contains),
+/// [`get`](GfslHandle::get), [`insert`](GfslHandle::insert),
+/// [`remove`](GfslHandle::remove)) live on the handle.
+pub struct GfslHandle<'a, P: MemProbe> {
+    pub(crate) list: &'a Gfsl,
+    pub(crate) probe: P,
+    pub(crate) rng: SplitMix64,
+    pub(crate) stats: OpStats,
+}
+
+impl<'a, P: MemProbe> GfslHandle<'a, P> {
+    /// The underlying structure.
+    pub fn list(&self) -> &'a Gfsl {
+        self.list
+    }
+
+    /// Statistics accumulated by this handle.
+    pub fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    /// Reset this handle's statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = OpStats::new();
+    }
+
+    /// Consume the handle, returning its probe and stats.
+    pub fn into_parts(self) -> (P, OpStats) {
+        (self.probe, self.stats)
+    }
+
+    /// Read a whole chunk in one lockstep team read.
+    #[inline]
+    pub(crate) fn read_chunk(&mut self, index: u32) -> ChunkView {
+        self.stats.chunk_reads += 1;
+        ChunkView::read(
+            &self.list.team,
+            &self.list.pool,
+            &mut self.probe,
+            self.list.chunk(index),
+        )
+    }
+
+    /// Spin until the chunk that *encloses* `k` is locked, walking right
+    /// past zombies and smaller-max chunks (paper Algorithm 4.8).
+    ///
+    /// Returns the locked chunk's index and its view as re-read under the
+    /// lock. `start` must be at-or-left of the enclosing chunk, which the
+    /// caller guarantees from traversal invariants (the max field only
+    /// decreases).
+    pub(crate) fn find_and_lock_enclosing(&mut self, start: u32, k: u32) -> (u32, ChunkView) {
+        let team = self.list.team;
+        let mut ch = start;
+        let mut spins = 0u32;
+        loop {
+            let view = self.read_chunk(ch);
+            if view.not_enclosing(&team, k) {
+                let next = view.next(&team);
+                debug_assert_ne!(next, NIL, "walked past the last chunk hunting for {k}");
+                ch = next;
+                continue;
+            }
+            if view.is_locked(&team) {
+                self.stats.lock_retries += 1;
+                backoff(&mut spins);
+                continue;
+            }
+            if !ops::try_lock(&team, &self.list.pool, &mut self.probe, self.list.chunk(ch)) {
+                self.stats.lock_retries += 1;
+                backoff(&mut spins);
+                continue;
+            }
+            self.stats.locks_taken += 1;
+            // Re-read under the lock; the chunk may have stopped enclosing
+            // `k` between the read and the CAS.
+            let view = self.read_chunk(ch);
+            if view.not_enclosing(&team, k) {
+                self.unlock(ch);
+                ch = view.next(&team);
+                continue;
+            }
+            return (ch, view);
+        }
+    }
+
+    /// Lock the first non-zombie chunk right of `ch` (which the caller holds
+    /// locked), unlinking any zombies skipped by rewriting `ch`'s next
+    /// pointer. Returns `None` when `ch` is the last chunk in its level.
+    pub(crate) fn lock_next_chunk(&mut self, ch: u32) -> Option<u32> {
+        let team = self.list.team;
+        let pool = &self.list.pool;
+        let first_next =
+            ops::read_next_field(&team, pool, &mut self.probe, self.list.chunk(ch)).val();
+        let mut cur = first_next;
+        let mut spins = 0u32;
+        loop {
+            if cur == NIL {
+                return None;
+            }
+            let view = self.read_chunk(cur);
+            if view.is_zombie(&team) {
+                cur = view.next(&team);
+                continue;
+            }
+            if view.is_locked(&team) {
+                self.stats.lock_retries += 1;
+                backoff(&mut spins);
+                continue;
+            }
+            if !ops::try_lock(&team, &self.list.pool, &mut self.probe, self.list.chunk(cur)) {
+                self.stats.lock_retries += 1;
+                backoff(&mut spins);
+                continue;
+            }
+            self.stats.locks_taken += 1;
+            if cur != first_next {
+                // Unlink the zombies we skipped: we hold `ch`'s lock, so its
+                // max is stable and rewriting (max, next) in one word is safe.
+                let nf = ops::read_next_field(&team, &self.list.pool, &mut self.probe, self.list.chunk(ch));
+                ops::write_next_field(
+                    &team,
+                    &self.list.pool,
+                    &mut self.probe,
+                    self.list.chunk(ch),
+                    nf.key(),
+                    cur,
+                );
+                self.stats.zombie_unlinks += 1;
+            }
+            return Some(cur);
+        }
+    }
+
+    /// Unlock a held chunk.
+    #[inline]
+    pub(crate) fn unlock(&mut self, ch: u32) {
+        ops::unlock(
+            &self.list.team,
+            &self.list.pool,
+            &mut self.probe,
+            self.list.chunk(ch),
+        );
+    }
+
+    /// Allocate a fresh chunk: all data entries EMPTY, `max = ∞`,
+    /// `next = NIL`, **locked** (paper §4.1: "all chunks are allocated
+    /// locked").
+    pub(crate) fn alloc_chunk(&mut self) -> Result<u32, Error> {
+        let lanes = self.list.params.lanes() as u32;
+        let base = self
+            .list
+            .pool
+            .alloc(lanes, lanes)
+            .map_err(Error::PoolExhausted)?;
+        let ch = ChunkRef { base };
+        let team = &self.list.team;
+        let pool = &self.list.pool;
+        let mut addrs = [0u32; gfsl_simt::WARP_SIZE];
+        for (i, a) in addrs.iter_mut().enumerate().take(team.lanes()) {
+            *a = ch.entry_addr(i);
+        }
+        self.probe.warp_write(&addrs[..team.lanes()]);
+        for i in 0..team.dsize() {
+            pool.write(ch.entry_addr(i), Entry::EMPTY.0);
+        }
+        pool.write(ch.entry_addr(team.next_lane()), Entry::new(KEY_INF, NIL).0);
+        pool.write(ch.entry_addr(team.lock_lane()), crate::chunk::LOCK_LOCKED);
+        Ok(base / lanes)
+    }
+}
+
+/// Polite spin: busy-wait briefly, then yield so a descheduled lock holder
+/// can run (essential on machines with fewer cores than worker threads; a
+/// GPU scheduler interleaves stalled warps for the same reason).
+#[inline]
+pub(crate) fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 16 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_list_has_sentinel_per_level() {
+        let list = Gfsl::new(GfslParams::default()).unwrap();
+        assert_eq!(list.chunks_allocated(), 32, "one sentinel per level");
+        assert_eq!(list.height(), 0);
+        let mut h = list.handle();
+        // Bottom sentinel: -inf at entry 0, rest empty, max = inf, next NIL.
+        let head0 = list.head_of(0);
+        let v = h.read_chunk(head0);
+        let team = list.team;
+        assert_eq!(v.entry(0).key(), KEY_NEG_INF);
+        assert!(v.entry(1).is_empty());
+        assert_eq!(v.max(&team), KEY_INF);
+        assert_eq!(v.next(&team), NIL);
+        assert!(!v.is_zombie(&team));
+        // Upper sentinel points down to the one below.
+        let head1 = list.head_of(1);
+        let v1 = h.read_chunk(head1);
+        assert_eq!(v1.entry(0).val(), head0);
+    }
+
+    #[test]
+    fn handles_get_distinct_rng_streams() {
+        let list = Gfsl::new(GfslParams::default()).unwrap();
+        let mut a = list.handle();
+        let mut b = list.handle();
+        assert_ne!(a.rng.next_u64(), b.rng.next_u64());
+    }
+
+    #[test]
+    fn alloc_chunk_is_locked_and_empty() {
+        let list = Gfsl::new(GfslParams::default()).unwrap();
+        let mut h = list.handle();
+        let c = h.alloc_chunk().unwrap();
+        let v = h.read_chunk(c);
+        let team = list.team;
+        assert!(v.is_locked(&team));
+        assert_eq!(v.num_keys(&team), 0);
+        assert_eq!(v.max(&team), KEY_INF);
+        assert_eq!(v.next(&team), NIL);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_reported() {
+        let params = GfslParams {
+            pool_chunks: 33,
+            ..Default::default()
+        };
+        let list = Gfsl::new(params).unwrap();
+        let mut h = list.handle();
+        assert!(h.alloc_chunk().is_ok());
+        match h.alloc_chunk() {
+            Err(Error::PoolExhausted(_)) => {}
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn level_counters_saturate_at_zero() {
+        let list = Gfsl::new(GfslParams::default()).unwrap();
+        list.dec_level_chunks(3);
+        assert_eq!(list.level_chunk_count(3), 0);
+        list.inc_level_chunks(3);
+        assert_eq!(list.level_chunk_count(3), 1);
+        assert_eq!(list.height(), 3);
+        list.dec_level_chunks(3);
+        assert_eq!(list.height(), 0);
+    }
+
+    #[test]
+    fn find_and_lock_enclosing_locks_sentinel_for_any_key() {
+        let list = Gfsl::new(GfslParams::default()).unwrap();
+        let mut h = list.handle();
+        let head0 = list.head_of(0);
+        let (locked, _) = h.find_and_lock_enclosing(head0, 500);
+        assert_eq!(locked, head0, "sentinel has max = inf, encloses everything");
+        let v = h.read_chunk(locked);
+        assert!(v.is_locked(&list.team));
+        h.unlock(locked);
+    }
+
+    #[test]
+    fn lock_next_chunk_of_last_is_none() {
+        let list = Gfsl::new(GfslParams::default()).unwrap();
+        let mut h = list.handle();
+        let head0 = list.head_of(0);
+        let (locked, _) = h.find_and_lock_enclosing(head0, 5);
+        assert_eq!(h.lock_next_chunk(locked), None);
+        h.unlock(locked);
+    }
+}

@@ -1,0 +1,89 @@
+//! Per-handle operation statistics.
+//!
+//! The harness uses these to reproduce the paper's contention effects (the
+//! mixed-workload throughput "dip" in small key ranges, §5.3) and to verify
+//! the "< 0.01% of Contains restart" claim (§4.2.1).
+
+/// Counters accumulated by one [`crate::GfslHandle`]. Merge across handles
+/// for run totals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Completed `contains`/`get` operations.
+    pub contains_ops: u64,
+    /// Completed `insert` calls (including duplicates rejected).
+    pub insert_ops: u64,
+    /// Completed `remove` calls (including missing keys).
+    pub remove_ops: u64,
+    /// Full restarts of the lock-free search (the paper's rare edge case).
+    pub search_restarts: u64,
+    /// Successful lock acquisitions.
+    pub locks_taken: u64,
+    /// Failed lock CAS attempts plus re-read spins while a chunk was held
+    /// by another team — the contention signal.
+    pub lock_retries: u64,
+    /// Chunk splits performed.
+    pub splits: u64,
+    /// Chunk merges performed (zombies created).
+    pub merges: u64,
+    /// Lazy next-pointer redirections that unlinked a zombie.
+    pub zombie_unlinks: u64,
+    /// Down-pointers repaired after splits/merges.
+    pub downptr_fixes: u64,
+    /// Lockstep traversal steps (chunk reads) executed.
+    pub chunk_reads: u64,
+}
+
+impl OpStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> OpStats {
+        OpStats::default()
+    }
+
+    /// Total completed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.contains_ops + self.insert_ops + self.remove_ops
+    }
+
+    /// Merge another handle's counters into this one.
+    pub fn merge(&mut self, o: &OpStats) {
+        self.contains_ops += o.contains_ops;
+        self.insert_ops += o.insert_ops;
+        self.remove_ops += o.remove_ops;
+        self.search_restarts += o.search_restarts;
+        self.locks_taken += o.locks_taken;
+        self.lock_retries += o.lock_retries;
+        self.splits += o.splits;
+        self.merges += o.merges;
+        self.zombie_unlinks += o.zombie_unlinks;
+        self.downptr_fixes += o.downptr_fixes;
+        self.chunk_reads += o.chunk_reads;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = OpStats {
+            contains_ops: 1,
+            insert_ops: 2,
+            remove_ops: 3,
+            search_restarts: 1,
+            locks_taken: 5,
+            lock_retries: 6,
+            splits: 7,
+            merges: 8,
+            zombie_unlinks: 9,
+            downptr_fixes: 10,
+            chunk_reads: 11,
+        };
+        assert_eq!(a.total_ops(), 6);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total_ops(), 12);
+        assert_eq!(a.chunk_reads, 22);
+        assert_eq!(a.downptr_fixes, 20);
+    }
+}

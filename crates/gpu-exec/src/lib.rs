@@ -1,0 +1,38 @@
+//! # Cycle-level SIMT executor
+//!
+//! An event-driven simulator of the GPU execution model the paper runs on:
+//! SMs hold resident warps; a per-SM scheduler issues one warp instruction
+//! per cycle from whichever resident warp is ready; warps stall on memory
+//! for a latency decided by the shared L2 model; DRAM serves misses through
+//! a bandwidth-limited queue.
+//!
+//! Each warp runs a *program*: a lockstep state machine that performs one
+//! step at a time (a coalesced team read for GFSL, a 32-lane scattered read
+//! for M&C) and reports its memory footprint so the scheduler can charge
+//! latency and bandwidth. On a read-only workload the structure is static,
+//! so the programs read the real data-structure memory directly and the
+//! whole simulation is **single-threaded and bit-for-bit deterministic**.
+//!
+//! This gives an estimate of Contains throughput that is *independent* of
+//! the roofline model in `gfsl-gpu-model`: the roofline converts aggregate
+//! measured traffic into time; the executor schedules every individual
+//! warp step against latencies and a DRAM queue. The `cyclesim` harness
+//! experiment compares the two — agreement within a small factor means the
+//! reproduction's conclusions don't hinge on either model's simplifications.
+//!
+//! Scope: read-only (Contains) workloads. Update operations mutate shared
+//! chunks and would need the full algorithm re-expressed as resumable state
+//! machines to interleave at cycle granularity; the paper's Fig. 5.4a and
+//! the read-dominated mixtures are where the cycle-level view matters most
+//! (they are the regimes where latency hiding and issue pressure, not
+//! bandwidth alone, decide the outcome).
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod sched;
+pub mod tasks;
+
+pub use machine::{ExecConfig, ExecReport};
+pub use sched::Device;
+pub use tasks::{GfslContainsWarp, McContainsWarp, Step, WarpProgram};

@@ -1,0 +1,108 @@
+//! Execution configuration and the simulation report.
+
+use gfsl_gpu_mem::Traffic;
+
+/// Timing and geometry of the simulated device.
+///
+/// Defaults model the paper's GTX 970 under its production launch
+/// configuration (16 warps/block, 2 blocks/SM resident ⇒ 32 warps/SM,
+/// 13 SMs ⇒ 416 resident warps).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Number of SMs.
+    pub sms: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Core clock in MHz (converts cycles to seconds).
+    pub clock_mhz: u32,
+    /// Cycles between consecutive instruction issues of one SM scheduler.
+    pub issue_cycles: u64,
+    /// Extra issue cycles per lockstep step beyond the load itself (ballot,
+    /// compare, branch — GFSL steps carry a couple dozen instructions).
+    pub step_overhead_cycles: u64,
+    /// Latency of a transaction served by L2.
+    pub l2_hit_cycles: u64,
+    /// Base latency of a transaction served by DRAM.
+    pub dram_cycles: u64,
+    /// DRAM service time per 32-byte sector (bandwidth: the global queue
+    /// serves one sector each this-many cycles; 1.05 GHz × 32 B / 0.6 ≈
+    /// 56 GB/s effective random-access bandwidth).
+    pub dram_sector_service_cycles: f64,
+    /// Extra SM issue cycles per memory transaction beyond the first in one
+    /// warp access (address-divergence replay: a fully scattered 32-lane
+    /// load occupies the load/store unit for 32 serialized transactions —
+    /// the M&C divergence cost the paper's §2.2 describes).
+    pub replay_cycles: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            sms: 13,
+            warps_per_sm: 32,
+            clock_mhz: 1_050,
+            issue_cycles: 1,
+            step_overhead_cycles: 40,
+            l2_hit_cycles: 200,
+            dram_cycles: 450,
+            dram_sector_service_cycles: 0.6,
+            replay_cycles: 6,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Total resident warps on the device.
+    pub fn total_warps(&self) -> u32 {
+        self.sms * self.warps_per_sm
+    }
+}
+
+/// Result of one simulated kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecReport {
+    /// Operations completed.
+    pub ops: u64,
+    /// Simulated cycles on the critical-path SM.
+    pub cycles: u64,
+    /// Warp steps issued (lockstep instructions regions).
+    pub steps: u64,
+    /// Memory traffic observed by the executor's own accounting.
+    pub traffic: Traffic,
+    /// Simulated seconds.
+    pub seconds: f64,
+}
+
+impl ExecReport {
+    /// Throughput in millions of operations per second.
+    pub fn mops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.ops as f64 / self.seconds / 1e6
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_geometry() {
+        let c = ExecConfig::default();
+        assert_eq!(c.total_warps(), 416);
+        assert_eq!(c.sms, 13);
+    }
+
+    #[test]
+    fn report_mops() {
+        let r = ExecReport {
+            ops: 1_000_000,
+            seconds: 0.02,
+            ..Default::default()
+        };
+        assert!((r.mops() - 50.0).abs() < 1e-9);
+        assert_eq!(ExecReport::default().mops(), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The event-driven device scheduler.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gfsl_gpu_mem::l2::Probe;
+use gfsl_gpu_mem::{coalesce, L2Cache, Traffic, WordAddr};
+
+use crate::machine::{ExecConfig, ExecReport};
+use crate::tasks::{Step, WarpProgram};
+
+/// The simulated device: SMs with resident warps over a shared L2 and a
+/// bandwidth-limited DRAM queue.
+pub struct Device {
+    cfg: ExecConfig,
+    l2: L2Cache,
+    /// Cycle at which the DRAM queue next frees up (global resource).
+    dram_free_at: f64,
+    traffic: Traffic,
+}
+
+impl Device {
+    /// A fresh device (cold L2).
+    pub fn new(cfg: ExecConfig) -> Device {
+        Device {
+            cfg,
+            l2: L2Cache::gtx970(),
+            dram_free_at: 0.0,
+            traffic: Traffic::new(),
+        }
+    }
+
+    /// Traffic accumulated so far (across runs; the L2 stays warm).
+    pub fn traffic(&self) -> Traffic {
+        self.traffic
+    }
+
+    /// Charge one warp-wide access issued at `now`; returns `(stall
+    /// latency, transactions)`. Applies half-warp coalescing, probes the L2
+    /// per line, and pushes miss sectors through the global DRAM queue.
+    fn access(&mut self, now: u64, addrs: &[WordAddr]) -> (u64, u32) {
+        let mut worst = self.cfg.l2_hit_cycles;
+        let l2 = &self.l2;
+        let cfg = &self.cfg;
+        let mut miss_sectors_total = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let txns = coalesce::transactions(addrs, |line, mask| match l2.access(line) {
+            Probe::Hit => hits += 1,
+            Probe::Miss => {
+                misses += 1;
+                miss_sectors_total += mask.count_ones() as u64;
+            }
+        });
+        self.traffic.read_txns += txns as u64;
+        self.traffic.l2_hits += hits;
+        self.traffic.l2_misses += misses;
+        self.traffic.miss_sectors += miss_sectors_total;
+        self.traffic.words_read += addrs.len() as u64;
+        if misses > 0 {
+            // Queue the sectors behind whatever DRAM is already serving.
+            let start = self.dram_free_at.max(now as f64);
+            self.dram_free_at =
+                start + miss_sectors_total as f64 * cfg.dram_sector_service_cycles;
+            let queue_done = self.dram_free_at;
+            let latency = (queue_done - now as f64).ceil() as u64 + cfg.dram_cycles;
+            worst = worst.max(latency);
+        }
+        (worst, txns)
+    }
+
+    /// Run a set of warp programs to completion. Warps are distributed
+    /// round-robin over SMs; each SM issues one ready warp per
+    /// `issue_cycles`, in ready-time order (the GPU's greedy-then-oldest
+    /// scheduling is approximated by smallest-ready-first).
+    pub fn run(&mut self, mut warps: Vec<Box<dyn WarpProgram + '_>>, ops: u64) -> ExecReport {
+        let sms = self.cfg.sms as usize;
+        // One global event heap keeps DRAM-queue interactions between SMs
+        // in (approximate) time order; per-SM clocks serialize issue slots.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for (i, _) in warps.iter().enumerate() {
+            heap.push(Reverse((0, i)));
+        }
+        let mut clocks = vec![0u64; sms];
+        let mut steps = 0u64;
+
+        while let Some(Reverse((ready, wi))) = heap.pop() {
+            let sm = wi % sms;
+            let now = clocks[sm].max(ready) + self.cfg.issue_cycles;
+            clocks[sm] = now;
+            steps += 1;
+            match warps[wi].step() {
+                Step::Mem(addrs) => {
+                    let (lat, txns) = self.access(now, &addrs);
+                    // Address-divergence replays occupy this SM's issue
+                    // pipeline (they delay *other* warps, not just this one).
+                    clocks[sm] += txns.saturating_sub(1) as u64 * self.cfg.replay_cycles;
+                    heap.push(Reverse((
+                        clocks[sm].max(now) + lat + self.cfg.step_overhead_cycles,
+                        wi,
+                    )));
+                }
+                Step::Compute(c) => {
+                    heap.push(Reverse((now + c + self.cfg.step_overhead_cycles, wi)));
+                }
+                Step::Done => {}
+            }
+        }
+
+        let cycles = clocks.into_iter().max().unwrap_or(0);
+        let seconds = cycles as f64 / (self.cfg.clock_mhz as f64 * 1e6);
+        ExecReport {
+            ops,
+            cycles,
+            steps,
+            traffic: self.traffic,
+            seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial program: N compute steps then done.
+    struct Spin {
+        left: u32,
+    }
+
+    impl WarpProgram for Spin {
+        fn step(&mut self) -> Step {
+            if self.left == 0 {
+                Step::Done
+            } else {
+                self.left -= 1;
+                Step::Compute(10)
+            }
+        }
+    }
+
+    #[test]
+    fn compute_only_warps_finish_in_expected_cycles() {
+        let mut dev = Device::new(ExecConfig {
+            sms: 1,
+            warps_per_sm: 2,
+            step_overhead_cycles: 0,
+            ..Default::default()
+        });
+        let warps: Vec<Box<dyn WarpProgram>> = vec![
+            Box::new(Spin { left: 3 }),
+            Box::new(Spin { left: 3 }),
+        ];
+        let r = dev.run(warps, 2);
+        // 2 warps x 4 steps (3 compute + 1 done), interleaved on one SM.
+        assert_eq!(r.steps, 8);
+        assert!(r.cycles >= 30, "3 compute steps of 10 cycles: {}", r.cycles);
+        assert!(r.cycles < 80, "interleaving must overlap stalls: {}", r.cycles);
+    }
+
+    /// Memory-touching program: reads a (possibly striding) address.
+    struct Reader {
+        addr: u32,
+        stride: u32,
+        left: u32,
+    }
+
+    impl WarpProgram for Reader {
+        fn step(&mut self) -> Step {
+            if self.left == 0 {
+                Step::Done
+            } else {
+                self.left -= 1;
+                let a = self.addr;
+                self.addr += self.stride;
+                Step::Mem(vec![a])
+            }
+        }
+    }
+
+    #[test]
+    fn first_access_misses_then_hits_lower_latency() {
+        let mut dev = Device::new(ExecConfig {
+            sms: 1,
+            warps_per_sm: 1,
+            step_overhead_cycles: 0,
+            ..Default::default()
+        });
+        let r = dev.run(
+            vec![Box::new(Reader { addr: 64, stride: 0, left: 2 })],
+            1,
+        );
+        let t = r.traffic;
+        assert_eq!(t.l2_misses, 1);
+        assert_eq!(t.l2_hits, 1);
+        // One DRAM miss (450+) + one hit (200) + issue slots.
+        assert!(r.cycles > 450 + 200 && r.cycles < 1_000, "{}", r.cycles);
+    }
+
+    #[test]
+    fn more_resident_warps_hide_latency() {
+        let run = |n: usize| {
+            let mut dev = Device::new(ExecConfig {
+                sms: 1,
+                warps_per_sm: n as u32,
+                ..Default::default()
+            });
+            // Distinct lines so every warp misses independently.
+            let warps: Vec<Box<dyn WarpProgram>> = (0..n)
+                .map(|i| {
+                    Box::new(Reader {
+                        addr: (i as u32) * 16,
+                        stride: 0,
+                        left: 8,
+                    }) as Box<dyn WarpProgram>
+                })
+                .collect();
+            let r = dev.run(warps, n as u64);
+            r.seconds / n as f64 // time per warp's work
+        };
+        let solo = run(1);
+        let packed = run(16);
+        assert!(
+            packed < solo * 0.5,
+            "16 warps must overlap stalls: {packed} vs {solo}"
+        );
+    }
+
+    #[test]
+    fn dram_queue_throttles_bandwidth_hogs() {
+        // Many warps streaming distinct lines: the DRAM queue must push
+        // total time beyond pure latency overlap.
+        let mut dev = Device::new(ExecConfig {
+            sms: 1,
+            warps_per_sm: 32,
+            dram_sector_service_cycles: 50.0, // absurdly slow DRAM
+            ..Default::default()
+        });
+        let warps: Vec<Box<dyn WarpProgram>> = (0..32)
+            .map(|i| {
+                Box::new(Reader {
+                    addr: (i as u32) * 160_000,
+                    stride: 4_096, // new line (and set) every step: all miss
+                    left: 4,
+                }) as Box<dyn WarpProgram>
+            })
+            .collect();
+        let r = dev.run(warps, 32);
+        assert_eq!(r.traffic.l2_misses, 128, "every access must miss");
+        // 128 misses x 1 sector x 50 cycles of DRAM service = 6400+ cycles.
+        assert!(r.cycles > 6_000, "{}", r.cycles);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let go = || {
+            let mut dev = Device::new(ExecConfig::default());
+            let warps: Vec<Box<dyn WarpProgram>> = (0..64)
+                .map(|i| {
+                    Box::new(Reader {
+                        addr: (i as u32) * 48,
+                        stride: 7,
+                        left: 5,
+                    }) as Box<dyn WarpProgram>
+                })
+                .collect();
+            dev.run(warps, 64).cycles
+        };
+        assert_eq!(go(), go());
+    }
+}

@@ -1,0 +1,131 @@
+//! Conformance: the cycle executor's warp state machines must answer
+//! exactly like the structures' own operations, on arbitrary structures —
+//! including ones containing zombies and both chunk formats.
+
+use gfsl::{Gfsl, GfslParams, TeamSize};
+use gfsl_gpu_exec::{Device, ExecConfig, GfslContainsWarp, McContainsWarp, Step, WarpProgram};
+use gfsl_workload::SplitMix64;
+use mc_skiplist::{McParams, McSkipList};
+use proptest::prelude::*;
+
+fn drive_gfsl(list: &Gfsl, keys: Vec<u32>) -> Vec<bool> {
+    let mut w = GfslContainsWarp::new(list, keys);
+    while !matches!(w.step(), Step::Done) {}
+    w.results
+}
+
+fn drive_mc(list: &McSkipList, keys: Vec<u32>) -> Vec<bool> {
+    let mut w = McContainsWarp::new(list, keys);
+    while !matches!(w.step(), Step::Done) {}
+    w.results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// GFSL warp answers == handle answers, after arbitrary insert/delete
+    /// churn (which leaves zombies and multi-chunk levels behind).
+    #[test]
+    fn gfsl_warp_conforms(
+        seed in any::<u64>(),
+        team16 in any::<bool>(),
+        n_build in 50usize..400,
+        probes in proptest::collection::vec(1u32..600, 1..40),
+    ) {
+        let list = Gfsl::new(GfslParams {
+            team_size: if team16 { TeamSize::Sixteen } else { TeamSize::ThirtyTwo },
+            ..Default::default()
+        }).unwrap();
+        let mut h = list.handle();
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..n_build {
+            let k = rng.below(600) as u32 + 1;
+            if rng.coin(0.7) {
+                h.insert(k, k).unwrap();
+            } else {
+                h.remove(k);
+            }
+        }
+        let expect: Vec<bool> = probes.iter().map(|&k| h.contains(k)).collect();
+        let got = drive_gfsl(&list, probes);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// M&C warp answers == handle answers.
+    #[test]
+    fn mc_warp_conforms(
+        seed in any::<u64>(),
+        n_build in 50usize..400,
+        probes in proptest::collection::vec(1u32..600, 1..32),
+    ) {
+        let list = McSkipList::new(McParams::sized_for(2_000)).unwrap();
+        let mut h = list.handle();
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..n_build {
+            let k = rng.below(600) as u32 + 1;
+            if rng.coin(0.7) {
+                h.insert(k, k);
+            } else {
+                h.remove(k);
+            }
+        }
+        let expect: Vec<bool> = probes.iter().map(|&k| h.contains(k)).collect();
+        let got = drive_mc(&list, probes);
+        prop_assert_eq!(got, expect);
+    }
+}
+
+/// A full device run returns correct op counts and monotone-positive time,
+/// and a warmer L2 makes a repeat run cheaper.
+#[test]
+fn device_end_to_end_with_gfsl_warps() {
+    let list = Gfsl::new(GfslParams::sized_for(50_000)).unwrap();
+    {
+        let mut h = list.handle();
+        for k in 1..=20_000u32 {
+            h.insert(k, k).unwrap();
+        }
+    }
+    let keys: Vec<u32> = (1..=4_000).collect();
+    let run = |dev: &mut Device| {
+        let warps: Vec<Box<dyn WarpProgram + '_>> = keys
+            .chunks(100)
+            .map(|c| Box::new(GfslContainsWarp::new(&list, c.to_vec())) as Box<dyn WarpProgram + '_>)
+            .collect();
+        dev.run(warps, keys.len() as u64)
+    };
+    let mut dev = Device::new(ExecConfig::default());
+    let cold = run(&mut dev);
+    assert_eq!(cold.ops, 4_000);
+    assert!(cold.seconds > 0.0);
+    assert!(cold.traffic.l2_misses > 0);
+    let warm = run(&mut dev);
+    assert!(
+        warm.cycles <= cold.cycles,
+        "warm L2 repeat must not be slower: {} vs {}",
+        warm.cycles,
+        cold.cycles
+    );
+}
+
+/// Determinism end to end: identical device runs give identical cycles.
+#[test]
+fn device_runs_are_deterministic() {
+    let list = Gfsl::new(GfslParams::sized_for(10_000)).unwrap();
+    {
+        let mut h = list.handle();
+        for k in (1..=5_000u32).step_by(2) {
+            h.insert(k, k).unwrap();
+        }
+    }
+    let keys: Vec<u32> = (1..=2_000).collect();
+    let go = || {
+        let mut dev = Device::new(ExecConfig::default());
+        let warps: Vec<Box<dyn WarpProgram + '_>> = keys
+            .chunks(64)
+            .map(|c| Box::new(GfslContainsWarp::new(&list, c.to_vec())) as Box<dyn WarpProgram + '_>)
+            .collect();
+        dev.run(warps, keys.len() as u64).cycles
+    };
+    assert_eq!(go(), go());
+}

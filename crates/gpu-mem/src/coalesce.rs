@@ -1,0 +1,160 @@
+//! Half-warp memory coalescing.
+//!
+//! Paper §2.2: "Each half of a warp (*half-warp*) issues access requests
+//! separately, and a memory transaction is performed for every cache line
+//! covered by the requests. Thus, if all threads in a half-warp access values
+//! that can be coalesced into the same cache line then only one memory
+//! transaction will occur, while scattered access results in multiple serial
+//! transactions."
+
+use crate::layout::{line_of, LineAddr, WordAddr};
+
+/// Lanes per half-warp on all hardware the paper considers.
+pub const HALF_WARP: usize = 16;
+
+/// Words per 32-byte DRAM sector. Misses are *filled* at line granularity
+/// into L2 but *fetched* from DRAM at sector granularity, so a scattered
+/// 8-byte access costs one sector while a full chunk read costs all four
+/// sectors of each line — counted by the callback's mask.
+pub const SECTOR_WORDS: u32 = 4;
+
+/// Compute the distinct cache lines touched by a warp-wide access, half-warp
+/// by half-warp, invoking `on_line(line, sector_mask)` once per
+/// (deduplicated) line per half-warp, where `sector_mask` has one bit per
+/// 32-byte sector of the line covered by the requests. Returns the total
+/// number of memory transactions.
+///
+/// Each half-warp issues independently, so the *same* line accessed by both
+/// halves costs two transactions — this is why a 256-byte GFSL-32 chunk read
+/// costs exactly two transactions while a 128-byte GFSL-16 chunk read costs
+/// one.
+pub fn transactions(addrs: &[WordAddr], mut on_line: impl FnMut(LineAddr, u8)) -> u32 {
+    let mut total = 0u32;
+    for half in addrs.chunks(HALF_WARP) {
+        // Tiny fixed-capacity dedup: a half-warp touches at most 16 lines.
+        let mut seen = [LineAddr::MAX; HALF_WARP];
+        let mut masks = [0u8; HALF_WARP];
+        let mut n = 0usize;
+        for &a in half {
+            let line = line_of(a);
+            let sector = 1u8 << ((a % crate::layout::LINE_WORDS as u32) / SECTOR_WORDS);
+            match seen[..n].iter().position(|&l| l == line) {
+                Some(i) => masks[i] |= sector,
+                None => {
+                    seen[n] = line;
+                    masks[n] = sector;
+                    n += 1;
+                    total += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            on_line(seen[i], masks[i]);
+        }
+    }
+    total
+}
+
+/// Transaction count only (no per-line callback).
+#[inline]
+pub fn transaction_count(addrs: &[WordAddr]) -> u32 {
+    transactions(addrs, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn aligned_16_word_chunk_is_one_transaction() {
+        let addrs: Vec<WordAddr> = (64..80).collect();
+        assert_eq!(transaction_count(&addrs), 1);
+    }
+
+    #[test]
+    fn aligned_32_word_chunk_is_two_transactions() {
+        let addrs: Vec<WordAddr> = (64..96).collect();
+        assert_eq!(transaction_count(&addrs), 2);
+    }
+
+    #[test]
+    fn fully_scattered_warp_is_32_transactions() {
+        // Each lane touches its own line: worst case, like M&C traversals.
+        let addrs: Vec<WordAddr> = (0..32u32).map(|i| i * 16).collect();
+        assert_eq!(transaction_count(&addrs), 32);
+    }
+
+    #[test]
+    fn same_line_in_both_halves_costs_two() {
+        // Half-warps issue separately (paper §2.2).
+        let addrs: Vec<WordAddr> = vec![0; 32];
+        assert_eq!(transaction_count(&addrs), 2);
+    }
+
+    #[test]
+    fn misaligned_16_word_read_spans_two_lines() {
+        let addrs: Vec<WordAddr> = (8..24).collect();
+        assert_eq!(transaction_count(&addrs), 2);
+    }
+
+    #[test]
+    fn single_lane_access_is_one_transaction() {
+        assert_eq!(transaction_count(&[12345]), 1);
+    }
+
+    #[test]
+    fn sector_masks_cover_touched_sectors_only() {
+        // A full 16-word line read covers all four sectors.
+        let addrs: Vec<WordAddr> = (16..32).collect();
+        let mut masks = Vec::new();
+        transactions(&addrs, |_, m| masks.push(m));
+        assert_eq!(masks, vec![0b1111]);
+        // A single 8-byte access covers exactly one sector.
+        let mut masks = Vec::new();
+        transactions(&[17], |_, m| masks.push(m));
+        assert_eq!(masks, vec![0b0001]);
+        transactions(&[31], |_, m| masks.push(m));
+        assert_eq!(masks[1], 0b1000);
+        // Two accesses in different sectors of one line: one txn, two bits.
+        let mut masks = Vec::new();
+        let n = transactions(&[16, 27], |_, m| masks.push(m));
+        assert_eq!(n, 1);
+        assert_eq!(masks, vec![0b0101]);
+    }
+
+    #[test]
+    fn callback_sees_each_line_once_per_half_warp() {
+        let addrs: Vec<WordAddr> = (0..32).collect();
+        let mut lines = Vec::new();
+        let n = transactions(&addrs, |l, _| lines.push(l));
+        assert_eq!(n, 2);
+        assert_eq!(lines, vec![0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn count_equals_sum_of_per_half_distinct_lines(
+            addrs in proptest::collection::vec(0u32..100_000, 0..64)
+        ) {
+            let got = transaction_count(&addrs);
+            let expected: u32 = addrs
+                .chunks(HALF_WARP)
+                .map(|half| {
+                    half.iter()
+                        .map(|&a| line_of(a))
+                        .collect::<std::collections::HashSet<_>>()
+                        .len() as u32
+                })
+                .sum();
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn never_more_transactions_than_accesses(
+            addrs in proptest::collection::vec(0u32..1_000_000, 0..64)
+        ) {
+            prop_assert!(transaction_count(&addrs) as usize <= addrs.len());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Cache-line geometry of the simulated device memory.
+
+/// Bytes per word. All GFSL/M&C entries are 8-byte key-value words.
+pub const WORD_BYTES: usize = 8;
+
+/// Bytes per cache line / memory transaction on Maxwell-class GPUs.
+/// A 128-byte line holds one GFSL-16 chunk exactly; a GFSL-32 chunk spans
+/// two lines (hence the paper's "read in two transactions").
+pub const LINE_BYTES: usize = 128;
+
+/// Words per cache line.
+pub const LINE_WORDS: usize = LINE_BYTES / WORD_BYTES;
+
+/// Address of a 64-bit word in the pool (a 32-bit pool index, as in the
+/// paper: "For chunks of size 128B this index size can cover addresses in
+/// 512GB of memory").
+pub type WordAddr = u32;
+
+/// Address of a 128-byte cache line.
+pub type LineAddr = u32;
+
+/// The cache line containing a word.
+#[inline]
+pub const fn line_of(addr: WordAddr) -> LineAddr {
+    addr / LINE_WORDS as u32
+}
+
+/// First word of a cache line.
+#[inline]
+pub const fn line_base(line: LineAddr) -> WordAddr {
+    line * LINE_WORDS as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(LINE_WORDS, 16);
+        assert_eq!(WORD_BYTES * LINE_WORDS, LINE_BYTES);
+    }
+
+    #[test]
+    fn line_of_maps_words_to_lines() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(15), 0);
+        assert_eq!(line_of(16), 1);
+        assert_eq!(line_of(31), 1);
+        assert_eq!(line_of(32), 2);
+    }
+
+    #[test]
+    fn line_base_is_inverse_on_boundaries() {
+        for line in [0u32, 1, 7, 1000] {
+            assert_eq!(line_of(line_base(line)), line);
+        }
+    }
+
+    #[test]
+    fn a_16_entry_chunk_fits_one_line_a_32_entry_chunk_two() {
+        // Chunk base addresses are chunk-size aligned (pool allocates in
+        // whole chunks from offset 0), so:
+        let lines_16: std::collections::HashSet<_> = (0..16u32).map(line_of).collect();
+        assert_eq!(lines_16.len(), 1);
+        let lines_32: std::collections::HashSet<_> = (32..64u32).map(line_of).collect();
+        assert_eq!(lines_32.len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! The device-memory word pool and its bump allocator.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::layout::WordAddr;
+
+/// Error returned when the pool's fixed capacity is exhausted.
+///
+/// The paper's implementation preallocates a memory pool at initialization
+/// and M&C famously "runs out of memory for larger structures" (§5.3); we
+/// surface exhaustion as an error instead of undefined behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolExhausted {
+    /// Words requested by the failing allocation.
+    pub requested: u32,
+    /// Total pool capacity in words.
+    pub capacity: u32,
+}
+
+impl std::fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device memory pool exhausted (requested {} words, capacity {} words)",
+            self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
+
+/// A flat pool of 64-bit atomic words addressed by 32-bit word index.
+///
+/// Allocation is a lock-free bump pointer ("allocations from the memory pool
+/// are performed by incrementing a global counter and using the resulting
+/// index as a pointer", §4.1). There is no free: like the paper's
+/// implementation, removed chunks/nodes are never reclaimed within a run.
+pub struct WordPool {
+    words: Box<[AtomicU64]>,
+    next: AtomicU32,
+}
+
+impl WordPool {
+    /// Create a pool of `capacity_words` zeroed words.
+    ///
+    /// # Panics
+    /// Panics if `capacity_words` exceeds `u32::MAX - 1` (addresses must fit
+    /// the 32-bit index space; `u32::MAX` is reserved as the NIL pointer).
+    pub fn new(capacity_words: usize) -> WordPool {
+        assert!(
+            capacity_words < u32::MAX as usize,
+            "pool capacity must fit 32-bit word addressing"
+        );
+        let mut v = Vec::with_capacity(capacity_words);
+        v.resize_with(capacity_words, || AtomicU64::new(0));
+        WordPool {
+            words: v.into_boxed_slice(),
+            next: AtomicU32::new(0),
+        }
+    }
+
+    /// Pool capacity in words.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Words handed out so far (bump pointer position).
+    #[inline]
+    pub fn used(&self) -> u32 {
+        self.next.load(Ordering::Relaxed).min(self.capacity())
+    }
+
+    /// Allocate `n` words aligned to `align` words. Returns the base address.
+    ///
+    /// Alignment matters for the memory model: GFSL chunks must be
+    /// line-aligned so a chunk read covers the minimum number of cache lines.
+    pub fn alloc(&self, n: u32, align: u32) -> Result<WordAddr, PoolExhausted> {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            let base = (cur + align - 1) & !(align - 1);
+            let end = base.saturating_add(n);
+            if end > self.capacity() {
+                return Err(PoolExhausted {
+                    requested: n,
+                    capacity: self.capacity(),
+                });
+            }
+            match self
+                .next
+                .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Ok(base),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Acquire-load the word at `addr`.
+    #[inline]
+    pub fn read(&self, addr: WordAddr) -> u64 {
+        self.words[addr as usize].load(Ordering::Acquire)
+    }
+
+    /// Relaxed load (for validation/diagnostic scans at quiescence).
+    #[inline]
+    pub fn read_relaxed(&self, addr: WordAddr) -> u64 {
+        self.words[addr as usize].load(Ordering::Relaxed)
+    }
+
+    /// Release-store the word at `addr` (the paper's `AtomicWrite`).
+    #[inline]
+    pub fn write(&self, addr: WordAddr, value: u64) {
+        self.words[addr as usize].store(value, Ordering::Release);
+    }
+
+    /// Compare-and-swap the word at `addr` (used for lock words and for
+    /// M&C's marked next-pointers). Returns `Ok(current)` on success and
+    /// `Err(current)` on failure.
+    #[inline]
+    pub fn cas(&self, addr: WordAddr, expected: u64, new: u64) -> Result<u64, u64> {
+        self.words[addr as usize].compare_exchange(
+            expected,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
+    }
+
+    /// Read `dst.len()` consecutive words starting at `base` (one lockstep
+    /// team read of a chunk; each lane's load is individually atomic, the
+    /// combination is not — exactly the GPU's guarantee).
+    #[inline]
+    pub fn read_words(&self, base: WordAddr, dst: &mut [u64]) {
+        for (i, slot) in dst.iter_mut().enumerate() {
+            *slot = self.read(base + i as u32);
+        }
+    }
+}
+
+impl std::fmt::Debug for WordPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WordPool")
+            .field("capacity", &self.capacity())
+            .field("used", &self.used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_bumps_and_aligns() {
+        let p = WordPool::new(1024);
+        let a = p.alloc(10, 1).unwrap();
+        assert_eq!(a, 0);
+        let b = p.alloc(16, 16).unwrap();
+        assert_eq!(b, 16, "should round up to next 16-word boundary");
+        let c = p.alloc(16, 16).unwrap();
+        assert_eq!(c, 32);
+        assert_eq!(p.used(), 48);
+    }
+
+    #[test]
+    fn alloc_exhaustion_is_an_error_not_a_panic() {
+        let p = WordPool::new(32);
+        assert!(p.alloc(32, 1).is_ok());
+        let err = p.alloc(1, 1).unwrap_err();
+        assert_eq!(err.capacity, 32);
+        assert_eq!(err.requested, 1);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn alloc_exhaustion_via_alignment_padding() {
+        let p = WordPool::new(20);
+        assert_eq!(p.alloc(4, 1).unwrap(), 0);
+        // 16-word-aligned 16-word block would end at 32 > 20.
+        assert!(p.alloc(16, 16).is_err());
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let p = WordPool::new(64);
+        p.write(7, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(p.read(7), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(p.read(8), 0, "fresh words are zeroed");
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let p = WordPool::new(8);
+        p.write(0, 5);
+        assert_eq!(p.cas(0, 5, 9), Ok(5));
+        assert_eq!(p.read(0), 9);
+        assert_eq!(p.cas(0, 5, 11), Err(9));
+        assert_eq!(p.read(0), 9);
+    }
+
+    #[test]
+    fn read_words_reads_consecutive() {
+        let p = WordPool::new(64);
+        for i in 0..32u32 {
+            p.write(i, i as u64 * 10);
+        }
+        let mut buf = [0u64; 8];
+        p.read_words(4, &mut buf);
+        assert_eq!(buf, [40, 50, 60, 70, 80, 90, 100, 110]);
+    }
+
+    #[test]
+    fn concurrent_alloc_hands_out_disjoint_blocks() {
+        let p = WordPool::new(16 * 1024);
+        let bases: Vec<WordAddr> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..100).map(|_| p.alloc(16, 16).unwrap()).collect::<Vec<_>>()))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let unique: std::collections::HashSet<_> = bases.iter().collect();
+        assert_eq!(unique.len(), 400, "all allocations disjoint");
+        assert!(bases.iter().all(|b| b % 16 == 0));
+    }
+}

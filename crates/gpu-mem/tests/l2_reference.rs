@@ -1,0 +1,84 @@
+//! Property test: the sharded L2 model behaves identically to a naive
+//! single-threaded set-associative LRU reference, probe for probe.
+
+use gfsl_gpu_mem::l2::{L2Cache, Probe};
+use proptest::prelude::*;
+
+/// Naive reference: per-set Vec with explicit LRU-order maintenance.
+struct RefCache {
+    sets: Vec<Vec<u32>>,
+    ways: usize,
+}
+
+impl RefCache {
+    fn like(l2: &L2Cache) -> RefCache {
+        RefCache {
+            sets: vec![Vec::new(); l2.sets()],
+            ways: l2.ways(),
+        }
+    }
+
+    fn access(&mut self, line: u32) -> Probe {
+        let n = self.sets.len();
+        let set = &mut self.sets[line as usize % n];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let t = set.remove(pos);
+            set.push(t);
+            Probe::Hit
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(line);
+            Probe::Miss
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn sharded_l2_matches_reference(
+        lines in proptest::collection::vec(0u32..512, 1..2000),
+        capacity_kb in 1usize..64,
+        ways in 1usize..8,
+    ) {
+        let capacity = capacity_kb * 1024;
+        prop_assume!(capacity / 128 >= ways);
+        let l2 = L2Cache::new(capacity, ways);
+        let mut reference = RefCache::like(&l2);
+        for (i, &line) in lines.iter().enumerate() {
+            let got = l2.access(line);
+            let want = reference.access(line);
+            prop_assert_eq!(got, want, "divergence at access {} (line {})", i, line);
+        }
+        prop_assert_eq!(
+            l2.resident_lines(),
+            reference.sets.iter().map(|s| s.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn flush_resets_to_reference_cold_state(
+        lines in proptest::collection::vec(0u32..256, 1..500),
+    ) {
+        let l2 = L2Cache::new(8 * 1024, 4);
+        for &l in &lines {
+            l2.access(l);
+        }
+        l2.flush();
+        // After a flush every first re-access must miss, like a fresh cache.
+        let mut seen = std::collections::HashSet::new();
+        for &l in &lines {
+            let p = l2.access(l);
+            if seen.insert(l) {
+                // First touch after flush: model may have evicted within this
+                // replay, so only the very first distinct accesses that still
+                // fit one set's ways are guaranteed misses; check the global
+                // first access strictly.
+                if seen.len() == 1 {
+                    prop_assert_eq!(p, Probe::Miss);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Hardware and kernel descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// A GPU architecture descriptor (per-SM resources + device totals).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GpuArch {
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Register allocation granularity per warp (Maxwell: 256).
+    pub reg_alloc_unit: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Number of SMs.
+    pub sms: u32,
+    /// Core clock in MHz.
+    pub core_clock_mhz: u32,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u32,
+}
+
+impl GpuArch {
+    /// The paper's testbed: GeForce GTX 970 (Maxwell GM204): 13 active SMs,
+    /// 1664 cores, 1.75 MB L2, 1050 MHz core clock (§5.1).
+    pub fn gtx970() -> GpuArch {
+        GpuArch {
+            regs_per_sm: 65_536,
+            reg_alloc_unit: 256,
+            max_warps_per_sm: 64,
+            max_threads_per_sm: 2_048,
+            max_blocks_per_sm: 32,
+            warp_size: 32,
+            sms: 13,
+            core_clock_mhz: 1_050,
+            l2_bytes: 1_792 * 1024,
+        }
+    }
+}
+
+/// Static properties of a kernel, used by the occupancy/spill model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Registers per thread the kernel *wants* (what the compiler allocates
+    /// when unconstrained). Deficit against the allocation becomes local
+    /// memory spill.
+    pub regs_needed: u32,
+    /// Spill share present even at full register allocation (M&C's
+    /// thread-local path arrays always live in local memory: "M&C suffer
+    /// from spillover even when using the maximum registers deemed
+    /// sufficient by the compiler", §5.2).
+    pub base_spill_share: f64,
+    /// Fraction of theoretical occupancy actually achieved (warps stalled on
+    /// in-flight memory keep the scheduler short of eligible warps; M&C's
+    /// 86–91% memory-dependency latency gives it a markedly lower factor).
+    pub achieved_factor: f64,
+    /// How strongly a register deficit converts into spill bandwidth share
+    /// (1.0 = the Table 5.1 GFSL fit). M&C's locals spill regardless of the
+    /// allocation, so its share barely moves with the deficit (Table 5.2:
+    /// 25/23/23/24%).
+    pub spill_growth: f64,
+}
+
+impl KernelProfile {
+    /// GFSL (Table 5.1): wants 79 registers (the 8-warp column shows 79
+    /// allocated with zero spill), negligible base spill, ~0.97 achieved
+    /// occupancy factor.
+    pub fn gfsl() -> KernelProfile {
+        KernelProfile {
+            regs_needed: 79,
+            base_spill_share: 0.0,
+            achieved_factor: 0.97,
+            spill_growth: 1.0,
+        }
+    }
+
+    /// M&C (Table 5.2): wants 42 registers, ~23% base spill share from its
+    /// thread-local traversal-path arrays, ~0.82 achieved factor.
+    pub fn mc() -> KernelProfile {
+        KernelProfile {
+            regs_needed: 42,
+            base_spill_share: 0.23,
+            achieved_factor: 0.82,
+            spill_growth: 0.15,
+        }
+    }
+}
+
+/// A launch configuration (the variable of Tables 5.1/5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Warps per block (8, 16, 24, or 32 in the paper; 16 is the
+    /// configuration used for all headline results).
+    pub warps_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// The paper's production configuration (16 warps = 512 threads/block).
+    pub fn paper_default() -> LaunchConfig {
+        LaunchConfig { warps_per_block: 16 }
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self, arch: &GpuArch) -> u32 {
+        self.warps_per_block * arch.warp_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx970_matches_paper_specs() {
+        let a = GpuArch::gtx970();
+        assert_eq!(a.sms, 13);
+        assert_eq!(a.core_clock_mhz, 1050);
+        assert_eq!(a.l2_bytes, 1_835_008);
+        assert_eq!(a.sms * 128, 1664, "13 SMs x 128 cores = 1664 cores");
+    }
+
+    #[test]
+    fn launch_config_threads() {
+        let a = GpuArch::gtx970();
+        assert_eq!(LaunchConfig { warps_per_block: 16 }.threads_per_block(&a), 512);
+        assert_eq!(LaunchConfig::paper_default().warps_per_block, 16);
+    }
+}

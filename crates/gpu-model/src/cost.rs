@@ -1,0 +1,400 @@
+//! Roofline-style cycle/throughput model.
+//!
+//! Inputs are *measured* (memory transactions, L2 hit/miss split, lockstep
+//! step counts, lock/CAS retries from the actual data-structure runs); the
+//! model turns them into a predicted wall time on the modeled GPU.
+//!
+//! ```text
+//!   mem_time     = Σ(txn·ns) / (1 − spill_share) / mem_utilization
+//!   compute_time = warp_steps · issue_ns / occupancy_utilization
+//!   contention   = retries · (gpu_teams / host_workers) · retry_ns
+//!   time         = max(mem_time, compute_time) + contention
+//! ```
+//!
+//! The per-transaction nanosecond constants are **calibrated once** against
+//! the paper's Table 5.1/5.2 anchor cells (GFSL-32 ≈ 65.7 MOPS and M&C ≈
+//! 21.3 MOPS at `[10,10,80]`, 1M keys, 16 warps/block) and are *shared by
+//! both structures* — the GFSL/M&C comparison is decided entirely by their
+//! measured traffic, not by per-kernel fudge factors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::GpuArch;
+use crate::occupancy::Occupancy;
+
+/// Calibrated model constants (nanoseconds per event on the GTX 970).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Per 128-byte transaction served by L2.
+    pub l2_hit_ns: f64,
+    /// Base cost per transaction that misses to DRAM (row activation /
+    /// request overhead, independent of how much of the line is used).
+    pub dram_txn_ns: f64,
+    /// Additional cost per 32-byte sector actually fetched: a fully-used
+    /// GFSL chunk line pays four sectors, a scattered 8-byte M&C access
+    /// pays one — this is what makes coalesced bandwidth cheaper per byte.
+    pub dram_sector_ns: f64,
+    /// Per atomic RMW (serialized in L2).
+    pub atomic_ns: f64,
+    /// Per warp-wide lockstep step at full occupancy (device aggregate).
+    pub issue_ns: f64,
+    /// Resident warps per SM needed to saturate the memory system; below
+    /// this, latency cannot be hidden and effective bandwidth drops.
+    pub saturation_warps: f64,
+    /// Cost charged when an update finds its target chunk locked and must
+    /// wait for the holder to finish (GFSL's fine-grained locks).
+    pub lock_wait_ns: f64,
+    /// Cost of a lock-free CAS retry round (M&C): the loser re-reads and
+    /// retries, far cheaper than waiting out a lock holder.
+    pub cas_retry_ns: f64,
+}
+
+impl CostModel {
+    /// Constants calibrated against the paper's anchor cells (see module
+    /// docs). `dram_miss_ns` ≈ 4× the 128 B/224 GB/s peak-bandwidth cost,
+    /// reflecting random-access row-buffer behaviour; `l2_hit_ns` gives L2
+    /// ≈ 5× DRAM bandwidth; `issue_ns` = 1 / (13 SMs × 1 warp-instruction
+    /// per cycle × 1.05 GHz).
+    pub fn calibrated() -> CostModel {
+        CostModel {
+            l2_hit_ns: 0.12,
+            dram_txn_ns: 1.85,
+            dram_sector_ns: 0.20,
+            atomic_ns: 4.0,
+            issue_ns: 1.15,
+            saturation_warps: 25.0,
+            lock_wait_ns: 70.0,
+            cas_retry_ns: 25.0,
+        }
+    }
+}
+
+/// Measured totals from one experiment run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunMeasurement {
+    /// Timed operations completed.
+    pub n_ops: u64,
+    /// Read transactions (coalesced).
+    pub read_txns: u64,
+    /// Write transactions.
+    pub write_txns: u64,
+    /// Atomic transactions.
+    pub atomic_txns: u64,
+    /// Transactions that hit the simulated L2.
+    pub l2_hits: u64,
+    /// Transactions that missed to DRAM.
+    pub l2_misses: u64,
+    /// 32-byte sectors fetched by those misses.
+    pub miss_sectors: u64,
+    /// Warp-wide lockstep steps (divergence-adjusted for M&C).
+    pub warp_steps: u64,
+    /// Lock/CAS retries measured on the host (reported; the contention term
+    /// itself is analytic — host-side retry counts are too noisy at host
+    /// concurrency levels to extrapolate to thousands of GPU teams).
+    pub retries: u64,
+    /// Host worker threads that produced the measurement.
+    pub host_workers: u32,
+    /// Update operations (inserts + deletes) among `n_ops`.
+    pub update_ops: u64,
+    /// Width of the contended resource: bottom-level chunks for GFSL (an
+    /// update locks one), live keys for M&C (an update CASes one node).
+    pub contention_units: u64,
+    /// One operation per warp (GFSL team) when false... set true when each
+    /// of the warp's 32 lanes runs its own op (M&C), which multiplies the
+    /// number of concurrent updaters.
+    pub op_per_lane: bool,
+    /// Do conflicting updates block on a lock (GFSL) or retry a CAS (M&C)?
+    pub blocking_updates: bool,
+}
+
+/// Model output.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Millions of operations per second.
+    pub mops: f64,
+    /// Predicted run time in seconds.
+    pub seconds: f64,
+    /// Memory-side time (s).
+    pub mem_seconds: f64,
+    /// Compute-side time (s).
+    pub compute_seconds: f64,
+    /// Contention time (s).
+    pub contention_seconds: f64,
+    /// Was the run memory-bound?
+    pub memory_bound: bool,
+}
+
+/// Predict throughput for a measured run under an occupancy configuration.
+pub fn predict(
+    arch: &GpuArch,
+    occ: &Occupancy,
+    cm: &CostModel,
+    m: &RunMeasurement,
+) -> Throughput {
+    let ns = 1e-9;
+    // Memory time: structure transactions at their measured hit/miss costs,
+    // plus spill traffic. Local-memory spill is L1/L2-cached on Maxwell, so
+    // a spill share s adds s/(1-s) extra L2-class transactions rather than
+    // inflating everything to DRAM cost (this is why Table 5.1's 24-warp
+    // column loses only ~5% to the 16-warp one despite 43% spill share).
+    let total_txns = (m.read_txns + m.write_txns + m.atomic_txns) as f64;
+    let spill = occ.spill_share.min(0.89);
+    let spill_txns = total_txns * spill / (1.0 - spill);
+    let txn_ns = m.l2_hits as f64 * cm.l2_hit_ns
+        + m.l2_misses as f64 * cm.dram_txn_ns
+        + m.miss_sectors as f64 * cm.dram_sector_ns
+        + m.atomic_txns as f64 * cm.atomic_ns
+        + spill_txns * cm.l2_hit_ns;
+    // Under-occupancy starves latency hiding: too few resident warps to
+    // keep the memory system saturated.
+    let mem_util = (occ.achieved * arch.max_warps_per_sm as f64 / cm.saturation_warps).min(1.0);
+    let mem_seconds = txn_ns * ns / mem_util.max(0.05);
+
+    // Compute time: warp steps over the device's aggregate issue rate.
+    // Like the memory system, the schedulers saturate once enough warps are
+    // resident; below that, issue slots idle while warps wait on memory.
+    let compute_util =
+        (occ.achieved * arch.max_warps_per_sm as f64 / cm.saturation_warps).min(1.0);
+    let compute_seconds = m.warp_steps as f64 * cm.issue_ns * ns / compute_util.max(0.05);
+
+    // Contention: analytic expected-conflict model. An update pays a
+    // congestion cost proportional to how crowded the structure is
+    // (concurrent actors / contended units); congestion costs a lock wait
+    // (GFSL) or a CAS retry round (M&C). The cost is charged per *update*
+    // — i.e. overall contention time grows linearly in the update share.
+    // (A naive birthday model would square the update share, but measured
+    // GPU behaviour — the paper's Fig. 5.3 dips across mixtures — shows
+    // sub-quadratic growth: waits overlap with the waiters' own memory
+    // stalls and with lock-queue service.) Host-measured retry counts are
+    // reported but not extrapolated: at host concurrency they are far too
+    // sparse to predict thousands of GPU teams.
+    let gpu_actors = (occ.active_warps * arch.sms) as f64
+        * if m.op_per_lane {
+            arch.warp_size as f64
+        } else {
+            1.0
+        };
+    let congestion = (gpu_actors / m.contention_units.max(1) as f64).min(1.0);
+    let per_conflict = if m.blocking_updates {
+        cm.lock_wait_ns
+    } else {
+        cm.cas_retry_ns
+    };
+    let contention_raw = m.update_ops as f64 * congestion * per_conflict * ns;
+    // Overlap bound: a warp stalled on a lock/CAS only costs device
+    // throughput to the extent the SM lacks other ready warps to cover for
+    // it. With ~32 resident warps per SM much of a stall is hidden, so the
+    // *visible* contention cost is bounded by a multiple of the useful
+    // (memory/compute) time. Without this bound, pure-update workloads on
+    // small structures (Fig. 5.4b/c at small ranges) would be modeled as
+    // contention-collapsed, which the paper's measurements contradict; the
+    // multiple (1.5) trades that against the depth of the mixed-workload
+    // small-range dip (Fig. 5.3).
+    let base_seconds = mem_seconds.max(compute_seconds);
+    let contention_seconds = contention_raw.min(1.5 * base_seconds);
+
+    let seconds = base_seconds + contention_seconds;
+    let mops = if seconds > 0.0 {
+        m.n_ops as f64 / seconds / 1e6
+    } else {
+        f64::INFINITY
+    };
+    Throughput {
+        mops,
+        seconds,
+        mem_seconds,
+        compute_seconds,
+        contention_seconds,
+        memory_bound: mem_seconds >= compute_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{KernelProfile, LaunchConfig};
+    use crate::occupancy::occupancy;
+
+    fn anchor_occ(kernel: KernelProfile, warps: u32) -> Occupancy {
+        occupancy(&GpuArch::gtx970(), &kernel, &LaunchConfig { warps_per_block: warps })
+    }
+
+    /// A structure-free sanity check: all-miss traffic costs more time than
+    /// all-hit traffic of the same volume.
+    #[test]
+    fn misses_cost_more_than_hits() {
+        let arch = GpuArch::gtx970();
+        let occ = anchor_occ(KernelProfile::gfsl(), 16);
+        let cm = CostModel::calibrated();
+        let base = RunMeasurement {
+            n_ops: 1_000_000,
+            read_txns: 8_000_000,
+            warp_steps: 4_000_000,
+            host_workers: 8,
+            ..Default::default()
+        };
+        let hits = predict(&arch, &occ, &cm, &RunMeasurement { l2_hits: 8_000_000, ..base });
+        let misses = predict(
+            &arch,
+            &occ,
+            &cm,
+            &RunMeasurement { l2_misses: 8_000_000, miss_sectors: 32_000_000, ..base },
+        );
+        assert!(misses.seconds > hits.seconds * 2.0);
+        assert!(misses.mops < hits.mops);
+    }
+
+    /// Spill inflates memory time (the Table 5.1 inverted-U's right side).
+    #[test]
+    fn spill_share_hurts_memory_bound_runs() {
+        let arch = GpuArch::gtx970();
+        let cm = CostModel::calibrated();
+        let m = RunMeasurement {
+            n_ops: 1_000_000,
+            read_txns: 8_000_000,
+            l2_misses: 8_000_000,
+            miss_sectors: 32_000_000,
+            warp_steps: 1_000_000,
+            host_workers: 8,
+            ..Default::default()
+        };
+        let o16 = anchor_occ(KernelProfile::gfsl(), 16); // 10% spill
+        let o32 = anchor_occ(KernelProfile::gfsl(), 32); // ~53% spill
+        let t16 = predict(&arch, &o16, &cm, &m);
+        let t32 = predict(&arch, &o32, &cm, &m);
+        assert!(
+            t32.mops < t16.mops,
+            "32-warp config must lose to 16 despite higher occupancy: {} vs {}",
+            t32.mops,
+            t16.mops
+        );
+    }
+
+    /// Low occupancy starves latency hiding (the inverted-U's left side).
+    #[test]
+    fn low_occupancy_hurts_despite_zero_spill() {
+        let arch = GpuArch::gtx970();
+        let cm = CostModel::calibrated();
+        let m = RunMeasurement {
+            n_ops: 1_000_000,
+            read_txns: 8_000_000,
+            l2_misses: 8_000_000,
+            miss_sectors: 32_000_000,
+            warp_steps: 1_000_000,
+            host_workers: 8,
+            ..Default::default()
+        };
+        let o8 = anchor_occ(KernelProfile::gfsl(), 8); // 24 warps, 0 spill
+        let o16 = anchor_occ(KernelProfile::gfsl(), 16); // 32 warps, 10% spill
+        let t8 = predict(&arch, &o8, &cm, &m);
+        let t16 = predict(&arch, &o16, &cm, &m);
+        // The paper's Table 5.1: 16 warps (65.7) beats 8 warps (58.9).
+        assert!(t16.mops > t8.mops, "{} vs {}", t16.mops, t8.mops);
+    }
+
+    #[test]
+    fn contention_grows_as_structure_shrinks() {
+        let arch = GpuArch::gtx970();
+        let occ = anchor_occ(KernelProfile::gfsl(), 16);
+        let cm = CostModel::calibrated();
+        let base = RunMeasurement {
+            n_ops: 1_000_000,
+            read_txns: 40_000_000,
+            l2_misses: 40_000_000,
+            miss_sectors: 160_000_000,
+            warp_steps: 1_000_000,
+            update_ops: 200_000,
+            contention_units: 300,
+            blocking_updates: true,
+            host_workers: 8,
+            ..Default::default()
+        };
+        let small = predict(&arch, &occ, &cm, &base);
+        let big = predict(
+            &arch,
+            &occ,
+            &cm,
+            &RunMeasurement { contention_units: 30_000, ..base },
+        );
+        assert!(small.contention_seconds > big.contention_seconds * 10.0);
+        // Read-only runs never pay contention.
+        let ro = predict(&arch, &occ, &cm, &RunMeasurement { update_ops: 0, ..base });
+        assert_eq!(ro.contention_seconds, 0.0);
+    }
+
+    #[test]
+    fn lock_waits_cost_more_than_cas_retries() {
+        let arch = GpuArch::gtx970();
+        let cm = CostModel::calibrated();
+        let base = RunMeasurement {
+            n_ops: 1_000_000,
+            read_txns: 40_000_000,
+            l2_misses: 40_000_000,
+            miss_sectors: 160_000_000,
+            warp_steps: 1_000_000,
+            update_ops: 400_000,
+            contention_units: 1_000,
+            blocking_updates: true,
+            host_workers: 8,
+            ..Default::default()
+        };
+        let locking = predict(&arch, &anchor_occ(KernelProfile::gfsl(), 16), &cm, &base);
+        let casing = predict(
+            &arch,
+            &anchor_occ(KernelProfile::gfsl(), 16),
+            &cm,
+            &RunMeasurement { blocking_updates: false, ..base },
+        );
+        assert!(locking.contention_seconds > casing.contention_seconds);
+    }
+
+    #[test]
+    fn contention_is_bounded_by_overlap_with_useful_work() {
+        // A pure-update run on a tiny structure: raw contention would dwarf
+        // the base time, but the visible cost is capped at 60% of it.
+        let arch = GpuArch::gtx970();
+        let occ = anchor_occ(KernelProfile::gfsl(), 16);
+        let cm = CostModel::calibrated();
+        let m = RunMeasurement {
+            n_ops: 100_000,
+            read_txns: 400_000,
+            l2_hits: 400_000,
+            warp_steps: 500_000,
+            update_ops: 100_000, // all updates
+            contention_units: 10, // absurdly contended
+            blocking_updates: true,
+            host_workers: 8,
+            ..Default::default()
+        };
+        let t = predict(&arch, &occ, &cm, &m);
+        let base = t.mem_seconds.max(t.compute_seconds);
+        assert!(t.contention_seconds <= base * 1.5 + 1e-12);
+        assert!(t.contention_seconds > 0.0);
+    }
+
+    #[test]
+    fn throughput_is_finite_and_positive_for_real_runs() {
+        let arch = GpuArch::gtx970();
+        let occ = anchor_occ(KernelProfile::mc(), 16);
+        let cm = CostModel::calibrated();
+        let m = RunMeasurement {
+            n_ops: 10_000_000,
+            read_txns: 300_000_000,
+            l2_hits: 60_000_000,
+            l2_misses: 240_000_000,
+            miss_sectors: 260_000_000,
+            atomic_txns: 2_000_000,
+            warp_steps: 80_000_000,
+            retries: 5_000,
+            host_workers: 8,
+            write_txns: 1_000_000,
+            update_ops: 2_000_000,
+            contention_units: 500_000,
+            op_per_lane: true,
+            blocking_updates: false,
+        };
+        let t = predict(&arch, &occ, &cm, &m);
+        assert!(t.mops.is_finite() && t.mops > 0.0);
+        assert!(t.memory_bound, "M&C-like traffic must be memory-bound");
+    }
+}

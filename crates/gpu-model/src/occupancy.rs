@@ -1,0 +1,191 @@
+//! Occupancy and register-spill calculator.
+//!
+//! Reproduces the static columns of Tables 5.1 and 5.2 exactly:
+//!
+//! * the compiler allocates per-thread registers as
+//!   `min(regs_needed, floor8(regfile / (2 × threads_per_block)))` — i.e.
+//!   it caps registers so at least two blocks stay resident (the behaviour
+//!   visible in both tables: 79/64/40/32 for GFSL, 42/42/40/32 for M&C);
+//! * the register file is then divided in 256-register per-warp units to
+//!   yield resident blocks and warps;
+//! * the register deficit (`regs_needed - regs_alloc`) spills to local
+//!   memory; the spill *bandwidth share* grows superlinearly with the
+//!   deficit (fit to Table 5.1's 0% / 10% / 43% / 53%).
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::{GpuArch, KernelProfile, LaunchConfig};
+
+/// Result of the occupancy calculation for one (arch, kernel, launch).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Registers per thread actually allocated.
+    pub regs_alloc: u32,
+    /// Resident blocks per SM.
+    pub active_blocks: u32,
+    /// Resident warps per SM.
+    pub active_warps: u32,
+    /// Theoretical occupancy (resident warps / max warps).
+    pub theoretical: f64,
+    /// Modeled achieved occupancy.
+    pub achieved: f64,
+    /// Fraction of memory bandwidth consumed by local-memory spill.
+    pub spill_share: f64,
+}
+
+/// Compute occupancy and spill for a kernel under a launch configuration.
+pub fn occupancy(arch: &GpuArch, kernel: &KernelProfile, launch: &LaunchConfig) -> Occupancy {
+    let threads = launch.threads_per_block(arch);
+
+    // Compiler register cap: keep >= 2 blocks resident, rounded down to a
+    // multiple of 8 registers, but never more than the kernel needs.
+    let cap = (arch.regs_per_sm / (2 * threads)) / 8 * 8;
+    let regs_alloc = kernel.regs_needed.min(cap).max(8);
+
+    // Per-warp register allocation granularity.
+    let regs_per_warp =
+        (regs_alloc * arch.warp_size).div_ceil(arch.reg_alloc_unit) * arch.reg_alloc_unit;
+    let regs_per_block = regs_per_warp * launch.warps_per_block;
+
+    let blocks_by_regs = arch.regs_per_sm / regs_per_block.max(1);
+    let blocks_by_threads = arch.max_threads_per_sm / threads.max(1);
+    let blocks_by_warps = arch.max_warps_per_sm / launch.warps_per_block.max(1);
+    let active_blocks = blocks_by_regs
+        .min(blocks_by_threads)
+        .min(blocks_by_warps)
+        .min(arch.max_blocks_per_sm)
+        .max(1);
+
+    let active_warps = active_blocks * launch.warps_per_block;
+    let theoretical = active_warps as f64 / arch.max_warps_per_sm as f64;
+    let achieved = (theoretical * kernel.achieved_factor).min(1.0);
+
+    let spill_share = spill_share(kernel, regs_alloc);
+
+    Occupancy {
+        regs_alloc,
+        active_blocks,
+        active_warps,
+        theoretical,
+        achieved,
+        spill_share,
+    }
+}
+
+/// Spill bandwidth share as a function of the register deficit. Piecewise
+/// linear fit to Table 5.1 (GFSL: deficits 0/15/39/47 → 0%/10%/43%/53%),
+/// stacked on the kernel's base spill (M&C's local arrays).
+fn spill_share(kernel: &KernelProfile, regs_alloc: u32) -> f64 {
+    let deficit = kernel.regs_needed.saturating_sub(regs_alloc) as f64;
+    let from_deficit = if deficit <= 15.0 {
+        deficit * (0.10 / 15.0)
+    } else {
+        0.10 + (deficit - 15.0) * 0.0134
+    };
+    (kernel.base_spill_share + from_deficit * kernel.spill_growth).min(0.90)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(kernel: KernelProfile, warps: u32) -> Occupancy {
+        occupancy(
+            &GpuArch::gtx970(),
+            &kernel,
+            &LaunchConfig {
+                warps_per_block: warps,
+            },
+        )
+    }
+
+    /// Table 5.1, static columns — exact.
+    #[test]
+    fn table_5_1_gfsl_registers_blocks_occupancy() {
+        let cases = [
+            // (warps, regs, blocks, theoretical %)
+            (8u32, 79u32, 3u32, 37.5f64),
+            (16, 64, 2, 50.0),
+            (24, 40, 2, 75.0),
+            (32, 32, 2, 100.0),
+        ];
+        for (warps, regs, blocks, theo) in cases {
+            let o = occ(KernelProfile::gfsl(), warps);
+            assert_eq!(o.regs_alloc, regs, "warps={warps} regs");
+            assert_eq!(o.active_blocks, blocks, "warps={warps} blocks");
+            assert!(
+                (o.theoretical * 100.0 - theo).abs() < 1e-9,
+                "warps={warps} theoretical {}",
+                o.theoretical * 100.0
+            );
+        }
+    }
+
+    /// Table 5.2, static columns — exact.
+    #[test]
+    fn table_5_2_mc_registers_blocks_occupancy() {
+        let cases = [
+            (8u32, 42u32, 5u32, 62.5f64),
+            (16, 42, 2, 50.0),
+            (24, 40, 2, 75.0),
+            (32, 32, 2, 100.0),
+        ];
+        for (warps, regs, blocks, theo) in cases {
+            let o = occ(KernelProfile::mc(), warps);
+            assert_eq!(o.regs_alloc, regs, "warps={warps} regs");
+            assert_eq!(o.active_blocks, blocks, "warps={warps} blocks");
+            assert!(
+                (o.theoretical * 100.0 - theo).abs() < 1e-9,
+                "warps={warps} theoretical {}",
+                o.theoretical * 100.0
+            );
+        }
+    }
+
+    /// Table 5.1 spillover row: 0% / 10% / ~43% / ~53%.
+    #[test]
+    fn table_5_1_gfsl_spill_shares() {
+        assert_eq!(occ(KernelProfile::gfsl(), 8).spill_share, 0.0);
+        assert!((occ(KernelProfile::gfsl(), 16).spill_share - 0.10).abs() < 0.005);
+        let s24 = occ(KernelProfile::gfsl(), 24).spill_share;
+        assert!((0.40..=0.46).contains(&s24), "s24 = {s24}");
+        let s32 = occ(KernelProfile::gfsl(), 32).spill_share;
+        assert!((0.50..=0.56).contains(&s32), "s32 = {s32}");
+    }
+
+    /// Table 5.2 spillover row: M&C spills ~23-25% regardless.
+    #[test]
+    fn table_5_2_mc_spill_shares() {
+        for warps in [8, 16, 24, 32] {
+            let s = occ(KernelProfile::mc(), warps).spill_share;
+            assert!((0.22..=0.26).contains(&s), "warps={warps} spill={s}");
+        }
+    }
+
+    /// Achieved occupancy close to the paper's measurements.
+    #[test]
+    fn achieved_occupancy_tracks_paper() {
+        // GFSL paper: 36.7 / 48.8 / 73 / 95.8
+        let paper_gfsl = [(8, 36.7), (16, 48.8), (24, 73.0), (32, 95.8)];
+        for (warps, pct) in paper_gfsl {
+            let got = occ(KernelProfile::gfsl(), warps).achieved * 100.0;
+            assert!((got - pct).abs() < 3.0, "gfsl warps={warps}: {got} vs {pct}");
+        }
+        // M&C paper: 52.9 / 41.6 / 59 / 79.4
+        let paper_mc = [(8, 52.9), (16, 41.6), (24, 59.0), (32, 79.4)];
+        for (warps, pct) in paper_mc {
+            let got = occ(KernelProfile::mc(), warps).achieved * 100.0;
+            assert!((got - pct).abs() < 11.0, "mc warps={warps}: {got} vs {pct}");
+        }
+    }
+
+    #[test]
+    fn more_warps_never_increases_register_allocation() {
+        let mut prev = u32::MAX;
+        for warps in [8, 16, 24, 32] {
+            let o = occ(KernelProfile::gfsl(), warps);
+            assert!(o.regs_alloc <= prev);
+            prev = o.regs_alloc;
+        }
+    }
+}

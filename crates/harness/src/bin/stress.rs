@@ -1,0 +1,202 @@
+//! Long-running concurrent soak test for GFSL.
+//!
+//! ```text
+//! stress [--seconds N] [--threads N] [--range N] [--mix i,d,c] [--team 16|32] [--seed S]
+//! ```
+//!
+//! Runs a randomized mixed workload from many threads, periodically
+//! spot-checks reader invariants, and finishes with a full structural
+//! validation plus a per-key oracle check (each thread owns a disjoint key
+//! class, so every thread's final state is exactly predictable).
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use gfsl::{Gfsl, GfslParams, TeamSize};
+use gfsl_workload::SplitMix64;
+
+struct Args {
+    seconds: u64,
+    threads: u32,
+    range: u32,
+    mix: (u32, u32, u32),
+    team: TeamSize,
+    seed: u64,
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        seconds: 10,
+        threads: 4,
+        range: 100_000,
+        mix: (20, 20, 60),
+        team: TeamSize::ThirtyTwo,
+        seed: 0xD06_F00D,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().expect("flag value");
+        match flag.as_str() {
+            "--seconds" => a.seconds = val().parse().expect("seconds"),
+            "--threads" => a.threads = val().parse().expect("threads"),
+            "--range" => a.range = val().parse().expect("range"),
+            "--seed" => a.seed = val().parse().expect("seed"),
+            "--team" => {
+                a.team = match val().as_str() {
+                    "16" => TeamSize::Sixteen,
+                    "32" => TeamSize::ThirtyTwo,
+                    other => panic!("--team must be 16 or 32, got {other}"),
+                }
+            }
+            "--mix" => {
+                let v = val();
+                let parts: Vec<u32> = v.split(',').map(|p| p.parse().expect("mix")).collect();
+                assert_eq!(parts.len(), 3, "--mix i,d,c");
+                assert_eq!(parts.iter().sum::<u32>(), 100, "mix must sum to 100");
+                a.mix = (parts[0], parts[1], parts[2]);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    a
+}
+
+fn main() -> ExitCode {
+    let a = parse();
+    println!(
+        "soak: {}s, {} threads, range {}, mix [{},{},{}], GFSL-{}",
+        a.seconds,
+        a.threads,
+        a.range,
+        a.mix.0,
+        a.mix.1,
+        a.mix.2,
+        match a.team {
+            TeamSize::Sixteen => 16,
+            TeamSize::ThirtyTwo => 32,
+        }
+    );
+    let list = Gfsl::new(GfslParams {
+        team_size: a.team,
+        pool_chunks: GfslParams::chunks_for(a.range as u64 * 6, a.team),
+        seed: a.seed,
+        ..Default::default()
+    })
+    .expect("construct");
+
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let deadline = Instant::now() + Duration::from_secs(a.seconds);
+
+    let finals: Vec<std::collections::BTreeMap<u32, u32>> = std::thread::scope(|s| {
+        // A reader thread hammers invariant checks the whole time.
+        let list_ref = &list;
+        let stop_ref = &stop;
+        s.spawn(move || {
+            let mut h = list_ref.handle();
+            let mut rng = SplitMix64::new(0xEAD);
+            while !stop_ref.load(Ordering::Acquire) {
+                let lo = rng.below(a.range as u64) as u32 + 1;
+                let hi = (lo + 500).min(a.range);
+                let window = h.range(lo, hi);
+                assert!(
+                    window.windows(2).all(|w| w[0].0 < w[1].0),
+                    "range scan disorder"
+                );
+                if let Some((mk, _)) = h.min_entry() {
+                    assert!((1..=a.range).contains(&mk));
+                }
+            }
+        });
+
+        let workers: Vec<_> = (0..a.threads)
+            .map(|t| {
+                let list = &list;
+                let total = &total_ops;
+                s.spawn(move || {
+                    let mut h = list.handle();
+                    let mut rng = SplitMix64::new(a.seed ^ (t as u64) << 32);
+                    let mut oracle = std::collections::BTreeMap::new();
+                    let mut n = 0u64;
+                    while Instant::now() < deadline {
+                        for _ in 0..512 {
+                            // Keys in this thread's class only.
+                            let k = (rng.below((a.range / a.threads).max(1) as u64) as u32)
+                                * a.threads
+                                + t
+                                + 1;
+                            if k > a.range {
+                                continue;
+                            }
+                            let roll = rng.below(100) as u32;
+                            if roll < a.mix.0 {
+                                let v = rng.next_u64() as u32;
+                                if h.insert(k, v).expect("pool") {
+                                    oracle.insert(k, v);
+                                }
+                            } else if roll < a.mix.0 + a.mix.1 {
+                                assert_eq!(
+                                    h.remove(k),
+                                    oracle.remove(&k).is_some(),
+                                    "remove {k} disagrees with oracle"
+                                );
+                            } else {
+                                assert_eq!(
+                                    h.get(k),
+                                    oracle.get(&k).copied(),
+                                    "get {k} disagrees with oracle"
+                                );
+                            }
+                            n += 1;
+                        }
+                    }
+                    total.fetch_add(n, Ordering::Relaxed);
+                    oracle
+                })
+            })
+            .collect();
+        let finals = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        stop.store(true, Ordering::Release);
+        finals
+    });
+
+    let ops = total_ops.load(Ordering::Relaxed);
+    println!(
+        "ran {} ops ({:.2} Mops/s host)",
+        ops,
+        ops as f64 / a.seconds as f64 / 1e6
+    );
+
+    // Final oracle check: the union of per-thread maps must equal the
+    // structure exactly.
+    let mut expect: Vec<(u32, u32)> = finals.into_iter().flatten().collect();
+    expect.sort_unstable();
+    let got = list.pairs();
+    if got != expect {
+        eprintln!(
+            "FINAL STATE MISMATCH: structure has {} pairs, oracle {}",
+            got.len(),
+            expect.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let violations = list.validate();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATION: {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let shape = list.shape();
+    println!(
+        "final: {} keys, height {}, {} chunks ({:.1}% zombies), mean fill {:.1}",
+        shape.len(),
+        list.height(),
+        shape.chunks_allocated,
+        shape.zombie_fraction() * 100.0,
+        shape.levels[0].mean_fill(),
+    );
+    println!("soak PASSED");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,72 @@
+//! Glue: measured run metrics + structure kind + launch config → modeled
+//! GPU throughput.
+
+use gfsl_gpu_model::{occupancy, CostModel, GpuArch, KernelProfile, LaunchConfig, Throughput};
+
+use crate::metrics::RunMetrics;
+
+/// Which structure produced a measurement (selects the kernel profile for
+/// the occupancy/spill model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureKind {
+    /// GFSL with either chunk size.
+    Gfsl,
+    /// The M&C baseline.
+    Mc,
+}
+
+impl StructureKind {
+    /// The kernel profile for this structure.
+    pub fn profile(self) -> KernelProfile {
+        match self {
+            StructureKind::Gfsl => KernelProfile::gfsl(),
+            StructureKind::Mc => KernelProfile::mc(),
+        }
+    }
+}
+
+/// Evaluate a measurement under the paper's default launch configuration.
+pub fn evaluate(kind: StructureKind, metrics: &RunMetrics) -> Throughput {
+    evaluate_with_launch(kind, metrics, &LaunchConfig::paper_default())
+}
+
+/// Evaluate a measurement under an explicit launch configuration (used by
+/// the Table 5.1/5.2 warps-per-block sweeps).
+pub fn evaluate_with_launch(
+    kind: StructureKind,
+    metrics: &RunMetrics,
+    launch: &LaunchConfig,
+) -> Throughput {
+    let arch = GpuArch::gtx970();
+    let occ = occupancy::occupancy(&arch, &kind.profile(), launch);
+    let cm = CostModel::calibrated();
+    gfsl_gpu_model::cost::predict(&arch, &occ, &cm, &metrics.to_measurement())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_gfsl, run_mc, RunConfig};
+    use gfsl::GfslParams;
+    use gfsl_workload::{OpMix, WorkloadSpec};
+    use mc_skiplist::McParams;
+
+    /// End-to-end smoke: at a 300K key range (structures well past L2
+    /// capacity), GFSL's modeled throughput must clearly beat M&C's — the
+    /// paper's headline result.
+    #[test]
+    fn gfsl_beats_mc_beyond_l2_capacity() {
+        let spec = WorkloadSpec::mixed(OpMix::C80, 300_000, 30_000, 11);
+        let cfg = RunConfig::default();
+        let g = run_gfsl(&spec, GfslParams::sized_for(400_000), &cfg);
+        let m = run_mc(&spec, McParams::sized_for(400_000), &cfg);
+        let tg = evaluate(StructureKind::Gfsl, &g);
+        let tm = evaluate(StructureKind::Mc, &m);
+        assert!(
+            tg.mops > tm.mops * 1.5,
+            "expected a clear GFSL win: gfsl={:.1} mc={:.1}",
+            tg.mops,
+            tm.mops
+        );
+    }
+}

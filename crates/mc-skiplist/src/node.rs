@@ -1,0 +1,173 @@
+//! Node layout and marked-pointer packing for the M&C skiplist.
+
+use gfsl_gpu_mem::{MemProbe, WordAddr, WordPool};
+
+/// Null node pointer.
+pub const NIL: u32 = u32::MAX;
+
+/// Maximum tower height (the paper's M&C configuration draws towers with
+/// `p_key`, capped by the structure's level count; 32 is the classic cap).
+pub const MAX_HEIGHT: usize = 32;
+
+/// A marked next-pointer: node index in the low 32 bits, deletion mark in
+/// bit 63. The mark and the pointer live in one word so a single CAS
+/// transitions them together (Harris's technique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkedPtr(pub u64);
+
+impl MarkedPtr {
+    /// Pack `(ptr, marked)`.
+    #[inline]
+    pub const fn new(ptr: u32, marked: bool) -> MarkedPtr {
+        MarkedPtr(((marked as u64) << 63) | ptr as u64)
+    }
+
+    /// The node index.
+    #[inline]
+    pub const fn ptr(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The deletion mark.
+    #[inline]
+    pub const fn marked(self) -> bool {
+        self.0 >> 63 != 0
+    }
+}
+
+/// A node's base address plus accessors. Nodes are never moved or reclaimed
+/// (M&C leaks logically-deleted nodes; the paper's §5.3 notes it runs out of
+/// memory on large ranges for exactly this kind of reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef {
+    /// Word address of the node's header.
+    pub base: WordAddr,
+}
+
+impl NodeRef {
+    /// Words needed for a node of height `h`.
+    #[inline]
+    pub const fn words_for(height: u32) -> u32 {
+        2 + height
+    }
+
+    /// Read the header: `(key, height)`. One scattered lane access.
+    #[inline]
+    pub fn header<P: MemProbe>(self, pool: &WordPool, probe: &mut P) -> (u32, u32) {
+        probe.lane_read(self.base);
+        let w = pool.read(self.base);
+        (w as u32, (w >> 32) as u32)
+    }
+
+    /// Read the value word.
+    #[inline]
+    pub fn value<P: MemProbe>(self, pool: &WordPool, probe: &mut P) -> u32 {
+        probe.lane_read(self.base + 1);
+        pool.read(self.base + 1) as u32
+    }
+
+    /// Address of the level-`l` next pointer.
+    #[inline]
+    pub fn next_addr(self, level: usize) -> WordAddr {
+        self.base + 2 + level as u32
+    }
+
+    /// Read the level-`l` next pointer.
+    #[inline]
+    pub fn next<P: MemProbe>(self, pool: &WordPool, probe: &mut P, level: usize) -> MarkedPtr {
+        let a = self.next_addr(level);
+        probe.lane_read(a);
+        MarkedPtr(pool.read(a))
+    }
+
+    /// CAS the level-`l` next pointer.
+    #[inline]
+    pub fn cas_next<P: MemProbe>(
+        self,
+        pool: &WordPool,
+        probe: &mut P,
+        level: usize,
+        expect: MarkedPtr,
+        new: MarkedPtr,
+    ) -> bool {
+        let a = self.next_addr(level);
+        probe.atomic(a);
+        pool.cas(a, expect.0, new.0).is_ok()
+    }
+
+    /// Initialize a freshly-allocated node (pre-publication: plain stores).
+    pub fn init<P: MemProbe>(
+        self,
+        pool: &WordPool,
+        probe: &mut P,
+        key: u32,
+        value: u32,
+        height: u32,
+    ) {
+        probe.lane_write(self.base);
+        pool.write(self.base, ((height as u64) << 32) | key as u64);
+        probe.lane_write(self.base + 1);
+        pool.write(self.base + 1, value as u64);
+        for l in 0..height as usize {
+            probe.lane_write(self.next_addr(l));
+            pool.write(self.next_addr(l), MarkedPtr::new(NIL, false).0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfsl_gpu_mem::NoProbe;
+
+    #[test]
+    fn marked_ptr_packing() {
+        let p = MarkedPtr::new(12345, false);
+        assert_eq!(p.ptr(), 12345);
+        assert!(!p.marked());
+        let m = MarkedPtr::new(12345, true);
+        assert_eq!(m.ptr(), 12345);
+        assert!(m.marked());
+        assert_ne!(p, m);
+        let nil = MarkedPtr::new(NIL, true);
+        assert_eq!(nil.ptr(), NIL);
+        assert!(nil.marked());
+    }
+
+    #[test]
+    fn node_init_and_accessors() {
+        let pool = WordPool::new(64);
+        let base = pool.alloc(NodeRef::words_for(3), 1).unwrap();
+        let n = NodeRef { base };
+        n.init(&pool, &mut NoProbe, 77, 770, 3);
+        assert_eq!(n.header(&pool, &mut NoProbe), (77, 3));
+        assert_eq!(n.value(&pool, &mut NoProbe), 770);
+        for l in 0..3 {
+            let p = n.next(&pool, &mut NoProbe, l);
+            assert_eq!(p.ptr(), NIL);
+            assert!(!p.marked());
+        }
+    }
+
+    #[test]
+    fn cas_next_transitions_pointer_and_mark_together() {
+        let pool = WordPool::new(64);
+        let base = pool.alloc(NodeRef::words_for(1), 1).unwrap();
+        let n = NodeRef { base };
+        n.init(&pool, &mut NoProbe, 1, 1, 1);
+        let old = MarkedPtr::new(NIL, false);
+        let new = MarkedPtr::new(42, false);
+        assert!(n.cas_next(&pool, &mut NoProbe, 0, old, new));
+        assert!(!n.cas_next(&pool, &mut NoProbe, 0, old, new), "stale expect fails");
+        // Mark it.
+        let marked = MarkedPtr::new(42, true);
+        assert!(n.cas_next(&pool, &mut NoProbe, 0, new, marked));
+        assert_eq!(n.next(&pool, &mut NoProbe, 0), marked);
+    }
+
+    #[test]
+    fn words_for_accounts_header_value_tower() {
+        assert_eq!(NodeRef::words_for(1), 3);
+        assert_eq!(NodeRef::words_for(32), 34);
+    }
+}

@@ -1,0 +1,135 @@
+//! `__ballot` results and the clz-based winner selection used by GFSL.
+
+use crate::lane::LaneId;
+
+/// Result of a `__ballot(flag)` across a team: bit `i` is lane `i`'s vote.
+///
+/// GFSL's traversal decisions (Algorithm 4.3 in the paper) all reduce to
+/// "which is the *highest* lane that voted true?", computed on the GPU as
+/// `32 - clz(ballot) - 1`. Precedence for higher lanes is load-bearing for
+/// correctness: chunk mutations order their entry writes so that a concurrent
+/// reader observing a half-updated chunk is always steered by a
+/// higher-priority lane (the NEXT lane's max field, or the rightmost copy of
+/// a duplicated key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ballot {
+    bits: u32,
+}
+
+impl Ballot {
+    /// A ballot with no votes.
+    pub const NONE: Ballot = Ballot { bits: 0 };
+
+    /// Build a ballot from a raw bitmask (bits above the team width must be
+    /// zero; the caller constructs ballots through [`crate::Team::ballot`]
+    /// which guarantees this).
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Ballot {
+        Ballot { bits }
+    }
+
+    /// Raw mask.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Did any lane vote true?
+    #[inline]
+    pub const fn any(self) -> bool {
+        self.bits != 0
+    }
+
+    /// Number of true votes (`__popc`).
+    #[inline]
+    pub const fn count(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Did lane `lane` vote true?
+    #[inline]
+    pub const fn is_set(self, lane: LaneId) -> bool {
+        self.bits & (1u32 << lane) != 0
+    }
+
+    /// The highest lane that voted true: `32 - clz(ballot) - 1` on the GPU.
+    /// Returns `None` when no lane voted (the paper's `NONE` sentinel,
+    /// triggering a backtrack in `searchDown`).
+    #[inline]
+    pub const fn highest(self) -> Option<LaneId> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(31 - self.bits.leading_zeros() as usize)
+        }
+    }
+
+    /// The lowest lane that voted true (`__ffs - 1`).
+    #[inline]
+    pub const fn lowest(self) -> Option<LaneId> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(self.bits.trailing_zeros() as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_ballot() {
+        assert!(!Ballot::NONE.any());
+        assert_eq!(Ballot::NONE.count(), 0);
+        assert_eq!(Ballot::NONE.highest(), None);
+        assert_eq!(Ballot::NONE.lowest(), None);
+    }
+
+    #[test]
+    fn single_bit_ballots() {
+        for lane in 0..32 {
+            let b = Ballot::from_bits(1 << lane);
+            assert!(b.any());
+            assert_eq!(b.count(), 1);
+            assert!(b.is_set(lane));
+            assert_eq!(b.highest(), Some(lane));
+            assert_eq!(b.lowest(), Some(lane));
+        }
+    }
+
+    #[test]
+    fn highest_matches_paper_clz_formula() {
+        // 32 - clz(bal) - 1 from Algorithm 4.3.
+        let b = Ballot::from_bits(0b0010_1100);
+        assert_eq!(b.highest(), Some(32 - (0b0010_1100u32).leading_zeros() as usize - 1));
+        assert_eq!(b.highest(), Some(5));
+        assert_eq!(b.lowest(), Some(2));
+        assert_eq!(b.count(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn highest_is_max_set_bit(bits in any::<u32>()) {
+            let b = Ballot::from_bits(bits);
+            let expected = (0..32).filter(|&i| bits & (1 << i) != 0).max();
+            prop_assert_eq!(b.highest(), expected);
+        }
+
+        #[test]
+        fn lowest_is_min_set_bit(bits in any::<u32>()) {
+            let b = Ballot::from_bits(bits);
+            let expected = (0..32).filter(|&i| bits & (1 << i) != 0).min();
+            prop_assert_eq!(b.lowest(), expected);
+        }
+
+        #[test]
+        fn count_matches_is_set(bits in any::<u32>()) {
+            let b = Ballot::from_bits(bits);
+            let n = (0..32).filter(|&i| b.is_set(i)).count() as u32;
+            prop_assert_eq!(b.count(), n);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Divergence and lockstep-step accounting.
+//!
+//! The GPU cost model charges a warp for every lockstep step it executes and
+//! for every divergent branch it serializes. GFSL teams execute essentially
+//! divergence-free (all lanes take the same traversal steps; the only
+//! tId-specific work is which entry a lane writes). The M&C baseline, with one
+//! independent operation per lane, diverges heavily: a warp must execute the
+//! union of all lanes' paths, so its step count is the *maximum* lane path
+//! length per reconvergence region rather than the mean.
+//!
+//! These counters are plain `u64`s owned by a single worker thread and merged
+//! at the end of a run; they are deliberately not atomic to keep the
+//! instrumented fast path cheap.
+
+/// Per-worker divergence/step counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DivergenceStats {
+    /// Lockstep steps executed by teams/warps (one per warp-wide instruction
+    /// region, e.g. one chunk-read-and-decide round in GFSL).
+    pub warp_steps: u64,
+    /// Steps that would have been executed by a lane running alone; for a
+    /// divergence-free team this equals `warp_steps`.
+    pub lane_steps: u64,
+    /// Number of branch points at which at least two lanes of a warp took
+    /// different directions (each costs one serialized re-execution).
+    pub divergent_branches: u64,
+}
+
+impl DivergenceStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a warp-wide lockstep step (GFSL team step: all lanes converged).
+    #[inline]
+    pub fn record_converged_step(&mut self) {
+        self.warp_steps += 1;
+        self.lane_steps += 1;
+    }
+
+    /// Record one reconvergence region of a warp whose lanes needed
+    /// `lane_step_counts` individual steps (M&C model: the warp executes
+    /// `max` steps, lanes would individually have executed `sum / lanes`).
+    #[inline]
+    pub fn record_diverged_region(&mut self, lane_step_counts: &[u64]) {
+        let max = lane_step_counts.iter().copied().max().unwrap_or(0);
+        let sum: u64 = lane_step_counts.iter().sum();
+        self.warp_steps += max;
+        self.lane_steps += sum;
+        if lane_step_counts.iter().any(|&c| c != max) {
+            self.divergent_branches += 1;
+        }
+    }
+
+    /// SIMD efficiency: mean lane utilization in `0..=1`. A divergence-free
+    /// warp scores 1.0.
+    pub fn efficiency(&self, lanes_per_warp: u64) -> f64 {
+        if self.warp_steps == 0 {
+            return 1.0;
+        }
+        let issued = self.warp_steps * lanes_per_warp;
+        (self.lane_steps as f64 / issued as f64).min(1.0)
+    }
+
+    /// Merge another worker's counters into this one.
+    pub fn merge(&mut self, other: &DivergenceStats) {
+        self.warp_steps += other.warp_steps;
+        self.lane_steps += other.lane_steps;
+        self.divergent_branches += other.divergent_branches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converged_steps_are_fully_efficient() {
+        let mut d = DivergenceStats::new();
+        for _ in 0..10 {
+            d.record_converged_step();
+        }
+        assert_eq!(d.warp_steps, 10);
+        assert_eq!(d.lane_steps, 10);
+        assert_eq!(d.divergent_branches, 0);
+        assert!((d.efficiency(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diverged_region_charges_max_and_counts_branch() {
+        let mut d = DivergenceStats::new();
+        d.record_diverged_region(&[3, 7, 5, 7]);
+        assert_eq!(d.warp_steps, 7);
+        assert_eq!(d.lane_steps, 22);
+        assert_eq!(d.divergent_branches, 1);
+    }
+
+    #[test]
+    fn uniform_region_is_not_divergent() {
+        let mut d = DivergenceStats::new();
+        d.record_diverged_region(&[4, 4, 4]);
+        assert_eq!(d.warp_steps, 4);
+        assert_eq!(d.lane_steps, 12);
+        assert_eq!(d.divergent_branches, 0);
+    }
+
+    #[test]
+    fn efficiency_of_diverged_warp() {
+        let mut d = DivergenceStats::new();
+        // 32-lane warp: one lane needs 8 steps, the rest need 2.
+        let mut counts = vec![2u64; 31];
+        counts.push(8);
+        d.record_diverged_region(&counts);
+        // warp executed 8 steps * 32 lanes = 256 issue slots, 70 useful.
+        let eff = d.efficiency(32);
+        assert!((eff - 70.0 / 256.0).abs() < 1e-12, "eff = {eff}");
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = DivergenceStats::new();
+        a.record_converged_step();
+        let mut b = DivergenceStats::new();
+        b.record_diverged_region(&[1, 2]);
+        a.merge(&b);
+        assert_eq!(a.warp_steps, 3);
+        assert_eq!(a.lane_steps, 4);
+        assert_eq!(a.divergent_branches, 1);
+    }
+
+    #[test]
+    fn empty_region_is_noop() {
+        let mut d = DivergenceStats::new();
+        d.record_diverged_region(&[]);
+        assert_eq!(d, DivergenceStats::new());
+    }
+}

@@ -1,0 +1,139 @@
+//! Key distributions beyond the paper's uniform draws.
+//!
+//! The paper generates keys uniformly (§5.1). Real key-value workloads are
+//! usually skewed, and skew interacts with both of the effects the paper
+//! studies: hot keys concentrate traffic into few cache lines (raising the
+//! L2 hit rate) and concentrate updates onto few chunks (raising lock
+//! contention). The `ablate` experiment uses [`Zipf`] to measure both.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::Lehmer64;
+
+/// A key distribution over `1..=range`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KeyDist {
+    /// Uniform (the paper's setting).
+    Uniform,
+    /// Zipf-like power law with skew `theta` in `[0, 1)`; larger is more
+    /// skewed. 0.99 approximates YCSB's default.
+    Zipf(f64),
+}
+
+impl KeyDist {
+    /// Draw one key in `1..=range`.
+    #[inline]
+    pub fn draw(&self, rng: &mut Lehmer64, range: u32) -> u32 {
+        match *self {
+            KeyDist::Uniform => rng.below(range as u64) as u32 + 1,
+            KeyDist::Zipf(theta) => Zipf::new(range, theta).draw(rng),
+        }
+    }
+}
+
+/// Approximate Zipf sampler via continuous inverse-CDF: for skew
+/// `theta < 1`, `P(X <= x) ∝ x^(1-theta)`, so `X = ceil(range ·
+/// U^(1/(1-theta)))`. Rank 1 is the hottest key. The approximation error
+/// against the exact discrete Zipf is negligible for the range sizes used
+/// here and the sampler is O(1) with no precomputed tables (a 10M-entry CDF
+/// table would be bigger than the structure under test).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Zipf {
+    /// Number of distinct keys.
+    pub range: u32,
+    /// Skew parameter in `[0, 1)`; 0 degenerates to (approximately)
+    /// uniform.
+    pub theta: f64,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Build a sampler.
+    ///
+    /// # Panics
+    /// Panics if `theta` is outside `[0, 1)` or `range` is zero.
+    pub fn new(range: u32, theta: f64) -> Zipf {
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        assert!(range > 0);
+        Zipf {
+            range,
+            theta,
+            exponent: 1.0 / (1.0 - theta),
+        }
+    }
+
+    /// Draw a key in `1..=range`; small keys are hot.
+    #[inline]
+    pub fn draw(&self, rng: &mut Lehmer64) -> u32 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = (self.range as f64 * u.powf(self.exponent)).ceil() as u32;
+        x.clamp(1, self.range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw_many(theta: f64, range: u32, n: usize) -> Vec<u32> {
+        let z = Zipf::new(range, theta);
+        let mut rng = Lehmer64::new(42);
+        (0..n).map(|_| z.draw(&mut rng)).collect()
+    }
+
+    #[test]
+    fn all_draws_in_range() {
+        for theta in [0.0, 0.5, 0.99] {
+            let xs = draw_many(theta, 1000, 20_000);
+            assert!(xs.iter().all(|&x| (1..=1000).contains(&x)), "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn higher_theta_concentrates_mass() {
+        let head = |theta: f64| {
+            draw_many(theta, 10_000, 50_000)
+                .iter()
+                .filter(|&&x| x <= 100) // hottest 1%
+                .count()
+        };
+        let h0 = head(0.0);
+        let h5 = head(0.5);
+        let h99 = head(0.99);
+        assert!(h5 > h0 * 3, "theta=0.5 head {h5} vs uniform {h0}");
+        assert!(h99 > h5 * 2, "theta=0.99 head {h99} vs {h5}");
+        // Uniform puts ~1% in the head.
+        assert!((300..=900).contains(&h0), "uniform head {h0} ~ 1% of 50k");
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let xs = draw_many(0.0, 100, 100_000);
+        let mut counts = [0u32; 101];
+        for x in xs {
+            counts[x as usize] += 1;
+        }
+        let (min, max) = (counts[1..].iter().min().unwrap(), counts[1..].iter().max().unwrap());
+        assert!(*max < *min * 2, "uniform-ish spread: min {min} max {max}");
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        assert_eq!(draw_many(0.8, 500, 100), draw_many(0.8, 500, 100));
+    }
+
+    #[test]
+    fn keydist_enum_dispatch() {
+        let mut rng = Lehmer64::new(7);
+        let u = KeyDist::Uniform.draw(&mut rng, 10);
+        assert!((1..=10).contains(&u));
+        let z = KeyDist::Zipf(0.9).draw(&mut rng, 10);
+        assert!((1..=10).contains(&z));
+    }
+
+    #[test]
+    #[should_panic]
+    fn theta_one_rejected() {
+        let _ = Zipf::new(10, 1.0);
+    }
+}

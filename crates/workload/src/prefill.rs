@@ -1,0 +1,102 @@
+//! Initial-structure policies (paper §5.1).
+
+use crate::rng::{shuffle, SplitMix64};
+
+/// What the structure contains before the timed phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prefill {
+    /// Empty structure (Insert-only benchmark).
+    Empty,
+    /// "A random set of keys, exactly half the size of the key range"
+    /// (mixed-operation benchmarks).
+    HalfRandom,
+    /// "All of the keys in each range, inserted in a random order"
+    /// (Contains-only and Delete-only benchmarks).
+    FullShuffled,
+}
+
+impl Prefill {
+    /// Materialize the prefill key list for `key_range` (keys are
+    /// `1..=key_range`), in insertion order.
+    pub fn keys(self, key_range: u32, seed: u64) -> Vec<u32> {
+        let mut rng = SplitMix64::new(seed ^ 0x5EED_F111);
+        match self {
+            Prefill::Empty => Vec::new(),
+            Prefill::HalfRandom => {
+                // Choose exactly range/2 distinct keys uniformly: shuffle
+                // the universe and take the first half. (The paper says "a
+                // random set of keys, exactly half the size of the key
+                // range".)
+                let mut all: Vec<u32> = (1..=key_range).collect();
+                shuffle(&mut all, &mut rng);
+                all.truncate(key_range as usize / 2);
+                all
+            }
+            Prefill::FullShuffled => {
+                let mut all: Vec<u32> = (1..=key_range).collect();
+                shuffle(&mut all, &mut rng);
+                all
+            }
+        }
+    }
+
+    /// Expected number of prefilled keys.
+    pub fn expected_len(self, key_range: u32) -> usize {
+        match self {
+            Prefill::Empty => 0,
+            Prefill::HalfRandom => key_range as usize / 2,
+            Prefill::FullShuffled => key_range as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn empty_prefill() {
+        assert!(Prefill::Empty.keys(1000, 1).is_empty());
+        assert_eq!(Prefill::Empty.expected_len(1000), 0);
+    }
+
+    #[test]
+    fn half_random_is_half_and_distinct() {
+        let keys = Prefill::HalfRandom.keys(1000, 42);
+        assert_eq!(keys.len(), 500);
+        let set: HashSet<u32> = keys.iter().copied().collect();
+        assert_eq!(set.len(), 500, "distinct");
+        assert!(keys.iter().all(|&k| (1..=1000).contains(&k)));
+    }
+
+    #[test]
+    fn full_shuffled_is_a_permutation() {
+        let keys = Prefill::FullShuffled.keys(500, 42);
+        assert_eq!(keys.len(), 500);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=500).collect::<Vec<_>>());
+        assert_ne!(keys, sorted, "must actually be shuffled");
+    }
+
+    #[test]
+    fn prefill_is_seed_deterministic() {
+        assert_eq!(
+            Prefill::HalfRandom.keys(2000, 7),
+            Prefill::HalfRandom.keys(2000, 7)
+        );
+        assert_ne!(
+            Prefill::HalfRandom.keys(2000, 7),
+            Prefill::HalfRandom.keys(2000, 8)
+        );
+    }
+
+    #[test]
+    fn different_policies_differ() {
+        assert_ne!(
+            Prefill::HalfRandom.keys(100, 1).len(),
+            Prefill::FullShuffled.keys(100, 1).len()
+        );
+    }
+}

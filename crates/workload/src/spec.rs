@@ -1,0 +1,193 @@
+//! Complete benchmark specifications binding mixture, range, op count, and
+//! prefill the way the paper's Chapter 5 does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mix::OpMix;
+use crate::prefill::Prefill;
+
+/// Which family of benchmark this is; decides the prefill and op-count
+/// conventions of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BenchKind {
+    /// Mixed-operation test: 10M ops over a half-full structure.
+    Mixed,
+    /// Contains-only: 10M ops over a full structure.
+    ContainsOnly,
+    /// Insert-only: `key_range` ops into an empty structure.
+    InsertOnly,
+    /// Delete-only: `key_range` ops over a full structure.
+    DeleteOnly,
+}
+
+/// A fully-specified benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Benchmark family.
+    pub kind: BenchKind,
+    /// Operation mixture (ignored-but-consistent for single-op kinds).
+    pub mix: OpMix,
+    /// Key range: keys are drawn uniformly from `1..=key_range`.
+    pub key_range: u32,
+    /// Number of timed operations.
+    pub n_ops: usize,
+    /// Master seed; all streams derive from it.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A mixed-operation benchmark per §5.1 (`n_ops` defaults to the
+    /// paper's 10M via [`WorkloadSpec::paper_ops`]; pass your own for quick
+    /// runs).
+    pub fn mixed(mix: OpMix, key_range: u32, n_ops: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            kind: BenchKind::Mixed,
+            mix,
+            key_range,
+            n_ops,
+            seed,
+        }
+    }
+
+    /// A single-operation-type benchmark per §5.1: Contains runs `n_ops`
+    /// operations; Insert/Delete run exactly `key_range` operations ("in
+    /// order not to oversaturate small structures").
+    pub fn single(kind: BenchKind, key_range: u32, contains_ops: usize, seed: u64) -> WorkloadSpec {
+        let (mix, n_ops) = match kind {
+            BenchKind::ContainsOnly => (OpMix::CONTAINS_ONLY, contains_ops),
+            BenchKind::InsertOnly => (OpMix::INSERT_ONLY, key_range as usize),
+            BenchKind::DeleteOnly => (OpMix::DELETE_ONLY, key_range as usize),
+            BenchKind::Mixed => panic!("use WorkloadSpec::mixed for mixed benchmarks"),
+        };
+        WorkloadSpec {
+            kind,
+            mix,
+            key_range,
+            n_ops,
+            seed,
+        }
+    }
+
+    /// The paper's timed operation count for mixed and Contains tests.
+    pub const fn paper_ops() -> usize {
+        10_000_000
+    }
+
+    /// Prefill policy implied by the benchmark kind.
+    pub fn prefill(&self) -> Prefill {
+        match self.kind {
+            BenchKind::Mixed => Prefill::HalfRandom,
+            BenchKind::ContainsOnly | BenchKind::DeleteOnly => Prefill::FullShuffled,
+            BenchKind::InsertOnly => Prefill::Empty,
+        }
+    }
+
+    /// Materialize the prefill keys.
+    pub fn prefill_keys(&self) -> Vec<u32> {
+        self.prefill().keys(self.key_range, self.seed)
+    }
+
+    /// Materialize the timed operation stream.
+    ///
+    /// For Insert-only over an empty structure, uniform draws would waste
+    /// ~37% of inserts on duplicates; the paper inserts the *range* (op
+    /// count = range), so we draw keys as a shuffled permutation there.
+    /// Delete-only mirrors it (every delete hits). Everything else is
+    /// uniform random.
+    pub fn ops(&self) -> Vec<crate::mix::Op> {
+        use crate::mix::Op;
+        match self.kind {
+            BenchKind::InsertOnly => {
+                let mut keys: Vec<u32> = (1..=self.key_range).collect();
+                crate::rng::shuffle(&mut keys, &mut crate::rng::SplitMix64::new(self.seed ^ 0x0B5));
+                keys.truncate(self.n_ops);
+                keys.into_iter().map(|k| Op::Insert(k, k)).collect()
+            }
+            BenchKind::DeleteOnly => {
+                let mut keys: Vec<u32> = (1..=self.key_range).collect();
+                crate::rng::shuffle(&mut keys, &mut crate::rng::SplitMix64::new(self.seed ^ 0x0B5));
+                keys.truncate(self.n_ops);
+                keys.into_iter().map(Op::Delete).collect()
+            }
+            _ => self.mix.stream(self.seed ^ 0x0550_0055, self.key_range, self.n_ops),
+        }
+    }
+
+    /// Human-readable range label (10K, 1M, ...).
+    pub fn range_label(&self) -> String {
+        format_count(self.key_range as u64)
+    }
+}
+
+/// Format a count the way the paper labels ranges: 10K, 300K, 1M, 100M.
+pub fn format_count(n: u64) -> String {
+    if n >= 1_000_000 && n.is_multiple_of(1_000_000) {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 && n.is_multiple_of(1_000) {
+        format!("{}K", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::OpKind;
+
+    #[test]
+    fn mixed_spec_conventions() {
+        let s = WorkloadSpec::mixed(OpMix::C80, 1_000_000, 10_000, 99);
+        assert_eq!(s.prefill(), Prefill::HalfRandom);
+        assert_eq!(s.prefill().expected_len(s.key_range), 500_000);
+        assert_eq!(s.ops().len(), 10_000);
+    }
+
+    #[test]
+    fn insert_only_is_permutation_sized_to_range() {
+        let s = WorkloadSpec::single(BenchKind::InsertOnly, 5000, 0, 1);
+        assert_eq!(s.n_ops, 5000);
+        assert_eq!(s.prefill(), Prefill::Empty);
+        let ops = s.ops();
+        assert!(ops.iter().all(|o| o.kind() == OpKind::Insert));
+        let mut keys: Vec<u32> = ops.iter().map(|o| o.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (1..=5000).collect::<Vec<_>>(), "every key exactly once");
+    }
+
+    #[test]
+    fn delete_only_deletes_each_key_once() {
+        let s = WorkloadSpec::single(BenchKind::DeleteOnly, 300, 0, 1);
+        assert_eq!(s.prefill(), Prefill::FullShuffled);
+        let ops = s.ops();
+        assert_eq!(ops.len(), 300);
+        let mut keys: Vec<u32> = ops.iter().map(|o| o.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (1..=300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contains_only_uses_requested_ops() {
+        let s = WorkloadSpec::single(BenchKind::ContainsOnly, 300, 4444, 1);
+        assert_eq!(s.n_ops, 4444);
+        assert_eq!(s.prefill(), Prefill::FullShuffled);
+        assert!(s.ops().iter().all(|o| o.kind() == OpKind::Contains));
+    }
+
+    #[test]
+    fn format_count_labels() {
+        assert_eq!(format_count(10_000), "10K");
+        assert_eq!(format_count(300_000), "300K");
+        assert_eq!(format_count(1_000_000), "1M");
+        assert_eq!(format_count(100_000_000), "100M");
+        assert_eq!(format_count(123), "123");
+    }
+
+    #[test]
+    fn spec_streams_are_seed_deterministic() {
+        let a = WorkloadSpec::mixed(OpMix::C90, 1000, 100, 5);
+        let b = WorkloadSpec::mixed(OpMix::C90, 1000, 100, 5);
+        assert_eq!(a.ops(), b.ops());
+        assert_eq!(a.prefill_keys(), b.prefill_keys());
+    }
+}

@@ -1,0 +1,84 @@
+//! Explore the GPU cost model: run one real workload against both
+//! structures, then ask "what-if" questions of the performance model —
+//! different launch configurations, a hypothetical bigger L2, zero
+//! divergence — the kind of analysis Chapter 5 of the paper does with a
+//! profiler.
+//!
+//! ```text
+//! cargo run --release --example gpu_cost_explorer
+//! ```
+
+use gfsl::GfslParams;
+use gfsl_gpu_model::{occupancy, CostModel, GpuArch, KernelProfile, LaunchConfig};
+use gfsl_harness::runner::{run_gfsl, run_mc, RunConfig};
+use gfsl_workload::{OpMix, WorkloadSpec};
+use mc_skiplist::McParams;
+
+fn main() {
+    let range = 300_000u32;
+    let spec = WorkloadSpec::mixed(OpMix::C80, range, 60_000, 0xE27);
+    let cfg = RunConfig::default();
+
+    println!("running [10,10,80] on a {range}-key range against both structures...\n");
+    let g = run_gfsl(&spec, GfslParams::sized_for(range as u64 * 2), &cfg);
+    let m = run_mc(&spec, McParams::sized_for(range as u64 * 2), &cfg);
+
+    let arch = GpuArch::gtx970();
+    let cm = CostModel::calibrated();
+
+    for (name, kernel, metrics) in [
+        ("GFSL-32", KernelProfile::gfsl(), &g),
+        ("M&C", KernelProfile::mc(), &m),
+    ] {
+        println!("== {name} ==");
+        println!(
+            "  measured: {:.1} txns/op, {:.0}% L2 hits, {:.1} warp-steps/op",
+            metrics.txns_per_op(),
+            metrics.traffic.l2_hit_ratio() * 100.0,
+            metrics.divergence.warp_steps as f64 / metrics.n_ops as f64,
+        );
+        println!(
+            "  SIMT efficiency: {:.0}% (divergent branches: {})",
+            metrics.divergence.efficiency(32) * 100.0,
+            metrics.divergence.divergent_branches,
+        );
+
+        // Sweep launch configurations (the Table 5.1/5.2 question).
+        print!("  modeled MOPS by warps/block:");
+        for warps in [8u32, 16, 24, 32] {
+            let occ = occupancy::occupancy(&arch, &kernel, &LaunchConfig { warps_per_block: warps });
+            let tp = gfsl_gpu_model::cost::predict(&arch, &occ, &cm, &metrics.to_measurement());
+            print!("  {warps}w={:.1}", tp.mops);
+        }
+        println!();
+
+        // What if the GPU had no DRAM penalty (infinite L2)?
+        let occ = occupancy::occupancy(&arch, &kernel, &LaunchConfig::paper_default());
+        let mut all_hit = metrics.to_measurement();
+        all_hit.l2_hits += all_hit.l2_misses;
+        all_hit.l2_misses = 0;
+        all_hit.miss_sectors = 0;
+        let base = gfsl_gpu_model::cost::predict(&arch, &occ, &cm, &metrics.to_measurement());
+        let ideal = gfsl_gpu_model::cost::predict(&arch, &occ, &cm, &all_hit);
+        println!(
+            "  baseline {:.1} MOPS ({}-bound) -> infinite-L2 {:.1} MOPS ({:+.0}%)",
+            base.mops,
+            if base.memory_bound { "memory" } else { "compute" },
+            ideal.mops,
+            (ideal.mops / base.mops - 1.0) * 100.0
+        );
+
+        // Where does the time go?
+        let n = metrics.n_ops as f64;
+        println!(
+            "  per-op: mem {:.1} ns, compute {:.1} ns, contention {:.1} ns\n",
+            base.mem_seconds * 1e9 / n,
+            base.compute_seconds * 1e9 / n,
+            base.contention_seconds * 1e9 / n
+        );
+    }
+
+    println!("takeaway: M&C gains far more from an infinite L2 — its collapse on");
+    println!("large key ranges is a memory-system effect, which is the paper's");
+    println!("central claim (GFSL's coalesced chunk reads keep it nearly flat).");
+}

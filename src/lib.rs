@@ -1,0 +1,14 @@
+//! Workspace umbrella crate for the GFSL reproduction.
+//!
+//! This crate exists to host the workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). It re-exports the member crates so the
+//! examples can be written against a single façade.
+
+pub use gfsl;
+pub use gfsl_gpu_mem as gpu_mem;
+pub use gfsl_gpu_exec as gpu_exec;
+pub use gfsl_gpu_model as gpu_model;
+pub use gfsl_harness as harness;
+pub use gfsl_simt as simt;
+pub use gfsl_workload as workload;
+pub use mc_skiplist;
