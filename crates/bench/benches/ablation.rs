@@ -12,9 +12,11 @@ use gfsl_workload::{Op, OpMix, Prefill};
 
 fn built_with(params: GfslParams, range: u32) -> Gfsl {
     let list = Gfsl::new(params).unwrap();
-    let mut h = list.handle();
-    for k in Prefill::HalfRandom.keys(range, 5) {
-        h.insert(k, k).unwrap();
+    {
+        let mut h = list.handle();
+        for k in Prefill::HalfRandom.keys(range, 5) {
+            h.insert(k, k).unwrap();
+        }
     }
     list
 }

@@ -15,9 +15,11 @@ fn full_gfsl(range: u32) -> Gfsl {
         ..Default::default()
     })
     .unwrap();
-    let mut h = list.handle();
-    for k in Prefill::FullShuffled.keys(range, 3) {
-        h.insert(k, k).unwrap();
+    {
+        let mut h = list.handle();
+        for k in Prefill::FullShuffled.keys(range, 3) {
+            h.insert(k, k).unwrap();
+        }
     }
     list
 }
@@ -44,9 +46,11 @@ fn bench_single_op(c: &mut Criterion) {
         b.iter_batched(
             || Gfsl::new(GfslParams::sized_for(20_000)).unwrap(),
             |list| {
-                let mut h = list.handle();
-                for k in Prefill::FullShuffled.keys(10_000, 11) {
-                    h.insert(k, k).unwrap();
+                {
+                    let mut h = list.handle();
+                    for k in Prefill::FullShuffled.keys(10_000, 11) {
+                        h.insert(k, k).unwrap();
+                    }
                 }
                 list
             },
@@ -63,9 +67,11 @@ fn bench_single_op(c: &mut Criterion) {
                 (list, order)
             },
             |(list, order)| {
-                let mut h = list.handle();
-                for k in order {
-                    assert!(h.remove(k));
+                {
+                    let mut h = list.handle();
+                    for k in order {
+                        assert!(h.remove(k));
+                    }
                 }
                 list
             },

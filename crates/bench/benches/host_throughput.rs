@@ -80,9 +80,11 @@ fn bench_host(c: &mut Criterion) {
             || (),
             |_| {
                 let list = gfsl::Gfsl::new(gfsl::GfslParams::sized_for(10_000)).unwrap();
-                let mut h = list.handle();
-                for k in 1..=10_000u32 {
-                    h.insert(k, k).unwrap();
+                {
+                    let mut h = list.handle();
+                    for k in 1..=10_000u32 {
+                        h.insert(k, k).unwrap();
+                    }
                 }
                 list
             },

@@ -18,9 +18,11 @@ pub fn prefilled_gfsl(range: u32, team: TeamSize) -> Gfsl {
         ..Default::default()
     })
     .unwrap();
-    let mut h = list.handle();
-    for k in Prefill::HalfRandom.keys(range, 7) {
-        h.insert(k, k).unwrap();
+    {
+        let mut h = list.handle();
+        for k in Prefill::HalfRandom.keys(range, 7) {
+            h.insert(k, k).unwrap();
+        }
     }
     list
 }

@@ -134,7 +134,11 @@ impl Gfsl {
             level += 1;
         }
 
-        let _ = handle;
+        // Every allocated chunk has been sealed unlocked by finish_chunk's
+        // direct pool writes; clear the held-lock tracker so dropping the
+        // handle is not misread as a team dying with locks held.
+        handle.held.clear();
+        drop(handle);
         Ok(list)
     }
 

@@ -14,6 +14,7 @@
 //! end. The first chunk of every level holds the `-∞` key in entry 0. The
 //! last chunk of every level has `max = ∞` and `next = NIL`.
 
+use gfsl_gpu_mem::probe::CrashPoint;
 use gfsl_gpu_mem::{MemProbe, WordAddr, WordPool};
 use gfsl_simt::{LaneId, Lanes, Team, WARP_SIZE};
 
@@ -28,13 +29,30 @@ pub const KEY_INF: u32 = u32::MAX;
 /// Null chunk pointer (the next field of the last chunk in a level).
 pub const NIL: u32 = u32::MAX;
 
-/// Lock word: chunk is unlocked.
+/// Lock-word state (low bits): chunk is unlocked.
 pub const LOCK_UNLOCKED: u64 = 0;
-/// Lock word: chunk is locked by some team.
+/// Lock-word state (low bits): chunk is locked by some team.
 pub const LOCK_LOCKED: u64 = 1;
-/// Lock word: chunk has been merged away. Terminal — a zombie's contents
-/// never change again and the chunk is never unlocked or reused.
+/// Lock-word state (low bits): chunk has been merged away. Terminal — a
+/// zombie's contents never change again and the chunk is never unlocked or
+/// reused.
 pub const LOCK_ZOMBIE: u64 = 2;
+/// Mask selecting the state bits of a lock word. The remaining 62 bits are
+/// a *release version*: every unlock bumps it, so two equal reads of an
+/// unlocked lock word bracketing a chunk read certify that no writer held
+/// the chunk (hence no entry moved) anywhere between them. Lock-free
+/// readers use this to certify torn-read-hazardous `NotFound` answers (see
+/// `search_lateral`); the shift loops alone cannot protect a key that moves
+/// *toward* a concurrently scanning reader.
+pub const LOCK_STATE_MASK: u64 = 0b11;
+/// One release-version increment (the version lives above the state bits).
+pub const LOCK_VERSION_UNIT: u64 = 0b100;
+
+/// The state bits of a lock word.
+#[inline]
+pub const fn lock_state(word: u64) -> u64 {
+    word & LOCK_STATE_MASK
+}
 
 /// Is `k` usable as a user key? (`-∞` and `∞` are reserved.)
 #[inline]
@@ -144,13 +162,13 @@ impl ChunkView {
     /// Was the chunk a zombie at read time?
     #[inline]
     pub fn is_zombie(&self, team: &Team) -> bool {
-        self.lock_word(team) == LOCK_ZOMBIE
+        lock_state(self.lock_word(team)) == LOCK_ZOMBIE
     }
 
     /// Was the chunk locked at read time?
     #[inline]
     pub fn is_locked(&self, team: &Team) -> bool {
-        self.lock_word(team) == LOCK_LOCKED
+        lock_state(self.lock_word(team)) == LOCK_LOCKED
     }
 
     /// Number of non-EMPTY data entries (cooperative `numKeysInChunk`).
@@ -213,27 +231,51 @@ pub mod ops {
     }
 
     /// One CAS attempt to lock the chunk. The paper's `LockChunkWithCAS`.
+    ///
+    /// The preliminary plain read fetches the current release version so the
+    /// CAS can preserve it; on a GPU this costs nothing extra because
+    /// `atomicCAS` returns the old word anyway (a failed blind CAS hands the
+    /// team the version to retry with).
     #[inline]
     pub fn try_lock<P: MemProbe>(team: &Team, pool: &WordPool, probe: &mut P, ch: ChunkRef) -> bool {
         let addr = lock_addr(team, ch);
+        probe.crash_point(CrashPoint::LockCas);
         probe.atomic(addr);
-        pool.cas(addr, LOCK_UNLOCKED, LOCK_LOCKED).is_ok()
+        let cur = pool.read(addr);
+        if lock_state(cur) != LOCK_UNLOCKED {
+            return false;
+        }
+        pool.cas(addr, cur, (cur & !LOCK_STATE_MASK) | LOCK_LOCKED)
+            .is_ok()
     }
 
-    /// Release a held lock.
+    /// Release a held lock, bumping the release version so lock-free readers
+    /// can certify that a chunk read overlapped no writer.
     #[inline]
     pub fn unlock<P: MemProbe>(team: &Team, pool: &WordPool, probe: &mut P, ch: ChunkRef) {
         let addr = lock_addr(team, ch);
-        debug_assert_eq!(pool.read(addr), LOCK_LOCKED, "unlocking a chunk we do not hold");
+        let cur = pool.read(addr);
+        debug_assert_eq!(lock_state(cur), LOCK_LOCKED, "unlocking a chunk we do not hold");
+        probe.crash_point(CrashPoint::LockRelease);
         probe.lane_write(addr);
-        pool.write(addr, LOCK_UNLOCKED);
+        pool.write(
+            addr,
+            (cur & !LOCK_STATE_MASK).wrapping_add(LOCK_VERSION_UNIT) | LOCK_UNLOCKED,
+        );
     }
 
-    /// Convert a held lock into the terminal zombie marker.
+    /// Convert a held lock into the terminal zombie marker. The version is
+    /// dropped: zombie contents never change again, so reads of a zombie
+    /// need no certification.
     #[inline]
     pub fn mark_zombie<P: MemProbe>(team: &Team, pool: &WordPool, probe: &mut P, ch: ChunkRef) {
         let addr = lock_addr(team, ch);
-        debug_assert_eq!(pool.read(addr), LOCK_LOCKED, "only the lock holder may zombify");
+        debug_assert_eq!(
+            lock_state(pool.read(addr)),
+            LOCK_LOCKED,
+            "only the lock holder may zombify"
+        );
+        probe.crash_point(CrashPoint::MergeZombieMark);
         probe.lane_write(addr);
         pool.write(addr, LOCK_ZOMBIE);
     }
@@ -266,6 +308,7 @@ pub mod ops {
         next: u32,
     ) {
         let addr = next_addr(team, ch);
+        probe.crash_point(CrashPoint::NextSwing);
         probe.lane_write(addr);
         pool.write(addr, Entry::new(max, next).0);
     }

@@ -140,6 +140,8 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     &mut self.probe,
                     self.list.chunk(p_enc),
                 );
+                // Zombification is a terminal release of p_enc's lock.
+                self.held.released(p_enc);
                 self.stats.merges += 1;
                 self.list.dec_level_chunks(level);
                 self.unlock(p_next);

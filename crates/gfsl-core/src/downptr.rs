@@ -9,6 +9,7 @@
 //! re-verifies the key still exists there and is still reachable from the
 //! destination chunk, and rewrites the entry with a single atomic store.
 
+use gfsl_gpu_mem::probe::CrashPoint;
 use gfsl_gpu_mem::MemProbe;
 
 use crate::chunk::{ops, ChunkView, Entry, NIL};
@@ -41,6 +42,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 // (it may have moved again); only then is the new pointer an
                 // improvement.
                 if self.search_lateral(mk, lower_moved_ch).found.is_some() {
+                    self.probe.crash_point(CrashPoint::DownPtrInstall);
                     ops::write_entry(
                         &self.list.pool,
                         &mut self.probe,
@@ -128,9 +130,11 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        let mut h = list.handle();
-        for k in 1..=n {
-            h.insert(k, k).unwrap();
+        {
+            let mut h = list.handle();
+            for k in 1..=n {
+                h.insert(k, k).unwrap();
+            }
         }
         list
     }

@@ -1,0 +1,346 @@
+//! Operation-history recording and per-key linearizability checking.
+//!
+//! The chaos campaign records every `insert`/`remove`/`get` as an
+//! invoke/return interval on a shared logical clock. Because GFSL keys are
+//! independent single-word registers (an operation on key `k` serializes
+//! only with operations on `k`), full-history linearizability decomposes
+//! into one check per key, which keeps the Wing & Gong search tractable:
+//! a history is linearizable iff, for every key, some total order of that
+//! key's operations (a) respects real-time order — an op that returned
+//! before another was invoked comes first — and (b) replays correctly
+//! against set-of-pairs semantics: insert succeeds iff absent (duplicate
+//! inserts do not overwrite), remove succeeds iff present, get returns the
+//! current value.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared logical clock: each tick returns a unique, totally ordered
+/// timestamp.
+#[derive(Debug, Default)]
+pub struct HistoryClock(AtomicU64);
+
+impl HistoryClock {
+    /// A clock starting at zero.
+    pub fn new() -> HistoryClock {
+        HistoryClock(AtomicU64::new(0))
+    }
+
+    /// Take the next timestamp.
+    pub fn tick(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// What an operation did and what it observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpAction {
+    /// `insert(key, value)` returning whether the key was added.
+    Insert {
+        /// Value inserted (visible to later gets only if `ok`).
+        value: u32,
+        /// `true` = key was absent and is now present.
+        ok: bool,
+    },
+    /// `remove(key)` returning whether the key was present.
+    Remove {
+        /// `true` = key was present and is now absent.
+        ok: bool,
+    },
+    /// `get(key)` and the value it observed.
+    Get {
+        /// `Some(v)` = present with value `v`.
+        found: Option<u32>,
+    },
+}
+
+/// One completed operation: key, action + outcome, and its real-time
+/// interval on the [`HistoryClock`].
+#[derive(Debug, Clone, Copy)]
+pub struct OpRecord {
+    /// The key operated on.
+    pub key: u32,
+    /// Action and observed outcome.
+    pub action: OpAction,
+    /// Clock value taken immediately before invoking the operation.
+    pub invoke: u64,
+    /// Clock value taken immediately after it returned.
+    pub ret: u64,
+}
+
+/// Per-thread history recorder. Collect one per worker, then merge the
+/// `records` and run [`check_linearizable`].
+#[derive(Debug)]
+pub struct Recorder<'a> {
+    clock: &'a HistoryClock,
+    /// Completed operations, in this thread's program order.
+    pub records: Vec<OpRecord>,
+}
+
+impl<'a> Recorder<'a> {
+    /// A recorder on a shared clock.
+    pub fn new(clock: &'a HistoryClock) -> Recorder<'a> {
+        Recorder {
+            clock,
+            records: Vec::new(),
+        }
+    }
+
+    /// Timestamp the start of an operation; pass the result to
+    /// [`Recorder::finish`].
+    pub fn invoke(&self) -> u64 {
+        self.clock.tick()
+    }
+
+    /// Record a completed operation (timestamps its return).
+    pub fn finish(&mut self, key: u32, action: OpAction, invoke: u64) {
+        let ret = self.clock.tick();
+        self.records.push(OpRecord {
+            key,
+            action,
+            invoke,
+            ret,
+        });
+    }
+}
+
+/// Encode a register state for memoization (`u64::MAX` = absent; values are
+/// 32-bit so the encoding is injective).
+fn encode(state: Option<u32>) -> u64 {
+    match state {
+        None => u64::MAX,
+        Some(v) => u64::from(v),
+    }
+}
+
+/// If `op` can linearize now in `state`, the state after it; `None` if its
+/// observed outcome contradicts `state`.
+fn apply(state: Option<u32>, op: &OpRecord) -> Option<Option<u32>> {
+    match op.action {
+        OpAction::Insert { value, ok: true } => state.is_none().then_some(Some(value)),
+        OpAction::Insert { ok: false, .. } => state.is_some().then_some(state),
+        OpAction::Remove { ok: true } => state.is_some().then_some(None),
+        OpAction::Remove { ok: false } => state.is_none().then_some(state),
+        OpAction::Get { found } => (found == state).then_some(state),
+    }
+}
+
+/// Growable bitmask over the ops of one key.
+#[derive(Clone)]
+struct Mask {
+    words: Vec<u64>,
+    set: usize,
+    len: usize,
+}
+
+impl Mask {
+    fn new(len: usize) -> Mask {
+        Mask {
+            words: vec![0; len.div_ceil(64)],
+            set: 0,
+            len,
+        }
+    }
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+        self.set += 1;
+    }
+    fn unset(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+        self.set -= 1;
+    }
+    fn full(&self) -> bool {
+        self.set == self.len
+    }
+}
+
+/// Wing & Gong DFS over one key's operations.
+fn dfs(
+    ops: &[OpRecord],
+    done: &mut Mask,
+    state: Option<u32>,
+    memo: &mut HashSet<(Vec<u64>, u64)>,
+) -> bool {
+    if done.full() {
+        return true;
+    }
+    if !memo.insert((done.words.clone(), encode(state))) {
+        return false; // already explored this frontier
+    }
+    // Only an op invoked before every pending op's return can go first:
+    // anything later is real-time-after some pending op.
+    let min_ret = ops
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !done.get(i))
+        .map(|(_, o)| o.ret)
+        .min()
+        .expect("pending op exists");
+    for i in 0..ops.len() {
+        if done.get(i) || ops[i].invoke > min_ret {
+            continue;
+        }
+        if let Some(next) = apply(state, &ops[i]) {
+            done.set(i);
+            if dfs(ops, done, next, memo) {
+                return true;
+            }
+            done.unset(i);
+        }
+    }
+    false
+}
+
+/// Check one key's operations against an initial state. Returns `Err` with
+/// a description when no valid linearization exists.
+pub fn check_key(key: u32, initial: Option<u32>, ops: &[OpRecord]) -> Result<(), String> {
+    debug_assert!(ops.iter().all(|o| o.key == key));
+    let mut done = Mask::new(ops.len());
+    let mut memo = HashSet::new();
+    if dfs(ops, &mut done, initial, &mut memo) {
+        Ok(())
+    } else {
+        Err(format!(
+            "key {key}: no linearization of {} ops (initial {initial:?}): {ops:?}",
+            ops.len()
+        ))
+    }
+}
+
+/// Check a merged multi-key history. `initial` gives keys present before the
+/// recorded window (absent keys start empty). Returns every per-key
+/// violation found.
+pub fn check_linearizable(
+    records: &[OpRecord],
+    initial: &HashMap<u32, u32>,
+) -> Result<(), Vec<String>> {
+    let mut by_key: HashMap<u32, Vec<OpRecord>> = HashMap::new();
+    for r in records {
+        by_key.entry(r.key).or_default().push(*r);
+    }
+    let mut errors = Vec::new();
+    for (key, ops) in &by_key {
+        if let Err(e) = check_key(*key, initial.get(key).copied(), ops) {
+            errors.push(e);
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: u32, action: OpAction, invoke: u64, ret: u64) -> OpRecord {
+        OpRecord {
+            key,
+            action,
+            invoke,
+            ret,
+        }
+    }
+
+    #[test]
+    fn sequential_history_passes() {
+        let ops = [
+            rec(5, OpAction::Insert { value: 50, ok: true }, 0, 1),
+            rec(5, OpAction::Get { found: Some(50) }, 2, 3),
+            rec(5, OpAction::Insert { value: 60, ok: false }, 4, 5),
+            rec(5, OpAction::Get { found: Some(50) }, 6, 7),
+            rec(5, OpAction::Remove { ok: true }, 8, 9),
+            rec(5, OpAction::Get { found: None }, 10, 11),
+            rec(5, OpAction::Remove { ok: false }, 12, 13),
+        ];
+        check_key(5, None, &ops).unwrap();
+    }
+
+    #[test]
+    fn overlapping_ops_need_a_reordering() {
+        // The get returned None although the insert was invoked first —
+        // legal only because they overlap (the get linearizes first).
+        let ops = [
+            rec(9, OpAction::Insert { value: 1, ok: true }, 0, 5),
+            rec(9, OpAction::Get { found: None }, 1, 2),
+        ];
+        check_key(9, None, &ops).unwrap();
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // Same shape but NOT overlapping: the insert returned before the
+        // get was invoked, so the get must see the value.
+        let ops = [
+            rec(9, OpAction::Insert { value: 1, ok: true }, 0, 1),
+            rec(9, OpAction::Get { found: None }, 2, 3),
+        ];
+        assert!(check_key(9, None, &ops).is_err());
+    }
+
+    #[test]
+    fn duplicate_insert_cannot_both_succeed() {
+        let ops = [
+            rec(3, OpAction::Insert { value: 7, ok: true }, 0, 4),
+            rec(3, OpAction::Insert { value: 8, ok: true }, 1, 5),
+        ];
+        assert!(check_key(3, None, &ops).is_err(), "no remove between them");
+    }
+
+    #[test]
+    fn insert_does_not_overwrite() {
+        // Failed insert must not change the stored value.
+        let ops = [
+            rec(3, OpAction::Insert { value: 7, ok: true }, 0, 1),
+            rec(3, OpAction::Insert { value: 8, ok: false }, 2, 3),
+            rec(3, OpAction::Get { found: Some(8) }, 4, 5),
+        ];
+        assert!(check_key(3, None, &ops).is_err());
+    }
+
+    #[test]
+    fn initial_state_respected() {
+        let ops = [
+            rec(1, OpAction::Get { found: Some(11) }, 0, 1),
+            rec(1, OpAction::Remove { ok: true }, 2, 3),
+        ];
+        check_key(1, Some(11), &ops).unwrap();
+        assert!(check_key(1, None, &ops).is_err());
+    }
+
+    #[test]
+    fn multi_key_check_groups_independently() {
+        let clock = HistoryClock::new();
+        let mut r = Recorder::new(&clock);
+        for key in [10u32, 20, 30] {
+            let t = r.invoke();
+            r.finish(key, OpAction::Insert { value: key * 2, ok: true }, t);
+            let t = r.invoke();
+            r.finish(key, OpAction::Get { found: Some(key * 2) }, t);
+        }
+        check_linearizable(&r.records, &HashMap::new()).unwrap();
+        // Corrupt one key's observation.
+        let mut bad = r.records.clone();
+        bad[1].action = OpAction::Get { found: Some(999) };
+        let errs = check_linearizable(&bad, &HashMap::new()).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("key 10"));
+    }
+
+    #[test]
+    fn three_way_race_with_valid_witness_passes() {
+        // insert / remove / get all overlapping; get saw the value, so the
+        // order insert < get < remove is a valid witness.
+        let ops = [
+            rec(4, OpAction::Insert { value: 44, ok: true }, 0, 10),
+            rec(4, OpAction::Remove { ok: true }, 1, 11),
+            rec(4, OpAction::Get { found: Some(44) }, 2, 12),
+        ];
+        check_key(4, None, &ops).unwrap();
+    }
+}

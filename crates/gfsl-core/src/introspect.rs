@@ -190,12 +190,14 @@ mod tests {
     #[test]
     fn zombies_show_up_after_deletions() {
         let list = list16();
-        let mut h = list.handle();
-        for k in 1..=2_000u32 {
-            h.insert(k, k).unwrap();
-        }
-        for k in 1..=1_900u32 {
-            h.remove(k);
+        {
+            let mut h = list.handle();
+            for k in 1..=2_000u32 {
+                h.insert(k, k).unwrap();
+            }
+            for k in 1..=1_900u32 {
+                h.remove(k);
+            }
         }
         let s = list.shape();
         assert_eq!(s.len(), 100);

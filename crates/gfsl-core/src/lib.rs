@@ -70,9 +70,11 @@
 #![warn(missing_docs)]
 
 pub mod bulk;
+pub mod chaos;
 pub mod chunk;
 pub mod delete;
 pub mod downptr;
+pub mod history;
 pub mod insert;
 pub mod introspect;
 pub mod params;
@@ -84,12 +86,18 @@ pub mod split;
 pub mod stats;
 pub mod validate;
 
+pub use chaos::{ChaosController, ChaosOptions, ChaosProbe};
 pub use chunk::{Entry, KEY_INF, KEY_NEG_INF};
+pub use history::{check_linearizable, HistoryClock, OpAction, OpRecord, Recorder};
 pub use params::GfslParams;
-pub use skiplist::{Error, Gfsl, GfslHandle};
+pub use skiplist::{Error, Gfsl, GfslHandle, LOCK_RETRY_BOUND, STARVATION_RETRIES};
 pub use introspect::{LevelShape, Shape};
 pub use stats::OpStats;
 pub use validate::Violation;
+
+/// Re-exported crash-point seam (the named vulnerable windows of the lock
+/// protocol that [`chaos`] injects faults at).
+pub use gfsl_gpu_mem::CrashPoint;
 
 /// Re-exported team-size selector (chunk format): 16 or 32 entries.
 pub use gfsl_simt::TeamSize;

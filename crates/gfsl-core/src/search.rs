@@ -117,7 +117,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         self.stats.contains_ops += 1;
         let mut cur = self.list.head_of(0);
         loop {
-            let view = self.read_chunk(cur);
+            // Certified: claiming a minimum asserts the absence of smaller
+            // keys in the view, which a torn read racing a remove can fake.
+            let view = self.read_chunk_certified(cur);
             if !view.is_zombie(&team) {
                 // First live key above -inf; data arrays are sorted with
                 // empties at the end, and the -inf sentinel can only sit in
@@ -202,18 +204,37 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
 
     /// Walk right along one level until `k`'s enclosing chunk, skipping
     /// zombies (Algorithm 4.4).
+    ///
+    /// A `NotFound` answer is only returned once *certified*: the chunk is
+    /// re-read until two consecutive views carry the same unlocked lock
+    /// word. The team reads lanes in ascending order while `executeRemove`
+    /// shifts entries toward lower lanes, so a single view can miss a key
+    /// that hopped over the read cursor — but every entry move happens under
+    /// the chunk lock, and each release bumps the lock word's version, so
+    /// equal unlocked lock words bracketing a view prove no entry moved
+    /// while it was read. `Found` needs no certification (an entry is one
+    /// atomic word), and `Continue` follows a `(max, next)` pair written
+    /// atomically; keys never migrate to an earlier chunk, so a passed
+    /// chunk can never hide `k`.
     pub(crate) fn search_lateral(&mut self, k: u32, start: u32) -> LateralResult {
         let team = self.list.team;
         let mut cur = start;
+        // Lock word observed before the current view's data lanes (i.e. from
+        // the previous read of the *same* chunk). Reset on every move.
+        let mut certify: Option<u64> = None;
         loop {
             let view = self.read_chunk(cur);
             if view.is_zombie(&team) {
                 cur = view.next(&team);
+                certify = None;
                 debug_assert_ne!(cur, NIL);
                 continue;
             }
             match tid_with_equal_key(&team, k, &view) {
-                LateralStep::Continue => cur = view.next(&team),
+                LateralStep::Continue => {
+                    cur = view.next(&team);
+                    certify = None;
+                }
                 LateralStep::Found(lane) => {
                     return LateralResult {
                         enclosing: cur,
@@ -221,10 +242,21 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     }
                 }
                 LateralStep::NotFound => {
-                    return LateralResult {
-                        enclosing: cur,
-                        found: None,
+                    // The lock lane is read after every data lane of `view`.
+                    let after = view.lock_word(&team);
+                    if certify == Some(after)
+                        && crate::chunk::lock_state(after) == crate::chunk::LOCK_UNLOCKED
+                    {
+                        return LateralResult {
+                            enclosing: cur,
+                            found: None,
+                        };
                     }
+                    if certify.is_some() {
+                        // A writer was active during the read: genuine retry.
+                        self.certify_poison_check(cur);
+                    }
+                    certify = Some(after);
                 }
             }
         }
@@ -309,9 +341,12 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         let team = self.list.team;
         let mut prev: Option<u32> = None;
         let mut cur = start;
+        // NotFound certification, exactly as in `search_lateral`.
+        let mut certify: Option<u64> = None;
         loop {
             let view = self.read_chunk(cur);
             if view.is_zombie(&team) {
+                certify = None;
                 match self.first_non_zombie(view) {
                     Some((nz, _)) => {
                         if let Some(p) = prev {
@@ -333,6 +368,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 LateralStep::Continue => {
                     prev = Some(cur);
                     cur = view.next(&team);
+                    certify = None;
                 }
                 LateralStep::Found(lane) => {
                     return LateralResult {
@@ -341,10 +377,19 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     }
                 }
                 LateralStep::NotFound => {
-                    return LateralResult {
-                        enclosing: cur,
-                        found: None,
+                    let after = view.lock_word(&team);
+                    if certify == Some(after)
+                        && crate::chunk::lock_state(after) == crate::chunk::LOCK_UNLOCKED
+                    {
+                        return LateralResult {
+                            enclosing: cur,
+                            found: None,
+                        };
                     }
+                    if certify.is_some() {
+                        self.certify_poison_check(cur);
+                    }
+                    certify = Some(after);
                 }
             }
         }
@@ -380,6 +425,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             return;
         }
         self.stats.locks_taken += 1;
+        self.held.acquired(prev);
         // Under the lock, prev cannot be zombified or split concurrently.
         let nf = ops::read_next_field(&team, &self.list.pool, &mut self.probe, pch);
         if nf.val() == old_next {

@@ -1,6 +1,7 @@
 //! The GFSL structure and per-thread operation handles.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Mutex;
 
 use gfsl_gpu_mem::{MemProbe, NoProbe, PoolExhausted, WordPool};
 use gfsl_simt::Team;
@@ -58,6 +59,11 @@ pub struct Gfsl {
     /// `i` as in use (drives [`Gfsl::height`]).
     pub(crate) level_chunks: Vec<AtomicU32>,
     handle_seq: AtomicU32,
+    /// Set when a team died (panicked) while holding chunk locks: those
+    /// locks can never be released, so waiters must fail fast, not spin.
+    poisoned: AtomicBool,
+    /// Human-readable account of the first poisoning event.
+    poison_note: Mutex<Option<String>>,
 }
 
 impl Gfsl {
@@ -99,6 +105,8 @@ impl Gfsl {
             level_chunks: (0..levels).map(|_| AtomicU32::new(0)).collect(),
             params,
             handle_seq: AtomicU32::new(0),
+            poisoned: AtomicBool::new(false),
+            poison_note: Mutex::new(None),
         })
     }
 
@@ -151,6 +159,7 @@ impl Gfsl {
             probe,
             rng: SplitMix64::new(self.params.seed ^ (n.wrapping_mul(0xA076_1D64_78BD_642F))),
             stats: OpStats::new(),
+            held: HeldLocks::new(self),
         }
     }
 
@@ -197,6 +206,93 @@ impl Gfsl {
     pub(crate) fn level_chunk_count(&self, level: usize) -> u32 {
         self.level_chunks[level].load(Ordering::Relaxed)
     }
+
+    /// Has a team died while holding chunk locks?
+    ///
+    /// Once poisoned, the affected chunks can never be unlocked; teams that
+    /// subsequently wait on any lock panic with [`Gfsl::poison_report`]
+    /// instead of spinning forever. Operations that never touch the dead
+    /// team's chunks may still complete — poisoning is detected at lock-wait
+    /// time, not checked up front.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// The first poisoning event, if any (which chunks went down with the
+    /// dead team).
+    pub fn poison_report(&self) -> Option<String> {
+        if !self.is_poisoned() {
+            return None;
+        }
+        self.poison_note
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Record that a team died holding `held`. First report wins; the flag
+    /// is sticky.
+    pub(crate) fn poison(&self, held: &[u32]) {
+        let mut note = self.poison_note.lock().unwrap_or_else(|p| p.into_inner());
+        if note.is_none() {
+            *note = Some(format!(
+                "a team died (panicked) while holding lock(s) on chunk(s) {held:?}; \
+                 those locks can never be released"
+            ));
+        }
+        self.poisoned.store(true, Ordering::Release);
+    }
+}
+
+/// The chunk locks a handle currently holds. Tracked so that a team dying
+/// mid-operation (a panic unwinding through [`GfslHandle`]) is *detected* —
+/// the structure is poisoned with a report naming the orphaned locks —
+/// instead of silently deadlocking every team that later needs those chunks.
+pub(crate) struct HeldLocks<'a> {
+    list: &'a Gfsl,
+    chunks: Vec<u32>,
+}
+
+impl<'a> HeldLocks<'a> {
+    fn new(list: &'a Gfsl) -> HeldLocks<'a> {
+        HeldLocks {
+            list,
+            chunks: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn acquired(&mut self, ch: u32) {
+        self.chunks.push(ch);
+    }
+
+    /// Forget all tracked locks. Only for code paths that release lock words
+    /// by direct pool writes instead of [`GfslHandle::unlock`] (bulk
+    /// construction, where every chunk is sealed unlocked by hand).
+    pub(crate) fn clear(&mut self) {
+        self.chunks.clear();
+    }
+
+    #[inline]
+    pub(crate) fn released(&mut self, ch: u32) {
+        match self.chunks.iter().rposition(|&c| c == ch) {
+            Some(i) => {
+                self.chunks.swap_remove(i);
+            }
+            None => debug_assert!(false, "releasing untracked lock on chunk {ch}"),
+        }
+    }
+}
+
+impl Drop for HeldLocks<'_> {
+    fn drop(&mut self) {
+        // Non-empty on drop means the op never released these locks: the
+        // thread is unwinding from a panic mid-protocol (or the handle was
+        // leaked mid-op, which safe callers cannot do).
+        if !self.chunks.is_empty() {
+            self.list.poison(&self.chunks);
+        }
+    }
 }
 
 impl std::fmt::Debug for Gfsl {
@@ -209,6 +305,18 @@ impl std::fmt::Debug for Gfsl {
     }
 }
 
+/// Lock retries after which a single acquisition is counted as a
+/// starvation event in [`OpStats::lock_starvation_events`]. With the
+/// exponential backoff capped at a 64-iteration spin plus a yield per
+/// retry, 4096 retries is a long wall-clock window of being unserved.
+pub const STARVATION_RETRIES: u32 = 1 << 12;
+
+/// Hard bound on retries for one lock acquisition. The protocol's hold
+/// times are bounded (no operation blocks while holding a chunk lock), so
+/// crossing this bound means the holder is gone for good — the waiter
+/// panics with a deadlock diagnosis instead of spinning forever.
+pub const LOCK_RETRY_BOUND: u32 = 1 << 26;
+
 /// A per-thread session on a [`Gfsl`]: the moral equivalent of one GPU team.
 ///
 /// Holds the thread's memory probe, RNG stream, and operation statistics.
@@ -220,6 +328,7 @@ pub struct GfslHandle<'a, P: MemProbe> {
     pub(crate) probe: P,
     pub(crate) rng: SplitMix64,
     pub(crate) stats: OpStats,
+    pub(crate) held: HeldLocks<'a>,
 }
 
 impl<'a, P: MemProbe> GfslHandle<'a, P> {
@@ -255,6 +364,34 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         )
     }
 
+    /// Read a chunk until the view is *certified*: two consecutive reads
+    /// whose lock words agree and show the chunk unlocked prove no writer
+    /// moved an entry while the later view's data lanes were read (entry
+    /// moves happen only under the chunk lock, and every release bumps the
+    /// lock word's version). Zombie views are terminal, hence trivially
+    /// consistent. Used by lock-free readers whose answer asserts the
+    /// *absence* of a key in the view (`NotFound`, range scans, `min_entry`)
+    /// — a single ascending-order read can miss a key being shifted toward
+    /// lower lanes by a concurrent `executeRemove`.
+    pub(crate) fn read_chunk_certified(&mut self, index: u32) -> ChunkView {
+        let team = self.list.team;
+        let mut prev = self.read_chunk(index);
+        loop {
+            if prev.is_zombie(&team) {
+                return prev;
+            }
+            let before = prev.lock_word(&team);
+            let view = self.read_chunk(index);
+            if crate::chunk::lock_state(before) == crate::chunk::LOCK_UNLOCKED
+                && view.lock_word(&team) == before
+            {
+                return view;
+            }
+            self.certify_poison_check(index);
+            prev = view;
+        }
+    }
+
     /// Spin until the chunk that *encloses* `k` is locked, walking right
     /// past zombies and smaller-max chunks (paper Algorithm 4.8).
     ///
@@ -276,15 +413,16 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             }
             if view.is_locked(&team) {
                 self.stats.lock_retries += 1;
-                backoff(&mut spins);
+                self.lock_backoff(&mut spins, ch);
                 continue;
             }
             if !ops::try_lock(&team, &self.list.pool, &mut self.probe, self.list.chunk(ch)) {
                 self.stats.lock_retries += 1;
-                backoff(&mut spins);
+                self.lock_backoff(&mut spins, ch);
                 continue;
             }
             self.stats.locks_taken += 1;
+            self.held.acquired(ch);
             // Re-read under the lock; the chunk may have stopped enclosing
             // `k` between the read and the CAS.
             let view = self.read_chunk(ch);
@@ -318,15 +456,16 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             }
             if view.is_locked(&team) {
                 self.stats.lock_retries += 1;
-                backoff(&mut spins);
+                self.lock_backoff(&mut spins, cur);
                 continue;
             }
             if !ops::try_lock(&team, &self.list.pool, &mut self.probe, self.list.chunk(cur)) {
                 self.stats.lock_retries += 1;
-                backoff(&mut spins);
+                self.lock_backoff(&mut spins, cur);
                 continue;
             }
             self.stats.locks_taken += 1;
+            self.held.acquired(cur);
             if cur != first_next {
                 // Unlink the zombies we skipped: we hold `ch`'s lock, so its
                 // max is stable and rewriting (max, next) in one word is safe.
@@ -354,6 +493,53 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             &mut self.probe,
             self.list.chunk(ch),
         );
+        self.held.released(ch);
+    }
+
+    /// Bounded, poison-aware wait between lock attempts: exponential spin
+    /// (capped at 64 iterations) escalating into a scheduler yield, so a
+    /// descheduled lock holder can run (essential on machines with fewer
+    /// cores than worker threads; a GPU scheduler interleaves stalled warps
+    /// for the same reason). Periodically re-checks [`Gfsl::is_poisoned`] so
+    /// waiters on an orphaned lock fail fast with the poison report instead
+    /// of spinning until [`LOCK_RETRY_BOUND`].
+    /// Abort a snapshot-certification spin if the structure is poisoned.
+    /// Certification waits for the chunk's lock word to settle UNLOCKED; if
+    /// the lock's holder died mid-operation that never happens, and without
+    /// this check a *reader* would spin forever on a chunk orphaned by a
+    /// writer's panic.
+    pub(crate) fn certify_poison_check(&mut self, ch: u32) {
+        self.stats.certify_retries += 1;
+        if let Some(report) = self.list.poison_report() {
+            panic!("read certification on chunk {ch} aborted: structure poisoned ({report})");
+        }
+        std::hint::spin_loop();
+    }
+
+    fn lock_backoff(&mut self, spins: &mut u32, ch: u32) {
+        *spins += 1;
+        let n = *spins;
+        if n.is_multiple_of(64) {
+            if let Some(report) = self.list.poison_report() {
+                panic!("lock wait on chunk {ch} aborted: structure poisoned ({report})");
+            }
+        }
+        if n == STARVATION_RETRIES {
+            self.stats.lock_starvation_events += 1;
+        }
+        assert!(
+            n < LOCK_RETRY_BOUND,
+            "lock acquisition on chunk {ch} exceeded {LOCK_RETRY_BOUND} retries: \
+             the holder is likely dead (undetected) or the protocol deadlocked"
+        );
+        if n < 7 {
+            for _ in 0..(1u32 << n) {
+                std::hint::spin_loop();
+            }
+        } else {
+            self.stats.lock_backoff_yields += 1;
+            std::thread::yield_now();
+        }
     }
 
     /// Allocate a fresh chunk: all data entries EMPTY, `max = ∞`,
@@ -379,20 +565,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         }
         pool.write(ch.entry_addr(team.next_lane()), Entry::new(KEY_INF, NIL).0);
         pool.write(ch.entry_addr(team.lock_lane()), crate::chunk::LOCK_LOCKED);
-        Ok(base / lanes)
-    }
-}
-
-/// Polite spin: busy-wait briefly, then yield so a descheduled lock holder
-/// can run (essential on machines with fewer cores than worker threads; a
-/// GPU scheduler interleaves stalled warps for the same reason).
-#[inline]
-pub(crate) fn backoff(spins: &mut u32) {
-    *spins += 1;
-    if *spins < 16 {
-        std::hint::spin_loop();
-    } else {
-        std::thread::yield_now();
+        let idx = base / lanes;
+        self.held.acquired(idx);
+        Ok(idx)
     }
 }
 

@@ -7,6 +7,7 @@
 //! are steered correctly by the lowered max field because ballots give
 //! precedence to the NEXT lane over stale DATA lanes.
 
+use gfsl_gpu_mem::probe::CrashPoint;
 use gfsl_gpu_mem::MemProbe;
 
 use crate::chunk::{ops, ChunkView, Entry};
@@ -99,6 +100,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             moved.push(e.key());
             ops::write_entry(&self.list.pool, &mut self.probe, new_ch, i - half, e);
         }
+        self.probe.crash_point(CrashPoint::SplitPublish);
         ops::write_next_field(
             &team,
             &self.list.pool,
@@ -128,11 +130,18 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             self.unlock(p_split);
         }
 
-        // keyForNextLevel: from level 0 raise max(k, min-of-new-chunk) —
-        // which always lives in the new chunk; above level 0 the raised key
-        // must be k itself because only k's bottom chunk is locked.
+        // keyForNextLevel: the raised key must live in the half that STAYS
+        // LOCKED (p_insert) for the rest of the Insert. The paper's
+        // max(k, min-of-new-chunk) is only safe when k landed in the new
+        // chunk: raising a key whose bottom chunk has already been unlocked
+        // races a concurrent Remove of that key, which can lock the new
+        // chunk, delete the key from level 0, find no index entry to clean
+        // up yet, and leave our subsequently-installed level-1 entry
+        // dangling forever (violating upper-subset-of-lower). So: when k
+        // went into the old half, raise k itself; when k went into the new
+        // half, max(k, min-of-new-chunk) also lives there and is safe.
         let min_moved = view.entry(half).key();
-        let raised = if level == 0 {
+        let raised = if level == 0 && p_insert == p_new {
             k.max(min_moved)
         } else {
             k
@@ -196,6 +205,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             moved.push(e.key());
             ops::write_entry(&self.list.pool, &mut self.probe, new_ch, i - half, e);
         }
+        self.probe.crash_point(CrashPoint::SplitPublish);
         ops::write_next_field(
             &team,
             &self.list.pool,

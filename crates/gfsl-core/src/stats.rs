@@ -16,11 +16,25 @@ pub struct OpStats {
     pub remove_ops: u64,
     /// Full restarts of the lock-free search (the paper's rare edge case).
     pub search_restarts: u64,
+    /// Re-reads taken to certify a negative answer (NotFound, range scan,
+    /// min-entry) against a concurrent writer: a snapshot whose bracketing
+    /// lock words differed (or were locked) is discarded and retried. These
+    /// are expected to be common under write contention and are deliberately
+    /// NOT counted as `search_restarts`, which tracks the paper's §4.2.1
+    /// backtrack-restart claim.
+    pub certify_retries: u64,
     /// Successful lock acquisitions.
     pub locks_taken: u64,
     /// Failed lock CAS attempts plus re-read spins while a chunk was held
     /// by another team — the contention signal.
     pub lock_retries: u64,
+    /// Backoff waits that escalated past pure spinning into a scheduler
+    /// yield (the exponential-backoff tail).
+    pub lock_backoff_yields: u64,
+    /// Lock acquisitions that crossed the starvation threshold
+    /// ([`crate::skiplist::STARVATION_RETRIES`] retries) before succeeding —
+    /// each one is a team that went effectively unserved for a long window.
+    pub lock_starvation_events: u64,
     /// Chunk splits performed.
     pub splits: u64,
     /// Chunk merges performed (zombies created).
@@ -50,8 +64,11 @@ impl OpStats {
         self.insert_ops += o.insert_ops;
         self.remove_ops += o.remove_ops;
         self.search_restarts += o.search_restarts;
+        self.certify_retries += o.certify_retries;
         self.locks_taken += o.locks_taken;
         self.lock_retries += o.lock_retries;
+        self.lock_backoff_yields += o.lock_backoff_yields;
+        self.lock_starvation_events += o.lock_starvation_events;
         self.splits += o.splits;
         self.merges += o.merges;
         self.zombie_unlinks += o.zombie_unlinks;
@@ -71,8 +88,11 @@ mod tests {
             insert_ops: 2,
             remove_ops: 3,
             search_restarts: 1,
+            certify_retries: 4,
             locks_taken: 5,
             lock_retries: 6,
+            lock_backoff_yields: 12,
+            lock_starvation_events: 13,
             splits: 7,
             merges: 8,
             zombie_unlinks: 9,
@@ -85,5 +105,8 @@ mod tests {
         assert_eq!(a.total_ops(), 12);
         assert_eq!(a.chunk_reads, 22);
         assert_eq!(a.downptr_fixes, 20);
+        assert_eq!(a.lock_backoff_yields, 24);
+        assert_eq!(a.lock_starvation_events, 26);
+        assert_eq!(a.certify_retries, 8);
     }
 }

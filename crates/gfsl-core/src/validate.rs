@@ -127,7 +127,7 @@ impl Gfsl {
                 }
                 let v: ChunkView = h.read_chunk(cur);
                 let zombie = v.is_zombie(&team);
-                let lock = v.lock_word(&team);
+                let lock = crate::chunk::lock_state(v.lock_word(&team));
                 if lock != LOCK_UNLOCKED && lock != LOCK_ZOMBIE {
                     violations.push(Violation {
                         rule: "quiescent-unlocked",

@@ -1,0 +1,112 @@
+//! Property tests: split/merge invariants under *scripted* chaos schedules.
+//!
+//! Each case drives two concurrent workers through a byte-script schedule:
+//! every simulated memory access and crash point is a scheduling decision
+//! consumed from the script (round-robin once exhausted), with stall
+//! injection enabled at every crash point. Shrinking the script shrinks
+//! the *schedule*, so a failing interleaving minimizes to the shortest
+//! byte prefix that still breaks an invariant.
+//!
+//! Workers own disjoint key classes (even/odd), so despite full chunk-level
+//! contention every insert/remove return value has an exact per-thread
+//! oracle, and the final membership is the union of the two oracles.
+
+use std::collections::BTreeSet;
+
+use gfsl::chaos::{ChaosController, ChaosOptions};
+use gfsl::{Gfsl, GfslParams, TeamSize};
+use proptest::prelude::*;
+
+/// The workload: enough inserts per class to force several splits in a
+/// 14-data-entry chunk format, then enough removes to force merges.
+const KEYS_PER_CLASS: u32 = 40;
+
+fn run_scripted(script: Vec<u8>, stall_turns: u8) -> Result<(), TestCaseError> {
+    let list = Gfsl::new(GfslParams {
+        team_size: TeamSize::Sixteen,
+        pool_chunks: 1 << 12,
+        ..Default::default()
+    })
+    .expect("params valid");
+    let ctl = ChaosController::new(
+        2,
+        ChaosOptions {
+            script: Some(script),
+            max_stall_turns: stall_turns,
+            ..Default::default()
+        },
+    );
+
+    let finals: Vec<BTreeSet<u32>> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..2u32)
+            .map(|t| {
+                let list = &list;
+                let ctl = &ctl;
+                s.spawn(move || {
+                    let mut h = list.handle_with(ctl.probe(t as usize));
+                    let mut reference = BTreeSet::new();
+                    // Insert this class's keys (interleaved with the peer's
+                    // into the same chunks), then remove all but every 4th:
+                    // the shrink forces merges right where splits happened.
+                    for i in 0..KEYS_PER_CLASS {
+                        let k = i * 2 + t + 1;
+                        assert_eq!(
+                            h.insert(k, k * 10).expect("pool"),
+                            reference.insert(k),
+                            "insert {k}"
+                        );
+                    }
+                    for i in 0..KEYS_PER_CLASS {
+                        if i % 4 == 0 {
+                            continue;
+                        }
+                        let k = i * 2 + t + 1;
+                        assert_eq!(h.remove(k), reference.remove(&k), "remove {k}");
+                    }
+                    reference
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker survived the schedule"))
+            .collect()
+    });
+
+    // Quiescence: structure must be fully valid...
+    let violations = list.validate();
+    prop_assert!(
+        violations.is_empty(),
+        "invariant violations under script: {violations:?}"
+    );
+    // ...and membership must equal the union of the disjoint oracles.
+    let got: BTreeSet<u32> = list.keys().into_iter().collect();
+    let expect: BTreeSet<u32> = finals.into_iter().flatten().collect();
+    prop_assert_eq!(got, expect);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Arbitrary byte scripts steer the all-parked scheduler through
+    /// different interleavings of two contending workers; every schedule
+    /// must preserve every structural invariant and the exact per-class
+    /// membership oracle.
+    #[test]
+    fn scripted_schedules_preserve_split_merge_invariants(
+        script in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        run_scripted(script, 2)?;
+    }
+
+    /// Same property with aggressive stalls (up to 5 extra turns handed to
+    /// peers at every crash point): maximizes time spent inside the split
+    /// publish / merge zombie-mark / pointer-swing windows.
+    #[test]
+    fn long_stalls_in_crash_windows_are_harmless(
+        script in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        run_scripted(script, 5)?;
+    }
+}

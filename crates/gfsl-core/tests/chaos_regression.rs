@@ -1,0 +1,129 @@
+//! Regression: a team that dies (panics) mid-insert while holding chunk
+//! locks must be *detected* — the structure reports itself poisoned and
+//! later writers fail fast with a diagnosis — instead of silently
+//! deadlocking every team that needs the orphaned locks.
+//!
+//! The panic is injected deterministically with the chaos layer: the worker
+//! is killed at its first `SplitPublish` crash point, i.e. after it locked
+//! the splitting chunk AND the freshly allocated (locked-at-birth) new
+//! chunk, the worst case for orphaned locks.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use gfsl::chaos::{ChaosController, ChaosOptions};
+use gfsl::{CrashPoint, Gfsl, GfslParams, TeamSize};
+
+#[test]
+fn panic_mid_split_poisons_instead_of_deadlocking() {
+    let list = Gfsl::new(GfslParams {
+        team_size: TeamSize::Sixteen,
+        pool_chunks: 1 << 12,
+        ..Default::default()
+    })
+    .unwrap();
+
+    let ctl = ChaosController::new(
+        1,
+        ChaosOptions {
+            panic_at: Some((CrashPoint::SplitPublish, 1)),
+            max_stall_turns: 0,
+            ..Default::default()
+        },
+    );
+
+    std::thread::scope(|s| {
+        let worker = s.spawn(|| {
+            let mut h = list.handle_with(ctl.probe(0));
+            // The 14th insert overflows the 16-entry chunk's data array and
+            // triggers the first split.
+            for k in 1..=100u32 {
+                let _ = h.insert(k, k);
+            }
+        });
+        assert!(
+            worker.join().is_err(),
+            "worker must die at the injected crash point"
+        );
+    });
+
+    // The held-lock tracker saw the unwind and poisoned the structure.
+    assert!(list.is_poisoned(), "dead team went undetected");
+    let report = list.poison_report().expect("poison carries a report");
+    assert!(
+        report.contains("chunk"),
+        "report should name the orphaned chunks: {report}"
+    );
+
+    // Lock-free reads still work: keys inserted before the crash are
+    // reachable (the split never published, so nothing moved).
+    let mut reader = list.handle();
+    for k in 1..=13u32 {
+        assert!(reader.contains(k), "pre-crash key {k} must stay readable");
+    }
+
+    // A writer that needs one of the orphaned locks fails FAST with the
+    // poison diagnosis (bounded wait + periodic poison check) instead of
+    // spinning forever. The test completing at all is the no-deadlock
+    // assertion.
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        let mut h = list.handle();
+        let _ = h.insert(500, 1);
+    }));
+    let err = res.expect_err("writer must abort, not complete or hang");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.contains("poisoned"),
+        "writer's panic should carry the poison diagnosis, got: {msg}"
+    );
+}
+
+#[test]
+fn surviving_teams_keep_running_after_peer_dies_elsewhere() {
+    // A peer dying while holding locks on chunks another team never touches
+    // must not stop that team: poisoning is detected at lock-wait time.
+    let list = Gfsl::new(GfslParams {
+        team_size: TeamSize::Sixteen,
+        pool_chunks: 1 << 12,
+        ..Default::default()
+    })
+    .unwrap();
+    // Push enough keys that low and high key ranges live in distinct chunks.
+    {
+        let mut h = list.handle();
+        for k in 1..=200u32 {
+            h.insert(k * 10, k).unwrap();
+        }
+    }
+
+    let ctl = ChaosController::new(
+        1,
+        ChaosOptions {
+            // Die at the first zombie-mark: the victim is mid-merge holding
+            // the bottom chunk's lock, which gets orphaned by the unwind.
+            panic_at: Some((CrashPoint::MergeZombieMark, 1)),
+            max_stall_turns: 0,
+            ..Default::default()
+        },
+    );
+    std::thread::scope(|s| {
+        let victim = s.spawn(|| {
+            let mut h = list.handle_with(ctl.probe(0));
+            // Remove low keys until a merge (zombie-mark) happens.
+            for k in 1..=200u32 {
+                h.remove(k * 10);
+            }
+        });
+        let _ = victim.join();
+    });
+
+    // Whether or not the merge fired (it does with these parameters), the
+    // high end of the key space must stay fully operational.
+    let mut h = list.handle();
+    for k in 150..=200u32 {
+        assert!(h.contains(k * 10) || list.is_poisoned());
+    }
+    assert!(h.insert(100_000, 1).unwrap_or(false) || list.is_poisoned());
+}

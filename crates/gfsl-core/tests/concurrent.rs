@@ -14,6 +14,27 @@ fn xorshift(x: &mut u64) -> u64 {
     *x
 }
 
+/// Run seed: `GFSL_TEST_SEED` if set, else 0 (which leaves every RNG at its
+/// historical constant). Printed so the harness shows it when a test fails;
+/// re-run with `GFSL_TEST_SEED=<seed> cargo test` to replay.
+fn test_seed() -> u64 {
+    let seed = std::env::var("GFSL_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    eprintln!("GFSL_TEST_SEED={seed} (set this env var to replay)");
+    seed
+}
+
+/// Fold the run seed into an RNG's base state, keeping xorshift state
+/// nonzero.
+fn mix(base: u64, seed: u64) -> u64 {
+    match base ^ seed {
+        0 => 0x9E37_79B9_7F4A_7C15,
+        x => x,
+    }
+}
+
 fn params16() -> GfslParams {
     GfslParams {
         team_size: TeamSize::Sixteen,
@@ -29,6 +50,7 @@ fn disjoint_key_classes_are_exact() {
     const THREADS: u32 = 4;
     const OPS: u64 = 12_000;
     let list = Gfsl::new(params16()).unwrap();
+    let seed = test_seed();
     let finals: Vec<BTreeSet<u32>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
@@ -36,7 +58,7 @@ fn disjoint_key_classes_are_exact() {
                 s.spawn(move || {
                     let mut h = list.handle();
                     let mut reference = BTreeSet::new();
-                    let mut x = 0x1234_5678_9ABC_DEF0u64 ^ (t as u64) << 32;
+                    let mut x = mix(0x1234_5678_9ABC_DEF0u64 ^ (t as u64) << 32, seed);
                     for _ in 0..OPS {
                         let r = xorshift(&mut x);
                         let k = ((r % 3_000) as u32) * THREADS + t + 1;
@@ -79,12 +101,13 @@ fn full_contention_structural_integrity() {
     const OPS: u64 = 8_000;
     const RANGE: u64 = 400; // tiny range -> constant chunk-level conflicts
     let list = Gfsl::new(params16()).unwrap();
+    let seed = test_seed();
     std::thread::scope(|s| {
         for t in 0..THREADS {
             let list = &list;
             s.spawn(move || {
                 let mut h = list.handle();
-                let mut x = 0xDEAD_BEEF_0000_0001u64.wrapping_mul(t as u64 + 1);
+                let mut x = mix(0xDEAD_BEEF_0000_0001u64.wrapping_mul(t as u64 + 1), seed);
                 for _ in 0..OPS {
                     let r = xorshift(&mut x);
                     let k = (r % RANGE) as u32 + 1;
@@ -117,6 +140,7 @@ fn full_contention_structural_integrity() {
 fn readers_never_observe_foreign_keys() {
     use std::sync::atomic::{AtomicBool, Ordering};
     let list = Gfsl::new(params16()).unwrap();
+    let seed = test_seed();
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
         // Writer: churns even keys only.
@@ -124,7 +148,7 @@ fn readers_never_observe_foreign_keys() {
         let stop_ref = &stop;
         s.spawn(move || {
             let mut h = list_ref.handle();
-            let mut x = 42u64;
+            let mut x = mix(42, seed);
             for _ in 0..30_000 {
                 let r = xorshift(&mut x);
                 let k = ((r % 2_000) as u32) * 2 + 2;
@@ -141,7 +165,7 @@ fn readers_never_observe_foreign_keys() {
         for t in 0..3u64 {
             s.spawn(move || {
                 let mut h = list_ref.handle();
-                let mut x = 777 + t;
+                let mut x = mix(777 + t, seed);
                 while !stop_ref.load(Ordering::Acquire) {
                     let r = xorshift(&mut x);
                     let even = ((r % 2_000) as u32) * 2 + 2;
@@ -169,6 +193,7 @@ fn contains_restarts_are_rare() {
             h.insert(k, k).unwrap();
         }
     }
+    let seed = test_seed();
     let restart_stats = std::thread::scope(|s| {
         let list_ref = &list;
         // Deleters drain keys while searchers probe.
@@ -180,7 +205,7 @@ fn contains_restarts_are_rare() {
         });
         let search = s.spawn(move || {
             let mut h = list_ref.handle();
-            let mut x = 31u64;
+            let mut x = mix(31, seed);
             for _ in 0..40_000 {
                 let r = xorshift(&mut x);
                 h.contains((r % 4_000) as u32 + 1);
@@ -209,6 +234,7 @@ fn concurrent_gfsl32_mixed() {
         ..Default::default()
     })
     .unwrap();
+    let seed = test_seed();
     let finals: Vec<BTreeSet<u32>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
@@ -216,7 +242,7 @@ fn concurrent_gfsl32_mixed() {
                 s.spawn(move || {
                     let mut h = list.handle();
                     let mut reference = BTreeSet::new();
-                    let mut x = 0xABCD_EF01_2345_6789u64 ^ (t as u64) << 48;
+                    let mut x = mix(0xABCD_EF01_2345_6789u64 ^ (t as u64) << 48, seed);
                     for _ in 0..10_000 {
                         let r = xorshift(&mut x);
                         let k = ((r % 5_000) as u32) * THREADS + t + 1;

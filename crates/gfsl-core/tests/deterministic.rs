@@ -22,9 +22,11 @@ fn tiny_list(prefill: impl IntoIterator<Item = u32>) -> Gfsl {
         ..Default::default()
     })
     .unwrap();
-    let mut h = list.handle();
-    for k in prefill {
-        h.insert(k, k * 3).unwrap();
+    {
+        let mut h = list.handle();
+        for k in prefill {
+            h.insert(k, k * 3).unwrap();
+        }
     }
     list
 }

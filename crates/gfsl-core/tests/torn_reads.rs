@@ -9,6 +9,27 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use gfsl::{Gfsl, GfslParams, TeamSize};
 
+/// Run seed: `GFSL_TEST_SEED` if set, else 0 (which leaves every RNG at its
+/// historical constant). Printed so the harness shows it when a test fails;
+/// re-run with `GFSL_TEST_SEED=<seed> cargo test` to replay.
+fn test_seed() -> u64 {
+    let seed = std::env::var("GFSL_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    eprintln!("GFSL_TEST_SEED={seed} (set this env var to replay)");
+    seed
+}
+
+/// Fold the run seed into an RNG's base state, keeping xorshift state
+/// nonzero.
+fn mix(base: u64, seed: u64) -> u64 {
+    match base ^ seed {
+        0 => 0x9E37_79B9_7F4A_7C15,
+        x => x,
+    }
+}
+
 /// Keys that are never removed must be visible to every read, at all times,
 /// while neighbouring keys churn hard enough to split/merge their chunks
 /// constantly.
@@ -28,6 +49,7 @@ fn anchored_keys_never_flicker() {
             h.insert(a, a * 7).unwrap();
         }
     }
+    let seed = test_seed();
     let stop = AtomicBool::new(false);
     let reads = AtomicU64::new(0);
     std::thread::scope(|s| {
@@ -40,14 +62,14 @@ fn anchored_keys_never_flicker() {
         for t in 0..2u64 {
             s.spawn(move || {
                 let mut h = list_ref.handle();
-                let mut x = 0x1111_2222 + t;
+                let mut x = mix(0x1111_2222 + t, seed);
                 for _ in 0..25_000 {
                     x ^= x << 13;
                     x ^= x >> 7;
                     x ^= x << 17;
                     let base = ((x % 30 + 1) * 10) as u32;
                     let filler = base + 1 + ((x >> 32) % 8) as u32; // 10x+1..10x+8
-                    if (x >> 45) % 2 == 0 {
+                    if (x >> 45).is_multiple_of(2) {
                         let _ = h.insert(filler, 1).unwrap();
                     } else {
                         let _ = h.remove(filler);
@@ -100,6 +122,7 @@ fn range_scans_stay_ordered_under_churn() {
             h.insert(a, a).unwrap();
         }
     }
+    let seed = test_seed();
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
         let list_ref = &list;
@@ -107,7 +130,7 @@ fn range_scans_stay_ordered_under_churn() {
         let anchors_ref = &anchors;
         s.spawn(move || {
             let mut h = list_ref.handle();
-            let mut x = 0xF00Du64;
+            let mut x = mix(0xF00D, seed);
             for _ in 0..40_000 {
                 x ^= x << 13;
                 x ^= x >> 7;

@@ -13,6 +13,30 @@ use crate::l2::{L2Cache, Probe as CacheProbe};
 use crate::layout::WordAddr;
 use crate::traffic::Traffic;
 
+/// Named instants in a structure's protocol where an adversarial scheduler
+/// may preempt, stall, or kill the acting team.
+///
+/// Each variant marks the moment *just before* the structure commits the
+/// named transition. A fault-injection probe (see `gfsl::chaos`) can park the
+/// team here for an arbitrary number of scheduling turns — simulating the
+/// worst-case interleavings a GPU gives you for free — or panic to model a
+/// team dying while holding locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// About to CAS a chunk's LOCK word from UNLOCKED to LOCKED.
+    LockCas,
+    /// About to store UNLOCKED into a held LOCK word.
+    LockRelease,
+    /// A split is about to publish the new chunk with one (max, next) store.
+    SplitPublish,
+    /// A merge is about to convert a held lock into the terminal ZOMBIE state.
+    MergeZombieMark,
+    /// About to swing a (max, next) field past a zombie (lazy unlink).
+    NextSwing,
+    /// About to install a down-pointer into an upper-level chunk.
+    DownPtrInstall,
+}
+
 /// Observer of simulated-device memory accesses.
 ///
 /// `warp_*` methods describe a team-wide lockstep access (the slice holds one
@@ -29,6 +53,12 @@ pub trait MemProbe {
     fn lane_write(&mut self, addr: WordAddr);
     /// An atomic RMW (CAS) on one word.
     fn atomic(&mut self, addr: WordAddr);
+    /// The team is one instruction away from the named protocol transition.
+    ///
+    /// Default is a no-op so performance probes pay nothing; chaos probes
+    /// override it to preempt/stall/kill at the most damaging instants.
+    #[inline(always)]
+    fn crash_point(&mut self, _point: CrashPoint) {}
 }
 
 /// The zero-cost probe: all methods are empty and inline away.

@@ -2,18 +2,34 @@
 //!
 //! ```text
 //! stress [--seconds N] [--threads N] [--range N] [--mix i,d,c] [--team 16|32] [--seed S]
+//! stress --chaos [--seeds N] [--threads N] [--seed S]
 //! ```
 //!
-//! Runs a randomized mixed workload from many threads, periodically
-//! spot-checks reader invariants, and finishes with a full structural
-//! validation plus a per-key oracle check (each thread owns a disjoint key
-//! class, so every thread's final state is exactly predictable).
+//! Default mode runs a randomized mixed workload from many threads,
+//! periodically spot-checks reader invariants, and finishes with a full
+//! structural validation plus a per-key oracle check (each thread owns a
+//! disjoint key class, so every thread's final state is exactly
+//! predictable).
+//!
+//! `--chaos` instead runs a deterministic fault-injection campaign: for
+//! each of `--seeds N` seeds, worker threads hammer a tiny shared key range
+//! under a [`gfsl::chaos::ChaosController`] that serializes every simulated
+//! memory access and injects stalls at the lock protocol's named crash
+//! points. Every operation is recorded and the merged history is checked
+//! for per-key linearizability; structural invariants are validated at
+//! every quiescence point. The first seed is re-run at the end and must
+//! reproduce the identical crash-point trace hash (replay determinism).
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use gfsl::{Gfsl, GfslParams, TeamSize};
+use gfsl::chaos::{ChaosController, ChaosOptions};
+use gfsl::{
+    check_linearizable, Gfsl, GfslParams, HistoryClock, OpAction, OpRecord, OpStats, Recorder,
+    TeamSize,
+};
 use gfsl_workload::SplitMix64;
 
 struct Args {
@@ -23,6 +39,8 @@ struct Args {
     mix: (u32, u32, u32),
     team: TeamSize,
     seed: u64,
+    chaos: bool,
+    seeds: u32,
 }
 
 fn parse() -> Args {
@@ -33,6 +51,8 @@ fn parse() -> Args {
         mix: (20, 20, 60),
         team: TeamSize::ThirtyTwo,
         seed: 0xD06_F00D,
+        chaos: false,
+        seeds: 16,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -41,7 +61,17 @@ fn parse() -> Args {
             "--seconds" => a.seconds = val().parse().expect("seconds"),
             "--threads" => a.threads = val().parse().expect("threads"),
             "--range" => a.range = val().parse().expect("range"),
-            "--seed" => a.seed = val().parse().expect("seed"),
+            "--seed" => {
+                // Accept both the decimal form from the replay hint and the
+                // 0x form the per-seed progress lines display.
+                let v = val();
+                a.seed = match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).expect("seed"),
+                    None => v.parse().expect("seed"),
+                };
+            }
+            "--chaos" => a.chaos = true,
+            "--seeds" => a.seeds = val().parse().expect("seeds"),
             "--team" => {
                 a.team = match val().as_str() {
                     "16" => TeamSize::Sixteen,
@@ -62,8 +92,254 @@ fn parse() -> Args {
     a
 }
 
+/// Fold a 64-bit value into an FNV-1a hash (same constants the chaos trace
+/// uses), for combining per-round trace hashes into one per-seed hash.
+fn fnv_fold(mut h: u64, x: u64) -> u64 {
+    for b in x.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Tiny shared key range: every thread fights over the same few chunks so
+/// splits, merges, and lock handoffs happen constantly.
+const CHAOS_RANGE: u32 = 48;
+/// Ops per worker per round. Every simulated memory access is a schedule
+/// point (condvar round-trip), so chaos ops are ~1000x slower than free-run.
+const CHAOS_OPS: u64 = 40;
+/// Rounds per seed; each round gets a fresh controller (fresh schedule) and
+/// a quiescence check, and the history carries across rounds.
+const CHAOS_ROUNDS: u64 = 2;
+
+struct SeedOutcome {
+    trace: u64,
+    steps: u64,
+    stats: OpStats,
+    crash_hits: Vec<(gfsl::CrashPoint, u64)>,
+}
+
+/// One full chaos run for one seed: CHAOS_ROUNDS rounds of scheduled
+/// mayhem, validating invariants and per-key linearizability at each
+/// quiescence point. Fully deterministic in `seed`.
+fn run_chaos_seed(a: &Args, seed: u64) -> Result<SeedOutcome, String> {
+    let threads = a.threads.clamp(2, 4) as usize;
+    let list = Gfsl::new(GfslParams {
+        team_size: TeamSize::Sixteen,
+        pool_chunks: 1 << 12,
+        seed,
+        ..Default::default()
+    })
+    .map_err(|e| format!("construct: {e:?}"))?;
+
+    let clock = HistoryClock::new();
+    // Keys present at the start of the current round (round 0: empty).
+    let mut initial: HashMap<u32, u32> = HashMap::new();
+    let mut trace = 0xCBF2_9CE4_8422_2325u64;
+    let mut steps = 0u64;
+    let mut stats = OpStats::new();
+    let mut crash_hits: Vec<(gfsl::CrashPoint, u64)> = Vec::new();
+
+    for round in 0..CHAOS_ROUNDS {
+        let ctl = ChaosController::new(
+            threads,
+            ChaosOptions {
+                seed: seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..Default::default()
+            },
+        );
+        let per_thread: Vec<(Vec<OpRecord>, OpStats)> = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads)
+                .map(|t| {
+                    let list = &list;
+                    let ctl = &ctl;
+                    let clock = &clock;
+                    s.spawn(move || {
+                        let mut h = list.handle_with(ctl.probe(t));
+                        let mut rec = Recorder::new(clock);
+                        let mut rng =
+                            SplitMix64::new(seed ^ (round << 8) ^ ((t as u64 + 1) << 40));
+                        for _ in 0..CHAOS_OPS {
+                            let k = rng.below(u64::from(CHAOS_RANGE)) as u32 + 1;
+                            let roll = rng.below(100);
+                            let inv = rec.invoke();
+                            if roll < 40 {
+                                let v = rng.next_u64() as u32;
+                                let ok = h.insert(k, v).expect("chaos pool sized generously");
+                                rec.finish(k, OpAction::Insert { value: v, ok }, inv);
+                            } else if roll < 75 {
+                                let ok = h.remove(k);
+                                rec.finish(k, OpAction::Remove { ok }, inv);
+                            } else {
+                                let found = h.get(k);
+                                rec.finish(k, OpAction::Get { found }, inv);
+                            }
+                        }
+                        let st = h.stats();
+                        (rec.records, st)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("chaos worker panicked"))
+                .collect()
+        });
+
+        // All workers joined: quiescence. Structure must be fully valid.
+        let violations = list.validate();
+        if !violations.is_empty() {
+            return Err(format!(
+                "seed 0x{seed:016x} round {round}: {} invariant violations: {}",
+                violations.len(),
+                violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+        }
+
+        let mut records: Vec<OpRecord> = Vec::new();
+        for (r, st) in per_thread {
+            records.extend(r);
+            stats.merge(&st);
+        }
+
+        // Quiescent reads of the whole range close the round's history and
+        // pin the exact state the next round starts from.
+        let mut next_initial = HashMap::new();
+        {
+            let mut h = list.handle();
+            let mut rec = Recorder::new(&clock);
+            for k in 1..=CHAOS_RANGE {
+                let inv = rec.invoke();
+                let found = h.get(k);
+                rec.finish(k, OpAction::Get { found }, inv);
+                if let Some(v) = found {
+                    next_initial.insert(k, v);
+                }
+            }
+            records.extend(rec.records);
+        }
+
+        if let Err(errs) = check_linearizable(&records, &initial) {
+            return Err(format!(
+                "seed 0x{seed:016x} round {round}: history NOT linearizable: {}",
+                errs.join(" | ")
+            ));
+        }
+        initial = next_initial;
+
+        trace = fnv_fold(trace, ctl.trace_hash());
+        steps += ctl.steps();
+        let hits = ctl.crash_point_hits();
+        if crash_hits.is_empty() {
+            crash_hits = hits;
+        } else {
+            for (acc, (_, n)) in crash_hits.iter_mut().zip(hits) {
+                acc.1 += n;
+            }
+        }
+    }
+    Ok(SeedOutcome {
+        trace,
+        steps,
+        stats,
+        crash_hits,
+    })
+}
+
+fn chaos_main(a: &Args) -> ExitCode {
+    if a.seeds == 0 {
+        eprintln!("--seeds must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "chaos campaign: {} seeds, {} threads, range {}, {} ops/thread, {} rounds/seed",
+        a.seeds,
+        a.threads.clamp(2, 4),
+        CHAOS_RANGE,
+        CHAOS_OPS,
+        CHAOS_ROUNDS
+    );
+    let mut first: Option<(u64, u64)> = None; // (seed, trace hash)
+    let mut stats = OpStats::new();
+    let mut crash_hits: Vec<(gfsl::CrashPoint, u64)> = Vec::new();
+    let mut steps = 0u64;
+    for i in 0..a.seeds {
+        let seed = a
+            .seed
+            .wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match run_chaos_seed(a, seed) {
+            Ok(out) => {
+                println!(
+                    "  seed {i:3} (0x{seed:016x}): trace 0x{:016x}, {:6} schedule steps",
+                    out.trace, out.steps
+                );
+                if first.is_none() {
+                    first = Some((seed, out.trace));
+                }
+                stats.merge(&out.stats);
+                steps += out.steps;
+                if crash_hits.is_empty() {
+                    crash_hits = out.crash_hits;
+                } else {
+                    for (acc, (_, n)) in crash_hits.iter_mut().zip(out.crash_hits) {
+                        acc.1 += n;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("CHAOS FAILURE: {e}");
+                eprintln!("replay with: stress --chaos --seeds 1 --seed {seed}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Replay determinism: the first seed, run again, must walk the exact
+    // same schedule (bit-identical crash-point trace hash).
+    let (seed0, trace0) = first.expect("at least one seed");
+    match run_chaos_seed(a, seed0) {
+        Ok(out) if out.trace == trace0 => {
+            println!("replay determinism: seed 0x{seed0:016x} reproduced trace 0x{trace0:016x}");
+        }
+        Ok(out) => {
+            eprintln!(
+                "NON-DETERMINISTIC REPLAY: seed 0x{seed0:016x} first gave trace 0x{trace0:016x}, replay gave 0x{:016x}",
+                out.trace
+            );
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("NON-DETERMINISTIC REPLAY: first run passed, replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("campaign totals: {steps} schedule steps");
+    println!(
+        "lock protocol: {} locks taken, {} CAS retries, {} backoff yields, {} starvation events",
+        stats.locks_taken, stats.lock_retries, stats.lock_backoff_yields, stats.lock_starvation_events
+    );
+    println!(
+        "readers: {} search restarts, {} snapshot certification retries",
+        stats.search_restarts, stats.certify_retries
+    );
+    print!("crash points hit:");
+    for (p, n) in &crash_hits {
+        print!(" {p:?}={n}");
+    }
+    println!();
+    println!("chaos campaign PASSED: 0 invariant violations, 0 linearizability violations");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let a = parse();
+    if a.chaos {
+        return chaos_main(&a);
+    }
     println!(
         "soak: {}s, {} threads, range {}, mix [{},{},{}], GFSL-{}",
         a.seconds,

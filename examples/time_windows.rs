@@ -78,20 +78,21 @@ fn main() {
         });
     });
 
-    // A correction comes in: overwrite one reading in place.
-    let mut h = store.handle();
-    let key = ts(12 * 3_600, 0);
-    let old = h.upsert(key, 999_999 % 1000).expect("valid key");
-    println!("corrected noon reading (was {old:?})");
+    {
+        // A correction comes in: overwrite one reading in place.
+        let mut h = store.handle();
+        let key = ts(12 * 3_600, 0);
+        let old = h.upsert(key, 999_999 % 1000).expect("valid key");
+        println!("corrected noon reading (was {old:?})");
 
-    // Retention: drop the first six hours, then compact away the zombies.
-    let cutoff = ts(6 * 3_600, 0);
-    let victims = h.range(1, cutoff - 1);
-    for (k, _) in &victims {
-        h.remove(*k);
+        // Retention: drop the first six hours, then compact away the zombies.
+        let cutoff = ts(6 * 3_600, 0);
+        let victims = h.range(1, cutoff - 1);
+        for (k, _) in &victims {
+            h.remove(*k);
+        }
+        println!("expired {} readings before 06:00", victims.len());
     }
-    println!("expired {} readings before 06:00", victims.len());
-    let _ = h;
 
     let before = store.chunks_allocated();
     store = store.compacted().expect("compaction");

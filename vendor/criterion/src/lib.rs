@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small API surface the workspace's bench targets use
+//! (`benchmark_group`, `bench_function`, `iter`, `iter_batched`,
+//! `criterion_group!`/`criterion_main!`) as a plain wall-clock measurement
+//! loop that prints mean per-iteration time. Statistics, plots, and HTML
+//! reports of real criterion are out of scope; the point is that
+//! `cargo bench` compiles and produces honest comparative numbers offline.
+//!
+//! Under `cargo test` (which builds bench targets with `--test`), each
+//! bench function runs exactly once as a smoke test, like real criterion.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup between measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every routine invocation.
+    PerIteration,
+    /// Small batches (treated like `PerIteration` in this shim).
+    SmallInput,
+    /// Large batches (treated like `PerIteration` in this shim).
+    LargeInput,
+    /// Explicit batch count (treated like `PerIteration` in this shim).
+    NumBatches(u64),
+    /// Explicit iteration count (treated like `PerIteration` in this shim).
+    NumIterations(u64),
+}
+
+/// Measurement driver passed to bench closures.
+pub struct Bencher {
+    test_mode: bool,
+    /// (iterations, total measured time) of the last run.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warmup + calibration: find an iteration count taking ~50ms.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || n >= 1 << 30 {
+                self.result = Some((n, elapsed));
+                return;
+            }
+            n = (n * 4).max(4);
+        }
+    }
+
+    /// Measure `routine` with per-invocation `setup` excluded from timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            self.result = Some((1, Duration::ZERO));
+            return;
+        }
+        let mut n = 1u64;
+        loop {
+            let mut total = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total += start.elapsed();
+            }
+            if total >= Duration::from_millis(50) || n >= 1 << 24 {
+                self.result = Some((n, total));
+                return;
+            }
+            n = (n * 4).max(4);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((iters, total)) if !self.criterion.test_mode && iters > 0 => {
+                let per_iter = total.as_nanos() as f64 / iters as f64;
+                println!(
+                    "{}/{:<40} {:>12.1} ns/iter  ({} iters)",
+                    self.name, id, per_iter, iters
+                );
+            }
+            _ => println!("{}/{:<40} ok (test mode)", self.name, id),
+        }
+        self
+    }
+
+    /// Finish the group (no-op beyond a separator line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    /// Accepted and ignored (shim has fixed sampling).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (shim has fixed measurement time).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+/// Top-level benchmark manager.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--test` under `cargo test`;
+        // libtest-style harnesses also pass `--bench` when benchmarking.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("== {name} ==");
+        }
+        BenchmarkGroup {
+            name,
+            criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Prevent the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect bench functions into a group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!` groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { test_mode: false };
+        let mut ran = 0u64;
+        c.benchmark_group("shim").bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u64;
+        c.benchmark_group("shim").bench_function("once", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,825 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! `proptest!` macro, `any::<T>()`, integer range strategies, tuples,
+//! `prop_map`, `Just`, `prop_oneof!`, `collection::{vec, btree_set}`, the
+//! `prop_assert*` macros, and `ProptestConfig`. Generation is driven by a
+//! seeded SplitMix64 stream (override with `PROPTEST_SEED`), so runs are
+//! deterministic; failures are greedily shrunk and reported with the seed
+//! and the minimal input. Real proptest's persistence files, regression
+//! replay, and lazy shrink trees are out of scope.
+
+use std::fmt;
+
+pub mod strategy {
+    use super::fmt;
+    use super::test_runner::TestRng;
+
+    /// A generator of values plus a value-based shrinker.
+    ///
+    /// Unlike real proptest (which shrinks lazily through a value tree),
+    /// this shim shrinks eagerly: `shrink` proposes a bounded set of
+    /// simpler candidates for a failing value.
+    pub trait Strategy {
+        type Value: Clone + fmt::Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Clone + fmt::Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<V: Clone + fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+
+        fn shrink(&self, value: &V) -> Vec<V> {
+            (**self).shrink(value)
+        }
+    }
+
+    /// Always produces its payload; never shrinks.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`]. Cannot invert the mapping, so
+    /// mapped values do not shrink (containers of them still do).
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Clone + fmt::Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted choice between boxed strategies — backs `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total_weight: u64,
+    }
+
+    impl<V: Clone + fmt::Debug> Union<V> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            Self::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+        }
+
+        pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<V: Clone + fmt::Debug> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut t = rng.below(self.total_weight);
+            for (w, s) in &self.arms {
+                if t < *w as u64 {
+                    return s.generate(rng);
+                }
+                t -= *w as u64;
+            }
+            unreachable!("weight sampling out of range")
+        }
+
+        fn shrink(&self, value: &V) -> Vec<V> {
+            // The generating arm is unknown; pool every arm's candidates.
+            let mut out = Vec::new();
+            for (_, s) in &self.arms {
+                out.extend(s.shrink(value));
+                if out.len() >= 32 {
+                    break;
+                }
+            }
+            out.truncate(32);
+            out
+        }
+    }
+
+    /// Integer types that range strategies can sample uniformly.
+    pub trait UniformInt: Copy + PartialOrd + fmt::Debug + 'static {
+        fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+        /// Candidates between `lo` and a failing `v`, simplest first.
+        fn shrink_toward(lo: Self, v: Self) -> Vec<Self>;
+        fn pred(self) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),+) => {$(
+            impl UniformInt for $t {
+                fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "empty integer range strategy");
+                    let (lo64, hi64) = (lo as u64, hi as u64);
+                    if lo64 == 0 && hi64 == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo64 + rng.below(hi64 - lo64 + 1)) as $t
+                }
+
+                fn shrink_toward(lo: Self, v: Self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    if v > lo {
+                        out.push(lo);
+                        let mid = lo + (v - lo) / 2;
+                        if mid > lo && mid < v {
+                            out.push(mid);
+                        }
+                        let pred = v - 1;
+                        if pred > lo && pred != mid {
+                            out.push(pred);
+                        }
+                    }
+                    out
+                }
+
+                fn pred(self) -> Self {
+                    self - 1
+                }
+            }
+        )+};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize);
+
+    impl<T: UniformInt> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_inclusive(rng, self.start, self.end.pred())
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_toward(self.start, *value)
+        }
+    }
+
+    impl<T: UniformInt> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_toward(*self.start(), *value)
+        }
+    }
+
+    /// `any::<bool>()`.
+    #[derive(Clone, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($( self.$idx.generate(rng), )+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // Shrink one component at a time, holding the rest.
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut c = value.clone();
+                            c.$idx = cand;
+                            out.push(c);
+                        }
+                    )+
+                    out
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod arbitrary {
+    use super::strategy::{AnyBool, Strategy};
+
+    /// Types with a canonical full-domain strategy, used via `any::<T>()`.
+    pub trait Arbitrary: Clone + super::fmt::Debug + Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                type Strategy = std::ops::RangeInclusive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..=<$t>::MAX
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize);
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, UniformInt};
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Length bounds for collection strategies (max is inclusive).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = usize::sample_inclusive(rng, self.size.min, self.size.max_incl);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            // Structural shrinks first: halves, then single removals.
+            if len > self.size.min {
+                if len / 2 >= self.size.min && len / 2 < len {
+                    out.push(value[..len / 2].to_vec());
+                    out.push(value[len - len / 2..].to_vec());
+                }
+                for i in 0..len.min(24) {
+                    let mut c = value.clone();
+                    c.remove(i);
+                    out.push(c);
+                }
+            }
+            // Then element-wise shrinks on a bounded prefix.
+            for i in 0..len.min(16) {
+                for cand in self.element.shrink(&value[i]).into_iter().take(2) {
+                    let mut c = value.clone();
+                    c[i] = cand;
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = usize::sample_inclusive(rng, self.size.min, self.size.max_incl);
+            let mut set = BTreeSet::new();
+            // Duplicates don't grow the set; bound the retries so a narrow
+            // element domain can't loop forever.
+            let mut budget = target * 10 + 16;
+            while set.len() < target && budget > 0 {
+                set.insert(self.element.generate(rng));
+                budget -= 1;
+            }
+            assert!(
+                set.len() >= self.size.min,
+                "btree_set strategy: element domain too narrow for min size {}",
+                self.size.min
+            );
+            set
+        }
+
+        fn shrink(&self, value: &BTreeSet<S::Value>) -> Vec<BTreeSet<S::Value>> {
+            let mut out = Vec::new();
+            if value.len() > self.size.min {
+                for drop in value.iter().take(24) {
+                    let mut c = value.clone();
+                    c.remove(drop);
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Deterministic SplitMix64 stream driving all generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform-ish in `0..n` (modulo bias is fine for test generation).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// Runner knobs; extra fields exist so `..ProptestConfig::default()`
+    /// struct-update syntax works like the real crate.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 4096,
+                max_global_rejects: 65536,
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    enum Outcome {
+        Pass,
+        Reject,
+        Fail(String),
+    }
+
+    fn run_once<V, F>(f: &F, value: V) -> Outcome
+    where
+        F: Fn(V) -> TestCaseResult,
+    {
+        match catch_unwind(AssertUnwindSafe(|| f(value))) {
+            Ok(Ok(())) => Outcome::Pass,
+            Ok(Err(TestCaseError::Reject(_))) => Outcome::Reject,
+            Ok(Err(TestCaseError::Fail(msg))) => Outcome::Fail(msg),
+            Err(payload) => Outcome::Fail(panic_message(&payload)),
+        }
+    }
+
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panicked with non-string payload".to_string()
+        }
+    }
+
+    /// Per-test seed: `PROPTEST_SEED` if set, else a fixed base hashed with
+    /// the test name so each test explores its own deterministic stream.
+    fn seed_for(test_name: &str) -> u64 {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x6F57_11CE_5EED_0001);
+        let mut h = base ^ 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Entry point used by the `proptest!` macro expansion.
+    pub fn run<S, F>(config: &ProptestConfig, test_name: &str, strat: &S, f: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let seed = seed_for(test_name);
+        let mut rng = TestRng::new(seed);
+        let mut rejects: u32 = 0;
+        let mut case: u32 = 0;
+        while case < config.cases {
+            let value = strat.generate(&mut rng);
+            match run_once(&f, value.clone()) {
+                Outcome::Pass => case += 1,
+                Outcome::Reject => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "proptest shim: {} exceeded {} prop_assume! rejections",
+                        test_name,
+                        config.max_global_rejects
+                    );
+                }
+                Outcome::Fail(msg) => {
+                    let (min_value, min_msg) =
+                        shrink_failure(strat, &f, value, msg, config.max_shrink_iters);
+                    panic!(
+                        "proptest shim: test `{test_name}` failed at case {case} \
+                         (seed {seed}; rerun with PROPTEST_SEED={seed})\n\
+                         minimal failing input: {min_value:#?}\n{min_msg}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn shrink_failure<S, F>(
+        strat: &S,
+        f: &F,
+        mut value: S::Value,
+        mut msg: String,
+        max_iters: u32,
+    ) -> (S::Value, String)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut iters: u32 = 0;
+        'shrinking: while iters < max_iters {
+            for cand in strat.shrink(&value) {
+                iters += 1;
+                if let Outcome::Fail(m) = run_once(f, cand.clone()) {
+                    value = cand;
+                    msg = m;
+                    continue 'shrinking; // restart from the smaller value
+                }
+                if iters >= max_iters {
+                    break 'shrinking;
+                }
+            }
+            break; // no candidate still fails: local minimum
+        }
+        (value, msg)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Mirrors real proptest's surface syntax:
+/// optional `#![proptest_config(expr)]`, then `#[test]`-annotated functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let strat = ($($strat,)+);
+                $crate::test_runner::run(&config, stringify!($name), &strat, |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failure is shrunk, not fatal at once.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                            l, r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+                            l,
+                            r,
+                            format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `left != right`\n  both: `{:?}`", l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case without failing (counts toward reject cap).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Choose among strategies producing the same value type, optionally
+/// weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::{run, ProptestConfig, TestRng};
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (5usize..=5).generate(&mut rng);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_generates() {
+        let mut rng = TestRng::new(7);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..64 {
+            distinct.insert(any::<u64>().generate(&mut rng));
+        }
+        assert!(distinct.len() > 60);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let gen = |seed| {
+            let mut rng = TestRng::new(seed);
+            (0..32)
+                .map(|_| crate::collection::vec(0u32..100, 1..10).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(99), gen(99));
+        assert_ne!(gen(99), gen(100));
+    }
+
+    #[test]
+    fn vec_shrink_stays_in_size_range() {
+        let strat = crate::collection::vec(0u32..100, 3..10);
+        let mut rng = TestRng::new(1);
+        let v = strat.generate(&mut rng);
+        for cand in strat.shrink(&v) {
+            assert!(cand.len() >= 3, "shrank below min: {cand:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn failing_property_shrinks_and_reports() {
+        let config = ProptestConfig {
+            cases: 64,
+            ..ProptestConfig::default()
+        };
+        run(&config, "demo", &crate::collection::vec(0u32..1000, 0..40), |v| {
+            prop_assert!(v.iter().sum::<u32>() < 500);
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro surface itself: tuples, maps, oneof, assume.
+        #[test]
+        fn macro_surface_works(
+            pair in (1u32..50, any::<bool>()).prop_map(|(k, b)| (k * 2, b)),
+            pick in prop_oneof![Just(0u8), 1u8..4],
+            n in 10usize..20,
+        ) {
+            prop_assume!(n != 13);
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assert!(pick < 4);
+            prop_assert_eq!(n / n, 1, "n was {}", n);
+            prop_assert_ne!(n, 13);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of config
+//! and report types but never actually serializes them (there is no
+//! serde_json or other format crate in the tree). This shim provides the
+//! two traits as markers plus derive macros that emit empty impls, so the
+//! derives keep compiling in the offline container. If real serialization
+//! is ever needed, swap the patch back to crates.io serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of `serde::Serialize` (no-op shim).
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize` (no-op shim).
+pub trait Deserialize<'de>: Sized {}

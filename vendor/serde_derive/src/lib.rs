@@ -1,0 +1,42 @@
+//! Derive macros for the offline serde shim.
+//!
+//! Emits empty `impl serde::Serialize`/`impl serde::Deserialize` marker
+//! blocks. Parses just enough of the item (the identifier following
+//! `struct`/`enum`/`union`) to name the impl target; `#[serde(...)]`
+//! attributes are accepted and ignored. Generic types are not supported —
+//! the workspace derives only on concrete types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn item_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: could not find struct/enum name");
+}
+
+/// Derive a no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derive a no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
