@@ -1,0 +1,120 @@
+//! Service-loop benchmark: closed-loop clients through the `gfsl-serve`
+//! front end (admission → epoch batching → dispatch) vs the raw batch loop
+//! on the same [10,10,80] mix.
+//!
+//! Besides the criterion timings, this target writes a machine-readable
+//! `BENCH_serve.json` (to `$GFSL_BENCH_OUT`, default `results/`) with the
+//! per-policy throughput, efficiency ratio, and tail latencies, so the
+//! service overhead is trackable across commits without scraping output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gfsl::{Gfsl, GfslParams, TeamSize};
+use gfsl_harness::report::{mops, ratio, Table};
+use gfsl_serve::{
+    raw_batch_mops, serve, BatchPolicy, ClosedSource, ExecMode, Fifo, KeyRangeSharded,
+    ReadWriteSeparated, ServeConfig, ServiceReport,
+};
+use gfsl_workload::{ClosedLoop, ServeMix};
+
+const RANGE: u32 = 100_000;
+const N_OPS: usize = 100_000;
+const SEED: u64 = 0x5E7E_BE7C;
+
+fn prefilled(range: u32) -> Gfsl {
+    let params = GfslParams {
+        team_size: TeamSize::ThirtyTwo,
+        pool_chunks: GfslParams::chunks_for(range as u64 + N_OPS as u64, TeamSize::ThirtyTwo),
+        seed: SEED,
+        ..Default::default()
+    };
+    Gfsl::prefilled(params, (1..range).filter(|k| k % 2 == 0)).unwrap()
+}
+
+fn measured(list: &Gfsl, policy: &mut dyn BatchPolicy) -> ServiceReport {
+    let clients = 512;
+    let pop = ClosedLoop::new(
+        clients,
+        N_OPS as u64 / clients as u64,
+        0,
+        ServeMix::C80,
+        RANGE,
+        SEED,
+    );
+    let mut src = ClosedSource::new(pop, 1_000);
+    let cfg = ServeConfig {
+        workers: 4,
+        epoch_ns: 200_000,
+        batch_ops: 512,
+        max_batch: 256,
+        intake_cap: 8192,
+        seed: SEED,
+        exec: ExecMode::Measured,
+    };
+    serve(list, &cfg, policy, &mut src)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+
+    let list = prefilled(RANGE);
+    let stream = ServeMix::C80.stream(SEED ^ 0xBA5E, RANGE, N_OPS);
+    let mut raw = 0.0f64;
+    g.bench_function("raw_batch_c80", |b| {
+        b.iter(|| raw = raw_batch_mops(&list, &stream, 4))
+    });
+
+    let mut reports: Vec<ServiceReport> = Vec::new();
+    let mut fifo = Fifo::default();
+    let mut sharded = KeyRangeSharded::new(RANGE);
+    let mut rw = ReadWriteSeparated::default();
+    let policies: [(&str, &mut dyn BatchPolicy); 3] = [
+        ("service_fifo_c80", &mut fifo),
+        ("service_sharded_c80", &mut sharded),
+        ("service_rw_split_c80", &mut rw),
+    ];
+    for (id, policy) in policies {
+        let mut last = None;
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let list = prefilled(RANGE);
+                let r = measured(&list, policy);
+                assert_eq!(r.metrics.ops as usize, N_OPS);
+                last = Some(r);
+            })
+        });
+        reports.push(last.expect("bench ran at least once"));
+    }
+    g.finish();
+
+    // Machine-readable rollup.
+    let mut t = Table::new(
+        "Serve bench: policy throughput vs raw batch ([10,10,80])",
+        &["policy", "MOPS", "vs raw", "p50 us", "p99 us", "sheds"],
+    );
+    t.row(vec![
+        "raw-batch".into(),
+        mops(raw),
+        ratio(1.0),
+        "-".into(),
+        "-".into(),
+        "0".into(),
+    ]);
+    for r in &reports {
+        t.row(vec![
+            r.policy.into(),
+            mops(r.metrics.mops()),
+            ratio(r.metrics.mops() / raw.max(f64::MIN_POSITIVE)),
+            format!("{:.1}", r.metrics.latency.p50_ns() as f64 / 1.0e3),
+            format!("{:.1}", r.metrics.latency.p99_ns() as f64 / 1.0e3),
+            r.metrics.sheds.to_string(),
+        ]);
+    }
+    let out = std::env::var("GFSL_BENCH_OUT").unwrap_or_else(|_| "results".into());
+    match gfsl_harness::report::write_bench_json(std::path::Path::new(&out), "serve", &[t]) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("bench json write failed: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Batched operation entry points.
+//!
+//! The paper's structure only pays off when operations arrive in warp-sized
+//! cooperative batches — the shape a kernel launch (or a continuous-batching
+//! serving loop, see `gfsl-serve`) produces. [`GfslHandle::execute_batch`]
+//! is that entry point: one team drains an ordered slice of operations,
+//! appending one typed reply per operation. Inserts that hit a structural
+//! error (pool exhaustion, reserved key) record the error in their reply
+//! slot and the batch keeps going, so a single bad request cannot abort the
+//! dispatch of its batchmates.
+
+use gfsl_gpu_mem::MemProbe;
+
+use crate::skiplist::{Error, GfslHandle};
+
+/// One operation inside a dispatch batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Point lookup: reply [`BatchReply::Got`].
+    Get(u32),
+    /// Insert `(key, value)`: reply [`BatchReply::Inserted`].
+    Insert(u32, u32),
+    /// Remove a key: reply [`BatchReply::Removed`].
+    Remove(u32),
+    /// Count keys in `[lo, hi]`: reply [`BatchReply::Counted`].
+    CountRange(u32, u32),
+}
+
+impl BatchOp {
+    /// True for operations that never take a chunk lock (`Get` /
+    /// `CountRange` ride the paper's lock-free Contains fast path).
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, BatchOp::Get(_) | BatchOp::CountRange(_, _))
+    }
+}
+
+/// Typed reply for one [`BatchOp`], index-aligned with the request slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchReply {
+    /// Value found (or `None`) for a `Get`.
+    Got(Option<u32>),
+    /// Whether an `Insert` added a new key (`false`: key already present).
+    Inserted(bool),
+    /// Whether a `Remove` found and removed the key.
+    Removed(bool),
+    /// Number of present keys in a `CountRange` window.
+    Counted(u32),
+    /// The operation failed structurally (reserved key, pool exhausted).
+    Failed(Error),
+}
+
+impl<P: MemProbe> GfslHandle<'_, P> {
+    /// Execute `ops` in order, appending one [`BatchReply`] per op to `out`.
+    ///
+    /// Returns the number of replies appended (always `ops.len()`).
+    pub fn execute_batch(&mut self, ops: &[BatchOp], out: &mut Vec<BatchReply>) -> usize {
+        out.reserve(ops.len());
+        for op in ops {
+            let reply = match *op {
+                BatchOp::Get(k) => BatchReply::Got(self.get(k)),
+                BatchOp::Insert(k, v) => match self.insert(k, v) {
+                    Ok(added) => BatchReply::Inserted(added),
+                    Err(e) => BatchReply::Failed(e),
+                },
+                BatchOp::Remove(k) => BatchReply::Removed(self.remove(k)),
+                BatchOp::CountRange(lo, hi) => BatchReply::Counted(self.count_range(lo, hi) as u32),
+            };
+            out.push(reply);
+        }
+        ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::GfslParams;
+    use crate::skiplist::Gfsl;
+    use gfsl_simt::TeamSize;
+
+    fn params16() -> GfslParams {
+        GfslParams {
+            team_size: TeamSize::Sixteen,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn batch_replies_are_index_aligned() {
+        let list = Gfsl::new(params16()).unwrap();
+        let mut h = list.handle();
+        let ops = [
+            BatchOp::Insert(10, 100),
+            BatchOp::Insert(10, 100),
+            BatchOp::Get(10),
+            BatchOp::Get(11),
+            BatchOp::Remove(10),
+            BatchOp::Remove(10),
+            BatchOp::Insert(0, 1), // reserved key: fails in place
+            BatchOp::Get(10),
+        ];
+        let mut out = Vec::new();
+        assert_eq!(h.execute_batch(&ops, &mut out), ops.len());
+        assert_eq!(
+            out,
+            vec![
+                BatchReply::Inserted(true),
+                BatchReply::Inserted(false),
+                BatchReply::Got(Some(100)),
+                BatchReply::Got(None),
+                BatchReply::Removed(true),
+                BatchReply::Removed(false),
+                BatchReply::Failed(Error::InvalidKey(0)),
+                BatchReply::Got(None),
+            ]
+        );
+        list.assert_valid();
+    }
+
+    #[test]
+    fn batch_range_counts_present_keys() {
+        let list = Gfsl::prefilled(params16(), (1..=100u32).map(|k| k * 2)).unwrap();
+        let mut h = list.handle();
+        let mut out = Vec::new();
+        h.execute_batch(
+            &[BatchOp::CountRange(2, 200), BatchOp::CountRange(3, 8)],
+            &mut out,
+        );
+        // Even keys only: [3, 8] holds 4, 6, 8.
+        assert_eq!(out, vec![BatchReply::Counted(100), BatchReply::Counted(3)]);
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(BatchOp::Get(1).is_read_only());
+        assert!(BatchOp::CountRange(1, 2).is_read_only());
+        assert!(!BatchOp::Insert(1, 1).is_read_only());
+        assert!(!BatchOp::Remove(1).is_read_only());
+    }
+}

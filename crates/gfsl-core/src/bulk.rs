@@ -142,6 +142,23 @@ impl Gfsl {
         Ok(list)
     }
 
+    /// Build a structure prefilled with `keys` (values = keys), sorting and
+    /// deduplicating first.
+    ///
+    /// This is the serving front end's load path: a service run prefills via
+    /// bulk load instead of replaying millions of single-key inserts, so a
+    /// `serve` experiment spends its wall-clock on the measured phase.
+    ///
+    /// # Errors
+    /// [`Error::InvalidKey`] if any key is reserved (`0` / `u32::MAX`);
+    /// [`Error::PoolExhausted`] if the pool is too small.
+    pub fn prefilled(params: GfslParams, keys: impl IntoIterator<Item = u32>) -> Result<Gfsl, Error> {
+        let mut keys: Vec<u32> = keys.into_iter().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        Gfsl::from_sorted_pairs(params, keys.into_iter().map(|k| (k, k)))
+    }
+
     /// Rebuild this structure into a fresh pool at quiescence, dropping
     /// zombies and defragmenting — the paper's sketched "compact between
     /// kernel launches" reclamation scheme (§4.1, future work there).
@@ -250,6 +267,17 @@ mod tests {
         assert!(h.insert(3, 3).unwrap());
         assert!(h.remove(4_999));
         compacted.assert_valid();
+    }
+
+    #[test]
+    fn prefilled_sorts_and_dedups() {
+        let list = Gfsl::prefilled(params16(), [7u32, 3, 9, 3, 1, 7]).unwrap();
+        list.assert_valid();
+        assert_eq!(list.pairs(), vec![(1, 1), (3, 3), (7, 7), (9, 9)]);
+        assert!(matches!(
+            Gfsl::prefilled(params16(), [1u32, 0]),
+            Err(Error::InvalidKey(0))
+        ));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use gfsl_gpu_mem::{CrashPoint, MemProbe, WordAddr};
 
-use crate::rng::SplitMix64;
+use gfsl_rng::SplitMix64;
 
 /// Number of [`CrashPoint`] variants (for the hit-count table).
 const CRASH_POINTS: usize = 6;

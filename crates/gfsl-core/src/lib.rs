@@ -69,6 +69,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bulk;
 pub mod chaos;
 pub mod chunk;
@@ -79,13 +80,13 @@ pub mod insert;
 pub mod introspect;
 pub mod params;
 pub mod range;
-mod rng;
 pub mod search;
 pub mod skiplist;
 pub mod split;
 pub mod stats;
 pub mod validate;
 
+pub use batch::{BatchOp, BatchReply};
 pub use chaos::{ChaosController, ChaosOptions, ChaosProbe};
 pub use chunk::{Entry, KEY_INF, KEY_NEG_INF};
 pub use history::{check_linearizable, HistoryClock, OpAction, OpRecord, Recorder};
@@ -98,6 +99,11 @@ pub use validate::Violation;
 /// Re-exported crash-point seam (the named vulnerable windows of the lock
 /// protocol that [`chaos`] injects faults at).
 pub use gfsl_gpu_mem::CrashPoint;
+
+/// Re-exported memory-probe seam, so downstream crates (e.g. the serving
+/// front end) can write code generic over probes without a direct
+/// `gfsl-gpu-mem` dependency.
+pub use gfsl_gpu_mem::{MemProbe, NoProbe};
 
 /// Re-exported team-size selector (chunk format): 16 or 32 entries.
 pub use gfsl_simt::TeamSize;

@@ -8,7 +8,7 @@ use gfsl_simt::Team;
 
 use crate::chunk::{ops, ChunkRef, ChunkView, Entry, KEY_INF, KEY_NEG_INF, LOCK_UNLOCKED, NIL};
 use crate::params::GfslParams;
-use crate::rng::SplitMix64;
+use gfsl_rng::SplitMix64;
 use crate::stats::OpStats;
 
 /// Errors surfaced by updating operations.

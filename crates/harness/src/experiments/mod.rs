@@ -5,6 +5,7 @@ pub mod cyclesim;
 pub mod diag;
 pub mod figures;
 pub mod pkey;
+pub mod serve;
 pub mod table_warps;
 
 use std::path::PathBuf;
@@ -107,7 +108,7 @@ impl ExpConfig {
 /// Names of all experiments, in run order.
 pub const ALL: &[&str] = &[
     "table5_1", "table5_2", "fig5_1", "fig5_2", "fig5_3", "fig5_4", "pkey", "ablate", "cyclesim",
-    "diag",
+    "diag", "serve",
 ];
 
 /// Run one experiment by id, returning its rendered tables.
@@ -123,12 +124,14 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "ablate" => ablate::run(cfg),
         "cyclesim" => cyclesim::run(cfg),
         "diag" => diag::run(cfg),
+        "serve" => serve::run(cfg),
         other => panic!("unknown experiment '{other}'; known: {ALL:?}"),
     }
 }
 
-/// Emit tables: print and optionally write CSVs.
-pub fn emit(tables: &[Table], cfg: &ExpConfig) {
+/// Emit one experiment's tables: print, and optionally write per-table
+/// CSVs plus one machine-readable `BENCH_<id>.json` rollup.
+pub fn emit(id: &str, tables: &[Table], cfg: &ExpConfig) {
     for t in tables {
         println!("{}", t.render());
         if let Some(dir) = &cfg.out_dir {
@@ -136,6 +139,12 @@ pub fn emit(tables: &[Table], cfg: &ExpConfig) {
                 Ok(p) => println!("   -> {}", p.display()),
                 Err(e) => eprintln!("   !! csv write failed: {e}"),
             }
+        }
+    }
+    if let Some(dir) = &cfg.out_dir {
+        match crate::report::write_bench_json(dir, id, tables) {
+            Ok(p) => println!("   -> {}", p.display()),
+            Err(e) => eprintln!("   !! bench json write failed: {e}"),
         }
     }
 }
@@ -175,9 +184,10 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL.len(), 10);
+        assert_eq!(ALL.len(), 11);
         assert!(ALL.contains(&"table5_1"));
         assert!(ALL.contains(&"fig5_4"));
         assert!(ALL.contains(&"diag"));
+        assert!(ALL.contains(&"serve"));
     }
 }

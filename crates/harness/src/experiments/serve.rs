@@ -1,0 +1,200 @@
+//! Serving front end: service-loop efficiency vs the raw batch loop, and
+//! the deterministic-replay check. Not a paper artifact — this measures the
+//! `gfsl-serve` subsystem layered on top of the paper's structure.
+//!
+//! The headline number is the throughput *ratio*: a closed-loop population
+//! driven through admission → epoch batching → dispatch must sustain at
+//! least 90% of the raw (no service layer) batch-mode throughput on the
+//! [10,10,80] mix at the anchor range.
+
+use gfsl::{Gfsl, GfslParams, TeamSize};
+use gfsl_serve::{
+    raw_batch_mops, serve, BatchPolicy, ClosedSource, ExecMode, Fifo, KeyRangeSharded,
+    ReadWriteSeparated, ServeConfig, ServiceReport,
+};
+use gfsl_workload::{ClosedLoop, ServeMix};
+
+use super::ExpConfig;
+use crate::report::{mops, pct, ratio, Table};
+
+fn prefilled_list(range: u32, headroom: u64, seed: u64) -> Gfsl {
+    let params = GfslParams {
+        team_size: TeamSize::ThirtyTwo,
+        pool_chunks: GfslParams::chunks_for(range as u64 + headroom, TeamSize::ThirtyTwo),
+        seed,
+        ..Default::default()
+    };
+    Gfsl::prefilled(params, (1..range).filter(|k| k % 2 == 0)).unwrap()
+}
+
+fn serve_cfg(cfg: &ExpConfig, exec: ExecMode) -> ServeConfig {
+    // Size the epoch to feed every worker a full batch: a smaller trigger
+    // leaves workers idle each epoch and caps the efficiency ratio. Large
+    // batches amortize the per-batch dispatch handoff.
+    let max_batch = 512;
+    ServeConfig {
+        workers: cfg.workers,
+        epoch_ns: 200_000,
+        batch_ops: cfg.workers * max_batch,
+        max_batch,
+        intake_cap: (cfg.workers * max_batch * 4).max(8192),
+        seed: cfg.seed,
+        exec,
+    }
+}
+
+fn measured_run(cfg: &ExpConfig, range: u32, n_ops: usize, policy: &mut dyn BatchPolicy) -> ServiceReport {
+    let list = prefilled_list(range, n_ops as u64, cfg.seed);
+    // Zero think time keeps the loop saturated: the measurement is service
+    // overhead, not client idleness. The population must cover at least two
+    // full epochs of outstanding requests or the size trigger starves the
+    // pipelined driver.
+    let clients = (4 * cfg.workers as u32 * 512).min((n_ops / 4).max(1) as u32);
+    let pop = ClosedLoop::new(
+        clients,
+        (n_ops as u64).div_ceil(clients as u64),
+        0,
+        ServeMix::C80,
+        range,
+        cfg.seed,
+    );
+    let mut src = ClosedSource::new(pop, 1_000);
+    let mut scfg = serve_cfg(cfg, ExecMode::Measured);
+    scfg.workers = cfg
+        .workers
+        .min(std::thread::available_parallelism().map_or(1, |p| p.get()));
+    serve(&list, &scfg, policy, &mut src)
+}
+
+/// Run the serve experiment: policy comparison at the anchor range plus the
+/// deterministic-replay table.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let range = cfg.anchor_range();
+    // More timed ops than the model experiments use: the ratio compares two
+    // wall-clock measurements, so both need enough work to be stable.
+    let n_ops = cfg
+        .ops_override
+        .unwrap_or(if cfg.quick { 240_000 } else { 1_000_000 });
+
+    // Raw batch-mode baseline: same mix, same range, no service layer.
+    // Best-of-N on both sides of the ratio: scheduler noise only ever
+    // subtracts throughput, so the max is the stable estimator.
+    let trials = if cfg.ops_override.is_some() { 1 } else { 3 };
+    let raw = (0..trials)
+        .map(|t| {
+            let baseline_list = prefilled_list(range, n_ops as u64, cfg.seed);
+            let stream = ServeMix::C80.stream(cfg.seed ^ 0xBA5E ^ t, range, n_ops);
+            raw_batch_mops(&baseline_list, &stream, cfg.workers)
+        })
+        .fold(0.0f64, f64::max);
+
+    let mut t = Table::new(
+        "Serve: service vs raw batch throughput ([10,10,80], anchor range)",
+        &[
+            "policy", "MOPS", "vs raw", "p50 us", "p99 us", "p999 us", "wait us", "occ%",
+            "sheds", "epochs",
+        ],
+    );
+    t.row(vec![
+        "raw-batch".into(),
+        mops(raw),
+        ratio(1.0),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "0".into(),
+        "-".into(),
+    ]);
+
+    let mut fifo = Fifo::default();
+    let mut sharded = KeyRangeSharded::new(range);
+    let mut rw = ReadWriteSeparated::default();
+    let policies: [&mut dyn BatchPolicy; 3] = [&mut fifo, &mut sharded, &mut rw];
+    for policy in policies {
+        let r = (0..trials)
+            .map(|_| measured_run(cfg, range, n_ops, policy))
+            .max_by(|a, b| a.metrics.mops().total_cmp(&b.metrics.mops()))
+            .expect("at least one trial");
+        let us = |ns: u64| format!("{:.1}", ns as f64 / 1.0e3);
+        t.row(vec![
+            r.policy.into(),
+            mops(r.metrics.mops()),
+            ratio(r.metrics.mops() / raw),
+            us(r.metrics.latency.p50_ns()),
+            us(r.metrics.latency.p99_ns()),
+            us(r.metrics.latency.p999_ns()),
+            format!("{:.1}", r.metrics.wait.mean_ns() / 1.0e3),
+            pct(r.metrics.mean_occupancy()),
+            r.metrics.sheds.to_string(),
+            r.metrics.epochs.to_string(),
+        ]);
+    }
+
+    // Deterministic replay: the same seed must reproduce the same schedule
+    // (trace hash) in both modeled and chaos modes. Small and fixed-size —
+    // this is a correctness artifact, not a performance one.
+    let mut d = Table::new(
+        "Serve: deterministic replay (trace hashes, two runs per mode)",
+        &["mode", "run A", "run B", "replay"],
+    );
+    for (name, exec) in [
+        ("modeled", ExecMode::Modeled { ns_per_op: 300 }),
+        (
+            "chaos",
+            ExecMode::Chaos {
+                ns_per_op: 300,
+                max_stall_turns: 2,
+            },
+        ),
+    ] {
+        let replay_range = 2_000u32;
+        let one = || {
+            let list = prefilled_list(replay_range, 4_000, cfg.seed);
+            let pop = ClosedLoop::new(16, 40, 1_000, ServeMix::C80, replay_range, cfg.seed);
+            let mut src = ClosedSource::new(pop, 1_000);
+            let mut scfg = serve_cfg(cfg, exec);
+            scfg.workers = cfg.workers.min(2);
+            scfg.batch_ops = 64;
+            scfg.max_batch = 64;
+            serve(&list, &scfg, &mut KeyRangeSharded::new(replay_range), &mut src)
+        };
+        let a = one();
+        let b = one();
+        assert_eq!(
+            a.trace_hash, b.trace_hash,
+            "{name} service run must replay bit-for-bit"
+        );
+        d.row(vec![
+            name.into(),
+            format!("{:016x}", a.trace_hash),
+            format!("{:016x}", b.trace_hash),
+            "ok".into(),
+        ]);
+    }
+
+    vec![t, d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_experiment_runs_tiny() {
+        let cfg = ExpConfig::tiny(2);
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 2);
+        let perf = &tables[0];
+        assert_eq!(perf.rows.len(), 4, "raw baseline + three policies");
+        assert_eq!(perf.rows[0][0], "raw-batch");
+        for row in &perf.rows[1..] {
+            assert_eq!(row[8], "0", "tiny closed loop must not shed");
+        }
+        let det = &tables[1];
+        assert_eq!(det.rows.len(), 2);
+        assert!(det.rows.iter().all(|r| r[3] == "ok"));
+        assert_eq!(det.rows[0][1], det.rows[0][2], "modeled hashes match");
+    }
+}

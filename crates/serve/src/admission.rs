@@ -1,0 +1,136 @@
+//! Admission control: a bounded intake queue with typed load shedding.
+//!
+//! The intake queue is the service's backpressure point. Arrivals that find
+//! it full are *shed* — rejected with a typed [`ShedError`] carrying the
+//! observed depth — rather than queued without bound. Shedding keeps the
+//! latency tail of admitted requests bounded under overload (the classic
+//! open-loop failure mode is an unbounded queue whose wait grows without
+//! limit; we refuse work instead).
+
+use std::collections::VecDeque;
+
+use crate::request::Request;
+
+/// Typed rejection: the intake queue was full when the request arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedError {
+    /// Queue depth observed at rejection (== capacity).
+    pub depth: usize,
+}
+
+impl std::fmt::Display for ShedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request shed: intake queue full at depth {}", self.depth)
+    }
+}
+
+impl std::error::Error for ShedError {}
+
+/// Bounded FIFO intake queue.
+#[derive(Debug)]
+pub struct IntakeQueue {
+    cap: usize,
+    q: VecDeque<Request>,
+    sheds: u64,
+}
+
+impl IntakeQueue {
+    /// A queue admitting at most `cap` requests (`cap > 0`).
+    pub fn new(cap: usize) -> IntakeQueue {
+        assert!(cap > 0, "intake capacity must be positive");
+        IntakeQueue {
+            cap,
+            q: VecDeque::with_capacity(cap.min(1 << 16)),
+            sheds: 0,
+        }
+    }
+
+    /// Admit a request, or shed it. On rejection the request is handed back
+    /// to the caller (the arrival source decides whether to retry or drop).
+    pub fn offer(&mut self, req: Request) -> Result<(), (Request, ShedError)> {
+        if self.q.len() >= self.cap {
+            self.sheds += 1;
+            return Err((req, ShedError { depth: self.q.len() }));
+        }
+        self.q.push_back(req);
+        Ok(())
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Admission bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Requests shed so far.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Drain up to `n` requests from the front, in admission order.
+    pub fn drain_upto(&mut self, n: usize) -> Vec<Request> {
+        let take = n.min(self.q.len());
+        self.q.drain(..take).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use gfsl_workload::ServeOp;
+
+    fn req(id: u64) -> Request {
+        Request {
+            client: 0,
+            id,
+            arrival_ns: id,
+            op: ServeOp::Get(1),
+        }
+    }
+
+    #[test]
+    fn sheds_exactly_beyond_capacity() {
+        let mut q = IntakeQueue::new(3);
+        for id in 0..3 {
+            assert!(q.offer(req(id)).is_ok());
+        }
+        let (back, err) = q.offer(req(3)).unwrap_err();
+        assert_eq!(back.id, 3, "rejected request is handed back intact");
+        assert_eq!(err.depth, 3);
+        assert_eq!(q.sheds(), 1);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn drain_preserves_admission_order_and_frees_space() {
+        let mut q = IntakeQueue::new(4);
+        for id in 0..4 {
+            q.offer(req(id)).unwrap();
+        }
+        let first = q.drain_upto(2);
+        assert_eq!(first.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(q.len(), 2);
+        assert!(q.offer(req(9)).is_ok(), "drained space readmits");
+        let rest = q.drain_upto(100);
+        assert_eq!(rest.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2, 3, 9]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shed_error_is_a_real_error() {
+        let e = ShedError { depth: 7 };
+        let msg = format!("{e}");
+        assert!(msg.contains("depth 7"), "{msg}");
+        let _: &dyn std::error::Error = &e;
+    }
+}

@@ -1,0 +1,42 @@
+//! # gfsl-serve — a batched request-serving front end for GFSL
+//!
+//! The paper's structure only pays off when operations arrive in warp-sized
+//! cooperative teams — exactly the shape a kernel-launch / continuous-
+//! batching serving loop produces, and nothing like the one-op-at-a-time
+//! API a client holds. This crate is the subsystem in between: simulated
+//! clients issue `Get/Insert/Delete/Range` requests over time, and the
+//! service
+//!
+//! 1. **admits** them into a bounded intake queue, shedding with a typed
+//!    error under overload ([`admission`]);
+//! 2. **batches** them per epoch — deadline- and size-triggered, like an
+//!    inference server's continuous batching — under a pluggable policy
+//!    ([`scheduler`]: FIFO, key-range-sharded, read/write-separated);
+//! 3. **dispatches** each warp-aligned batch onto a GFSL team via the
+//!    structure's batched entry point ([`service`]);
+//! 4. **routes** typed responses back through per-client completion queues
+//!    ([`request`]), feeding closed-loop clients their next issue;
+//! 5. **measures** everything — occupancy, queue depth, formation wait,
+//!    p50/p99/p999 latency, sheds ([`metrics`]) — and folds the entire
+//!    schedule into a replayable FNV-1a trace hash ([`trace`]).
+//!
+//! See [`service::serve`] for the event loop and [`service::ExecMode`] for
+//! the measured / modeled / chaos clock modes.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+pub mod service;
+pub mod source;
+pub mod trace;
+
+pub use admission::{IntakeQueue, ShedError};
+pub use metrics::{LatencyHisto, ServiceMetrics};
+pub use request::{ClientId, ClientQueues, Reply, Request, Response};
+pub use scheduler::{Batch, BatchPolicy, Fifo, KeyRangeSharded, PolicyCtx, ReadWriteSeparated};
+pub use service::{env_seed, raw_batch_mops, serve, ExecMode, ServeConfig, ServiceReport};
+pub use source::{ClosedSource, OpenSource, RequestSource};
+pub use trace::TraceHash;

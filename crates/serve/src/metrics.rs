@@ -1,0 +1,239 @@
+//! Service-level metrics: latency histograms, batch occupancy, queue depth.
+
+/// Log2-bucketed latency histogram (nanoseconds). Bucket `i` covers
+/// `[2^i, 2^(i+1))`; quantiles report the bucket's upper bound, so a
+/// reported p99 is a ≤ 2× overestimate — plenty for tracking a trajectory
+/// across PRs, with O(1) memory and no allocation on the hot path.
+#[derive(Debug, Clone)]
+pub struct LatencyHisto {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> LatencyHisto {
+        LatencyHisto {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHisto {
+    /// Empty histogram.
+    pub fn new() -> LatencyHisto {
+        LatencyHisto::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        let idx = 63 - (ns | 1).leading_zeros() as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += ns;
+        self.max = self.max.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, ns.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample, ns.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Quantile estimate (bucket upper bound, clamped to the observed max).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+}
+
+/// Aggregated metrics for one service run.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Requests completed.
+    pub ops: u64,
+    /// Completed `Get`s.
+    pub gets: u64,
+    /// Completed `Insert`s.
+    pub inserts: u64,
+    /// Completed `Delete`s.
+    pub deletes: u64,
+    /// Completed `Range`s.
+    pub ranges: u64,
+    /// Replies that failed structurally (reserved key, pool exhausted).
+    pub failed: u64,
+    /// Epochs closed.
+    pub epochs: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Batches that were read-only (lock-free fast path end to end).
+    pub read_only_batches: u64,
+    /// Requests shed at admission.
+    pub sheds: u64,
+    /// Largest intake depth sampled at an epoch close.
+    pub queue_depth_max: usize,
+    /// Batch-formation wait per request (virtual ns).
+    pub wait: LatencyHisto,
+    /// End-to-end latency per request (virtual ns).
+    pub latency: LatencyHisto,
+    /// Wall-clock seconds spent executing batches (dispatch → collect).
+    pub exec_wall_s: f64,
+    /// Wall-clock seconds for the whole run (formation + routing included).
+    pub run_wall_s: f64,
+    occupancy_sum: f64,
+    queue_depth_sum: u64,
+    queue_samples: u64,
+}
+
+impl ServiceMetrics {
+    /// Record a dispatched batch: `len` requests padded to `aligned` lanes.
+    pub fn record_batch(&mut self, len: usize, aligned: usize, read_only: bool) {
+        self.batches += 1;
+        if read_only {
+            self.read_only_batches += 1;
+        }
+        self.occupancy_sum += len as f64 / aligned.max(1) as f64;
+    }
+
+    /// Sample the intake depth at an epoch close.
+    pub fn sample_queue_depth(&mut self, depth: usize) {
+        self.queue_depth_max = self.queue_depth_max.max(depth);
+        self.queue_depth_sum += depth as u64;
+        self.queue_samples += 1;
+    }
+
+    /// Mean lane occupancy across dispatched batches, in `0..=1`.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.occupancy_sum / self.batches as f64
+        }
+    }
+
+    /// Mean intake depth at epoch close.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.queue_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_samples as f64
+        }
+    }
+
+    /// Completed throughput over the whole run wall-clock, Mops/s.
+    pub fn mops(&self) -> f64 {
+        if self.run_wall_s <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / self.run_wall_s / 1.0e6
+        }
+    }
+
+    /// Completed throughput over execution wall-clock only, Mops/s.
+    pub fn exec_mops(&self) -> f64 {
+        if self.exec_wall_s <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / self.exec_wall_s / 1.0e6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHisto::new();
+        for ns in 1..=10_000u64 {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 10_000);
+        let (p50, p99, p999) = (h.p50_ns(), h.p99_ns(), h.p999_ns());
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!(p999 <= h.max_ns());
+        // p50 of uniform 1..=10000 is ~5000; log2 bucket upper bound gives
+        // at most 2x overestimate.
+        assert!((4_000..=10_000).contains(&p50), "p50 = {p50}");
+        assert!((h.mean_ns() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_handles_empty_and_zero() {
+        let mut h = LatencyHisto::new();
+        assert_eq!(h.p99_ns(), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50_ns(), 0, "clamped to observed max");
+    }
+
+    #[test]
+    fn occupancy_and_depth_averages() {
+        let mut m = ServiceMetrics::default();
+        m.record_batch(32, 32, true);
+        m.record_batch(16, 32, false);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.read_only_batches, 1);
+        assert!((m.mean_occupancy() - 0.75).abs() < 1e-9);
+        m.sample_queue_depth(10);
+        m.sample_queue_depth(30);
+        assert_eq!(m.queue_depth_max, 30);
+        assert!((m.mean_queue_depth() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_requires_elapsed_time() {
+        let mut m = ServiceMetrics {
+            ops: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(m.mops(), 0.0, "no wall time, no rate");
+        m.run_wall_s = 0.5;
+        assert!((m.mops() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,297 @@
+//! Pluggable batch schedulers: how an epoch's admitted requests become
+//! warp-aligned dispatch batches.
+//!
+//! A policy receives everything admitted in one epoch and returns the
+//! batches to dispatch, each with a planned worker. Three policies ship:
+//!
+//! * [`Fifo`] — arrival order, chopped into lane-aligned batches, workers
+//!   round-robin. The baseline.
+//! * [`KeyRangeSharded`] — requests partitioned by key into per-worker
+//!   shards first. Batches touch disjoint key regions, so concurrently
+//!   executing teams contend on different chunks (and their coalesced reads
+//!   stay in a narrow key neighborhood).
+//! * [`ReadWriteSeparated`] — reads (`Get`/`Range`) and writes split into
+//!   distinct batches. Read-only batches never take a chunk lock end to
+//!   end — the paper's lock-free Contains fast path — so they are never
+//!   queued behind a lock held by a batchmate's insert.
+
+use crate::request::Request;
+
+/// Formation-time context handed to a policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCtx {
+    /// Worker (team) count; planned workers must be `< workers`.
+    pub workers: usize,
+    /// Hard cap on requests per dispatched batch.
+    pub max_batch: usize,
+    /// Team width: batches are chopped at multiples of this so full batches
+    /// keep every lane of a team busy.
+    pub lane_align: usize,
+}
+
+impl PolicyCtx {
+    /// The chop granule: `max_batch` rounded down to a lane multiple.
+    fn granule(&self) -> usize {
+        let lanes = self.lane_align.max(1);
+        ((self.max_batch / lanes).max(1)) * lanes
+    }
+}
+
+/// One dispatch batch.
+#[derive(Debug)]
+pub struct Batch {
+    /// Global dispatch sequence number (assigned by the service driver).
+    pub seq: u64,
+    /// Planned worker (used for the deterministic execution-time model and
+    /// the dispatch-grant trace; the pool balances actual pulls).
+    pub worker: usize,
+    /// True when every request in the batch is lock-free (`Get`/`Range`).
+    pub read_only: bool,
+    /// The requests, in formation order.
+    pub reqs: Vec<Request>,
+}
+
+impl Batch {
+    /// Lane slots this batch occupies once padded to team width.
+    pub fn aligned_len(&self, lane_align: usize) -> usize {
+        let lanes = lane_align.max(1);
+        self.reqs.len().div_ceil(lanes) * lanes
+    }
+}
+
+/// A batch-formation policy.
+pub trait BatchPolicy: Send {
+    /// Policy name, for reports.
+    fn name(&self) -> &'static str;
+
+    /// Split one epoch's admitted requests into dispatch batches.
+    ///
+    /// Every request must appear in exactly one returned batch; `seq` may
+    /// be left 0 (the driver assigns global sequence numbers).
+    fn form(&mut self, epoch: Vec<Request>, ctx: &PolicyCtx) -> Vec<Batch>;
+}
+
+/// Chop `reqs` into batches of at most one granule, tagging each with the
+/// next round-robin worker.
+fn chop(reqs: Vec<Request>, ctx: &PolicyCtx, next_worker: &mut usize, out: &mut Vec<Batch>) {
+    let granule = ctx.granule();
+    let mut reqs = reqs;
+    while !reqs.is_empty() {
+        let rest = if reqs.len() > granule {
+            reqs.split_off(granule)
+        } else {
+            Vec::new()
+        };
+        let read_only = reqs.iter().all(|r| r.op.is_read_only());
+        out.push(Batch {
+            seq: 0,
+            worker: *next_worker % ctx.workers.max(1),
+            read_only,
+            reqs,
+        });
+        *next_worker = next_worker.wrapping_add(1);
+        reqs = rest;
+    }
+}
+
+/// Arrival-order batching, round-robin workers.
+#[derive(Debug, Default)]
+pub struct Fifo {
+    next_worker: usize,
+}
+
+impl BatchPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn form(&mut self, epoch: Vec<Request>, ctx: &PolicyCtx) -> Vec<Batch> {
+        let mut out = Vec::new();
+        chop(epoch, ctx, &mut self.next_worker, &mut out);
+        out
+    }
+}
+
+/// Key-range sharding: requests are partitioned into `workers` contiguous
+/// key shards (shard `i` owns keys `[i·range/workers, …)`), then each shard
+/// is chopped and pinned to its worker.
+#[derive(Debug)]
+pub struct KeyRangeSharded {
+    key_range: u32,
+}
+
+impl KeyRangeSharded {
+    /// Sharding over keys `1..=key_range`.
+    pub fn new(key_range: u32) -> KeyRangeSharded {
+        assert!(key_range > 0);
+        KeyRangeSharded { key_range }
+    }
+}
+
+impl BatchPolicy for KeyRangeSharded {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn form(&mut self, epoch: Vec<Request>, ctx: &PolicyCtx) -> Vec<Batch> {
+        let workers = ctx.workers.max(1);
+        let mut shards: Vec<Vec<Request>> = (0..workers).map(|_| Vec::new()).collect();
+        for r in epoch {
+            let k = r.op.key().min(self.key_range).saturating_sub(1) as u64;
+            let shard = (k * workers as u64 / self.key_range as u64) as usize;
+            shards[shard.min(workers - 1)].push(r);
+        }
+        let mut out = Vec::new();
+        for (worker, shard) in shards.into_iter().enumerate() {
+            let mut pin = worker;
+            // chop advances its worker counter per batch; re-pin every
+            // batch of this shard to the shard's worker.
+            let before = out.len();
+            chop(shard, ctx, &mut pin, &mut out);
+            for b in &mut out[before..] {
+                b.worker = worker;
+            }
+        }
+        out
+    }
+}
+
+/// Read/write separation: lock-free reads and lock-taking writes form
+/// disjoint batches; reads are dispatched first.
+#[derive(Debug, Default)]
+pub struct ReadWriteSeparated {
+    next_worker: usize,
+}
+
+impl BatchPolicy for ReadWriteSeparated {
+    fn name(&self) -> &'static str {
+        "read-write"
+    }
+
+    fn form(&mut self, epoch: Vec<Request>, ctx: &PolicyCtx) -> Vec<Batch> {
+        let (reads, writes): (Vec<Request>, Vec<Request>) =
+            epoch.into_iter().partition(|r| r.op.is_read_only());
+        let mut out = Vec::new();
+        chop(reads, ctx, &mut self.next_worker, &mut out);
+        chop(writes, ctx, &mut self.next_worker, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfsl_workload::ServeOp;
+
+    fn reqs(ops: &[ServeOp]) -> Vec<Request> {
+        ops.iter()
+            .enumerate()
+            .map(|(i, &op)| Request {
+                client: i as u32 % 4,
+                id: i as u64,
+                arrival_ns: i as u64,
+                op,
+            })
+            .collect()
+    }
+
+    fn ctx() -> PolicyCtx {
+        PolicyCtx {
+            workers: 4,
+            max_batch: 32,
+            lane_align: 16,
+        }
+    }
+
+    fn total_ids(batches: &[Batch]) -> Vec<u64> {
+        let mut ids: Vec<u64> = batches.iter().flat_map(|b| b.reqs.iter().map(|r| r.id)).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn fifo_chops_lane_aligned_and_loses_nothing() {
+        let ops: Vec<ServeOp> = (0..75).map(|k| ServeOp::Get(k + 1)).collect();
+        let epoch = reqs(&ops);
+        let mut p = Fifo::default();
+        let batches = p.form(epoch, &ctx());
+        // granule = 32 -> 32 + 32 + 11
+        assert_eq!(
+            batches.iter().map(|b| b.reqs.len()).collect::<Vec<_>>(),
+            vec![32, 32, 11]
+        );
+        assert_eq!(total_ids(&batches), (0..75).collect::<Vec<u64>>());
+        assert!(batches.iter().all(|b| b.read_only));
+        // round-robin workers
+        assert_eq!(
+            batches.iter().map(|b| b.worker).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // alignment pads the tail batch to a lane multiple
+        assert_eq!(batches[2].aligned_len(16), 16);
+    }
+
+    #[test]
+    fn sharded_partitions_by_key_and_pins_workers() {
+        let ops: Vec<ServeOp> = (0..100u32).map(|k| ServeOp::Insert(k + 1, 0)).collect();
+        let epoch = reqs(&ops);
+        let mut p = KeyRangeSharded::new(100);
+        let c = ctx();
+        let batches = p.form(epoch, &c);
+        assert_eq!(total_ids(&batches), (0..100).collect::<Vec<u64>>());
+        for b in &batches {
+            let w = b.worker;
+            assert!(w < 4);
+            for r in &b.reqs {
+                let k = (r.op.key() - 1) as u64;
+                assert_eq!((k * 4 / 100) as usize, w, "key {} on worker {w}", r.op.key());
+            }
+            assert!(!b.read_only);
+        }
+    }
+
+    #[test]
+    fn read_write_separation_never_mixes() {
+        let ops: Vec<ServeOp> = (0..60u32)
+            .map(|k| {
+                if k % 3 == 0 {
+                    ServeOp::Insert(k + 1, 0)
+                } else if k % 3 == 1 {
+                    ServeOp::Get(k + 1)
+                } else {
+                    ServeOp::Range(k + 1, k + 10)
+                }
+            })
+            .collect();
+        let epoch = reqs(&ops);
+        let mut p = ReadWriteSeparated::default();
+        let batches = p.form(epoch, &ctx());
+        assert_eq!(total_ids(&batches), (0..60).collect::<Vec<u64>>());
+        for b in &batches {
+            let all_reads = b.reqs.iter().all(|r| r.op.is_read_only());
+            let all_writes = b.reqs.iter().all(|r| !r.op.is_read_only());
+            assert!(all_reads || all_writes, "mixed batch");
+            assert_eq!(b.read_only, all_reads);
+        }
+        // reads come first in dispatch order
+        let first_write = batches.iter().position(|b| !b.read_only).unwrap();
+        assert!(batches[..first_write].iter().all(|b| b.read_only));
+        assert!(batches[first_write..].iter().all(|b| !b.read_only));
+    }
+
+    #[test]
+    fn granule_respects_both_caps() {
+        let c = PolicyCtx {
+            workers: 2,
+            max_batch: 10, // below one 16-lane team: granule floors to 16? no — max(1)*16
+            lane_align: 16,
+        };
+        assert_eq!(c.granule(), 16, "granule is at least one full team");
+        let c2 = PolicyCtx {
+            workers: 2,
+            max_batch: 100,
+            lane_align: 32,
+        };
+        assert_eq!(c2.granule(), 96, "rounded down to a lane multiple");
+    }
+}

@@ -1,0 +1,671 @@
+//! The service driver: a virtual-time, epoch-batching event loop.
+//!
+//! The driver pulls timed requests from a [`RequestSource`], admits them
+//! into the bounded intake queue (shedding on overflow), closes an *epoch*
+//! when either the deadline expires or enough requests are queued (the
+//! continuous-batching size trigger), hands the epoch to a
+//! [`BatchPolicy`], and dispatches the resulting warp-aligned batches onto
+//! a pool of worker threads — one GFSL team each. Responses route through
+//! per-client FIFO queues back to the source, which lets closed-loop
+//! clients schedule their next issue.
+//!
+//! ## Clocks and determinism
+//!
+//! Batch *formation* runs entirely in virtual time. What advances the
+//! virtual clock across an epoch's execution is the [`ExecMode`]:
+//!
+//! * [`ExecMode::Measured`] — advance by the measured wall-clock execution
+//!   time. This is the benchmarking mode: throughput numbers are real, but
+//!   formation depends on machine speed, so the trace hash is only stable
+//!   on one machine by accident.
+//! * [`ExecMode::Modeled`] — advance by `ns_per_op · max_ops_per_worker`,
+//!   a deterministic service-time model. Every admission decision, epoch
+//!   close, batch, and dispatch grant is then a pure function of the seed
+//!   and config: the run's [trace hash](crate::trace::TraceHash) replays
+//!   bit-for-bit.
+//! * [`ExecMode::Chaos`] — modeled time, plus every batch executes under a
+//!   seeded [`ChaosController`] that serializes *individual memory
+//!   accesses* in a deterministic adversarial order. The per-wave chaos
+//!   trace folds into the service trace, extending the replay guarantee
+//!   down to the memory-access schedule.
+//!
+//! Chaos dispatch runs in waves of at most `workers` batches: every batch
+//! in a wave is a chaos participant, and the controller only grants turns
+//! when all live participants are parked — so no participant may ever be
+//! waiting for a worker thread. Waves keep participants ≤ workers.
+//!
+//! ## Pipelining
+//!
+//! In the measured and modeled modes the driver keeps one epoch in flight:
+//! epoch N+1's batches are pushed *before* epoch N's completions are
+//! collected, so response routing, completion feedback, and admission all
+//! overlap worker execution. Chaos mode never pipelines (see above).
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use gfsl::batch::{BatchOp, BatchReply};
+use gfsl::chaos::{ChaosController, ChaosOptions, ChaosProbe};
+use gfsl::{Gfsl, GfslHandle, MemProbe};
+use gfsl_workload::ServeOp;
+
+use crate::admission::IntakeQueue;
+use crate::metrics::ServiceMetrics;
+use crate::request::{to_batch_op, ClientQueues, Reply, Request, Response};
+use crate::scheduler::{Batch, BatchPolicy, PolicyCtx};
+use crate::source::RequestSource;
+use crate::trace::TraceHash;
+
+/// What advances the virtual clock across an epoch's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Wall-clock execution time (benchmark mode; nondeterministic clock).
+    Measured,
+    /// Deterministic model: `ns_per_op` per request, workers in parallel.
+    Modeled {
+        /// Modeled service cost per request, nanoseconds.
+        ns_per_op: u64,
+    },
+    /// Modeled time + per-wave chaos scheduling of every memory access.
+    Chaos {
+        /// Modeled service cost per request, nanoseconds.
+        ns_per_op: u64,
+        /// Extra stall turns the chaos scheduler may inject at crash
+        /// points (see [`ChaosOptions::max_stall_turns`]).
+        max_stall_turns: u8,
+    },
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads (one GFSL team each).
+    pub workers: usize,
+    /// Epoch deadline: an epoch closes at most this long (virtual ns)
+    /// after it opens.
+    pub epoch_ns: u64,
+    /// Size trigger: an epoch closes early once this many requests are
+    /// queued, and at most this many dispatch per epoch.
+    pub batch_ops: usize,
+    /// Per-batch request cap (rounded down to a team-width multiple).
+    pub max_batch: usize,
+    /// Intake queue bound; arrivals beyond it are shed.
+    pub intake_cap: usize,
+    /// Seed for chaos waves (formation itself is seeded by the source).
+    pub seed: u64,
+    /// Execution-time mode.
+    pub exec: ExecMode,
+}
+
+impl ServeConfig {
+    /// Sensible defaults for `workers` worker teams: 200 µs epochs, 1024-op
+    /// size trigger, 256-op batches, 8192-deep intake, measured clock.
+    pub fn new(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            epoch_ns: 200_000,
+            batch_ops: 1024,
+            max_batch: 256,
+            intake_cap: 8192,
+            seed: 0xC0F_FEE5,
+            exec: ExecMode::Measured,
+        }
+    }
+
+    /// Panic on nonsensical configuration.
+    pub fn validate(&self) {
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.epoch_ns > 0, "epoch deadline must be positive");
+        assert!(self.batch_ops > 0, "size trigger must be positive");
+        assert!(self.max_batch > 0, "batch cap must be positive");
+        assert!(self.intake_cap > 0, "intake capacity must be positive");
+    }
+}
+
+/// Run seed: `GFSL_TEST_SEED` if set (the repo-wide replay convention),
+/// else `default`.
+pub fn env_seed(default: u64) -> u64 {
+    std::env::var("GFSL_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The outcome of one service run.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The batch policy that formed the dispatches.
+    pub policy: &'static str,
+    /// Aggregated service metrics.
+    pub metrics: ServiceMetrics,
+    /// FNV-1a fold of the full service schedule (see [`TraceHash`]).
+    pub trace_hash: u64,
+}
+
+struct WorkItem {
+    seq: u64,
+    epoch: u64,
+    reqs: Vec<Request>,
+    probe: Option<ChaosProbe>,
+}
+
+struct DoneItem {
+    seq: u64,
+    epoch: u64,
+    replies: Vec<(Request, Reply)>,
+}
+
+/// One dispatched epoch whose batches are still executing. The driver keeps
+/// at most one epoch in flight: it pushes epoch N+1's batches *before*
+/// collecting epoch N, so response routing and admission overlap worker
+/// execution (software pipelining — without it, workers idle through every
+/// driver pass and the service/raw throughput ratio caps well below 1).
+struct InFlight {
+    /// Batches to collect.
+    n: usize,
+    /// Epoch these batches belong to (completions are tagged: with two
+    /// epochs in the pipe, the done channel interleaves them).
+    epoch: u64,
+    /// Virtual dispatch time (wait component of every response).
+    dispatch_t: u64,
+    /// Largest per-worker op count (modeled service time of the epoch).
+    per_worker_max: u64,
+    /// Wall-clock dispatch instant (measured service time of the epoch).
+    exec_t0: Instant,
+}
+
+/// Shared work queue: the driver pushes batches, idle workers pull. Pulling
+/// instead of pinning keeps workers busy when batch costs are uneven.
+struct Injector {
+    state: Mutex<(VecDeque<WorkItem>, bool)>,
+    cv: Condvar,
+}
+
+impl Injector {
+    fn new() -> Injector {
+        Injector {
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        self.state.lock().unwrap().0.push_back(item);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+
+    fn pop(&self) -> Option<WorkItem> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.0.pop_front() {
+                return Some(item);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+fn exec_batch<P: MemProbe>(h: &mut GfslHandle<'_, P>, reqs: Vec<Request>) -> Vec<(Request, Reply)> {
+    let ops: Vec<BatchOp> = reqs.iter().map(|r| to_batch_op(r.op)).collect();
+    let mut replies: Vec<BatchReply> = Vec::with_capacity(ops.len());
+    h.execute_batch(&ops, &mut replies);
+    reqs.into_iter()
+        .zip(replies)
+        .map(|(r, b)| (r, Reply::from(b)))
+        .collect()
+}
+
+fn worker_loop(list: &Gfsl, injector: &Injector, done: mpsc::Sender<DoneItem>) {
+    let mut h = list.handle();
+    while let Some(item) = injector.pop() {
+        let replies = match item.probe {
+            None => exec_batch(&mut h, item.reqs),
+            Some(p) => {
+                // A fresh chaos handle per batch; dropping it retires the
+                // wave participant *before* the done message is sent, so
+                // the wave's trace hash is final once all batches report.
+                let mut ch = list.handle_with(p);
+                exec_batch(&mut ch, item.reqs)
+            }
+        };
+        let reply = DoneItem {
+            seq: item.seq,
+            epoch: item.epoch,
+            replies,
+        };
+        if done.send(reply).is_err() {
+            break;
+        }
+    }
+}
+
+/// Admit every arrival at or before `limit_ns`, shedding on overflow.
+fn admit_upto(
+    src: &mut dyn RequestSource,
+    intake: &mut IntakeQueue,
+    trace: &mut TraceHash,
+    limit_ns: u64,
+) {
+    while let Some(t) = src.peek_ns() {
+        if t > limit_ns {
+            break;
+        }
+        let req = src.take();
+        if let Err((req, shed)) = intake.offer(req) {
+            trace.shed(req.client as u64, shed.depth as u64);
+            src.on_shed(req, t);
+        }
+    }
+}
+
+/// Deliver one collected epoch: count, timestamp, histogram, route through
+/// per-client FIFO queues, and feed completions back to the source (which
+/// is what lets closed-loop clients schedule their next issue).
+fn route_done(
+    mut done: Vec<DoneItem>,
+    dispatch_t: u64,
+    clock: u64,
+    metrics: &mut ServiceMetrics,
+    queues: &mut ClientQueues,
+    src: &mut dyn RequestSource,
+) {
+    // Batches complete out of order; restore dispatch order first.
+    done.sort_by_key(|d| d.seq);
+    for d in done {
+        for (req, reply) in d.replies {
+            if matches!(reply, Reply::Failed(_)) {
+                metrics.failed += 1;
+            }
+            match req.op {
+                ServeOp::Get(_) => metrics.gets += 1,
+                ServeOp::Insert(..) => metrics.inserts += 1,
+                ServeOp::Delete(_) => metrics.deletes += 1,
+                ServeOp::Range(..) => metrics.ranges += 1,
+            }
+            metrics.ops += 1;
+            let (client, id) = (req.client, req.id);
+            let resp = Response {
+                client,
+                id,
+                arrival_ns: req.arrival_ns,
+                wait_ns: dispatch_t.saturating_sub(req.arrival_ns),
+                done_ns: clock,
+                reply,
+            };
+            metrics.latency.record(resp.latency_ns());
+            // Through the client's completion queue: within one epoch a
+            // client's responses already arrive in dispatch order, so the
+            // queue drains immediately and FIFO delivery is preserved.
+            queues.push(resp);
+            let resp = queues.pop(client).expect("routed response missing");
+            debug_assert_eq!(resp.id, id, "per-client FIFO order broken");
+            src.on_complete(&resp);
+        }
+    }
+}
+
+/// Collect a pipelined epoch: receive its batches, advance the virtual
+/// clock by its service time, and route the responses.
+#[allow(clippy::too_many_arguments)]
+fn collect_epoch(
+    p: InFlight,
+    exec: ExecMode,
+    done_rx: &mpsc::Receiver<DoneItem>,
+    early: &mut Vec<DoneItem>,
+    clock: &mut u64,
+    metrics: &mut ServiceMetrics,
+    queues: &mut ClientQueues,
+    src: &mut dyn RequestSource,
+) {
+    // The next epoch's batches are already executing; its completions can
+    // land on the shared channel interleaved with this epoch's. Claim
+    // buffered strays first, park foreign ones.
+    let mut done: Vec<DoneItem> = Vec::with_capacity(p.n);
+    let mut i = 0;
+    while i < early.len() {
+        if early[i].epoch == p.epoch {
+            done.push(early.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    while done.len() < p.n {
+        let d = done_rx.recv().expect("worker thread died");
+        if d.epoch == p.epoch {
+            done.push(d);
+        } else {
+            early.push(d);
+        }
+    }
+    let exec_elapsed = p.exec_t0.elapsed();
+    metrics.exec_wall_s += exec_elapsed.as_secs_f64();
+    let advance = match exec {
+        ExecMode::Measured => exec_elapsed.as_nanos() as u64,
+        ExecMode::Modeled { ns_per_op } | ExecMode::Chaos { ns_per_op, .. } => {
+            ns_per_op.saturating_mul(p.per_worker_max)
+        }
+    };
+    *clock = clock.saturating_add(advance.max(1));
+    route_done(done, p.dispatch_t, *clock, metrics, queues, src);
+}
+
+/// Run the service to completion: pull every request the source will ever
+/// yield through admission, batching, dispatch, and completion routing.
+pub fn serve(
+    list: &Gfsl,
+    cfg: &ServeConfig,
+    policy: &mut dyn BatchPolicy,
+    src: &mut dyn RequestSource,
+) -> ServiceReport {
+    cfg.validate();
+    let run_t0 = Instant::now();
+    let lanes = list.params().lanes();
+    let ctx = PolicyCtx {
+        workers: cfg.workers,
+        max_batch: cfg.max_batch,
+        lane_align: lanes,
+    };
+    let mut intake = IntakeQueue::new(cfg.intake_cap);
+    let mut metrics = ServiceMetrics::default();
+    let mut trace = TraceHash::new();
+    let mut queues = ClientQueues::new();
+    let injector = Injector::new();
+    let (done_tx, done_rx) = mpsc::channel::<DoneItem>();
+
+    let mut clock: u64 = 0;
+    let mut epoch_seq: u64 = 0;
+    let mut batch_seq: u64 = 0;
+
+    std::thread::scope(|s| {
+        for _ in 0..cfg.workers {
+            let tx = done_tx.clone();
+            let inj = &injector;
+            s.spawn(move || worker_loop(list, inj, tx));
+        }
+        drop(done_tx);
+
+        let mut pending: Option<InFlight> = None;
+        let mut early: Vec<DoneItem> = Vec::new();
+
+        loop {
+            // Arrivals during the previous epoch's execution have already
+            // happened — they contend for intake space now, or are shed.
+            admit_upto(src, &mut intake, &mut trace, clock);
+
+            if intake.is_empty() {
+                if let Some(p) = pending.take() {
+                    // Nothing to form yet; drain the pipeline so the
+                    // completions can seed the next arrivals.
+                    collect_epoch(
+                        p, cfg.exec, &done_rx, &mut early, &mut clock, &mut metrics,
+                        &mut queues, src,
+                    );
+                    continue;
+                }
+                match src.peek_ns() {
+                    Some(t) => {
+                        // Idle: jump the clock to the next arrival.
+                        clock = clock.max(t);
+                        admit_upto(src, &mut intake, &mut trace, clock);
+                    }
+                    None => break,
+                }
+            }
+
+            // Formation window: close at the deadline, or early once the
+            // size trigger is reached.
+            let deadline = clock.saturating_add(cfg.epoch_ns);
+            let mut close = deadline;
+            if intake.len() >= cfg.batch_ops {
+                close = clock;
+            } else {
+                while let Some(t) = src.peek_ns() {
+                    if t > deadline {
+                        break;
+                    }
+                    let req = src.take();
+                    match intake.offer(req) {
+                        Ok(()) => {
+                            if intake.len() >= cfg.batch_ops {
+                                close = t.max(clock);
+                                break;
+                            }
+                        }
+                        Err((req, shed)) => {
+                            trace.shed(req.client as u64, shed.depth as u64);
+                            src.on_shed(req, t);
+                        }
+                    }
+                }
+            }
+            clock = clock.max(close);
+            if intake.is_empty() {
+                // Deadline passed with nothing admitted; re-enter the idle
+                // skip with the advanced clock.
+                continue;
+            }
+
+            // Close the epoch: sample depth, drain, form batches.
+            metrics.epochs += 1;
+            metrics.sample_queue_depth(intake.len());
+            let epoch_reqs = intake.drain_upto(cfg.batch_ops);
+            trace.epoch(epoch_seq, clock, epoch_reqs.len());
+            epoch_seq += 1;
+            let dispatch_t = clock;
+            for r in &epoch_reqs {
+                metrics.wait.record(dispatch_t.saturating_sub(r.arrival_ns));
+            }
+
+            let mut batches = policy.form(epoch_reqs, &ctx);
+            let mut per_worker = vec![0u64; cfg.workers];
+            for b in &mut batches {
+                b.seq = batch_seq;
+                batch_seq += 1;
+                trace.batch(b.seq, b.worker, b.reqs.len(), b.read_only);
+                metrics.record_batch(b.reqs.len(), b.aligned_len(lanes), b.read_only);
+                per_worker[b.worker % cfg.workers] += b.reqs.len() as u64;
+            }
+
+            // Dispatch. Measured/Modeled: push this epoch's batches *before*
+            // collecting the one in flight, so the workers execute epoch
+            // N+1 while the driver routes epoch N's responses and admits
+            // the arrivals they trigger. Chaos: strictly synchronous —
+            // every wave participant must be live on a worker, so no batch
+            // may queue behind an earlier epoch.
+            match cfg.exec {
+                ExecMode::Measured | ExecMode::Modeled { .. } => {
+                    let fresh = InFlight {
+                        n: batches.len(),
+                        epoch: epoch_seq - 1,
+                        dispatch_t,
+                        per_worker_max: per_worker.iter().copied().max().unwrap_or(0),
+                        exec_t0: Instant::now(),
+                    };
+                    for b in batches {
+                        trace.grant(b.seq);
+                        injector.push(WorkItem {
+                            seq: b.seq,
+                            epoch: fresh.epoch,
+                            reqs: b.reqs,
+                            probe: None,
+                        });
+                    }
+                    if let Some(p) = pending.take() {
+                        collect_epoch(
+                            p, cfg.exec, &done_rx, &mut early, &mut clock, &mut metrics,
+                            &mut queues, src,
+                        );
+                    }
+                    pending = Some(fresh);
+                }
+                ExecMode::Chaos { max_stall_turns, .. } => {
+                    debug_assert!(pending.is_none(), "chaos epochs never pipeline");
+                    let exec_t0 = Instant::now();
+                    let mut done: Vec<DoneItem> = Vec::new();
+                    let mut wave_no = 0u64;
+                    let mut iter = batches.into_iter().peekable();
+                    while iter.peek().is_some() {
+                        let wave: Vec<Batch> = iter.by_ref().take(cfg.workers).collect();
+                        let opts = ChaosOptions {
+                            seed: cfg.seed
+                                ^ epoch_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                ^ wave_no.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                            max_stall_turns,
+                            ..ChaosOptions::default()
+                        };
+                        let ctl = ChaosController::new(wave.len(), opts);
+                        let n = wave.len();
+                        for (i, b) in wave.into_iter().enumerate() {
+                            trace.grant(b.seq);
+                            injector.push(WorkItem {
+                                seq: b.seq,
+                                epoch: epoch_seq - 1,
+                                reqs: b.reqs,
+                                probe: Some(ctl.probe(i)),
+                            });
+                        }
+                        for _ in 0..n {
+                            done.push(done_rx.recv().expect("worker thread died"));
+                        }
+                        trace.chaos(ctl.trace_hash());
+                        wave_no += 1;
+                    }
+                    metrics.exec_wall_s += exec_t0.elapsed().as_secs_f64();
+                    let advance = match cfg.exec {
+                        ExecMode::Chaos { ns_per_op, .. } => {
+                            ns_per_op.saturating_mul(per_worker.iter().copied().max().unwrap_or(0))
+                        }
+                        _ => unreachable!(),
+                    };
+                    clock = clock.saturating_add(advance.max(1));
+                    route_done(done, dispatch_t, clock, &mut metrics, &mut queues, src);
+                }
+            }
+        }
+
+        if let Some(p) = pending.take() {
+            collect_epoch(
+                p, cfg.exec, &done_rx, &mut early, &mut clock, &mut metrics, &mut queues, src,
+            );
+        }
+        debug_assert!(early.is_empty(), "stray completions after drain");
+        injector.close();
+    });
+
+    metrics.sheds = intake.sheds();
+    metrics.run_wall_s = run_t0.elapsed().as_secs_f64();
+    ServiceReport {
+        policy: policy.name(),
+        metrics,
+        trace_hash: trace.value(),
+    }
+}
+
+/// Execute `ops` slab-split across `workers` plain handles and return the
+/// wall-clock throughput in Mops/s — the harness's saturating batch-mode
+/// loop, used as the denominator for service-efficiency ratios.
+pub fn raw_batch_mops(list: &Gfsl, ops: &[ServeOp], workers: usize) -> f64 {
+    assert!(workers > 0 && !ops.is_empty());
+    let slab = ops.len().div_ceil(workers);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for chunk in ops.chunks(slab) {
+            s.spawn(move || {
+                let mut h = list.handle();
+                let batch: Vec<BatchOp> = chunk.iter().map(|&o| to_batch_op(o)).collect();
+                let mut out = Vec::with_capacity(batch.len());
+                h.execute_batch(&batch, &mut out);
+            });
+        }
+    });
+    ops.len() as f64 / t0.elapsed().as_secs_f64() / 1.0e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Fifo;
+    use crate::source::ClosedSource;
+    use gfsl::{GfslParams, TeamSize};
+    use gfsl_workload::{ClosedLoop, ServeMix};
+
+    fn small_list() -> Gfsl {
+        let params = GfslParams {
+            team_size: TeamSize::Sixteen,
+            pool_chunks: 1 << 12,
+            ..Default::default()
+        };
+        Gfsl::prefilled(params, (1..=2_000u32).filter(|k| k % 2 == 0)).unwrap()
+    }
+
+    fn modeled_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            epoch_ns: 10_000,
+            batch_ops: 64,
+            max_batch: 32,
+            intake_cap: 256,
+            seed: 7,
+            exec: ExecMode::Modeled { ns_per_op: 100 },
+        }
+    }
+
+    fn run_once(seed: u64) -> ServiceReport {
+        let list = small_list();
+        let pop = ClosedLoop::new(16, 50, 1_000, ServeMix::C80, 2_000, seed);
+        let mut src = ClosedSource::new(pop, 1_000);
+        serve(&list, &modeled_cfg(), &mut Fifo::default(), &mut src)
+    }
+
+    #[test]
+    fn modeled_run_completes_every_request() {
+        let report = run_once(42);
+        assert_eq!(report.metrics.ops, 16 * 50);
+        assert_eq!(report.metrics.sheds, 0, "low load must not shed");
+        assert_eq!(report.metrics.failed, 0);
+        assert!(report.metrics.epochs > 0 && report.metrics.batches > 0);
+        assert!(report.metrics.latency.count() == 16 * 50);
+        assert!(report.metrics.latency.p50_ns() > 0);
+        assert!(report.metrics.mean_occupancy() > 0.0);
+        assert_eq!(report.policy, "fifo");
+    }
+
+    #[test]
+    fn modeled_runs_replay_bit_for_bit() {
+        let a = run_once(42);
+        let b = run_once(42);
+        assert_eq!(a.trace_hash, b.trace_hash, "same seed, same schedule");
+        assert_eq!(a.metrics.ops, b.metrics.ops);
+        assert_eq!(a.metrics.epochs, b.metrics.epochs);
+        assert_eq!(a.metrics.batches, b.metrics.batches);
+        let c = run_once(43);
+        assert_ne!(a.trace_hash, c.trace_hash, "different seed, different schedule");
+    }
+
+    #[test]
+    fn raw_batch_mops_executes_all_ops() {
+        let list = small_list();
+        let ops = ServeMix::C80.stream(5, 2_000, 4_000);
+        let mops = raw_batch_mops(&list, &ops, 2);
+        assert!(mops > 0.0);
+        list.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let mut cfg = modeled_cfg();
+        cfg.workers = 0;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,317 @@
+//! Request sources: the driver's pull interface over arrival processes.
+//!
+//! The service driver is a virtual-time event loop; it asks the source
+//! *when* the next request arrives ([`RequestSource::peek_ns`]), takes it
+//! when the epoch window covers that instant, and feeds completions back
+//! ([`RequestSource::on_complete`]) so closed-loop clients can schedule
+//! their next issue. Shed requests are returned to the source, which
+//! decides the client's reaction (open-loop clients drop; closed-loop
+//! clients back off and retry).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use gfsl_workload::{ClosedLoop, OpenLoop};
+
+use crate::request::{Request, Response};
+
+/// Min-queue of (issue time, client) with a monotone fast path.
+///
+/// Closed-loop issue times mostly arrive in nondecreasing order: the driver
+/// completes epochs in virtual-time order, and with zero think time every
+/// completion reschedules at exactly the epoch's done time. Those pushes
+/// append to a ring buffer in O(1); only an out-of-order time (a random
+/// think draw landing before an already queued issue) pays for the heap.
+/// Ties are served in push order from the ring, then from the heap.
+struct DueQueue {
+    fifo: VecDeque<(u64, u32)>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl DueQueue {
+    fn new() -> DueQueue {
+        DueQueue {
+            fifo: VecDeque::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn push(&mut self, t: u64, c: u32) {
+        match self.fifo.back() {
+            Some(&(back_t, _)) if t < back_t => self.heap.push(Reverse((t, c))),
+            _ => self.fifo.push_back((t, c)),
+        }
+    }
+
+    fn peek(&self) -> Option<u64> {
+        match (self.fifo.front(), self.heap.peek()) {
+            (Some(&(ft, _)), Some(&Reverse((ht, _)))) => Some(ft.min(ht)),
+            (Some(&(ft, _)), None) => Some(ft),
+            (None, Some(&Reverse((ht, _)))) => Some(ht),
+            (None, None) => None,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let from_heap = match (self.fifo.front(), self.heap.peek()) {
+            (Some(&(ft, _)), Some(&Reverse((ht, _)))) => ht < ft,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if from_heap {
+            self.heap.pop().map(|Reverse(e)| e)
+        } else {
+            self.fifo.pop_front()
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.fifo.is_empty() && self.heap.is_empty()
+    }
+}
+
+/// A stream of timed requests with completion feedback.
+pub trait RequestSource {
+    /// Virtual arrival time of the next pending request, if any.
+    fn peek_ns(&mut self) -> Option<u64>;
+
+    /// Take the next pending request (must follow a `Some` peek).
+    fn take(&mut self) -> Request;
+
+    /// A response was delivered to its client.
+    fn on_complete(&mut self, resp: &Response);
+
+    /// A request was shed at admission, at virtual time `now_ns`.
+    fn on_shed(&mut self, req: Request, now_ns: u64);
+
+    /// True when the source will never yield another request.
+    fn exhausted(&self) -> bool;
+}
+
+/// Open-loop source: arrivals fire on schedule regardless of completions;
+/// shed requests are dropped (the client gave up).
+pub struct OpenSource {
+    inner: OpenLoop,
+    lookahead: Option<gfsl_workload::Arrival>,
+    next_id: u64,
+    /// Requests dropped after shedding (clients that gave up).
+    pub dropped: u64,
+}
+
+impl OpenSource {
+    /// Wrap an open-loop arrival process.
+    pub fn new(inner: OpenLoop) -> OpenSource {
+        OpenSource {
+            inner,
+            lookahead: None,
+            next_id: 0,
+            dropped: 0,
+        }
+    }
+}
+
+impl RequestSource for OpenSource {
+    fn peek_ns(&mut self) -> Option<u64> {
+        if self.lookahead.is_none() {
+            self.lookahead = self.inner.next();
+        }
+        self.lookahead.as_ref().map(|a| a.at_ns)
+    }
+
+    fn take(&mut self) -> Request {
+        let a = self.lookahead.take().expect("take() without a pending peek");
+        let id = self.next_id;
+        self.next_id += 1;
+        Request {
+            client: a.client,
+            id,
+            arrival_ns: a.at_ns,
+            op: a.op,
+        }
+    }
+
+    fn on_complete(&mut self, _resp: &Response) {}
+
+    fn on_shed(&mut self, _req: Request, _now_ns: u64) {
+        self.dropped += 1;
+    }
+
+    fn exhausted(&self) -> bool {
+        self.lookahead.is_none() && self.inner.remaining() == 0
+    }
+}
+
+/// Closed-loop source: each client keeps one request outstanding; a
+/// completion schedules the client's next issue after its think time, and
+/// a shed request is retried after a backoff.
+pub struct ClosedSource {
+    clients: ClosedLoop,
+    /// Clients due to issue, keyed by issue time.
+    due: DueQueue,
+    /// A shed request awaiting retry, per client.
+    retry: Vec<Option<Request>>,
+    /// Requests taken and not yet completed or handed back by a shed.
+    outstanding: u64,
+    next_id: u64,
+    shed_backoff_ns: u64,
+    /// Shed→retry events observed (each shed request is retried, not lost).
+    pub retries: u64,
+}
+
+impl ClosedSource {
+    /// Wrap a closed-loop population; every client's first issue is
+    /// scheduled after one think-time draw (staggered start). Shed requests
+    /// retry after `shed_backoff_ns` (clamped to at least 1 ns so retries
+    /// always make forward progress in virtual time).
+    pub fn new(mut clients: ClosedLoop, shed_backoff_ns: u64) -> ClosedSource {
+        let mut due = DueQueue::new();
+        for (c, s) in clients.streams.iter_mut().enumerate() {
+            if s.remaining() > 0 {
+                due.push(s.think_ns(), c as u32);
+            }
+        }
+        let n = clients.streams.len();
+        ClosedSource {
+            clients,
+            due,
+            retry: vec![None; n],
+            outstanding: 0,
+            next_id: 0,
+            shed_backoff_ns: shed_backoff_ns.max(1),
+            retries: 0,
+        }
+    }
+}
+
+impl RequestSource for ClosedSource {
+    fn peek_ns(&mut self) -> Option<u64> {
+        self.due.peek()
+    }
+
+    fn take(&mut self) -> Request {
+        let (t, c) = self.due.pop().expect("take() without a pending peek");
+        self.outstanding += 1;
+        if let Some(mut req) = self.retry[c as usize].take() {
+            req.arrival_ns = t;
+            return req;
+        }
+        let op = self.clients.streams[c as usize]
+            .next_op()
+            .expect("due client has an exhausted script");
+        let id = self.next_id;
+        self.next_id += 1;
+        Request {
+            client: c,
+            id,
+            arrival_ns: t,
+            op,
+        }
+    }
+
+    fn on_complete(&mut self, resp: &Response) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        let c = resp.client as usize;
+        if self.clients.streams[c].remaining() > 0 {
+            let think = self.clients.streams[c].think_ns();
+            self.due
+                .push(resp.done_ns.saturating_add(think), resp.client);
+        }
+    }
+
+    fn on_shed(&mut self, req: Request, now_ns: u64) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.retries += 1;
+        let c = req.client;
+        self.retry[c as usize] = Some(req);
+        self.due
+            .push(now_ns.saturating_add(self.shed_backoff_ns), c);
+    }
+
+    fn exhausted(&self) -> bool {
+        self.due.is_empty() && self.outstanding == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfsl_workload::{ServeMix, ServeOp};
+
+    #[test]
+    fn open_source_ids_are_monotone_and_times_ordered() {
+        let mut s = OpenSource::new(OpenLoop::new(ServeMix::C80, 1000, 4, 100, 1.0, 3));
+        let mut last_t = 0;
+        for expect_id in 0..100u64 {
+            let t = s.peek_ns().unwrap();
+            assert!(t >= last_t);
+            last_t = t;
+            let r = s.take();
+            assert_eq!(r.id, expect_id);
+            assert_eq!(r.arrival_ns, t);
+        }
+        assert!(s.peek_ns().is_none());
+        assert!(s.exhausted());
+    }
+
+    #[test]
+    fn closed_source_keeps_one_outstanding_per_client() {
+        let pop = ClosedLoop::new(2, 3, 100, ServeMix::C80, 1000, 7);
+        let mut s = ClosedSource::new(pop, 50);
+        // Both clients due once; no more issues until completions arrive.
+        let a = s.take();
+        let b = s.take();
+        assert_ne!(a.client, b.client);
+        assert!(s.peek_ns().is_none(), "both clients are outstanding");
+        assert!(!s.exhausted(), "…but more work comes after completions");
+        // Completing client a schedules its next issue after its think.
+        let resp = Response {
+            client: a.client,
+            id: a.id,
+            arrival_ns: a.arrival_ns,
+            wait_ns: 0,
+            done_ns: 500,
+            reply: crate::request::Reply::Got(None),
+        };
+        s.on_complete(&resp);
+        let t = s.peek_ns().expect("client rescheduled");
+        assert!(t >= 500, "next issue is after completion: {t}");
+        let a2 = s.take();
+        assert_eq!(a2.client, a.client);
+    }
+
+    #[test]
+    fn closed_source_retries_shed_requests_later() {
+        let pop = ClosedLoop::new(1, 2, 0, ServeMix::C80, 1000, 9);
+        let mut s = ClosedSource::new(pop, 250);
+        let r = s.take();
+        let op = r.op;
+        s.on_shed(r, 1_000);
+        assert_eq!(s.retries, 1);
+        let t = s.peek_ns().unwrap();
+        assert_eq!(t, 1_250, "retry lands after the backoff");
+        let retried = s.take();
+        assert_eq!(retried.op, op, "the same request is retried");
+        assert_eq!(retried.arrival_ns, 1_250, "re-issued at the retry time");
+    }
+
+    #[test]
+    fn closed_source_exhausts_after_scripts_finish() {
+        let pop = ClosedLoop::new(1, 1, 0, ServeMix::C80, 1000, 5);
+        let mut s = ClosedSource::new(pop, 1);
+        let r = s.take();
+        assert!(matches!(
+            r.op,
+            ServeOp::Get(_) | ServeOp::Insert(..) | ServeOp::Delete(_)
+        ));
+        let resp = Response {
+            client: 0,
+            id: r.id,
+            arrival_ns: r.arrival_ns,
+            wait_ns: 0,
+            done_ns: 10,
+            reply: crate::request::Reply::Got(None),
+        };
+        s.on_complete(&resp);
+        assert!(s.exhausted(), "single-op script is done after completion");
+    }
+}

@@ -1,0 +1,395 @@
+//! Open- and closed-loop arrival processes for the serving front end.
+//!
+//! The harness's op streams (`OpMix::stream`) model a saturating benchmark
+//! loop: every worker always has the next operation ready. A serving system
+//! sees something different — requests *arrive* over time, attributed to
+//! clients, and the server's batching decisions depend on that arrival
+//! process. This module provides both classic load-generation shapes,
+//! deterministically seeded so a service run replays bit-for-bit:
+//!
+//! * **Open loop** ([`OpenLoop`]): Poisson arrivals at a fixed offered rate,
+//!   independent of completions. Models internet-facing traffic; overload is
+//!   possible and sheds are expected.
+//! * **Closed loop** ([`ClosedLoop`]): each client keeps at most one request
+//!   outstanding and thinks (exponentially distributed pause) between its
+//!   completion and its next issue. Models a fixed client population;
+//!   offered load self-limits to `clients / (think + latency)`.
+//!
+//! Requests use [`ServeOp`], the four-kind superset of [`crate::Op`] that
+//! adds `Range` scans (the serving API exposes them; the saturating harness
+//! mixes do not).
+
+use crate::rng::{Lehmer64, SplitMix64};
+
+/// One serving-request operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOp {
+    /// Point lookup.
+    Get(u32),
+    /// Insert `(key, value)`.
+    Insert(u32, u32),
+    /// Delete a key.
+    Delete(u32),
+    /// Count keys in the inclusive window `[lo, hi]`.
+    Range(u32, u32),
+}
+
+impl ServeOp {
+    /// The (low) key the operation addresses — what sharded batch policies
+    /// partition on.
+    #[inline]
+    pub fn key(&self) -> u32 {
+        match *self {
+            ServeOp::Get(k) | ServeOp::Insert(k, _) | ServeOp::Delete(k) | ServeOp::Range(k, _) => {
+                k
+            }
+        }
+    }
+
+    /// True for operations that never take a chunk lock (the paper's
+    /// lock-free Contains fast path and the range scan built on it).
+    #[inline]
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, ServeOp::Get(_) | ServeOp::Range(_, _))
+    }
+}
+
+/// Percent mixture over the four request kinds, plus the key span of range
+/// scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeMix {
+    /// Percent of `Insert` requests.
+    pub insert_pct: u32,
+    /// Percent of `Delete` requests.
+    pub delete_pct: u32,
+    /// Percent of `Get` requests.
+    pub get_pct: u32,
+    /// Percent of `Range` requests.
+    pub range_pct: u32,
+    /// Key span of each range scan (`hi = lo + range_span`, clamped).
+    pub range_span: u32,
+}
+
+impl ServeMix {
+    /// The paper's anchor mix, 10% insert / 10% delete / 80% lookup, with
+    /// range scans disabled — directly comparable to [`crate::OpMix::C80`].
+    pub const C80: ServeMix = ServeMix::new(10, 10, 80, 0, 0);
+
+    /// A range-bearing service mix: 10/10/70 point ops plus 10% scans of a
+    /// 64-key window.
+    pub const RANGE10: ServeMix = ServeMix::new(10, 10, 70, 10, 64);
+
+    /// A new mixture; percentages must sum to 100.
+    pub const fn new(
+        insert_pct: u32,
+        delete_pct: u32,
+        get_pct: u32,
+        range_pct: u32,
+        range_span: u32,
+    ) -> ServeMix {
+        assert!(
+            insert_pct + delete_pct + get_pct + range_pct == 100,
+            "request mix must sum to 100%"
+        );
+        ServeMix {
+            insert_pct,
+            delete_pct,
+            get_pct,
+            range_pct,
+            range_span,
+        }
+    }
+
+    /// Draw one request with a uniform key in `1..=key_range`.
+    #[inline]
+    pub fn draw(&self, rng: &mut Lehmer64, key_range: u32) -> ServeOp {
+        let k = rng.below(key_range as u64) as u32 + 1;
+        let roll = rng.below(100) as u32;
+        if roll < self.insert_pct {
+            ServeOp::Insert(k, k)
+        } else if roll < self.insert_pct + self.delete_pct {
+            ServeOp::Delete(k)
+        } else if roll < self.insert_pct + self.delete_pct + self.get_pct {
+            ServeOp::Get(k)
+        } else {
+            let hi = k.saturating_add(self.range_span).min(key_range);
+            ServeOp::Range(k, hi)
+        }
+    }
+
+    /// Generate a full deterministic request stream (uniform keys).
+    pub fn stream(&self, seed: u64, key_range: u32, n_ops: usize) -> Vec<ServeOp> {
+        let mut rng = Lehmer64::new(seed);
+        (0..n_ops).map(|_| self.draw(&mut rng, key_range)).collect()
+    }
+}
+
+/// Deterministic exponential inter-arrival / think-time sampler.
+#[derive(Debug, Clone)]
+pub struct Exponential {
+    rng: SplitMix64,
+    mean_ns: f64,
+}
+
+impl Exponential {
+    /// Sampler with the given mean, in nanoseconds. A zero mean always
+    /// samples zero (back-to-back arrivals).
+    pub fn new(seed: u64, mean_ns: u64) -> Exponential {
+        Exponential {
+            rng: SplitMix64::new(seed),
+            mean_ns: mean_ns as f64,
+        }
+    }
+
+    /// Next interval in nanoseconds: `-mean · ln(1 - U)`, `U ∈ [0, 1)` so
+    /// the argument stays in `(0, 1]` and the draw is finite.
+    #[inline]
+    pub fn next_ns(&mut self) -> u64 {
+        if self.mean_ns <= 0.0 {
+            return 0;
+        }
+        let u = self.rng.unit_f64();
+        (-self.mean_ns * (1.0 - u).ln()) as u64
+    }
+}
+
+/// One arrival: a request op attributed to a client at a virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual arrival time in nanoseconds since the run started.
+    pub at_ns: u64,
+    /// Issuing client.
+    pub client: u32,
+    /// The request operation.
+    pub op: ServeOp,
+}
+
+/// Open-loop (Poisson) arrival process: `n_ops` requests at a fixed offered
+/// rate, attributed uniformly to `clients` simulated clients.
+#[derive(Debug, Clone)]
+pub struct OpenLoop {
+    mix: ServeMix,
+    key_range: u32,
+    clients: u32,
+    remaining: u64,
+    clock_ns: u64,
+    iat: Exponential,
+    ops: Lehmer64,
+    assign: SplitMix64,
+}
+
+impl OpenLoop {
+    /// A process offering `rate_mops` million requests per second.
+    pub fn new(
+        mix: ServeMix,
+        key_range: u32,
+        clients: u32,
+        n_ops: u64,
+        rate_mops: f64,
+        seed: u64,
+    ) -> OpenLoop {
+        assert!(clients > 0 && key_range > 0 && rate_mops > 0.0);
+        let mean_ns = (1_000.0 / rate_mops).max(0.0) as u64;
+        OpenLoop {
+            mix,
+            key_range,
+            clients,
+            remaining: n_ops,
+            clock_ns: 0,
+            iat: Exponential::new(seed ^ 0x0A11_AB1E, mean_ns),
+            ops: Lehmer64::new(seed ^ 0x0BEA_7E11),
+            assign: SplitMix64::new(seed ^ 0x0C0F_FEE5),
+        }
+    }
+
+    /// Requests this process will still yield.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Iterator for OpenLoop {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.clock_ns += self.iat.next_ns();
+        Some(Arrival {
+            at_ns: self.clock_ns,
+            client: self.assign.below(self.clients as u64) as u32,
+            op: self.mix.draw(&mut self.ops, self.key_range),
+        })
+    }
+}
+
+/// One closed-loop client: a deterministic op stream plus a think-time
+/// sampler. The *server* drives the state machine — it calls [`next_op`]
+/// when the client issues and [`think_ns`] when a completion comes back.
+///
+/// [`next_op`]: ClientStream::next_op
+/// [`think_ns`]: ClientStream::think_ns
+#[derive(Debug, Clone)]
+pub struct ClientStream {
+    mix: ServeMix,
+    key_range: u32,
+    remaining: u64,
+    ops: Lehmer64,
+    think: Exponential,
+}
+
+impl ClientStream {
+    /// The client's next request, or `None` when its script is exhausted.
+    pub fn next_op(&mut self) -> Option<ServeOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(self.mix.draw(&mut self.ops, self.key_range))
+    }
+
+    /// Think-time pause before the client's next issue, in nanoseconds.
+    pub fn think_ns(&mut self) -> u64 {
+        self.think.next_ns()
+    }
+
+    /// Requests this client will still issue.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+/// A closed-loop client population: each client keeps one request
+/// outstanding and thinks between completion and the next issue.
+#[derive(Debug, Clone)]
+pub struct ClosedLoop {
+    /// Per-client streams, indexed by client id.
+    pub streams: Vec<ClientStream>,
+}
+
+impl ClosedLoop {
+    /// `clients` clients, each scripted for `ops_per_client` requests with
+    /// mean think time `think_mean_ns`.
+    pub fn new(
+        clients: u32,
+        ops_per_client: u64,
+        think_mean_ns: u64,
+        mix: ServeMix,
+        key_range: u32,
+        seed: u64,
+    ) -> ClosedLoop {
+        assert!(clients > 0 && key_range > 0);
+        let streams = (0..clients)
+            .map(|c| ClientStream {
+                mix,
+                key_range,
+                remaining: ops_per_client,
+                ops: Lehmer64::new(seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5E12_CE00),
+                think: Exponential::new(
+                    seed ^ (c as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ 0x7417_4B11,
+                    think_mean_ns,
+                ),
+            })
+            .collect();
+        ClosedLoop { streams }
+    }
+
+    /// Total requests the population will issue.
+    pub fn total_ops(&self) -> u64 {
+        self.streams.iter().map(|s| s.remaining).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_mix_respects_percentages() {
+        let mut rng = Lehmer64::new(7);
+        let mix = ServeMix::RANGE10;
+        let n = 100_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            match mix.draw(&mut rng, 1_000_000) {
+                ServeOp::Insert(..) => counts[0] += 1,
+                ServeOp::Delete(_) => counts[1] += 1,
+                ServeOp::Get(_) => counts[2] += 1,
+                ServeOp::Range(..) => counts[3] += 1,
+            }
+        }
+        let pct = |c: u32| c as f64 / n as f64 * 100.0;
+        assert!((pct(counts[0]) - 10.0).abs() < 1.0);
+        assert!((pct(counts[1]) - 10.0).abs() < 1.0);
+        assert!((pct(counts[2]) - 70.0).abs() < 1.0);
+        assert!((pct(counts[3]) - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn c80_is_the_harness_anchor_mix() {
+        let mix = ServeMix::C80;
+        let ops = mix.stream(42, 1000, 10_000);
+        assert!(ops.iter().all(|o| !matches!(o, ServeOp::Range(..))));
+        assert!(ops.iter().all(|o| (1..=1000).contains(&o.key())));
+    }
+
+    #[test]
+    fn range_windows_are_well_formed() {
+        let ops = ServeMix::RANGE10.stream(9, 500, 20_000);
+        for op in ops {
+            if let ServeOp::Range(lo, hi) = op {
+                assert!(lo <= hi && hi <= 500);
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_mean_tracks_parameter() {
+        let mut e = Exponential::new(3, 1_000);
+        let n = 200_000u64;
+        let total: u64 = (0..n).map(|_| e.next_ns()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1_000.0).abs() < 25.0, "mean = {mean}");
+        assert_eq!(Exponential::new(3, 0).next_ns(), 0);
+    }
+
+    #[test]
+    fn open_loop_is_deterministic_and_time_ordered() {
+        let a: Vec<Arrival> =
+            OpenLoop::new(ServeMix::C80, 1000, 8, 5_000, 1.0, 11).collect();
+        let b: Vec<Arrival> =
+            OpenLoop::new(ServeMix::C80, 1000, 8, 5_000, 1.0, 11).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5_000);
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert!(a.iter().all(|r| r.client < 8));
+        let c: Vec<Arrival> =
+            OpenLoop::new(ServeMix::C80, 1000, 8, 5_000, 1.0, 12).collect();
+        assert_ne!(a, c, "different seed, different arrivals");
+    }
+
+    #[test]
+    fn open_loop_rate_sets_mean_spacing() {
+        let arrivals: Vec<Arrival> =
+            OpenLoop::new(ServeMix::C80, 1000, 4, 50_000, 2.0, 5).collect();
+        // 2 Mops/s -> mean inter-arrival 500 ns.
+        let span = arrivals.last().unwrap().at_ns as f64;
+        let mean = span / arrivals.len() as f64;
+        assert!((mean - 500.0).abs() < 20.0, "mean spacing = {mean}");
+    }
+
+    #[test]
+    fn closed_loop_clients_are_independent_deterministic_streams() {
+        let mut a = ClosedLoop::new(4, 100, 1_000, ServeMix::C80, 1000, 21);
+        let mut b = ClosedLoop::new(4, 100, 1_000, ServeMix::C80, 1000, 21);
+        assert_eq!(a.total_ops(), 400);
+        let ops_a: Vec<_> = (0..100).map_while(|_| a.streams[2].next_op()).collect();
+        let ops_b: Vec<_> = (0..100).map_while(|_| b.streams[2].next_op()).collect();
+        assert_eq!(ops_a, ops_b);
+        assert_eq!(a.streams[2].next_op(), None, "script exhausts at 100");
+        let ops_other: Vec<_> = (0..100).map_while(|_| b.streams[3].next_op()).collect();
+        assert_ne!(ops_a, ops_other, "clients draw distinct streams");
+    }
+}

@@ -18,12 +18,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod dist;
 pub mod mix;
 pub mod prefill;
 pub mod rng;
 pub mod spec;
 
+pub use arrival::{Arrival, ClientStream, ClosedLoop, Exponential, OpenLoop, ServeMix, ServeOp};
 pub use dist::{KeyDist, Zipf};
 pub use mix::{Op, OpKind, OpMix};
 pub use prefill::Prefill;

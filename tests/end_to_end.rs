@@ -129,7 +129,7 @@ fn model_pipeline_sanity() {
 #[test]
 fn all_experiments_smoke() {
     let cfg = tiny_cfg();
-    for id in ["table5_1", "table5_2", "fig5_4", "pkey", "ablate", "diag"] {
+    for id in ["table5_1", "table5_2", "fig5_4", "pkey", "ablate", "diag", "serve"] {
         let tables = experiments::run(id, &cfg);
         assert!(!tables.is_empty(), "{id} produced no tables");
         for t in &tables {
@@ -150,9 +150,14 @@ fn csv_artifacts_are_written() {
         ..tiny_cfg()
     };
     let tables = experiments::run("fig5_1", &cfg);
-    experiments::emit(&tables, &cfg);
+    experiments::emit("fig5_1", &tables, &cfg);
     let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
     assert!(!entries.is_empty(), "no CSVs written to {}", dir.display());
+    assert!(
+        dir.join("BENCH_fig5_1.json").is_file(),
+        "BENCH_fig5_1.json missing from {}",
+        dir.display()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
