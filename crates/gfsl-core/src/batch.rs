@@ -32,6 +32,15 @@ impl BatchOp {
     pub fn is_read_only(&self) -> bool {
         matches!(self, BatchOp::Get(_) | BatchOp::CountRange(_, _))
     }
+
+    /// The key the operation is routed by (`lo` for a range count) — what
+    /// hinted batch execution clusters on.
+    pub fn key(&self) -> u32 {
+        match *self {
+            BatchOp::Get(k) | BatchOp::Insert(k, _) | BatchOp::Remove(k) => k,
+            BatchOp::CountRange(lo, _) => lo,
+        }
+    }
 }
 
 /// Typed reply for one [`BatchOp`], index-aligned with the request slice.
@@ -56,18 +65,44 @@ impl<P: MemProbe> GfslHandle<'_, P> {
     pub fn execute_batch(&mut self, ops: &[BatchOp], out: &mut Vec<BatchReply>) -> usize {
         out.reserve(ops.len());
         for op in ops {
-            let reply = match *op {
-                BatchOp::Get(k) => BatchReply::Got(self.get(k)),
-                BatchOp::Insert(k, v) => match self.insert(k, v) {
-                    Ok(added) => BatchReply::Inserted(added),
-                    Err(e) => BatchReply::Failed(e),
-                },
-                BatchOp::Remove(k) => BatchReply::Removed(self.remove(k)),
-                BatchOp::CountRange(lo, hi) => BatchReply::Counted(self.count_range(lo, hi) as u32),
-            };
+            let reply = self.dispatch_one(*op);
             out.push(reply);
         }
         ops.len()
+    }
+
+    /// Execute `ops` in ascending key order (replies stay index-aligned
+    /// with the request slice), so consecutive operations land in the same
+    /// or adjacent bottom-level chunks and the traversal hint cache
+    /// ([`crate::GfslParams::hints`]) turns most descents into one or two
+    /// lateral steps.
+    ///
+    /// Operations on the *same* key keep their original relative order (the
+    /// sort is by `(key, index)`), so per-key reply semantics match
+    /// [`execute_batch`](Self::execute_batch); operations on different keys
+    /// are mutually unordered in either entry point, exactly as they would
+    /// be across concurrently dispatched batches.
+    pub fn execute_batch_hinted(&mut self, ops: &[BatchOp], out: &mut Vec<BatchReply>) -> usize {
+        let mut order: Vec<u32> = (0..ops.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| (ops[i as usize].key(), i));
+        let base = out.len();
+        out.resize(base + ops.len(), BatchReply::Got(None));
+        for &i in &order {
+            out[base + i as usize] = self.dispatch_one(ops[i as usize]);
+        }
+        ops.len()
+    }
+
+    fn dispatch_one(&mut self, op: BatchOp) -> BatchReply {
+        match op {
+            BatchOp::Get(k) => BatchReply::Got(self.get(k)),
+            BatchOp::Insert(k, v) => match self.insert(k, v) {
+                Ok(added) => BatchReply::Inserted(added),
+                Err(e) => BatchReply::Failed(e),
+            },
+            BatchOp::Remove(k) => BatchReply::Removed(self.remove(k)),
+            BatchOp::CountRange(lo, hi) => BatchReply::Counted(self.count_range(lo, hi) as u32),
+        }
     }
 }
 
@@ -128,6 +163,50 @@ mod tests {
         );
         // Even keys only: [3, 8] holds 4, 6, 8.
         assert_eq!(out, vec![BatchReply::Counted(100), BatchReply::Counted(3)]);
+    }
+
+    #[test]
+    fn hinted_batch_matches_plain_and_reuses_hints() {
+        let params = GfslParams {
+            team_size: TeamSize::Sixteen,
+            hints: true,
+            ..Default::default()
+        };
+        let list = Gfsl::prefilled(params, (1..=500u32).map(|k| k * 2)).unwrap();
+        let mut h = list.handle();
+        // Scrambled lookups: hinted execution sorts them, so consecutive
+        // probes land in the same or neighbouring bottom chunks.
+        let ops: Vec<BatchOp> = (0..400u32).map(|i| BatchOp::Get((i * 37) % 1100 + 1)).collect();
+        let mut hinted = Vec::new();
+        h.execute_batch_hinted(&ops, &mut hinted);
+        assert!(h.stats().hint_hits > 0, "key-sorted batch must reuse the hint");
+        let mut plain = Vec::new();
+        h.execute_batch(&ops, &mut plain);
+        assert_eq!(hinted, plain, "replies independent of execution order");
+        list.assert_valid();
+    }
+
+    #[test]
+    fn hinted_batch_keeps_same_key_order() {
+        let list = Gfsl::new(params16()).unwrap();
+        let mut h = list.handle();
+        let ops = [
+            BatchOp::Insert(10, 1),
+            BatchOp::Remove(10),
+            BatchOp::Insert(10, 2),
+            BatchOp::Get(10),
+        ];
+        let mut out = Vec::new();
+        h.execute_batch_hinted(&ops, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                BatchReply::Inserted(true),
+                BatchReply::Removed(true),
+                BatchReply::Inserted(true),
+                BatchReply::Got(Some(2)),
+            ]
+        );
     }
 
     #[test]

@@ -207,6 +207,14 @@ impl ChunkView {
             .map(|lane| (lane, self.entry(lane)))
             .filter(|(_, e)| !e.is_empty())
     }
+
+    /// The raw data words (lanes `0..DSIZE`) as a slice, for the vectorized
+    /// ballot kernels ([`gfsl_simt::BallotKernel`]): bit `i` of a kernel mask
+    /// over this slice is lane `i`'s vote.
+    #[inline]
+    pub fn data_words(&self, team: &Team) -> &[u64] {
+        &self.regs.as_slice()[..team.dsize()]
+    }
 }
 
 /// Lock/write-side chunk operations. These are free functions over the pool
@@ -264,20 +272,21 @@ pub mod ops {
         );
     }
 
-    /// Convert a held lock into the terminal zombie marker. The version is
-    /// dropped: zombie contents never change again, so reads of a zombie
-    /// need no certification.
+    /// Convert a held lock into the terminal zombie marker. The release
+    /// version is *preserved*: zombie contents never change again (so reads
+    /// of a zombie need no certification), but the version must survive into
+    /// any future incarnation of this chunk — reclamation recycles zombie
+    /// chunks, and the traversal hint cache relies on per-chunk lock-word
+    /// versions being monotonic across incarnations to reject hints that
+    /// name a since-recycled chunk.
     #[inline]
     pub fn mark_zombie<P: MemProbe>(team: &Team, pool: &WordPool, probe: &mut P, ch: ChunkRef) {
         let addr = lock_addr(team, ch);
-        debug_assert_eq!(
-            lock_state(pool.read(addr)),
-            LOCK_LOCKED,
-            "only the lock holder may zombify"
-        );
+        let cur = pool.read(addr);
+        debug_assert_eq!(lock_state(cur), LOCK_LOCKED, "only the lock holder may zombify");
         probe.crash_point(CrashPoint::MergeZombieMark);
         probe.lane_write(addr);
-        pool.write(addr, LOCK_ZOMBIE);
+        pool.write(addr, (cur & !LOCK_STATE_MASK) | LOCK_ZOMBIE);
     }
 
     /// Atomically overwrite data entry `lane` (the paper's per-lane

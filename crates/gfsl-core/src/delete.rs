@@ -27,6 +27,14 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !is_user_key(k) {
             return false;
         }
+        // Reclamation maintenance runs only here, before any lock is taken:
+        // the verification scan does certified reads and must never wait on
+        // a chunk this handle itself holds locked.
+        self.maybe_reclaim();
+        self.with_pin(|h| h.remove_pinned(k))
+    }
+
+    fn remove_pinned(&mut self, k: u32) -> bool {
         let team = self.list.team;
         let (found, path) = self.search_slow(k);
         if found.found.is_none() {
@@ -105,7 +113,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             return;
         }
 
-        match self.lock_next_chunk(p_enc) {
+        match self.lock_next_chunk(p_enc, level) {
             None => {
                 // Last chunk in the level: never merged, never zombified;
                 // just remove, even if that empties it completely.

@@ -13,7 +13,7 @@ use gfsl_gpu_mem::probe::CrashPoint;
 use gfsl_gpu_mem::MemProbe;
 
 use crate::chunk::{ops, ChunkView, Entry, NIL};
-use crate::search::{tid_for_next_step, NextStep};
+use crate::search::{down_step_lane, tid_for_next_step, NextStep};
 use crate::skiplist::GfslHandle;
 
 impl<'a, P: MemProbe> GfslHandle<'a, P> {
@@ -63,6 +63,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// `target`.
     pub(crate) fn search_down_to_level(&mut self, target: usize, k: u32) -> Option<u32> {
         let team = self.list.team;
+        let kernel = self.list.params.kernel;
         'restart: loop {
             let mut height = self.list.height();
             if height < target {
@@ -81,7 +82,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     cur = next;
                     continue;
                 }
-                match tid_for_next_step(&team, k, &view) {
+                match tid_for_next_step(kernel, &team, k, &view) {
                     NextStep::Lateral => {
                         prev = Some((cur, view));
                         cur = view.next(&team);
@@ -98,10 +99,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                         }
                         Some((_, pview)) => {
                             height -= 1;
-                            let lane = team
-                                .ballot(|l| team.is_data_lane(l) && pview.entry(l).key() <= k)
-                                .highest();
-                            cur = match lane {
+                            cur = match down_step_lane(kernel, &team, k, &pview) {
                                 Some(l) => pview.entry(l).val(),
                                 None => {
                                     self.stats.search_restarts += 1;

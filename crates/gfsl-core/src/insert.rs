@@ -37,6 +37,13 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !is_user_key(k) {
             return Err(Error::InvalidKey(k));
         }
+        // Reclamation maintenance runs only here, before any lock is taken
+        // (the verification scan must never wait on our own locks).
+        self.maybe_reclaim();
+        self.with_pin(|h| h.insert_pinned(k, v))
+    }
+
+    fn insert_pinned(&mut self, k: u32, v: u32) -> Result<bool, Error> {
         let (found, path) = self.search_slow(k);
         if found.found.is_some() {
             return Ok(false);
@@ -108,6 +115,11 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !is_user_key(k) {
             return Err(Error::InvalidKey(k));
         }
+        self.maybe_reclaim();
+        self.with_pin(|h| h.upsert_pinned(k, v))
+    }
+
+    fn upsert_pinned(&mut self, k: u32, v: u32) -> Result<Option<u32>, Error> {
         let team = self.list.team;
         loop {
             let (_, path) = self.search_slow(k);
@@ -186,9 +198,12 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         let team = self.list.team;
         debug_assert!(view.lane_of_key(&team, k).is_none(), "inserting duplicate {k}");
         // Sorted + left-packed under the lock, so the insertion index is the
-        // number of keys smaller than k.
-        let insert_idx = team
-            .ballot(|lane| team.is_data_lane(lane) && view.entry(lane).key() < k)
+        // number of keys smaller than k (k >= 1, so `< k` is `<= k-1`).
+        let insert_idx = self
+            .list
+            .params
+            .kernel
+            .keys_le(view.data_words(&team), k - 1)
             .count() as usize;
         debug_assert!(insert_idx < team.dsize(), "chunk was full");
         let ch = self.list.chunk(p_enc);

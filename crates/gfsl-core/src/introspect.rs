@@ -50,9 +50,15 @@ pub struct Shape {
     /// Per-level shapes, bottom first, only levels that hold keys (plus
     /// level 0 always).
     pub levels: Vec<LevelShape>,
-    /// Total chunks handed out by the pool (including zombies and
-    /// sentinels).
+    /// Total chunks handed out by the pool's bump pointer (including
+    /// zombies and sentinels). With reclamation on this is the pool
+    /// *high-water mark*: recycled chunks are re-issued from the free list
+    /// without bumping it.
     pub chunks_allocated: u32,
+    /// Reclamation progress counters (`None` when reclamation is off):
+    /// epochs advanced, chunks retired/recycled/reused, and the current
+    /// limbo/staged/free populations.
+    pub reclaim: Option<gfsl_gpu_mem::ReclaimStats>,
 }
 
 impl Shape {
@@ -96,6 +102,9 @@ impl Gfsl {
     pub fn shape(&self) -> Shape {
         let team = self.team;
         let mut h = self.handle_with(NoProbe);
+        // Pinned so concurrent reclamation cannot recycle chunks out from
+        // under the walk (the snapshot itself is still quiescent-only).
+        h.with_pin(|h| {
         let mut levels = Vec::new();
         for level in 0..self.params.max_levels() {
             let mut shape = LevelShape {
@@ -134,7 +143,9 @@ impl Gfsl {
         Shape {
             levels,
             chunks_allocated: self.chunks_allocated(),
+            reclaim: self.reclaim_stats(),
         }
+        })
     }
 }
 

@@ -1,6 +1,6 @@
 //! Tunable parameters of a GFSL instance.
 
-use gfsl_simt::TeamSize;
+use gfsl_simt::{BallotKernel, TeamSize};
 
 /// Configuration for a [`crate::Gfsl`] instance.
 ///
@@ -17,10 +17,29 @@ pub struct GfslParams {
     /// `DSIZE / merge_divisor` live entries (paper: 3).
     pub merge_divisor: u32,
     /// Pool capacity in chunks. The paper preallocates the device pool at
-    /// initialization; splits and merges allocate from it, nothing is freed.
+    /// initialization; splits and merges allocate from it. With
+    /// [`reclaim`](Self::reclaim) enabled, unlinked zombie chunks are
+    /// recycled back into circulation, so the bump pointer stops at the
+    /// churn high-water mark instead of growing forever.
     pub pool_chunks: u32,
     /// Seed for the per-handle raise-coin RNG streams.
     pub seed: u64,
+    /// Which ballot kernel evaluates the chunk votes. [`BallotKernel::Swar`]
+    /// (default) is the branch-free hot path; [`BallotKernel::Scalar`] is
+    /// the per-lane reference loop kept as the differential oracle. Both
+    /// compute identical votes (proptested), so this is purely a speed knob.
+    pub kernel: BallotKernel,
+    /// Enable the per-handle traversal hint cache: lock-free reads first try
+    /// to start their bottom-level lateral walk at the last bottom chunk
+    /// this handle touched (validated via the versioned lock word), falling
+    /// back to a full descent on miss. Off by default: it pays off when a
+    /// handle's keys arrive in sorted/clustered order (batched serving), and
+    /// costs one wasted chunk read per miss otherwise.
+    pub hints: bool,
+    /// Enable epoch-based reclamation of unlinked zombie chunks (recycled
+    /// through `alloc_chunk`). See `gfsl_gpu_mem::reclaim` and DESIGN.md for
+    /// the safety argument.
+    pub reclaim: bool,
 }
 
 impl Default for GfslParams {
@@ -31,6 +50,9 @@ impl Default for GfslParams {
             merge_divisor: 3,
             pool_chunks: 1 << 16,
             seed: 0x9E37_79B9_7F4A_7C15,
+            kernel: BallotKernel::Swar,
+            hints: false,
+            reclaim: true,
         }
     }
 }

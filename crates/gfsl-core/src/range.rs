@@ -10,15 +10,15 @@
 
 use gfsl_gpu_mem::MemProbe;
 
-use crate::chunk::{is_user_key, KEY_NEG_INF, NIL};
+use crate::chunk::{is_user_key, lock_state, NIL, LOCK_UNLOCKED};
 use crate::skiplist::GfslHandle;
 
 impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// Visit every `(key, value)` with `lo <= key <= hi` in ascending key
     /// order. Returns the number of entries visited.
     ///
-    /// Within one chunk snapshot a key can transiently appear twice while a
-    /// shift is in flight (the rightmost copy is authoritative); the scan
+    /// A key can appear in two consecutive chunk snapshots while a merge is
+    /// in flight (the rightmost copy is authoritative); the scan
     /// deduplicates by keeping the last copy seen and never yields keys out
     /// of order.
     pub fn for_each_in_range(
@@ -34,40 +34,42 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !is_user_key(lo) && lo != 1 {
             return 0;
         }
+        self.with_pin(|h| h.range_pinned(lo, hi, &mut f))
+    }
+
+    fn range_pinned(&mut self, lo: u32, hi: u32, f: &mut dyn FnMut(u32, u32)) -> usize {
         let team = self.list.team;
-        let mut cur = self.search_down(lo);
+        let kernel = self.list.params.kernel;
+        // Hinted start with the same walk budget as point lookups: chunks
+        // left of `lo`'s enclosing chunk contribute nothing to the scan, so
+        // a far-left hint would silently lengthen it by the whole gap.
+        let mut cur = self.hinted_lateral(lo).enclosing;
         let mut pending: Option<(u32, u32)> = None;
+        let mut noted = false;
         let mut count = 0usize;
-        loop {
-            // Certified: a torn single read racing a remove's left-shift can
-            // miss a key that is present for the whole scan, which the scan
-            // contract forbids.
-            let view = self.read_chunk_certified(cur);
-            if view.is_zombie(&team) {
-                let next = view.next(&team);
-                if next == NIL {
-                    break;
-                }
-                cur = next;
-                continue;
+        // Certified reads throughout: a torn single read racing a remove's
+        // left-shift can miss a key that is present for the whole scan,
+        // which the scan contract forbids.
+        while let Some((c, view)) = self.next_live_certified(cur) {
+            if !noted {
+                // The first live chunk encloses `lo`: cache it as the next
+                // scan's descent shortcut. A certified view's lock word was
+                // observed unlocked, but re-derive defensively.
+                noted = true;
+                let w = view.lock_word(&team);
+                self.note_hint(c, (lock_state(w) == LOCK_UNLOCKED).then_some(w));
             }
-            for (_, e) in view.live_entries(&team) {
-                let k = e.key();
-                if k == KEY_NEG_INF || k < lo {
+            let words = view.data_words(&team);
+            let in_range = kernel.keys_in_range(words, lo, hi);
+            for lane in 0..team.dsize() {
+                if !in_range.is_set(lane) {
                     continue;
                 }
-                if k > hi {
-                    // Data arrays are sorted; a later chunk only holds
-                    // larger keys, so the scan is complete.
-                    if let Some((pk, pv)) = pending.take() {
-                        f(pk, pv);
-                        count += 1;
-                    }
-                    return count;
-                }
+                let e = view.entry(lane);
+                let k = e.key();
                 match pending {
                     Some((pk, _)) if k == pk => {
-                        // Transient duplicate: the rightmost copy wins.
+                        // Cross-chunk duplicate mid-merge: rightmost wins.
                         pending = Some((k, e.val()));
                     }
                     Some((pk, pv)) if k > pk => {
@@ -76,11 +78,18 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                         pending = Some((k, e.val()));
                     }
                     Some(_) => {
-                        // Out-of-order snapshot artifact mid-merge: skip the
-                        // stale smaller copy.
+                        // Out-of-order artifact mid-merge: skip the stale
+                        // smaller copy.
                     }
                     None => pending = Some((k, e.val())),
                 }
+            }
+            // Data arrays are sorted, so a live key above `hi` means every
+            // later chunk only holds larger keys: the scan is complete.
+            let live = kernel.keys_live(words).bits();
+            let le_hi = kernel.keys_le(words, hi).bits();
+            if live & !le_hi != 0 {
+                break;
             }
             let next = view.next(&team);
             if next == NIL {

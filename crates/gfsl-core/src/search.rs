@@ -2,10 +2,10 @@
 //! path-recording `searchSlow` used by updates (paper §4.2.1–4.2.2).
 
 use gfsl_gpu_mem::MemProbe;
-use gfsl_simt::{LaneId, Team};
+use gfsl_simt::{Ballot, BallotKernel, LaneId, Team};
 
 use crate::chunk::{ops, is_user_key, ChunkView, NIL};
-use crate::skiplist::GfslHandle;
+use crate::skiplist::{GfslHandle, HINT_WALK_BUDGET};
 
 /// Team decision for the next traversal step (result of the ballot in
 /// `getTidForNextStep`, Algorithm 4.3).
@@ -26,18 +26,17 @@ pub enum NextStep {
 /// lane votes `max < k`, the LOCK lane abstains; the highest voting lane
 /// wins. EMPTY (∞) keys never vote because `k` is a user key `< ∞`; the
 /// `-∞` key always votes.
+///
+/// The DATA-lane votes are evaluated by `kernel` as one branch-free mask
+/// over the chunk's packed words, then the NEXT lane's `max < k` vote is
+/// OR-ed in at its lane position. `BallotKernel::Scalar` reproduces the
+/// original per-lane closure ballot bit-for-bit (proptested in
+/// `gfsl_simt::vector`), so the kernel choice never changes a decision.
 #[inline]
-pub fn tid_for_next_step(team: &Team, k: u32, view: &ChunkView) -> NextStep {
-    let ballot = team.ballot(|lane| {
-        if team.is_data_lane(lane) {
-            view.entry(lane).key() <= k
-        } else if lane == team.next_lane() {
-            view.entry(lane).key() < k
-        } else {
-            false
-        }
-    });
-    match ballot.highest() {
+pub fn tid_for_next_step(kernel: BallotKernel, team: &Team, k: u32, view: &ChunkView) -> NextStep {
+    let data = kernel.keys_le(view.data_words(team), k).bits();
+    let next = ((view.max(team) < k) as u32) << team.next_lane();
+    match Ballot::from_bits(data | next).highest() {
         None => NextStep::Backtrack,
         Some(lane) if lane == team.next_lane() => NextStep::Lateral,
         Some(lane) => NextStep::Down(lane),
@@ -57,19 +56,13 @@ pub enum LateralStep {
 }
 
 /// The cooperative `isTidWithEqualKey`: DATA lanes vote `key == k`, the
-/// NEXT lane votes `max < k`; the highest voting lane wins.
+/// NEXT lane votes `max < k`; the highest voting lane wins. DATA votes are
+/// one `kernel` mask, as in [`tid_for_next_step`].
 #[inline]
-pub fn tid_with_equal_key(team: &Team, k: u32, view: &ChunkView) -> LateralStep {
-    let ballot = team.ballot(|lane| {
-        if team.is_data_lane(lane) {
-            view.entry(lane).key() == k
-        } else if lane == team.next_lane() {
-            view.entry(lane).key() < k
-        } else {
-            false
-        }
-    });
-    match ballot.highest() {
+pub fn tid_with_equal_key(kernel: BallotKernel, team: &Team, k: u32, view: &ChunkView) -> LateralStep {
+    let data = kernel.keys_eq(view.data_words(team), k).bits();
+    let next = ((view.max(team) < k) as u32) << team.next_lane();
+    match Ballot::from_bits(data | next).highest() {
         None => LateralStep::NotFound,
         Some(lane) if lane == team.next_lane() => LateralStep::Continue,
         Some(lane) => LateralStep::Found(lane),
@@ -83,6 +76,12 @@ pub(crate) struct LateralResult {
     pub enclosing: u32,
     /// The DATA lane holding `k` and its value, if present.
     pub found: Option<(LaneId, u32)>,
+    /// The enclosing chunk's lock word, when it was observed *unlocked* in
+    /// the final view (always on certified `NotFound`; on `Found` only if
+    /// no writer happened to hold the chunk). Feeds the traversal hint
+    /// cache: a `(chunk, word)` pair can later revalidate the chunk as
+    /// unchanged-since-observed via version equality.
+    pub word: Option<u64>,
 }
 
 impl<'a, P: MemProbe> GfslHandle<'a, P> {
@@ -100,9 +99,54 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !is_user_key(k) {
             return None;
         }
+        self.with_pin(|h| {
+            let res = h.hinted_lateral(k);
+            h.note_hint(res.enclosing, res.word);
+            res.found.map(|(_, v)| v)
+        })
+    }
+
+    /// Bottom-level lateral search for `k`, starting from the traversal
+    /// hint when it validates and lies within [`HINT_WALK_BUDGET`] chunks of
+    /// the enclosing chunk, else from a full descent.
+    ///
+    /// The hot case — `k` lands in the hinted chunk itself — is answered
+    /// from [`hint_start`](Self::hint_start)'s validated snapshot without
+    /// another chunk read: the validation bracket doubles as the negative-
+    /// answer certification, so both `Found` and `NotFound` are immediate.
+    pub(crate) fn hinted_lateral(&mut self, k: u32) -> LateralResult {
+        if let Some((c, view)) = self.hint_start(k) {
+            let team = self.list.team;
+            let kernel = self.list.params.kernel;
+            match tid_with_equal_key(kernel, &team, k, &view) {
+                LateralStep::Found(lane) => {
+                    // The validated word is unlocked by construction.
+                    return LateralResult {
+                        enclosing: c,
+                        found: Some((lane, view.entry(lane).val())),
+                        word: Some(view.lock_word(&team)),
+                    };
+                }
+                LateralStep::NotFound => {
+                    return LateralResult {
+                        enclosing: c,
+                        found: None,
+                        word: Some(view.lock_word(&team)),
+                    };
+                }
+                LateralStep::Continue => {
+                    let next = view.next(&team);
+                    debug_assert_ne!(next, NIL);
+                    if let Some(res) = self.search_lateral_bounded(k, next, HINT_WALK_BUDGET) {
+                        return res;
+                    }
+                    // Validated but too far left to be worth walking from.
+                    self.hint_overrun();
+                }
+            }
+        }
         let bottom = self.search_down(k);
-        let res = self.search_lateral(k, bottom);
-        res.found.map(|(_, v)| v)
+        self.search_lateral(k, bottom)
     }
 
     /// The smallest key currently in the set (with its value), or `None`
@@ -114,33 +158,29 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// motivating application).
     pub fn min_entry(&mut self) -> Option<(u32, u32)> {
         let team = self.list.team;
+        let kernel = self.list.params.kernel;
         self.stats.contains_ops += 1;
-        let mut cur = self.list.head_of(0);
-        loop {
-            // Certified: claiming a minimum asserts the absence of smaller
-            // keys in the view, which a torn read racing a remove can fake.
-            let view = self.read_chunk_certified(cur);
-            if !view.is_zombie(&team) {
+        self.with_pin(|h| {
+            let mut cur = h.list.head_of(0);
+            loop {
+                // Certified: claiming a minimum asserts the absence of
+                // smaller keys in the view, which a torn read racing a
+                // remove can fake.
+                let (_, view) = h.next_live_certified(cur)?;
                 // First live key above -inf; data arrays are sorted with
                 // empties at the end, and the -inf sentinel can only sit in
                 // entry 0, so the lowest voting lane is the minimum.
-                let ballot = team.ballot(|lane| {
-                    team.is_data_lane(lane) && {
-                        let e = view.entry(lane);
-                        !e.is_empty() && e.key() != crate::chunk::KEY_NEG_INF
-                    }
-                });
-                if let Some(lane) = ballot.lowest() {
+                if let Some(lane) = kernel.keys_live(view.data_words(&team)).lowest() {
                     let e = view.entry(lane);
                     return Some((e.key(), e.val()));
                 }
+                let next = view.next(&team);
+                if next == NIL {
+                    return None;
+                }
+                cur = next;
             }
-            let next = view.next(&team);
-            if next == NIL {
-                return None;
-            }
-            cur = next;
-        }
+        })
     }
 
     /// Traverse the upper levels and return the level-0 chunk reached by the
@@ -148,6 +188,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// backtrack-with-no-previous case.
     pub(crate) fn search_down(&mut self, k: u32) -> u32 {
         let team = self.list.team;
+        let kernel = self.list.params.kernel;
         'restart: loop {
             // prev = the chunk we lateral-stepped from (pointer + snapshot).
             let mut prev: Option<(u32, ChunkView)> = None;
@@ -168,7 +209,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     cur = next;
                     continue;
                 }
-                match tid_for_next_step(&team, k, &view) {
+                match tid_for_next_step(kernel, &team, k, &view) {
                     NextStep::Lateral => {
                         prev = Some((cur, view));
                         cur = view.next(&team);
@@ -187,7 +228,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                         }
                         Some((_, pview)) => {
                             height -= 1;
-                            cur = match down_step_lane(&team, k, &pview) {
+                            cur = match down_step_lane(kernel, &team, k, &pview) {
                                 Some(lane) => pview.entry(lane).val(),
                                 None => {
                                     self.stats.search_restarts += 1;
@@ -217,8 +258,31 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// atomically; keys never migrate to an earlier chunk, so a passed
     /// chunk can never hide `k`.
     pub(crate) fn search_lateral(&mut self, k: u32, start: u32) -> LateralResult {
+        self.search_lateral_bounded(k, start, u32::MAX)
+            .expect("unbounded lateral search always reaches the enclosing chunk")
+    }
+
+    /// [`Self::search_lateral`] with a chunk-move budget: returns `None`
+    /// once the walk has stepped `budget` chunks without reaching `k`'s
+    /// enclosing chunk.
+    ///
+    /// This is what makes the traversal hint cache safe to consult on
+    /// arbitrary key streams: a validated hint only proves the enclosing
+    /// chunk is *at-or-right* of the cached one, at an unknown distance. A
+    /// clustered stream lands within a step or two; a stream that jumps far
+    /// right would otherwise degrade the O(log n) descent into an O(n)
+    /// bottom-level crawl. Capping the walk bounds the worst case at
+    /// `budget` extra chunk reads before falling back to the descent.
+    pub(crate) fn search_lateral_bounded(
+        &mut self,
+        k: u32,
+        start: u32,
+        budget: u32,
+    ) -> Option<LateralResult> {
         let team = self.list.team;
+        let kernel = self.list.params.kernel;
         let mut cur = start;
+        let mut moves = 0u32;
         // Lock word observed before the current view's data lanes (i.e. from
         // the previous read of the *same* chunk). Reset on every move.
         let mut certify: Option<u64> = None;
@@ -228,18 +292,29 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 cur = view.next(&team);
                 certify = None;
                 debug_assert_ne!(cur, NIL);
+                moves += 1;
+                if moves > budget {
+                    return None;
+                }
                 continue;
             }
-            match tid_with_equal_key(&team, k, &view) {
+            match tid_with_equal_key(kernel, &team, k, &view) {
                 LateralStep::Continue => {
                     cur = view.next(&team);
                     certify = None;
+                    moves += 1;
+                    if moves > budget {
+                        return None;
+                    }
                 }
                 LateralStep::Found(lane) => {
-                    return LateralResult {
+                    let word = view.lock_word(&team);
+                    return Some(LateralResult {
                         enclosing: cur,
                         found: Some((lane, view.entry(lane).val())),
-                    }
+                        word: (crate::chunk::lock_state(word) == crate::chunk::LOCK_UNLOCKED)
+                            .then_some(word),
+                    });
                 }
                 LateralStep::NotFound => {
                     // The lock lane is read after every data lane of `view`.
@@ -247,10 +322,11 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     if certify == Some(after)
                         && crate::chunk::lock_state(after) == crate::chunk::LOCK_UNLOCKED
                     {
-                        return LateralResult {
+                        return Some(LateralResult {
                             enclosing: cur,
                             found: None,
-                        };
+                            word: Some(after),
+                        });
                     }
                     if certify.is_some() {
                         // A writer was active during the read: genuine retry.
@@ -270,6 +346,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// levels the traversal never visited default to the level head.
     pub(crate) fn search_slow(&mut self, k: u32) -> (LateralResult, [u32; gfsl_simt::WARP_SIZE]) {
         let team = self.list.team;
+        let kernel = self.list.params.kernel;
         'restart: loop {
             let mut path = [NIL; gfsl_simt::WARP_SIZE];
             for (i, slot) in path.iter_mut().enumerate().take(self.list.params.max_levels()) {
@@ -289,7 +366,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                         }
                     };
                     match prev {
-                        Some((pptr, _)) => self.redirect_past_zombies(pptr, cur, nz),
+                        Some((pptr, _)) => self.redirect_past_zombies(pptr, cur, nz, height),
                         None => {
                             if self.list.head_of(height) == cur {
                                 self.update_head(height, cur, nz);
@@ -299,7 +376,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     cur = nz;
                     view = nz_view;
                 }
-                match tid_for_next_step(&team, k, &view) {
+                match tid_for_next_step(kernel, &team, k, &view) {
                     NextStep::Lateral => {
                         prev = Some((cur, view));
                         cur = view.next(&team);
@@ -318,7 +395,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                         Some((pptr, pview)) => {
                             path[height] = pptr;
                             height -= 1;
-                            cur = match down_step_lane(&team, k, &pview) {
+                            cur = match down_step_lane(kernel, &team, k, &pview) {
                                 Some(lane) => pview.entry(lane).val(),
                                 None => {
                                     self.stats.search_restarts += 1;
@@ -339,6 +416,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// through (the bottom-level half of `findLateralWithZombieRedirect`).
     pub(crate) fn search_lateral_redirect(&mut self, k: u32, start: u32) -> LateralResult {
         let team = self.list.team;
+        let kernel = self.list.params.kernel;
         let mut prev: Option<u32> = None;
         let mut cur = start;
         // NotFound certification, exactly as in `search_lateral`.
@@ -350,7 +428,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 match self.first_non_zombie(view) {
                     Some((nz, _)) => {
                         if let Some(p) = prev {
-                            self.redirect_past_zombies(p, cur, nz);
+                            self.redirect_past_zombies(p, cur, nz, 0);
                         }
                         cur = nz;
                         continue;
@@ -364,17 +442,20 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     }
                 }
             }
-            match tid_with_equal_key(&team, k, &view) {
+            match tid_with_equal_key(kernel, &team, k, &view) {
                 LateralStep::Continue => {
                     prev = Some(cur);
                     cur = view.next(&team);
                     certify = None;
                 }
                 LateralStep::Found(lane) => {
+                    let word = view.lock_word(&team);
                     return LateralResult {
                         enclosing: cur,
                         found: Some((lane, view.entry(lane).val())),
-                    }
+                        word: (crate::chunk::lock_state(word) == crate::chunk::LOCK_UNLOCKED)
+                            .then_some(word),
+                    };
                 }
                 LateralStep::NotFound => {
                     let after = view.lock_word(&team);
@@ -384,6 +465,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                         return LateralResult {
                             enclosing: cur,
                             found: None,
+                            word: Some(after),
                         };
                     }
                     if certify.is_some() {
@@ -397,7 +479,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
 
     /// Follow next pointers from a zombie's snapshot until a non-zombie
     /// chunk. Returns `None` only on a torn race (caller restarts).
-    fn first_non_zombie(&mut self, zombie_view: ChunkView) -> Option<(u32, ChunkView)> {
+    pub(crate) fn first_non_zombie(&mut self, zombie_view: ChunkView) -> Option<(u32, ChunkView)> {
         let team = self.list.team;
         let mut cur = zombie_view.next(&team);
         loop {
@@ -417,7 +499,12 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// best-effort try-lock, re-verify, single-word write (paper §4.2.2:
     /// "the redirection is performed lazily by calling try-lock on the
     /// previous chunk; if the lock fails the team continues").
-    fn redirect_past_zombies(&mut self, prev: u32, old_next: u32, new_next: u32) {
+    ///
+    /// A successful swing is the moment the skipped zombies become
+    /// unreachable from the live chain, and the re-verified lock on `prev`
+    /// makes this team the *unique* unlinker of exactly this run — so this
+    /// is where the run is retired to the epoch reclaimer.
+    pub(crate) fn redirect_past_zombies(&mut self, prev: u32, old_next: u32, new_next: u32, level: usize) {
         let team = self.list.team;
         let pool = &self.list.pool;
         let pch = self.list.chunk(prev);
@@ -438,19 +525,22 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 new_next,
             );
             self.stats.zombie_unlinks += 1;
+            self.retire_run(old_next, new_next, level);
         }
         self.unlock(prev);
     }
 
     /// CAS the head-array pointer of `level` from a zombified first chunk to
-    /// its replacement.
-    fn update_head(&mut self, level: usize, old: u32, new: u32) {
+    /// its replacement. CAS success makes this team the unique unlinker of
+    /// the skipped run (see [`Self::retire_run`]).
+    pub(crate) fn update_head(&mut self, level: usize, old: u32, new: u32) {
         use std::sync::atomic::Ordering;
         if self.list.head[level]
             .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
             self.stats.zombie_unlinks += 1;
+            self.retire_run(old, new, level);
         }
     }
 }
@@ -460,9 +550,13 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
 /// from, so its max (hence every key) is `< k`; a candidate always exists
 /// unless a racing merge emptied it, in which case the caller restarts.
 #[inline]
-fn down_step_lane(team: &Team, k: u32, view: &ChunkView) -> Option<LaneId> {
-    team.ballot(|lane| team.is_data_lane(lane) && view.entry(lane).key() <= k)
-        .highest()
+pub(crate) fn down_step_lane(
+    kernel: BallotKernel,
+    team: &Team,
+    k: u32,
+    view: &ChunkView,
+) -> Option<LaneId> {
+    kernel.keys_le(view.data_words(team), k).highest()
 }
 
 #[cfg(test)]
@@ -502,10 +596,10 @@ mod tests {
         let idx = raw_chunk(&list, &[(KEY_NEG_INF, 0), (10, 1), (20, 2)], 20, NIL, LOCK_UNLOCKED);
         let mut h = list.handle();
         let v = h.read_chunk(idx);
-        assert_eq!(tid_for_next_step(&list.team, 15, &v), NextStep::Down(1));
-        assert_eq!(tid_for_next_step(&list.team, 10, &v), NextStep::Down(1));
-        assert_eq!(tid_for_next_step(&list.team, 9, &v), NextStep::Down(0));
-        assert_eq!(tid_for_next_step(&list.team, 20, &v), NextStep::Down(2));
+        assert_eq!(tid_for_next_step(BallotKernel::Swar, &list.team, 15, &v), NextStep::Down(1));
+        assert_eq!(tid_for_next_step(BallotKernel::Swar, &list.team, 10, &v), NextStep::Down(1));
+        assert_eq!(tid_for_next_step(BallotKernel::Swar, &list.team, 9, &v), NextStep::Down(0));
+        assert_eq!(tid_for_next_step(BallotKernel::Swar, &list.team, 20, &v), NextStep::Down(2));
     }
 
     #[test]
@@ -514,9 +608,9 @@ mod tests {
         let idx = raw_chunk(&list, &[(10, 1), (20, 2)], 20, 99, LOCK_UNLOCKED);
         let mut h = list.handle();
         let v = h.read_chunk(idx);
-        assert_eq!(tid_for_next_step(&list.team, 21, &v), NextStep::Lateral);
+        assert_eq!(tid_for_next_step(BallotKernel::Swar, &list.team, 21, &v), NextStep::Lateral);
         // k == max: NOT lateral (strict <), down through lane 1 instead.
-        assert_eq!(tid_for_next_step(&list.team, 20, &v), NextStep::Down(1));
+        assert_eq!(tid_for_next_step(BallotKernel::Swar, &list.team, 20, &v), NextStep::Down(1));
     }
 
     #[test]
@@ -525,7 +619,7 @@ mod tests {
         let idx = raw_chunk(&list, &[(30, 1), (40, 2)], 40, NIL, LOCK_UNLOCKED);
         let mut h = list.handle();
         let v = h.read_chunk(idx);
-        assert_eq!(tid_for_next_step(&list.team, 25, &v), NextStep::Backtrack);
+        assert_eq!(tid_for_next_step(BallotKernel::Swar, &list.team, 25, &v), NextStep::Backtrack);
     }
 
     #[test]
@@ -534,10 +628,10 @@ mod tests {
         let idx = raw_chunk(&list, &[(10, 7), (20, 8)], 20, 42, LOCK_UNLOCKED);
         let mut h = list.handle();
         let v = h.read_chunk(idx);
-        assert_eq!(tid_with_equal_key(&list.team, 10, &v), LateralStep::Found(0));
-        assert_eq!(tid_with_equal_key(&list.team, 20, &v), LateralStep::Found(1));
-        assert_eq!(tid_with_equal_key(&list.team, 15, &v), LateralStep::NotFound);
-        assert_eq!(tid_with_equal_key(&list.team, 25, &v), LateralStep::Continue);
+        assert_eq!(tid_with_equal_key(BallotKernel::Swar, &list.team, 10, &v), LateralStep::Found(0));
+        assert_eq!(tid_with_equal_key(BallotKernel::Swar, &list.team, 20, &v), LateralStep::Found(1));
+        assert_eq!(tid_with_equal_key(BallotKernel::Swar, &list.team, 15, &v), LateralStep::NotFound);
+        assert_eq!(tid_with_equal_key(BallotKernel::Swar, &list.team, 25, &v), LateralStep::Continue);
     }
 
     #[test]
@@ -548,7 +642,7 @@ mod tests {
         let idx = raw_chunk(&list, &[(10, 1)], KEY_INF, NIL, LOCK_UNLOCKED);
         let mut h = list.handle();
         let v = h.read_chunk(idx);
-        assert_eq!(tid_for_next_step(&list.team, 1000, &v), NextStep::Down(0));
+        assert_eq!(tid_for_next_step(BallotKernel::Swar, &list.team, 1000, &v), NextStep::Down(0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Mutex;
 
-use gfsl_gpu_mem::{MemProbe, NoProbe, PoolExhausted, WordPool};
+use gfsl_gpu_mem::{EpochReclaimer, MemProbe, NoProbe, PoolExhausted, ReclaimStats, SlotId, WordPool};
 use gfsl_simt::Team;
 
 use crate::chunk::{ops, ChunkRef, ChunkView, Entry, KEY_INF, KEY_NEG_INF, LOCK_UNLOCKED, NIL};
@@ -64,7 +64,21 @@ pub struct Gfsl {
     poisoned: AtomicBool,
     /// Human-readable account of the first poisoning event.
     poison_note: Mutex<Option<String>>,
+    /// Epoch-based reclaimer for unlinked zombie chunks (`None` when
+    /// [`GfslParams::reclaim`] is off). See DESIGN.md for the safety
+    /// argument.
+    pub(crate) reclaim: Option<EpochReclaimer>,
 }
+
+/// Maximum concurrently-live handles when reclamation is enabled (epoch
+/// slots are recycled as handles drop, so this bounds *concurrent* handles,
+/// not total).
+pub const MAX_RECLAIM_HANDLES: usize = 1024;
+
+/// A reclamation pass (drain + verify + recycle) runs every this many
+/// update operations per handle; allocation also consumes the free list
+/// directly, so the period only bounds how long verified-free chunks wait.
+const RECLAIM_PERIOD: u32 = 16;
 
 impl Gfsl {
     /// Create an empty skiplist: one unlocked sentinel chunk per level
@@ -103,11 +117,20 @@ impl Gfsl {
             team,
             head: sentinels.iter().map(|&c| AtomicU32::new(c)).collect(),
             level_chunks: (0..levels).map(|_| AtomicU32::new(0)).collect(),
-            params,
             handle_seq: AtomicU32::new(0),
             poisoned: AtomicBool::new(false),
             poison_note: Mutex::new(None),
+            reclaim: params
+                .reclaim
+                .then(|| EpochReclaimer::new(MAX_RECLAIM_HANDLES)),
+            params,
         })
+    }
+
+    /// Reclamation counters (zombies retired/reclaimed, epochs advanced,
+    /// free-list depth), or `None` when [`GfslParams::reclaim`] is off.
+    pub fn reclaim_stats(&self) -> Option<ReclaimStats> {
+        self.reclaim.as_ref().map(|r| r.stats())
     }
 
     /// The configuration this instance was built with.
@@ -154,12 +177,20 @@ impl Gfsl {
     /// `CountingProbe` sharing the run's L2 model).
     pub fn handle_with<P: MemProbe>(&self, probe: P) -> GfslHandle<'_, P> {
         let n = self.handle_seq.fetch_add(1, Ordering::Relaxed) as u64;
+        let slot = self.reclaim.as_ref().map(|r| {
+            r.register().unwrap_or_else(|| {
+                panic!("more than {MAX_RECLAIM_HANDLES} concurrently-live handles with reclamation enabled")
+            })
+        });
         GfslHandle {
             list: self,
             probe,
             rng: SplitMix64::new(self.params.seed ^ (n.wrapping_mul(0xA076_1D64_78BD_642F))),
             stats: OpStats::new(),
             held: HeldLocks::new(self),
+            reclaim_slot: ReclaimGuard { list: self, slot },
+            hint0: None,
+            reclaim_tick: 0,
         }
     }
 
@@ -317,6 +348,15 @@ pub const STARVATION_RETRIES: u32 = 1 << 12;
 /// panics with a deadlock diagnosis instead of spinning forever.
 pub const LOCK_RETRY_BOUND: u32 = 1 << 26;
 
+/// Chunk-move budget for a lateral walk started from a validated traversal
+/// hint. A validated hint only proves the enclosing chunk is at-or-right of
+/// the cached one; clustered streams land within a step or two, while an
+/// arbitrary jump could be the whole bottom level away. Past this many
+/// moves the walk gives up and the lookup falls back to the O(log n)
+/// descent, so a hint can never cost more than `HINT_WALK_BUDGET` extra
+/// chunk reads.
+pub(crate) const HINT_WALK_BUDGET: u32 = 8;
+
 /// A per-thread session on a [`Gfsl`]: the moral equivalent of one GPU team.
 ///
 /// Holds the thread's memory probe, RNG stream, and operation statistics.
@@ -329,6 +369,32 @@ pub struct GfslHandle<'a, P: MemProbe> {
     pub(crate) rng: SplitMix64,
     pub(crate) stats: OpStats,
     pub(crate) held: HeldLocks<'a>,
+    /// This handle's epoch slot; unregisters itself on drop.
+    reclaim_slot: ReclaimGuard<'a>,
+    /// Bottom-level traversal hint: the last bottom chunk this handle's
+    /// reads touched, with the lock word observed unlocked there. A later
+    /// lookup revalidates the pair (word equality ⇒ the chunk is the same
+    /// incarnation and unmutated since) and starts its lateral walk there,
+    /// skipping the descent entirely.
+    hint0: Option<(u32, u64)>,
+    /// Update-op counter driving periodic reclamation passes.
+    reclaim_tick: u32,
+}
+
+/// Unregisters a handle's epoch slot when the handle drops. A separate
+/// struct (like [`HeldLocks`]) so `GfslHandle::into_parts` can still move
+/// fields out of the handle.
+struct ReclaimGuard<'a> {
+    list: &'a Gfsl,
+    slot: Option<SlotId>,
+}
+
+impl Drop for ReclaimGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(rec), Some(slot)) = (self.list.reclaim.as_ref(), self.slot) {
+            rec.unregister(slot);
+        }
+    }
 }
 
 impl<'a, P: MemProbe> GfslHandle<'a, P> {
@@ -392,6 +458,115 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         }
     }
 
+    /// Certified-read `cur`, stepping right past zombies: the first
+    /// non-zombie `(chunk, certified view)` at-or-right of `cur`, or `None`
+    /// past the end of the level. The shared chunk-step helper for the
+    /// bottom-level scans (`min_entry`, range iteration).
+    pub(crate) fn next_live_certified(&mut self, mut cur: u32) -> Option<(u32, ChunkView)> {
+        let team = self.list.team;
+        loop {
+            let view = self.read_chunk_certified(cur);
+            if !view.is_zombie(&team) {
+                return Some((cur, view));
+            }
+            let next = view.next(&team);
+            if next == NIL {
+                return None;
+            }
+            cur = next;
+        }
+    }
+
+    /// Run `f` with this handle's epoch slot pinned (no-op when reclamation
+    /// is off). Pinning is reentrant, so composite operations (`pop_min`,
+    /// `upsert`) may nest pinned primitives freely. Every public operation
+    /// that dereferences chunk pointers runs under a pin: the reclaimer
+    /// cannot recycle a chunk retired after the pin was announced, which is
+    /// what makes traversal-held pointers safe to follow.
+    /// The unpin runs from a drop guard so a chaos-injected panic mid-`f`
+    /// (a "crashed team") still quiesces the slot while unwinding: a dead
+    /// team's stack holds no chunk references, and leaving its announcement
+    /// behind would halt epoch advance — and with it all reclamation —
+    /// forever.
+    #[inline]
+    pub(crate) fn with_pin<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        struct UnpinGuard<'r> {
+            rec: &'r EpochReclaimer,
+            slot: SlotId,
+        }
+        impl Drop for UnpinGuard<'_> {
+            fn drop(&mut self) {
+                self.rec.unpin(self.slot);
+            }
+        }
+        let _guard = match (self.list.reclaim.as_ref(), self.reclaim_slot.slot) {
+            (Some(rec), Some(s)) => {
+                rec.pin(s);
+                Some(UnpinGuard { rec, slot: s })
+            }
+            _ => None,
+        };
+        f(self)
+    }
+
+    /// Validate the bottom-level hint against `k` and return its chunk with
+    /// the validated snapshot, or `None` (clearing the hint) on miss.
+    ///
+    /// Validity argument: re-reading the hinted chunk and seeing the *same
+    /// unlocked lock word* proves no writer completed (versions bump on
+    /// every unlock, monotonically across recycling) or is active, so the
+    /// fresh view's data is an authentic consistent snapshot of a live
+    /// bottom-level chunk. Its entry 0 is then the chunk's minimum, and
+    /// `min <= k` places `k`'s enclosing chunk at-or-right of the hint:
+    /// keys only migrate rightward (splits and merges move keys to the
+    /// right; a chunk's max never increases), so chunks left of the hint
+    /// can never come to hold `k`.
+    ///
+    /// The returned view is moreover *certified* in the
+    /// [`search_lateral`](Self::search_lateral) sense: its data lanes are
+    /// bracketed by two observations of the same unlocked lock word (the
+    /// cached one and the view's own lock lane, which `read_chunk` reads
+    /// last), so a negative answer derived from it needs no re-read.
+    pub(crate) fn hint_start(&mut self, k: u32) -> Option<(u32, ChunkView)> {
+        if !self.list.params.hints {
+            return None;
+        }
+        let (c, w) = self.hint0?;
+        let team = self.list.team;
+        let view = self.read_chunk(c);
+        if view.lock_word(&team) == w && view.entry(0).key() <= k {
+            self.stats.hint_hits += 1;
+            Some((c, view))
+        } else {
+            self.stats.hint_misses += 1;
+            self.hint0 = None;
+            None
+        }
+    }
+
+    /// Demote the hint hit just recorded by [`Self::hint_start`] to a miss:
+    /// the hint validated but its chunk was too far left to reach within
+    /// the walk budget, so the lookup fell back to a full descent. Clearing
+    /// it keeps the next operation from paying the budget again.
+    pub(crate) fn hint_overrun(&mut self) {
+        self.stats.hint_hits -= 1;
+        self.stats.hint_misses += 1;
+        self.hint0 = None;
+    }
+
+    /// Record a bottom-level chunk as the traversal hint. `word` must be its
+    /// lock word as observed *unlocked* in the view that certified the
+    /// chunk (see [`Self::hint_start`]); callers pass `None` when no
+    /// unlocked observation is available, leaving the previous hint alone.
+    #[inline]
+    pub(crate) fn note_hint(&mut self, chunk: u32, word: Option<u64>) {
+        if self.list.params.hints {
+            if let Some(w) = word {
+                self.hint0 = Some((chunk, w));
+            }
+        }
+    }
+
     /// Spin until the chunk that *encloses* `k` is locked, walking right
     /// past zombies and smaller-max chunks (paper Algorithm 4.8).
     ///
@@ -438,7 +613,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// Lock the first non-zombie chunk right of `ch` (which the caller holds
     /// locked), unlinking any zombies skipped by rewriting `ch`'s next
     /// pointer. Returns `None` when `ch` is the last chunk in its level.
-    pub(crate) fn lock_next_chunk(&mut self, ch: u32) -> Option<u32> {
+    /// `level` is the level `ch` lives in, so unlinked zombies can be
+    /// retired for reclamation.
+    pub(crate) fn lock_next_chunk(&mut self, ch: u32, level: usize) -> Option<u32> {
         let team = self.list.team;
         let pool = &self.list.pool;
         let first_next =
@@ -479,6 +656,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     cur,
                 );
                 self.stats.zombie_unlinks += 1;
+                // Holding `ch`'s lock makes this team the unique unlinker of
+                // the skipped run: hand it to the reclaimer.
+                self.retire_run(first_next, cur, level);
             }
             return Some(cur);
         }
@@ -544,15 +724,30 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
 
     /// Allocate a fresh chunk: all data entries EMPTY, `max = ∞`,
     /// `next = NIL`, **locked** (paper §4.1: "all chunks are allocated
-    /// locked").
+    /// locked"). Recycled zombie chunks are consumed before the pool's bump
+    /// pointer moves, which is what bounds the memory high-water mark under
+    /// churn.
     pub(crate) fn alloc_chunk(&mut self) -> Result<u32, Error> {
         let lanes = self.list.params.lanes() as u32;
+        if let Some(idx) = self.list.reclaim.as_ref().and_then(|r| r.try_alloc()) {
+            return Ok(self.reinit_chunk(idx, true));
+        }
         let base = self
             .list
             .pool
             .alloc(lanes, lanes)
             .map_err(Error::PoolExhausted)?;
-        let ch = ChunkRef { base };
+        Ok(self.reinit_chunk(base / lanes, false))
+    }
+
+    /// Write a fresh-chunk image (EMPTY data, `(∞, NIL)` next, locked) over
+    /// chunk `idx`. For a recycled chunk the lock word *continues the dead
+    /// incarnation's version sequence* instead of restarting at zero: hint
+    /// validation distinguishes incarnations purely by lock-word equality,
+    /// which only works if a chunk's versions are monotonic across its
+    /// lifetimes.
+    fn reinit_chunk(&mut self, idx: u32, recycled: bool) -> u32 {
+        let ch = self.list.chunk(idx);
         let team = &self.list.team;
         let pool = &self.list.pool;
         let mut addrs = [0u32; gfsl_simt::WARP_SIZE];
@@ -564,10 +759,234 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             pool.write(ch.entry_addr(i), Entry::EMPTY.0);
         }
         pool.write(ch.entry_addr(team.next_lane()), Entry::new(KEY_INF, NIL).0);
-        pool.write(ch.entry_addr(team.lock_lane()), crate::chunk::LOCK_LOCKED);
-        let idx = base / lanes;
+        let lock = if recycled {
+            let old = pool.read(ch.entry_addr(team.lock_lane()));
+            debug_assert_eq!(
+                crate::chunk::lock_state(old),
+                crate::chunk::LOCK_ZOMBIE,
+                "recycled chunk {idx} was not a zombie"
+            );
+            (old & !crate::chunk::LOCK_STATE_MASK).wrapping_add(crate::chunk::LOCK_VERSION_UNIT)
+                | crate::chunk::LOCK_LOCKED
+        } else {
+            crate::chunk::LOCK_LOCKED
+        };
+        pool.write(ch.entry_addr(team.lock_lane()), lock);
         self.held.acquired(idx);
-        Ok(idx)
+        idx
+    }
+
+    /// Hand an unlinked zombie run to the reclaimer: every chunk on the
+    /// frozen next-chain from `from` (inclusive) to `until` (exclusive).
+    /// The caller must be the run's unique unlinker (it holds the lock or
+    /// won the CAS that made the run unreachable). Chain reads go straight
+    /// to the pool — reclamation bookkeeping is not algorithmic memory
+    /// traffic, so it stays out of the probe stream.
+    pub(crate) fn retire_run(&mut self, from: u32, until: u32, level: usize) {
+        let Some(rec) = self.list.reclaim.as_ref() else {
+            return;
+        };
+        let team = &self.list.team;
+        let pool = &self.list.pool;
+        let mut cur = from;
+        while cur != until && cur != NIL {
+            let ch = self.list.chunk(cur);
+            debug_assert_eq!(
+                crate::chunk::lock_state(pool.read(ch.entry_addr(team.lock_lane()))),
+                crate::chunk::LOCK_ZOMBIE,
+                "retiring non-zombie chunk {cur}"
+            );
+            rec.retire(cur, level as u8);
+            cur = Entry(pool.read(ch.entry_addr(team.next_lane()))).val();
+        }
+    }
+
+    /// Periodic reclamation driver, called from the update entry points
+    /// (never while holding chunk locks — the verification scan performs
+    /// certified reads, which may wait on lock holders).
+    pub(crate) fn maybe_reclaim(&mut self) {
+        if self.list.reclaim.is_none() {
+            return;
+        }
+        self.reclaim_tick = self.reclaim_tick.wrapping_add(1);
+        if self.reclaim_tick.is_multiple_of(RECLAIM_PERIOD) {
+            self.reclaim_pass();
+        }
+    }
+
+    /// Run one full reclamation pass now: move verified chunks whose second
+    /// grace period elapsed to the free list, then drain newly grace-passed
+    /// retired candidates and verify them. Returns the number of chunks
+    /// that reached the free list. No-op (0) when reclamation is disabled.
+    ///
+    /// Must not be called while holding chunk locks (see
+    /// [`Self::maybe_reclaim`]); public operations call it automatically,
+    /// tests and maintenance loops may call it directly.
+    pub fn reclaim_pass(&mut self) -> usize {
+        if self.list.reclaim.is_none() {
+            return 0;
+        }
+        self.sweep_head_edge();
+        let freed = self.list.reclaim.as_ref().unwrap().harvest_verified();
+        let mut cands = Vec::new();
+        self.list
+            .reclaim
+            .as_ref()
+            .unwrap()
+            .drain_candidates(&mut cands);
+        if !cands.is_empty() {
+            self.with_pin(|h| h.verify_candidates(cands));
+        }
+        freed
+    }
+
+    /// Unlink zombie runs parked at the head edge of every level.
+    ///
+    /// Traversal unlinks are lazy: a run is swung past when a walk
+    /// lateral-steps onto it with a known predecessor
+    /// (`redirect_past_zombies`) or when `lock_next_chunk` skips it. A run
+    /// sitting directly behind a level's first chunk is invisible to both —
+    /// no traversal ever lateral-steps *from* a sentinel, and merges repair
+    /// parent down pointers to land past the run. Monotone workloads
+    /// (sliding windows, FIFO churn) retire chunks exclusively at that left
+    /// edge, so without this sweep they would never be retired at all. The
+    /// sweep reuses the traversal protocol: best-effort try-lock on the
+    /// first live chunk, re-verify, single-word pointer swing, retire.
+    fn sweep_head_edge(&mut self) {
+        let team = self.list.team;
+        for level in 0..self.list.params.max_levels() {
+            // A zombified first chunk: swing the head-array pointer itself.
+            loop {
+                let head = self.list.head_of(level);
+                let view = self.read_chunk(head);
+                if !view.is_zombie(&team) {
+                    break;
+                }
+                let Some((nz, _)) = self.first_non_zombie(view) else {
+                    break;
+                };
+                self.update_head(level, head, nz);
+                // A failed CAS means a racer swung it first; re-check.
+            }
+            // A zombie run right behind the first live chunk.
+            let head = self.list.head_of(level);
+            let view = self.read_chunk(head);
+            if view.is_zombie(&team) {
+                continue; // raced a fresh head merge; next pass gets it
+            }
+            let next = view.next(&team);
+            if next == NIL {
+                continue;
+            }
+            let nview = self.read_chunk(next);
+            if !nview.is_zombie(&team) {
+                continue;
+            }
+            if let Some((nz, _)) = self.first_non_zombie(nview) {
+                self.redirect_past_zombies(head, next, nz, level);
+            }
+        }
+    }
+
+    /// Decide each grace-passed candidate's fate: stage it for the free
+    /// list if nothing can still lead a reader to it, otherwise requeue it
+    /// for a later pass.
+    ///
+    /// A reader can only *acquire* a pointer to an unlinked zombie from
+    /// (a) a stale down-pointer still sitting in the live chain one level
+    /// up (installed by a repairer that obtained the chunk before it was
+    /// retired — any such repairer was pinned before the retire, so after
+    /// the first grace period the scan sees the final set of installs, and
+    /// no new ones can appear), (b) the frozen next pointer of another
+    /// zombie that is itself still awaiting reclamation (a reader parked
+    /// there steps through it), or (c) the head array (defensive — heads
+    /// are CASed away before retirement). Candidates clean on all three
+    /// are *staged*, not freed: a reader may have copied a stale pointer
+    /// into a register just before its source was repaired, so the chunk
+    /// waits out one more grace period (covering every pin live at scan
+    /// time) before `alloc_chunk` may reuse it.
+    fn verify_candidates(&mut self, cands: Vec<(u32, u8)>) {
+        let list = self.list;
+        let rec = list.reclaim.as_ref().unwrap();
+        let team = list.team;
+        let mut referenced = std::collections::HashSet::new();
+        // (a) data entries (down-pointers) in the live chain of each
+        // candidate's parent level.
+        let mut parent_levels: Vec<usize> = cands.iter().map(|&(_, l)| l as usize + 1).collect();
+        parent_levels.sort_unstable();
+        parent_levels.dedup();
+        for &pl in &parent_levels {
+            if pl >= list.params.max_levels() {
+                continue;
+            }
+            let mut cur = list.head_of(pl);
+            loop {
+                let view = self.read_chunk_certified(cur);
+                if !view.is_zombie(&team) {
+                    for (_, e) in view.live_entries(&team) {
+                        referenced.insert(e.val());
+                    }
+                }
+                let next = view.next(&team);
+                if next == NIL {
+                    break;
+                }
+                cur = next;
+            }
+        }
+        // (b) frozen next pointers of everything still awaiting reclamation
+        // *outside* this batch (pending retirees and staged chunks).
+        // References between batch members are handled by the run fixpoint
+        // below instead of blocking verification outright.
+        let next_of = |z: u32| {
+            let ch = list.chunk(z);
+            Entry(list.pool.read(ch.entry_addr(team.next_lane()))).val()
+        };
+        let in_batch: std::collections::HashSet<u32> = cands.iter().map(|&(c, _)| c).collect();
+        let mut pending = Vec::new();
+        rec.pending_chunks(&mut pending);
+        for &z in &pending {
+            if !in_batch.contains(&z) {
+                referenced.insert(next_of(z));
+            }
+        }
+        // (c) the head array.
+        for lvl in 0..list.params.max_levels() {
+            referenced.insert(list.head_of(lvl));
+        }
+        // Whole-run staging fixpoint. A retired run Z1 → Z2 → … → Zk is
+        // chained by its own frozen next pointers; treating those as live
+        // references would drain one chunk per grace period and lose the
+        // race against steady churn. Instead, stage the largest subset `S`
+        // of the batch in which every member is unreferenced by live memory
+        // AND by batch members outside `S`: a reader can only be inside an
+        // externally-unreferenced run if it was pinned before this scan, so
+        // the single staging grace shared by the whole run covers it, and
+        // after that grace no pointer into the run exists anywhere.
+        let mut staged: std::collections::HashSet<u32> = cands
+            .iter()
+            .map(|&(c, _)| c)
+            .filter(|c| !referenced.contains(c))
+            .collect();
+        loop {
+            let blocked: std::collections::HashSet<u32> = cands
+                .iter()
+                .filter(|&&(z, _)| !staged.contains(&z))
+                .map(|&(z, _)| next_of(z))
+                .collect();
+            let before = staged.len();
+            staged.retain(|c| !blocked.contains(c));
+            if staged.len() == before {
+                break;
+            }
+        }
+        for (c, lvl) in cands {
+            if staged.contains(&c) {
+                rec.stage_verified(c);
+            } else {
+                rec.requeue(c, lvl);
+            }
+        }
     }
 }
 
@@ -662,7 +1081,7 @@ mod tests {
         let mut h = list.handle();
         let head0 = list.head_of(0);
         let (locked, _) = h.find_and_lock_enclosing(head0, 5);
-        assert_eq!(h.lock_next_chunk(locked), None);
+        assert_eq!(h.lock_next_chunk(locked, 0), None);
         h.unlock(locked);
     }
 }

@@ -59,7 +59,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
 
         // preSplit: lock the next chunk (unlinking zombies on the way), then
         // allocate the new chunk — it comes out of the allocator locked.
-        let p_next = self.lock_next_chunk(p_split);
+        let p_next = self.lock_next_chunk(p_split, level);
         let p_new = match self.alloc_chunk() {
             Ok(c) => c,
             Err(e) => {
@@ -163,7 +163,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         let team = self.list.team;
         let half = team.dsize() / 2;
 
-        let p_nn = self.lock_next_chunk(p_split);
+        let p_nn = self.lock_next_chunk(p_split, level);
         let p_new = match self.alloc_chunk() {
             Ok(c) => c,
             Err(e) => {

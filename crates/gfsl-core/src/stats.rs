@@ -45,6 +45,12 @@ pub struct OpStats {
     pub downptr_fixes: u64,
     /// Lockstep traversal steps (chunk reads) executed.
     pub chunk_reads: u64,
+    /// Traversal-hint validations that succeeded: the read started its
+    /// bottom-level walk at the cached chunk instead of a full descent.
+    pub hint_hits: u64,
+    /// Traversal-hint validations that failed (lock word moved or the
+    /// cached chunk no longer encloses the key): full descent taken.
+    pub hint_misses: u64,
 }
 
 impl OpStats {
@@ -56,6 +62,18 @@ impl OpStats {
     /// Total completed operations.
     pub fn total_ops(&self) -> u64 {
         self.contains_ops + self.insert_ops + self.remove_ops
+    }
+
+    /// Fraction of hint validations that succeeded (the locality signal:
+    /// near 1.0 for key-sorted batch dispatch, near 0.0 for uncorrelated
+    /// streams). `None` when the hint cache was never consulted.
+    pub fn hint_hit_rate(&self) -> Option<f64> {
+        let probes = self.hint_hits + self.hint_misses;
+        if probes == 0 {
+            None
+        } else {
+            Some(self.hint_hits as f64 / probes as f64)
+        }
     }
 
     /// Merge another handle's counters into this one.
@@ -74,6 +92,8 @@ impl OpStats {
         self.zombie_unlinks += o.zombie_unlinks;
         self.downptr_fixes += o.downptr_fixes;
         self.chunk_reads += o.chunk_reads;
+        self.hint_hits += o.hint_hits;
+        self.hint_misses += o.hint_misses;
     }
 }
 
@@ -98,12 +118,16 @@ mod tests {
             zombie_unlinks: 9,
             downptr_fixes: 10,
             chunk_reads: 11,
+            hint_hits: 14,
+            hint_misses: 15,
         };
         assert_eq!(a.total_ops(), 6);
         let b = a;
         a.merge(&b);
         assert_eq!(a.total_ops(), 12);
         assert_eq!(a.chunk_reads, 22);
+        assert_eq!(a.hint_hits, 28);
+        assert_eq!(a.hint_misses, 30);
         assert_eq!(a.downptr_fixes, 20);
         assert_eq!(a.lock_backoff_yields, 24);
         assert_eq!(a.lock_starvation_events, 26);

@@ -30,6 +30,7 @@ pub mod l2;
 pub mod layout;
 pub mod pool;
 pub mod probe;
+pub mod reclaim;
 pub mod sched_probe;
 pub mod traffic;
 
@@ -37,5 +38,6 @@ pub use l2::L2Cache;
 pub use layout::{LineAddr, WordAddr, LINE_BYTES, LINE_WORDS, WORD_BYTES};
 pub use pool::{PoolExhausted, WordPool};
 pub use probe::{CountingProbe, CrashPoint, MemProbe, NoProbe};
+pub use reclaim::{EpochReclaimer, ReclaimStats, SlotId};
 pub use sched_probe::{Turnstile, YieldProbe};
 pub use traffic::Traffic;

@@ -1,0 +1,514 @@
+//! Epoch-based reclamation of retired (zombie) chunks.
+//!
+//! The paper never frees memory: `LOCK_ZOMBIE` is terminal and the pool's
+//! bump pointer only grows, so sustained insert/delete churn exhausts the
+//! pool even when the live set is tiny (§5.3 shows M&C hitting exactly this
+//! wall). [`EpochReclaimer`] closes the loop with classic three-epoch EBR,
+//! adapted to GFSL's team model:
+//!
+//! * every worker (team) registers a **slot** and *pins* it for the duration
+//!   of each operation, announcing the global epoch it observed at entry;
+//! * a chunk is **retired** (not recycled) at the moment it is *unlinked*
+//!   from its level's list — the only point where the unlinking team holds
+//!   exclusive authority over the pointer that made it reachable;
+//! * a retired chunk becomes a **candidate** once two epoch advances have
+//!   happened after its retirement: every team that could have held a
+//!   reference from before the unlink has since passed through a quiescent
+//!   (unpinned) state;
+//! * the structure layer then performs its own reachability check on each
+//!   candidate (stale down pointers may still name it — see DESIGN.md) and
+//!   either [`stage_verified`](EpochReclaimer::stage_verified)s it or
+//!   [`requeue`](EpochReclaimer::requeue)s it for a later round;
+//! * a staged chunk waits out **one more grace period** before
+//!   [`harvest_verified`](EpochReclaimer::harvest_verified) moves it to the
+//!   free list: the verification scan proves no reference exists *in
+//!   memory*, but a reader may have copied a stale pointer into a register
+//!   just before its source was repaired — the second grace covers every
+//!   pin that was live at scan time;
+//! * `alloc_chunk` consumes the free list before touching the bump pointer,
+//!   so churn runs at a bounded high-water mark.
+//!
+//! Pinning is reentrant (a per-slot depth counter): `pop_min` runs a search
+//! inside a remove, `upsert` runs an insert inside a get, and each entry
+//! point pins unconditionally.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Index of a registered reclamation slot (one per worker/handle).
+pub type SlotId = usize;
+
+/// A chunk retired at `epoch`, awaiting grace + reachability verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Retired {
+    chunk: u32,
+    level: u8,
+    epoch: u64,
+}
+
+/// One worker's epoch announcement.
+///
+/// `announce == 0` means quiescent (not inside an operation); otherwise it
+/// is the global epoch the worker observed when it pinned. `depth` makes
+/// pinning reentrant and is only ever touched by the owning worker.
+#[derive(Debug)]
+struct Slot {
+    registered: AtomicU32,
+    announce: AtomicU64,
+    depth: AtomicU32,
+}
+
+/// Counters describing reclamation progress (see `introspect.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimStats {
+    /// Global epoch advances since construction.
+    pub epochs_advanced: u64,
+    /// Chunks retired (unlinked zombies handed to the reclaimer).
+    pub retired: u64,
+    /// Chunks recycled onto the free list after grace + verification.
+    pub zombies_reclaimed: u64,
+    /// Recycled chunks re-issued by `try_alloc`.
+    pub reused: u64,
+    /// Chunks currently in limbo (retired, grace not yet confirmed).
+    pub limbo_len: u64,
+    /// Chunks verified unreachable, waiting out the second grace period.
+    pub staged_len: u64,
+    /// Chunks currently on the free list.
+    pub free_len: u64,
+}
+
+/// Epoch-based reclaimer for fixed-size chunk slots.
+///
+/// The reclaimer deals purely in opaque `u32` chunk indices: it neither
+/// reads nor writes pool memory. The structure layer decides *when* a chunk
+/// is retired (at unlink) and performs the final reachability verification;
+/// this type provides the grace-period machinery in between.
+pub struct EpochReclaimer {
+    /// Global epoch. Starts at 1 so an announcement of 0 is unambiguous.
+    global: AtomicU64,
+    slots: Box<[Slot]>,
+    limbo: Mutex<Vec<Retired>>,
+    /// Verified-unreachable chunks serving their second grace period
+    /// (`level` is unused here; the field is repurposed as the staging
+    /// epoch record).
+    verified: Mutex<Vec<Retired>>,
+    free: Mutex<Vec<u32>>,
+    epochs_advanced: AtomicU64,
+    retired_total: AtomicU64,
+    reclaimed_total: AtomicU64,
+    reused_total: AtomicU64,
+}
+
+impl EpochReclaimer {
+    /// A reclaimer supporting up to `max_slots` concurrently registered
+    /// workers.
+    pub fn new(max_slots: usize) -> EpochReclaimer {
+        let slots = (0..max_slots)
+            .map(|_| Slot {
+                registered: AtomicU32::new(0),
+                announce: AtomicU64::new(0),
+                depth: AtomicU32::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EpochReclaimer {
+            global: AtomicU64::new(1),
+            slots,
+            limbo: Mutex::new(Vec::new()),
+            verified: Mutex::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+            epochs_advanced: AtomicU64::new(0),
+            retired_total: AtomicU64::new(0),
+            reclaimed_total: AtomicU64::new(0),
+            reused_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Claim a slot for a new worker. `None` when all slots are taken.
+    pub fn register(&self) -> Option<SlotId> {
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.registered
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                s.announce.store(0, Ordering::Release);
+                s.depth.store(0, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Release a slot. The worker is normally unpinned by now; if its owner
+    /// died mid-operation (panic unwinding past a pin), the slot is
+    /// force-quiesced instead of asserting — the dying thread can no longer
+    /// hold chunk references, and a leaked announcement would block epoch
+    /// advance (and with it all reclamation) forever.
+    pub fn unregister(&self, slot: SlotId) {
+        let s = &self.slots[slot];
+        s.depth.store(0, Ordering::Relaxed);
+        s.announce.store(0, Ordering::Release);
+        s.registered.store(0, Ordering::Release);
+    }
+
+    /// Enter an operation: announce the current epoch (outermost pin only).
+    ///
+    /// The announcement store is `SeqCst` so it is globally ordered before
+    /// any chunk reads the operation performs; a reclaimer scan that sees
+    /// this slot quiescent is therefore ordered before those reads too.
+    #[inline]
+    pub fn pin(&self, slot: SlotId) {
+        let s = &self.slots[slot];
+        let d = s.depth.load(Ordering::Relaxed);
+        s.depth.store(d + 1, Ordering::Relaxed);
+        if d == 0 {
+            let e = self.global.load(Ordering::SeqCst);
+            s.announce.store(e, Ordering::SeqCst);
+        }
+    }
+
+    /// Leave an operation: go quiescent when the outermost pin unwinds.
+    #[inline]
+    pub fn unpin(&self, slot: SlotId) {
+        let s = &self.slots[slot];
+        let d = s.depth.load(Ordering::Relaxed);
+        debug_assert!(d > 0, "unpin without pin");
+        s.depth.store(d - 1, Ordering::Relaxed);
+        if d == 1 {
+            s.announce.store(0, Ordering::Release);
+        }
+    }
+
+    /// Hand an unlinked zombie chunk to the reclaimer.
+    ///
+    /// Must be called by the team that made the chunk unreachable on its own
+    /// level (it holds the lock / won the CAS that swung the pointer past
+    /// it), stamping the level so the verification pass knows which parent
+    /// level to scan for stale down pointers.
+    pub fn retire(&self, chunk: u32, level: u8) {
+        let epoch = self.global.load(Ordering::SeqCst);
+        self.retired_total.fetch_add(1, Ordering::Relaxed);
+        self.limbo.lock().unwrap().push(Retired { chunk, level, epoch });
+    }
+
+    /// Put a grace-passed candidate back in limbo (a stale down pointer
+    /// still referenced it); it re-enters grace at the current epoch.
+    pub fn requeue(&self, chunk: u32, level: u8) {
+        self.retire(chunk, level);
+        self.retired_total.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Try to advance the global epoch: possible when every pinned slot has
+    /// announced the current epoch. Returns the (possibly new) epoch.
+    pub fn try_advance(&self) -> u64 {
+        let e = self.global.load(Ordering::SeqCst);
+        for s in self.slots.iter() {
+            if s.registered.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let a = s.announce.load(Ordering::SeqCst);
+            if a != 0 && a != e {
+                return e; // someone is still inside an older epoch
+            }
+        }
+        match self
+            .global
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => {
+                self.epochs_advanced.fetch_add(1, Ordering::Relaxed);
+                e + 1
+            }
+            Err(cur) => cur,
+        }
+    }
+
+    /// Move every retired chunk whose grace period has elapsed (two epoch
+    /// advances since retirement) into `out` as `(chunk, level)` pairs.
+    ///
+    /// The caller owns the candidates: it must either `recycle` or
+    /// `requeue` each one. Tries an epoch advance first so a quiescent
+    /// system drains in a bounded number of calls.
+    pub fn drain_candidates(&self, out: &mut Vec<(u32, u8)>) {
+        let now = self.try_advance();
+        let mut limbo = self.limbo.lock().unwrap();
+        let mut i = 0;
+        while i < limbo.len() {
+            if now >= limbo[i].epoch + 2 {
+                let r = limbo.swap_remove(i);
+                out.push((r.chunk, r.level));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Put a verified-unreachable chunk on the free list for reuse.
+    ///
+    /// Callers that verified reachability by scanning shared memory should
+    /// prefer [`Self::stage_verified`], which interposes a second grace
+    /// period; direct `recycle` is for callers that can prove no reader
+    /// holds the chunk at all (tests, single-threaded maintenance).
+    pub fn recycle(&self, chunk: u32) {
+        self.reclaimed_total.fetch_add(1, Ordering::Relaxed);
+        self.free.lock().unwrap().push(chunk);
+    }
+
+    /// Stage a candidate that passed the reachability scan: it becomes
+    /// allocatable only after one further grace period (covering readers
+    /// that copied a soon-after-repaired stale pointer into a register
+    /// before the scan ran), via [`Self::harvest_verified`].
+    pub fn stage_verified(&self, chunk: u32) {
+        let epoch = self.global.load(Ordering::SeqCst);
+        self.verified.lock().unwrap().push(Retired {
+            chunk,
+            level: 0,
+            epoch,
+        });
+    }
+
+    /// Move staged chunks whose second grace period has elapsed onto the
+    /// free list; returns how many were moved. References to a verified
+    /// chunk cannot reappear in memory, so no rescan is needed.
+    pub fn harvest_verified(&self) -> usize {
+        let now = self.try_advance();
+        let mut staged = self.verified.lock().unwrap();
+        let mut moved = 0;
+        let mut i = 0;
+        while i < staged.len() {
+            if now >= staged[i].epoch + 2 {
+                let r = staged.swap_remove(i);
+                self.recycle(r.chunk);
+                moved += 1;
+            } else {
+                i += 1;
+            }
+        }
+        moved
+    }
+
+    /// Append every chunk still awaiting reclamation (in limbo or staged)
+    /// to `out`. The structure layer's verification pass treats the frozen
+    /// next pointers of these chunks as live references — a reader parked
+    /// on one can still step through it.
+    pub fn pending_chunks(&self, out: &mut Vec<u32>) {
+        out.extend(self.limbo.lock().unwrap().iter().map(|r| r.chunk));
+        out.extend(self.verified.lock().unwrap().iter().map(|r| r.chunk));
+    }
+
+    /// Pop a recycled chunk index, if any.
+    pub fn try_alloc(&self) -> Option<u32> {
+        let c = self.free.lock().unwrap().pop();
+        if c.is_some() {
+            self.reused_total.fetch_add(1, Ordering::Relaxed);
+        }
+        c
+    }
+
+    /// Current global epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the reclamation counters.
+    pub fn stats(&self) -> ReclaimStats {
+        ReclaimStats {
+            epochs_advanced: self.epochs_advanced.load(Ordering::Relaxed),
+            retired: self.retired_total.load(Ordering::Relaxed),
+            zombies_reclaimed: self.reclaimed_total.load(Ordering::Relaxed),
+            reused: self.reused_total.load(Ordering::Relaxed),
+            limbo_len: self.limbo.lock().unwrap().len() as u64,
+            staged_len: self.verified.lock().unwrap().len() as u64,
+            free_len: self.free.lock().unwrap().len() as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for EpochReclaimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochReclaimer")
+            .field("epoch", &self.epoch())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_unregister_reuses_slots() {
+        let r = EpochReclaimer::new(2);
+        let a = r.register().unwrap();
+        let b = r.register().unwrap();
+        assert_ne!(a, b);
+        assert!(r.register().is_none(), "capacity is enforced");
+        r.unregister(a);
+        assert_eq!(r.register(), Some(a), "freed slot is reused");
+        r.unregister(a);
+        r.unregister(b);
+    }
+
+    #[test]
+    fn unpinned_world_advances_and_drains() {
+        let r = EpochReclaimer::new(4);
+        r.retire(7, 0);
+        let mut out = Vec::new();
+        r.drain_candidates(&mut out);
+        assert!(out.is_empty(), "one advance is not grace");
+        r.drain_candidates(&mut out);
+        assert_eq!(out, vec![(7, 0)], "two advances past retirement = grace");
+        r.recycle(7);
+        assert_eq!(r.try_alloc(), Some(7));
+        assert_eq!(r.try_alloc(), None);
+        let s = r.stats();
+        assert_eq!(s.zombies_reclaimed, 1);
+        assert_eq!(s.reused, 1);
+        assert!(s.epochs_advanced >= 2);
+    }
+
+    #[test]
+    fn pinned_slot_blocks_grace() {
+        let r = EpochReclaimer::new(4);
+        let slot = r.register().unwrap();
+        r.pin(slot);
+        r.retire(3, 1);
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            r.drain_candidates(&mut out);
+        }
+        assert!(out.is_empty(), "epoch cannot advance past a pinned slot");
+        r.unpin(slot);
+        r.drain_candidates(&mut out);
+        r.drain_candidates(&mut out);
+        assert_eq!(out, vec![(3, 1)]);
+        r.unregister(slot);
+    }
+
+    #[test]
+    fn repinning_announces_fresh_epoch() {
+        let r = EpochReclaimer::new(4);
+        let slot = r.register().unwrap();
+        r.pin(slot);
+        r.retire(9, 0);
+        r.unpin(slot);
+        // The worker starts a *new* operation: it re-announces the current
+        // epoch, so it no longer holds grace back.
+        r.pin(slot);
+        let mut out = Vec::new();
+        r.drain_candidates(&mut out); // advances once; worker now lags
+        r.unpin(slot);
+        r.pin(slot); // quiesced + repinned at the newer epoch
+        r.drain_candidates(&mut out);
+        r.drain_candidates(&mut out);
+        assert_eq!(out, vec![(9, 0)]);
+        r.unpin(slot);
+        r.unregister(slot);
+    }
+
+    #[test]
+    fn reentrant_pin_stays_pinned_until_outermost_unpin() {
+        let r = EpochReclaimer::new(4);
+        let slot = r.register().unwrap();
+        r.pin(slot);
+        r.pin(slot); // nested (pop_min -> remove)
+        r.retire(5, 0);
+        r.unpin(slot);
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            r.drain_candidates(&mut out);
+        }
+        assert!(out.is_empty(), "still pinned at depth 1");
+        r.unpin(slot);
+        r.drain_candidates(&mut out);
+        r.drain_candidates(&mut out);
+        assert_eq!(out, vec![(5, 0)]);
+        r.unregister(slot);
+    }
+
+    #[test]
+    fn requeue_restarts_grace() {
+        let r = EpochReclaimer::new(4);
+        r.retire(11, 2);
+        let mut out = Vec::new();
+        r.drain_candidates(&mut out);
+        r.drain_candidates(&mut out);
+        assert_eq!(out, vec![(11, 2)]);
+        out.clear();
+        r.requeue(11, 2);
+        r.drain_candidates(&mut out);
+        assert!(out.is_empty(), "requeued chunk re-enters grace");
+        r.drain_candidates(&mut out);
+        assert_eq!(out, vec![(11, 2)]);
+        assert_eq!(r.stats().retired, 1, "requeue does not double-count");
+    }
+
+    #[test]
+    fn staged_chunks_wait_out_second_grace() {
+        let r = EpochReclaimer::new(4);
+        r.stage_verified(13);
+        assert_eq!(r.harvest_verified(), 0, "one advance is not grace");
+        assert_eq!(r.try_alloc(), None, "staged chunks are not yet allocatable");
+        assert_eq!(r.harvest_verified(), 1, "second advance completes the grace");
+        assert_eq!(r.try_alloc(), Some(13));
+        let s = r.stats();
+        assert_eq!(s.zombies_reclaimed, 1);
+        assert_eq!(s.staged_len, 0);
+    }
+
+    #[test]
+    fn pending_covers_limbo_and_staged() {
+        let r = EpochReclaimer::new(4);
+        r.retire(1, 0);
+        r.stage_verified(2);
+        let mut out = Vec::new();
+        r.pending_chunks(&mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_pin_retire_drain_is_safe() {
+        use std::sync::atomic::AtomicBool;
+        let r = EpochReclaimer::new(8);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let slot = r.register().unwrap();
+                    for i in 0..2000u32 {
+                        r.pin(slot);
+                        if i % 7 == 0 {
+                            r.retire(i, 0);
+                        }
+                        r.unpin(slot);
+                    }
+                    r.unregister(slot);
+                });
+            }
+            s.spawn(|| {
+                let mut out = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    r.drain_candidates(&mut out);
+                    for (c, _) in out.drain(..) {
+                        r.recycle(c);
+                    }
+                }
+            });
+            // Let the workers churn a while, then stop the drainer; the
+            // scope joins everything.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            stop.store(true, Ordering::Relaxed);
+        });
+        let mut out = Vec::new();
+        r.drain_candidates(&mut out);
+        r.drain_candidates(&mut out);
+        for (c, _) in out.drain(..) {
+            r.recycle(c);
+        }
+        let s = r.stats();
+        assert_eq!(s.retired, s.zombies_reclaimed + s.limbo_len);
+    }
+}

@@ -1,0 +1,266 @@
+//! Hot-path engine grid: the ballot kernel (scalar reference vs SWAR)
+//! crossed with hinted dispatch (key-sorted batches feeding the traversal
+//! hint cache), measured on three workloads. Not a paper artifact — this
+//! tracks the host-side engine work layered on the paper's structure:
+//!
+//! * **hot-band gets** — the read-heavy headline. Batches of point lookups
+//!   clustered in a sliding hot band, the access shape the serve layer's
+//!   key-sorted batching produces. Hinted dispatch turns most descents into
+//!   one or two lateral steps from the cached bottom-level chunk.
+//! * **fresh inserts** — update-path cost. Writes never consult the hint
+//!   cache (the locked find runs its own descent), so this row isolates the
+//!   kernel's effect on the write path.
+//! * **sliding-window churn** — insert+remove with reclamation on, the
+//!   workload that exercises zombie retirement, the head-edge sweep, and
+//!   pool recycling. Columns include the reclaim counters so the recycling
+//!   behaviour rides along in `BENCH_hotpath.json`.
+//!
+//! The acceptance bar tracked here: SWAR + hints must beat the scalar
+//! reference by at least 1.5x on the read-heavy workload (`vs scalar`
+//! column of the first table).
+
+use std::time::Instant;
+
+use gfsl::{BallotKernel, BatchOp, BatchReply, Gfsl, GfslHandle, GfslParams, MemProbe};
+use gfsl_workload::SplitMix64;
+
+use super::ExpConfig;
+use crate::report::{mops, pct, ratio, Table};
+
+/// Operations per dispatched batch (a few warps' worth — the serve layer's
+/// max-batch scale, and enough for the sort to cluster keys chunk-tight).
+const BATCH: usize = 256;
+
+/// The four engine configurations, scalar-reference baseline first.
+fn grid() -> [(BallotKernel, bool); 4] {
+    [
+        (BallotKernel::Scalar, false),
+        (BallotKernel::Scalar, true),
+        (BallotKernel::Swar, false),
+        (BallotKernel::Swar, true),
+    ]
+}
+
+fn cfg_name(kernel: BallotKernel, hinted: bool) -> String {
+    let k = match kernel {
+        BallotKernel::Scalar => "scalar",
+        BallotKernel::Swar => "swar",
+    };
+    if hinted {
+        format!("{k}+hints")
+    } else {
+        k.to_string()
+    }
+}
+
+fn params_for(cfg: &ExpConfig, kernel: BallotKernel, hinted: bool, expected_keys: u64) -> GfslParams {
+    let mut p = GfslParams {
+        kernel,
+        hints: hinted,
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    p.pool_chunks = GfslParams::chunks_for(expected_keys * 2, p.team_size);
+    p
+}
+
+/// Dispatch one batch through the configuration's entry point.
+fn run_batch<P: MemProbe>(
+    h: &mut GfslHandle<'_, P>,
+    hinted: bool,
+    ops: &[BatchOp],
+    out: &mut Vec<BatchReply>,
+) {
+    out.clear();
+    if hinted {
+        h.execute_batch_hinted(ops, out);
+    } else {
+        h.execute_batch(ops, out);
+    }
+}
+
+/// Read-heavy workload: batched gets clustered in a sliding hot band over a
+/// half-full list. Returns throughput and the hint-cache hit rate.
+fn hot_band_gets(cfg: &ExpConfig, kernel: BallotKernel, hinted: bool) -> (f64, f64) {
+    let range = cfg.anchor_range();
+    let n_ops = cfg.mixed_ops();
+    let params = params_for(cfg, kernel, hinted, range as u64 / 2);
+    let list = Gfsl::prefilled(params, (1..range).filter(|k| k % 2 == 0)).unwrap();
+    let mut h = list.handle();
+
+    // The hot band spans a few hundred bottom chunks; a sorted 256-op batch
+    // then lands successive keys in the same or adjacent chunks. Generated
+    // outside the timed loop so the measurement is pure engine cost.
+    let band = (range / 64).clamp(4 * BATCH as u32, 16_384).min(range - 1);
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x407);
+    let batches: Vec<Vec<BatchOp>> = (0..n_ops.div_ceil(BATCH))
+        .map(|_| {
+            let lo = rng.below((range - band) as u64) as u32 + 1;
+            (0..BATCH)
+                .map(|_| BatchOp::Get(lo + rng.below(band as u64) as u32))
+                .collect()
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(BATCH);
+    let start = Instant::now();
+    for b in &batches {
+        run_batch(&mut h, hinted, b, &mut out);
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    let s = h.stats();
+    let probes = s.hint_hits + s.hint_misses;
+    let hit_rate = if probes == 0 { 0.0 } else { s.hint_hits as f64 / probes as f64 };
+    ((batches.len() * BATCH) as f64 / secs / 1.0e6, hit_rate)
+}
+
+/// Update-path workload: insert fresh (odd) keys into the half-full list in
+/// randomly drawn batches.
+fn fresh_inserts(cfg: &ExpConfig, kernel: BallotKernel, hinted: bool) -> f64 {
+    let range = cfg.anchor_range();
+    let n_ins = cfg.mixed_ops().min(range as usize / 4);
+    let params = params_for(cfg, kernel, hinted, range as u64 / 2 + n_ins as u64);
+    let list = Gfsl::prefilled(params, (1..range).filter(|k| k % 2 == 0)).unwrap();
+    let mut h = list.handle();
+
+    // A shuffled prefix of the odd keys, cut into batches.
+    let mut keys: Vec<u32> = (0..n_ins as u32).map(|i| i * 2 + 1).collect();
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x1475);
+    for i in (1..keys.len()).rev() {
+        keys.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    let batches: Vec<Vec<BatchOp>> = keys
+        .chunks(BATCH)
+        .map(|c| c.iter().map(|&k| BatchOp::Insert(k, k)).collect())
+        .collect();
+
+    let mut out = Vec::with_capacity(BATCH);
+    let start = Instant::now();
+    for b in &batches {
+        run_batch(&mut h, hinted, b, &mut out);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    n_ins as f64 / secs / 1.0e6
+}
+
+/// Churn workload result: throughput plus the reclamation counters.
+struct ChurnResult {
+    mops: f64,
+    reclaimed: u64,
+    reused: u64,
+    high_water: u32,
+    pool: u32,
+}
+
+/// Sliding-window churn with reclamation on: monotone insert+remove pairs
+/// whose zombie runs park behind the level sentinels — the workload that
+/// needs the reclaim pass's head-edge sweep to recycle anything at all.
+fn window_churn(cfg: &ExpConfig, kernel: BallotKernel, hinted: bool) -> ChurnResult {
+    let window = (cfg.anchor_range() / 8).clamp(256, 4_096);
+    let pairs = (cfg.mixed_ops() / 2).max(window as usize);
+    let params = GfslParams {
+        reclaim: true,
+        ..params_for(cfg, kernel, hinted, window as u64 * 2)
+    };
+    let pool = params.pool_chunks;
+    let list = Gfsl::new(params).unwrap();
+    let mut h = list.handle();
+    for k in 1..=window {
+        h.insert(k, k).unwrap();
+    }
+
+    let start = Instant::now();
+    for i in 0..pairs as u32 {
+        let k = window + 1 + i;
+        h.insert(k, k).expect("reclamation keeps the pool ahead of churn");
+        assert!(h.remove(k - window), "window key must be present");
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    let stats = list.reclaim_stats().expect("reclamation on");
+    ChurnResult {
+        mops: (pairs * 2) as f64 / secs / 1.0e6,
+        reclaimed: stats.zombies_reclaimed,
+        reused: stats.reused,
+        high_water: list.chunks_allocated(),
+        pool,
+    }
+}
+
+/// Run the hot-path grid and render the two tables.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut perf = Table::new(
+        "Hot path: kernel x hinted dispatch (hot-band gets, fresh inserts)",
+        &["config", "get MOPS", "vs scalar", "hint hit", "insert MOPS", "vs scalar"],
+    );
+    let mut base_get = 0.0f64;
+    let mut base_ins = 0.0f64;
+    for (kernel, hinted) in grid() {
+        let (get, hit_rate) = hot_band_gets(cfg, kernel, hinted);
+        let ins = fresh_inserts(cfg, kernel, hinted);
+        if base_get == 0.0 {
+            base_get = get;
+            base_ins = ins;
+        }
+        perf.row(vec![
+            cfg_name(kernel, hinted),
+            mops(get),
+            ratio(get / base_get),
+            if hinted { pct(hit_rate) } else { "-".into() },
+            mops(ins),
+            ratio(ins / base_ins),
+        ]);
+    }
+
+    let mut churn = Table::new(
+        "Hot path: sliding-window churn with reclamation on",
+        &["config", "churn MOPS", "vs scalar", "reclaimed", "reused", "high water", "pool"],
+    );
+    let mut base_churn = 0.0f64;
+    for (kernel, hinted) in grid() {
+        let r = window_churn(cfg, kernel, hinted);
+        if base_churn == 0.0 {
+            base_churn = r.mops;
+        }
+        churn.row(vec![
+            cfg_name(kernel, hinted),
+            mops(r.mops),
+            ratio(r.mops / base_churn),
+            r.reclaimed.to_string(),
+            r.reused.to_string(),
+            r.high_water.to_string(),
+            r.pool.to_string(),
+        ]);
+    }
+
+    vec![perf, churn]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpath_experiment_runs_tiny() {
+        let cfg = ExpConfig::tiny(2);
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 4, "one row per grid configuration");
+            assert_eq!(t.rows[0][0], "scalar", "scalar baseline first");
+            assert_eq!(t.rows[0][2], "1.00x", "baseline ratio is identity");
+            assert_eq!(t.rows[3][0], "swar+hints");
+        }
+        // The hinted configurations must actually exercise the hint cache.
+        for row in [&tables[0].rows[1], &tables[0].rows[3]] {
+            assert_ne!(row[3], "-", "hinted rows report a hit rate");
+            assert_ne!(row[3], "0.0%", "sorted hot-band batches must hit");
+        }
+        // Churn must have recycled: the reclaim counters are the artifact.
+        for row in &tables[1].rows {
+            assert_ne!(row[3], "0", "churn must reclaim zombies ({row:?})");
+            assert_ne!(row[4], "0", "churn must reuse chunks ({row:?})");
+        }
+    }
+}

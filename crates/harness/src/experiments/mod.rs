@@ -4,6 +4,7 @@ pub mod ablate;
 pub mod cyclesim;
 pub mod diag;
 pub mod figures;
+pub mod hotpath;
 pub mod pkey;
 pub mod serve;
 pub mod table_warps;
@@ -108,7 +109,7 @@ impl ExpConfig {
 /// Names of all experiments, in run order.
 pub const ALL: &[&str] = &[
     "table5_1", "table5_2", "fig5_1", "fig5_2", "fig5_3", "fig5_4", "pkey", "ablate", "cyclesim",
-    "diag", "serve",
+    "diag", "serve", "hotpath",
 ];
 
 /// Run one experiment by id, returning its rendered tables.
@@ -125,6 +126,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "cyclesim" => cyclesim::run(cfg),
         "diag" => diag::run(cfg),
         "serve" => serve::run(cfg),
+        "hotpath" => hotpath::run(cfg),
         other => panic!("unknown experiment '{other}'; known: {ALL:?}"),
     }
 }
@@ -184,10 +186,11 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL.len(), 11);
+        assert_eq!(ALL.len(), 12);
         assert!(ALL.contains(&"table5_1"));
         assert!(ALL.contains(&"fig5_4"));
         assert!(ALL.contains(&"diag"));
         assert!(ALL.contains(&"serve"));
+        assert!(ALL.contains(&"hotpath"));
     }
 }

@@ -36,7 +36,7 @@ pub mod trace;
 pub use admission::{IntakeQueue, ShedError};
 pub use metrics::{LatencyHisto, ServiceMetrics};
 pub use request::{ClientId, ClientQueues, Reply, Request, Response};
-pub use scheduler::{Batch, BatchPolicy, Fifo, KeyRangeSharded, PolicyCtx, ReadWriteSeparated};
+pub use scheduler::{Batch, BatchPolicy, Fifo, KeyRangeSharded, KeySorted, PolicyCtx, ReadWriteSeparated};
 pub use service::{env_seed, raw_batch_mops, serve, ExecMode, ServeConfig, ServiceReport};
 pub use source::{ClosedSource, OpenSource, RequestSource};
 pub use trace::TraceHash;

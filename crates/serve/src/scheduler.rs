@@ -156,6 +156,31 @@ impl BatchPolicy for KeyRangeSharded {
     }
 }
 
+/// Key-sorted batching: the epoch is sorted by `(key, arrival)` before
+/// chopping, so each dispatched batch covers a narrow, ascending key band.
+/// Paired with the structure's traversal hint cache
+/// (`GfslParams::hints` + `execute_batch_hinted`), a team serving such a
+/// batch descends once and then walks laterally — `k` same-band ops cost
+/// ~1 descent + `k` lateral steps instead of `k` full descents. Same-key
+/// requests keep arrival order, so per-key semantics match FIFO.
+#[derive(Debug, Default)]
+pub struct KeySorted {
+    next_worker: usize,
+}
+
+impl BatchPolicy for KeySorted {
+    fn name(&self) -> &'static str {
+        "key-sorted"
+    }
+
+    fn form(&mut self, mut epoch: Vec<Request>, ctx: &PolicyCtx) -> Vec<Batch> {
+        epoch.sort_by_key(|r| (r.op.key(), r.arrival_ns, r.id));
+        let mut out = Vec::new();
+        chop(epoch, ctx, &mut self.next_worker, &mut out);
+        out
+    }
+}
+
 /// Read/write separation: lock-free reads and lock-taking writes form
 /// disjoint batches; reads are dispatched first.
 #[derive(Debug, Default)]
@@ -277,6 +302,23 @@ mod tests {
         let first_write = batches.iter().position(|b| !b.read_only).unwrap();
         assert!(batches[..first_write].iter().all(|b| b.read_only));
         assert!(batches[first_write..].iter().all(|b| !b.read_only));
+    }
+
+    #[test]
+    fn key_sorted_batches_cover_ascending_key_bands() {
+        // Arrivals in scrambled key order.
+        let ops: Vec<ServeOp> = (0..100u32).map(|i| ServeOp::Get((i * 37) % 100 + 1)).collect();
+        let epoch = reqs(&ops);
+        let mut p = KeySorted::default();
+        let batches = p.form(epoch, &ctx());
+        assert_eq!(total_ids(&batches), (0..100).collect::<Vec<u64>>());
+        // Keys ascend within each batch and across batch boundaries.
+        let keys: Vec<u32> = batches
+            .iter()
+            .flat_map(|b| b.reqs.iter().map(|r| r.op.key()))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "global key order");
+        assert_eq!(p.name(), "key-sorted");
     }
 
     #[test]

@@ -215,10 +215,18 @@ impl Injector {
     }
 }
 
-fn exec_batch<P: MemProbe>(h: &mut GfslHandle<'_, P>, reqs: Vec<Request>) -> Vec<(Request, Reply)> {
+fn exec_batch<P: MemProbe>(
+    h: &mut GfslHandle<'_, P>,
+    reqs: Vec<Request>,
+    hinted: bool,
+) -> Vec<(Request, Reply)> {
     let ops: Vec<BatchOp> = reqs.iter().map(|r| to_batch_op(r.op)).collect();
     let mut replies: Vec<BatchReply> = Vec::with_capacity(ops.len());
-    h.execute_batch(&ops, &mut replies);
+    if hinted {
+        h.execute_batch_hinted(&ops, &mut replies);
+    } else {
+        h.execute_batch(&ops, &mut replies);
+    }
     reqs.into_iter()
         .zip(replies)
         .map(|(r, b)| (r, Reply::from(b)))
@@ -227,15 +235,19 @@ fn exec_batch<P: MemProbe>(h: &mut GfslHandle<'_, P>, reqs: Vec<Request>) -> Vec
 
 fn worker_loop(list: &Gfsl, injector: &Injector, done: mpsc::Sender<DoneItem>) {
     let mut h = list.handle();
+    // When the structure's traversal hint cache is on, execute each batch
+    // in key order so consecutive ops validate the hint (replies stay
+    // index-aligned either way).
+    let hinted = list.params().hints;
     while let Some(item) = injector.pop() {
         let replies = match item.probe {
-            None => exec_batch(&mut h, item.reqs),
+            None => exec_batch(&mut h, item.reqs, hinted),
             Some(p) => {
                 // A fresh chaos handle per batch; dropping it retires the
                 // wave participant *before* the done message is sent, so
                 // the wave's trace hash is final once all batches report.
                 let mut ch = list.handle_with(p);
-                exec_batch(&mut ch, item.reqs)
+                exec_batch(&mut ch, item.reqs, hinted)
             }
         };
         let reply = DoneItem {
@@ -577,6 +589,7 @@ pub fn serve(
 pub fn raw_batch_mops(list: &Gfsl, ops: &[ServeOp], workers: usize) -> f64 {
     assert!(workers > 0 && !ops.is_empty());
     let slab = ops.len().div_ceil(workers);
+    let hinted = list.params().hints;
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for chunk in ops.chunks(slab) {
@@ -584,7 +597,11 @@ pub fn raw_batch_mops(list: &Gfsl, ops: &[ServeOp], workers: usize) -> f64 {
                 let mut h = list.handle();
                 let batch: Vec<BatchOp> = chunk.iter().map(|&o| to_batch_op(o)).collect();
                 let mut out = Vec::with_capacity(batch.len());
-                h.execute_batch(&batch, &mut out);
+                if hinted {
+                    h.execute_batch_hinted(&batch, &mut out);
+                } else {
+                    h.execute_batch(&batch, &mut out);
+                }
             });
         }
     });
@@ -650,6 +667,35 @@ mod tests {
         assert_eq!(a.metrics.batches, b.metrics.batches);
         let c = run_once(43);
         assert_ne!(a.trace_hash, c.trace_hash, "different seed, different schedule");
+    }
+
+    #[test]
+    fn hinted_key_sorted_run_completes_and_replays() {
+        let run = |seed: u64| {
+            let params = GfslParams {
+                team_size: TeamSize::Sixteen,
+                pool_chunks: 1 << 12,
+                hints: true,
+                ..Default::default()
+            };
+            let list = Gfsl::prefilled(params, (1..=2_000u32).filter(|k| k % 2 == 0)).unwrap();
+            let pop = ClosedLoop::new(16, 50, 1_000, ServeMix::C80, 2_000, seed);
+            let mut src = ClosedSource::new(pop, 1_000);
+            let report = serve(
+                &list,
+                &modeled_cfg(),
+                &mut crate::scheduler::KeySorted::default(),
+                &mut src,
+            );
+            list.assert_valid();
+            report
+        };
+        let a = run(42);
+        assert_eq!(a.metrics.ops, 16 * 50);
+        assert_eq!(a.metrics.failed, 0);
+        assert_eq!(a.policy, "key-sorted");
+        let b = run(42);
+        assert_eq!(a.trace_hash, b.trace_hash, "hinted runs replay bit-for-bit");
     }
 
     #[test]

@@ -24,8 +24,10 @@ pub mod ballot;
 pub mod divergence;
 pub mod lane;
 pub mod team;
+pub mod vector;
 
 pub use ballot::Ballot;
 pub use divergence::DivergenceStats;
 pub use lane::{LaneId, Lanes, TeamSize, WARP_SIZE};
 pub use team::Team;
+pub use vector::{BallotKernel, ScalarBallot, SwarBallot, VectorBallot};

@@ -1,0 +1,313 @@
+//! Vectorized ballot kernels: branch-free SWAR evaluation of the three hot
+//! chunk votes over the packed chunk words.
+//!
+//! The paper's premise is that a team inspects a whole chunk in one
+//! coalesced transaction and decides the next step with a *single* ballot.
+//! The reference emulation ([`crate::Team::ballot`]) invokes a closure per
+//! lane — faithful to lockstep semantics, but 16/32 indirect predicate
+//! evaluations per traversal step on the host. The kernels here compute the
+//! same vote masks directly from the chunk's packed `u64` words with
+//! branch-free arithmetic in unrolled 8-word blocks (`u64x8`-style), which
+//! LLVM auto-vectorizes; one traversal decision becomes a handful of SIMD
+//! compares instead of a lane loop.
+//!
+//! Two implementations of [`VectorBallot`] ship:
+//!
+//! * [`ScalarBallot`] — the per-lane loop, kept as the differential-test
+//!   oracle and used by chaos/replay runs (the "known-good" kernel);
+//! * [`SwarBallot`] — the branch-free block kernel used on the hot path.
+//!
+//! Both are pure register math over an already-read chunk snapshot: they
+//! touch no shared memory and emit no probe events, so replay trace hashes
+//! are bit-identical whichever kernel computed the votes (asserted by the
+//! chaos parity tests in `gfsl-core`).
+//!
+//! Key encoding contract (shared with `gfsl-core`'s chunk layout): each
+//! data word packs the key in its **low 32 bits**; key `0` is the `-∞`
+//! sentinel and key `u32::MAX` is the `∞` / EMPTY sentinel.
+
+use crate::ballot::Ballot;
+
+/// `1` iff `key(word) <= k`. A plain comparison cast: `setcc`/`cset` on
+/// every target, and — unlike a 64-bit borrow trick — a shape LLVM's
+/// vectorizer recognizes as a packed 32-bit compare.
+#[inline(always)]
+fn le_bit(word: u64, k: u32) -> u32 {
+    (word as u32 <= k) as u32
+}
+
+/// `1` iff `key(word) == k`, branch-free via the comparison cast.
+#[inline(always)]
+fn eq_bit(word: u64, k: u32) -> u32 {
+    (word as u32 == k) as u32
+}
+
+/// `1` iff `key(word)` is a live user key (neither `0` = `-∞` nor
+/// `u32::MAX` = `∞`/EMPTY).
+#[inline(always)]
+fn live_bit(word: u64) -> u32 {
+    let key = word as u32;
+    ((key != 0) & (key != u32::MAX)) as u32
+}
+
+/// Ballot kernels over the data words of one chunk snapshot.
+///
+/// `words[i]` is lane `i`'s data word (key in the low 32 bits); callers
+/// pass exactly the DATA lanes, so every returned mask bit `i` is lane
+/// `i`'s vote and bits at or above `words.len()` are zero.
+pub trait VectorBallot {
+    /// Mask of lanes whose key is `<= k` (the `getTidForNextStep` /
+    /// `getTidOfDownStep` data vote).
+    fn keys_le(&self, words: &[u64], k: u32) -> u32;
+
+    /// Mask of lanes whose key is `== k` (the `isTidWithEqualKey` data
+    /// vote).
+    fn keys_eq(&self, words: &[u64], k: u32) -> u32;
+
+    /// Mask of lanes holding a live user key — neither the `-∞` key (`0`)
+    /// nor EMPTY/`∞` (`u32::MAX`) — the min-entry scan vote.
+    fn keys_live(&self, words: &[u64]) -> u32;
+
+    /// Mask of lanes whose key is in `[lo, hi]` **and** live. Used by range
+    /// scans; equals `keys_le(hi) & !keys_le(lo-1) & keys_live`.
+    fn keys_in_range(&self, words: &[u64], lo: u32, hi: u32) -> u32 {
+        let le_hi = self.keys_le(words, hi);
+        let lt_lo = if lo == 0 { 0 } else { self.keys_le(words, lo - 1) };
+        le_hi & !lt_lo & self.keys_live(words)
+    }
+}
+
+/// Reference per-lane loop: the oracle the SWAR kernel is differentially
+/// tested against, and the kernel chaos/replay campaigns pin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBallot;
+
+impl VectorBallot for ScalarBallot {
+    fn keys_le(&self, words: &[u64], k: u32) -> u32 {
+        let mut bits = 0u32;
+        for (lane, &w) in words.iter().enumerate() {
+            if w as u32 <= k {
+                bits |= 1 << lane;
+            }
+        }
+        bits
+    }
+
+    fn keys_eq(&self, words: &[u64], k: u32) -> u32 {
+        let mut bits = 0u32;
+        for (lane, &w) in words.iter().enumerate() {
+            if w as u32 == k {
+                bits |= 1 << lane;
+            }
+        }
+        bits
+    }
+
+    fn keys_live(&self, words: &[u64]) -> u32 {
+        let mut bits = 0u32;
+        for (lane, &w) in words.iter().enumerate() {
+            let key = w as u32;
+            if key != 0 && key != u32::MAX {
+                bits |= 1 << lane;
+            }
+        }
+        bits
+    }
+}
+
+/// Branch-free SWAR kernel: unrolled 8-word blocks of carry-trick compares,
+/// auto-vectorized by LLVM into SIMD lanes on x86-64/aarch64.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwarBallot;
+
+/// Apply `f(word) -> 0|1` over `words` in unrolled 8-word blocks and pack
+/// the results into a lane mask.
+#[inline(always)]
+fn swar_mask(words: &[u64], f: impl Fn(u64) -> u32 + Copy) -> u32 {
+    let mut bits = 0u32;
+    let mut lane = 0usize;
+    let mut chunks = words.chunks_exact(8);
+    for blk in &mut chunks {
+        // One straight-line block: no per-lane branches, no early exit.
+        let m = f(blk[0])
+            | f(blk[1]) << 1
+            | f(blk[2]) << 2
+            | f(blk[3]) << 3
+            | f(blk[4]) << 4
+            | f(blk[5]) << 5
+            | f(blk[6]) << 6
+            | f(blk[7]) << 7;
+        bits |= m << lane;
+        lane += 8;
+    }
+    for (i, &w) in chunks.remainder().iter().enumerate() {
+        bits |= f(w) << (lane + i);
+    }
+    bits
+}
+
+impl VectorBallot for SwarBallot {
+    #[inline]
+    fn keys_le(&self, words: &[u64], k: u32) -> u32 {
+        swar_mask(words, |w| le_bit(w, k))
+    }
+
+    #[inline]
+    fn keys_eq(&self, words: &[u64], k: u32) -> u32 {
+        swar_mask(words, |w| eq_bit(w, k))
+    }
+
+    #[inline]
+    fn keys_live(&self, words: &[u64]) -> u32 {
+        swar_mask(words, live_bit)
+    }
+}
+
+/// Which ballot kernel a structure runs its chunk votes through.
+///
+/// A plain enum (not a generic parameter) so the choice is a runtime knob:
+/// benches flip it per configuration, chaos campaigns pin [`Scalar`] as the
+/// reference, and differential tests drive both through one code path.
+///
+/// [`Scalar`]: BallotKernel::Scalar
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BallotKernel {
+    /// Per-lane reference loop ([`ScalarBallot`]).
+    Scalar,
+    /// Branch-free SWAR blocks ([`SwarBallot`]); the default.
+    #[default]
+    Swar,
+}
+
+impl BallotKernel {
+    /// Mask of data lanes (within `words`) whose key is `<= k`.
+    #[inline]
+    pub fn keys_le(self, words: &[u64], k: u32) -> Ballot {
+        let bits = match self {
+            BallotKernel::Scalar => ScalarBallot.keys_le(words, k),
+            BallotKernel::Swar => SwarBallot.keys_le(words, k),
+        };
+        Ballot::from_bits(bits)
+    }
+
+    /// Mask of data lanes whose key is `== k`.
+    #[inline]
+    pub fn keys_eq(self, words: &[u64], k: u32) -> Ballot {
+        let bits = match self {
+            BallotKernel::Scalar => ScalarBallot.keys_eq(words, k),
+            BallotKernel::Swar => SwarBallot.keys_eq(words, k),
+        };
+        Ballot::from_bits(bits)
+    }
+
+    /// Mask of data lanes holding a live user key.
+    #[inline]
+    pub fn keys_live(self, words: &[u64]) -> Ballot {
+        let bits = match self {
+            BallotKernel::Scalar => ScalarBallot.keys_live(words),
+            BallotKernel::Swar => SwarBallot.keys_live(words),
+        };
+        Ballot::from_bits(bits)
+    }
+
+    /// Mask of data lanes whose key is live and in `[lo, hi]`.
+    #[inline]
+    pub fn keys_in_range(self, words: &[u64], lo: u32, hi: u32) -> Ballot {
+        let bits = match self {
+            BallotKernel::Scalar => ScalarBallot.keys_in_range(words, lo, hi),
+            BallotKernel::Swar => SwarBallot.keys_in_range(words, lo, hi),
+        };
+        Ballot::from_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn word(key: u32, val: u32) -> u64 {
+        ((val as u64) << 32) | key as u64
+    }
+
+    #[test]
+    fn le_handles_sentinels_and_boundaries() {
+        let words = [word(0, 9), word(5, 1), word(10, 2), word(u32::MAX, 0)];
+        for kernel in [BallotKernel::Scalar, BallotKernel::Swar] {
+            assert_eq!(kernel.keys_le(&words, 4).bits(), 0b0001, "{kernel:?}");
+            assert_eq!(kernel.keys_le(&words, 5).bits(), 0b0011, "{kernel:?}");
+            assert_eq!(kernel.keys_le(&words, 10).bits(), 0b0111, "{kernel:?}");
+            assert_eq!(kernel.keys_le(&words, u32::MAX - 1).bits(), 0b0111);
+            assert_eq!(kernel.keys_le(&words, u32::MAX).bits(), 0b1111);
+        }
+    }
+
+    #[test]
+    fn eq_ignores_value_half() {
+        let words = [word(7, 123), word(7, 456), word(8, 7)];
+        for kernel in [BallotKernel::Scalar, BallotKernel::Swar] {
+            assert_eq!(kernel.keys_eq(&words, 7).bits(), 0b011, "{kernel:?}");
+            assert_eq!(kernel.keys_eq(&words, 8).bits(), 0b100, "{kernel:?}");
+            assert_eq!(kernel.keys_eq(&words, 9).bits(), 0, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn live_excludes_both_sentinels() {
+        let words = [word(0, 1), word(1, 0), word(u32::MAX, 5), word(42, 0)];
+        for kernel in [BallotKernel::Scalar, BallotKernel::Swar] {
+            assert_eq!(kernel.keys_live(&words).bits(), 0b1010, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn range_mask_composes() {
+        let words: Vec<u64> = (0..14u32).map(|i| word(i * 10, i)).collect();
+        for kernel in [BallotKernel::Scalar, BallotKernel::Swar] {
+            // keys 0,10,..,130; live keys in [25, 60] are 30,40,50,60.
+            assert_eq!(kernel.keys_in_range(&words, 25, 60).bits(), 0b0111_1000);
+            // lo = 0 never panics and -inf stays excluded.
+            assert_eq!(kernel.keys_in_range(&words, 0, 10).bits(), 0b10);
+        }
+    }
+
+    #[test]
+    fn full_warp_width_masks() {
+        let words: Vec<u64> = (0..30u32).map(|i| word(i + 1, 0)).collect();
+        for kernel in [BallotKernel::Scalar, BallotKernel::Swar] {
+            assert_eq!(kernel.keys_le(&words, u32::MAX - 1).bits(), (1 << 30) - 1);
+            assert_eq!(kernel.keys_live(&words).bits(), (1 << 30) - 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn swar_matches_scalar_le(
+            words in proptest::collection::vec(any::<u64>(), 0..=30),
+            k in any::<u32>(),
+        ) {
+            prop_assert_eq!(
+                SwarBallot.keys_le(&words, k),
+                ScalarBallot.keys_le(&words, k)
+            );
+        }
+
+        #[test]
+        fn swar_matches_scalar_eq(
+            words in proptest::collection::vec(any::<u64>(), 0..=30),
+            k in any::<u32>(),
+        ) {
+            prop_assert_eq!(
+                SwarBallot.keys_eq(&words, k),
+                ScalarBallot.keys_eq(&words, k)
+            );
+        }
+
+        #[test]
+        fn swar_matches_scalar_live(
+            words in proptest::collection::vec(any::<u64>(), 0..=30),
+        ) {
+            prop_assert_eq!(SwarBallot.keys_live(&words), ScalarBallot.keys_live(&words));
+        }
+    }
+}
