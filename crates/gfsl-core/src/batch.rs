@@ -94,14 +94,28 @@ impl<P: MemProbe> GfslHandle<'_, P> {
     }
 
     fn dispatch_one(&mut self, op: BatchOp) -> BatchReply {
+        // Every op runs through its contained (`try_*`) entry point: with
+        // [`crate::GfslParams::contain`] off these are plain zero-overhead
+        // aliases, with it on a mid-batch crash or budget overrun surfaces
+        // as `Failed(Error::Aborted)` in that op's reply slot while its
+        // batchmates keep dispatching.
         match op {
-            BatchOp::Get(k) => BatchReply::Got(self.get(k)),
-            BatchOp::Insert(k, v) => match self.insert(k, v) {
+            BatchOp::Get(k) => match self.try_get(k) {
+                Ok(v) => BatchReply::Got(v),
+                Err(e) => BatchReply::Failed(e),
+            },
+            BatchOp::Insert(k, v) => match self.try_insert(k, v) {
                 Ok(added) => BatchReply::Inserted(added),
                 Err(e) => BatchReply::Failed(e),
             },
-            BatchOp::Remove(k) => BatchReply::Removed(self.remove(k)),
-            BatchOp::CountRange(lo, hi) => BatchReply::Counted(self.count_range(lo, hi) as u32),
+            BatchOp::Remove(k) => match self.try_remove(k) {
+                Ok(removed) => BatchReply::Removed(removed),
+                Err(e) => BatchReply::Failed(e),
+            },
+            BatchOp::CountRange(lo, hi) => match self.try_count_range(lo, hi) {
+                Ok(n) => BatchReply::Counted(n as u32),
+                Err(e) => BatchReply::Failed(e),
+            },
         }
     }
 }

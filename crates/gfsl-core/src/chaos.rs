@@ -245,6 +245,21 @@ impl ChaosController {
         self.cv.notify_all();
     }
 
+    /// Re-admit a retired participant to the turnstile. An injected panic
+    /// retires its participant on the way out (see
+    /// [`ChaosOptions::panic_at`]); a thread that keeps running after its
+    /// panic must be revived before its next probed access, or that access
+    /// would park forever waiting for a turn that is never granted to a
+    /// retired participant. The containment catch site does this
+    /// automatically through [`MemProbe::crash_recovered`]; calling it
+    /// again is a harmless no-op.
+    pub fn revive(&self, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.retired[id] = false;
+        st.waiting[id] = false;
+        self.cv.notify_all();
+    }
+
     /// The run's trace hash: an FNV fold of every granted turn in execution
     /// order. Equal options (seed/script + thread behavior) ⇒ equal hash;
     /// this is the replay-determinism witness.
@@ -368,6 +383,12 @@ impl MemProbe for ChaosProbe {
         for _ in 0..stall {
             self.controller.step(self.id, CODE_STALL, None);
         }
+    }
+    fn crash_recovered(&mut self) {
+        // The injected panic retired this participant on the way out; the
+        // containment layer caught it and the thread keeps running, so
+        // re-admit it before its next access parks in the turnstile.
+        self.controller.revive(self.id);
     }
 }
 

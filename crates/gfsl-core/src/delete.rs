@@ -6,7 +6,7 @@ use gfsl_gpu_mem::MemProbe;
 use std::sync::atomic::Ordering;
 
 use crate::chunk::{is_user_key, ops, ChunkView, Entry, KEY_NEG_INF};
-use crate::skiplist::GfslHandle;
+use crate::skiplist::{Commit, GfslHandle, Intent};
 use crate::split::MovedKeys;
 
 impl<'a, P: MemProbe> GfslHandle<'a, P> {
@@ -42,7 +42,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         }
         let (p_bottom, bview) = self.find_and_lock_enclosing(path[0], k);
         if bview.lane_of_key(&team, k).is_none() {
-            // Lost the race to another deleter.
+            // Lost the race to another deleter. Decided under the bottom
+            // lock, so the outcome survives a crash in the unlock below.
+            self.journal.committed = Some(Commit::Removed(false));
             self.unlock(p_bottom);
             return false;
         }
@@ -109,6 +111,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if count > threshold {
             // Plenty left: plain removal.
             self.execute_remove_no_merge(p_enc, view, k);
+            if level == 0 {
+                self.journal.committed = Some(Commit::Removed(true));
+            }
             self.unlock(p_enc);
             return;
         }
@@ -118,6 +123,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 // Last chunk in the level: never merged, never zombified;
                 // just remove, even if that empties it completely.
                 self.execute_remove_no_merge(p_enc, view, k);
+                if level == 0 {
+                    self.journal.committed = Some(Commit::Removed(true));
+                }
                 if level > 0 {
                     self.note_possible_level_empty(p_enc, level);
                 }
@@ -136,24 +144,46 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                             // Pool exhausted: degrade to a merge-free remove.
                             self.unlock(p_next);
                             self.execute_remove_no_merge(p_enc, view, k);
+                            if level == 0 {
+                                self.journal.committed = Some(Commit::Removed(true));
+                            }
                             self.unlock(p_enc);
                             return;
                         }
                     }
                 }
+                // Journal the merge before the copy so a crash between the
+                // copy and the zombie mark rolls the merge *forward* (the
+                // absorber's image already carries the survivors).
+                self.journal.intent = Intent::Merge {
+                    dying: p_enc,
+                    absorber: p_next,
+                    k,
+                    level,
+                    copied: false,
+                };
                 let moved = self.execute_remove_merge(p_enc, view, p_next, &nview, k);
+                if let Intent::Merge { copied, .. } = &mut self.journal.intent {
+                    *copied = true;
+                }
                 ops::mark_zombie(
                     &team,
                     &self.list.pool,
                     &mut self.probe,
                     self.list.chunk(p_enc),
                 );
-                // Zombification is a terminal release of p_enc's lock.
+                // Zombification is a terminal release of p_enc's lock; for k
+                // it is also the linearization point of the removal (until
+                // the mark, readers could still find k in the dying chunk).
                 self.held.released(p_enc);
+                if level == 0 {
+                    self.journal.committed = Some(Commit::Removed(true));
+                }
                 self.stats.merges += 1;
                 self.list.dec_level_chunks(level);
                 self.unlock(p_next);
                 self.update_down_ptrs(level, moved.as_slice(), p_next);
+                self.journal.intent = Intent::None;
             }
         }
     }

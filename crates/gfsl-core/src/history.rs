@@ -52,6 +52,17 @@ pub enum OpAction {
         /// `Some(v)` = present with value `v`.
         found: Option<u32>,
     },
+    /// `insert(key, value)` whose outcome is *unknown*: the operation
+    /// crashed mid-protocol (containment mode) before acknowledging, so it
+    /// may have linearized (key now present with `value`) or not happened
+    /// at all. The checker tries both.
+    InsertMaybe {
+        /// Value the crashed insert would have stored.
+        value: u32,
+    },
+    /// `remove(key)` whose outcome is unknown (crashed mid-protocol): it
+    /// may have removed the key or left it untouched.
+    RemoveMaybe,
 }
 
 /// One completed operation: key, action + outcome, and its real-time
@@ -113,15 +124,32 @@ fn encode(state: Option<u32>) -> u64 {
     }
 }
 
-/// If `op` can linearize now in `state`, the state after it; `None` if its
-/// observed outcome contradicts `state`.
-fn apply(state: Option<u32>, op: &OpRecord) -> Option<Option<u32>> {
+/// The candidate post-states of linearizing `op` now in `state`: up to two
+/// (a crashed `*Maybe` op may or may not have taken effect), `[None, None]`
+/// when the observed outcome contradicts `state`.
+fn apply(state: Option<u32>, op: &OpRecord) -> [Option<Option<u32>>; 2] {
     match op.action {
-        OpAction::Insert { value, ok: true } => state.is_none().then_some(Some(value)),
-        OpAction::Insert { ok: false, .. } => state.is_some().then_some(state),
-        OpAction::Remove { ok: true } => state.is_some().then_some(None),
-        OpAction::Remove { ok: false } => state.is_none().then_some(state),
-        OpAction::Get { found } => (found == state).then_some(state),
+        OpAction::Insert { value, ok: true } => [state.is_none().then_some(Some(value)), None],
+        OpAction::Insert { ok: false, .. } => [state.is_some().then_some(state), None],
+        OpAction::Remove { ok: true } => [state.is_some().then_some(None), None],
+        OpAction::Remove { ok: false } => [state.is_none().then_some(state), None],
+        OpAction::Get { found } => [(found == state).then_some(state), None],
+        // A crashed op contradicts nothing; it either took effect or
+        // no-opped. Branch only where the two differ.
+        OpAction::InsertMaybe { value } => {
+            if state.is_none() {
+                [Some(Some(value)), Some(None)]
+            } else {
+                [Some(state), None]
+            }
+        }
+        OpAction::RemoveMaybe => {
+            if state.is_some() {
+                [Some(None), Some(state)]
+            } else {
+                [Some(state), None]
+            }
+        }
     }
 }
 
@@ -183,7 +211,7 @@ fn dfs(
         if done.get(i) || ops[i].invoke > min_ret {
             continue;
         }
-        if let Some(next) = apply(state, &ops[i]) {
+        for next in apply(state, &ops[i]).into_iter().flatten() {
             done.set(i);
             if dfs(ops, done, next, memo) {
                 return true;
@@ -196,11 +224,26 @@ fn dfs(
 
 /// Check one key's operations against an initial state. Returns `Err` with
 /// a description when no valid linearization exists.
+///
+/// Crashed (`*Maybe`) operations are treated as *pending forever*: their
+/// abort is not a response event, so no real-time edge points out of them
+/// and they may linearize after operations invoked much later — which is
+/// exactly what happens when the repair pass rolls a crashed op forward
+/// long after its abort returned to the caller.
 pub fn check_key(key: u32, initial: Option<u32>, ops: &[OpRecord]) -> Result<(), String> {
     debug_assert!(ops.iter().all(|o| o.key == key));
+    let open: Vec<OpRecord> = ops
+        .iter()
+        .map(|o| match o.action {
+            OpAction::InsertMaybe { .. } | OpAction::RemoveMaybe => {
+                OpRecord { ret: u64::MAX, ..*o }
+            }
+            _ => *o,
+        })
+        .collect();
     let mut done = Mask::new(ops.len());
     let mut memo = HashSet::new();
-    if dfs(ops, &mut done, initial, &mut memo) {
+    if dfs(&open, &mut done, initial, &mut memo) {
         Ok(())
     } else {
         Err(format!(
@@ -330,6 +373,61 @@ mod tests {
         let errs = check_linearizable(&bad, &HashMap::new()).unwrap_err();
         assert_eq!(errs.len(), 1);
         assert!(errs[0].contains("key 10"));
+    }
+
+    #[test]
+    fn crashed_ops_linearize_either_way() {
+        // A crashed insert may or may not have landed; both continuations
+        // must pass, but it cannot conjure a different value.
+        let saw_it = [
+            rec(6, OpAction::InsertMaybe { value: 60 }, 0, 1),
+            rec(6, OpAction::Get { found: Some(60) }, 2, 3),
+        ];
+        check_key(6, None, &saw_it).unwrap();
+        let missed_it = [
+            rec(6, OpAction::InsertMaybe { value: 60 }, 0, 1),
+            rec(6, OpAction::Get { found: None }, 2, 3),
+        ];
+        check_key(6, None, &missed_it).unwrap();
+        let wrong_value = [
+            rec(6, OpAction::InsertMaybe { value: 60 }, 0, 1),
+            rec(6, OpAction::Get { found: Some(61) }, 2, 3),
+        ];
+        assert!(check_key(6, None, &wrong_value).is_err());
+        // A crashed remove likewise: gone or still present are both legal.
+        let gone = [
+            rec(7, OpAction::RemoveMaybe, 0, 1),
+            rec(7, OpAction::Get { found: None }, 2, 3),
+        ];
+        check_key(7, Some(70), &gone).unwrap();
+        let stayed = [
+            rec(7, OpAction::RemoveMaybe, 0, 1),
+            rec(7, OpAction::Get { found: Some(70) }, 2, 3),
+        ];
+        check_key(7, Some(70), &stayed).unwrap();
+    }
+
+    #[test]
+    fn crashed_op_may_take_effect_long_after_its_abort() {
+        // Observed in the recovery soak: remove(k) crashed before its merge
+        // linearized, two later inserts still saw k present, and the repair
+        // pass then rolled the merge (and with it the removal) forward — so
+        // the final get finds k absent. Legal: the crashed remove never
+        // responded, so it linearizes after both inserts.
+        let ops = [
+            rec(5, OpAction::RemoveMaybe, 0, 1),
+            rec(5, OpAction::Insert { value: 9, ok: false }, 2, 3),
+            rec(5, OpAction::Get { found: None }, 4, 5),
+        ];
+        check_key(5, Some(50), &ops).unwrap();
+        // An *acknowledged* remove is a real response event: the identical
+        // shape must still fail the real-time check.
+        let acked = [
+            rec(5, OpAction::Remove { ok: true }, 0, 1),
+            rec(5, OpAction::Insert { value: 9, ok: false }, 2, 3),
+            rec(5, OpAction::Get { found: None }, 4, 5),
+        ];
+        assert!(check_key(5, Some(50), &acked).is_err());
     }
 
     #[test]

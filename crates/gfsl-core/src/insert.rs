@@ -5,7 +5,7 @@
 use gfsl_gpu_mem::MemProbe;
 
 use crate::chunk::{is_user_key, ops, ChunkView, Entry};
-use crate::skiplist::{Error, GfslHandle};
+use crate::skiplist::{Commit, Error, GfslHandle};
 
 /// What happened when inserting into one level.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +54,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         // to the same key.
         let (p_bottom, mut raise, mut kk) = match self.insert_to_level(0, path[0], k, v)? {
             LevelOutcome::AlreadyPresent { locked } => {
+                // Duplicate observed under the bottom lock: the op's outcome
+                // is decided even if the unlock below crashes.
+                self.journal.committed = Some(Commit::Inserted(false));
                 self.unlock(locked);
                 return Ok(false);
             }
@@ -164,6 +167,11 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         }
         if (view.num_keys(&team) as usize) < team.dsize() {
             self.execute_insert(p_enc, &view, k, v);
+            if level == 0 {
+                // Linearization point passed: the key is in the bottom level.
+                // A crash from here on must still report Ok(true).
+                self.journal.committed = Some(Commit::Inserted(true));
+            }
             if level > 0 && self.list.level_chunk_count(level) == 0 {
                 // First key in this level: mark it in use so searches start
                 // here. (Benign race: two first-inserters may both count.)

@@ -80,6 +80,7 @@ pub mod insert;
 pub mod introspect;
 pub mod params;
 pub mod range;
+pub mod repair;
 pub mod search;
 pub mod skiplist;
 pub mod split;
@@ -91,7 +92,10 @@ pub use chaos::{ChaosController, ChaosOptions, ChaosProbe};
 pub use chunk::{Entry, KEY_INF, KEY_NEG_INF};
 pub use history::{check_linearizable, HistoryClock, OpAction, OpRecord, Recorder};
 pub use params::GfslParams;
-pub use skiplist::{Error, Gfsl, GfslHandle, LOCK_RETRY_BOUND, STARVATION_RETRIES};
+pub use skiplist::{
+    AbortReason, Error, Gfsl, GfslHandle, OpAbort, RepairStats, LOCK_RETRY_BOUND,
+    STARVATION_RETRIES,
+};
 pub use introspect::{LevelShape, Shape};
 pub use stats::OpStats;
 pub use validate::Violation;

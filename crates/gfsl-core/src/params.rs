@@ -40,6 +40,26 @@ pub struct GfslParams {
     /// through `alloc_chunk`). See `gfsl_gpu_mem::reclaim` and DESIGN.md for
     /// the safety argument.
     pub reclaim: bool,
+    /// Enable panic containment and quarantine (DESIGN.md §13). With this
+    /// on, the `try_*` entry points run each operation inside an unwind
+    /// boundary: a panic mid-protocol (e.g. a chaos-injected crash) moves
+    /// the held chunks into a quarantine set — with their pre-op snapshots
+    /// and the op's journal stub — and returns a typed
+    /// [`crate::skiplist::OpAbort`] instead of poisoning the structure, and
+    /// waiters on a quarantined chunk abort cleanly instead of spinning.
+    /// Off by default: the plain entry points keep PR 1's fail-fast
+    /// poisoning semantics, and zero containment bookkeeping runs.
+    pub contain: bool,
+    /// Bounded-retry budget for one contained operation: total lock-wait
+    /// and certification retries an op may spend before aborting with
+    /// [`crate::skiplist::AbortReason::RetryBudget`]. `0` = unbounded
+    /// (fall back to [`crate::skiplist::LOCK_RETRY_BOUND`]). Only consulted
+    /// when [`contain`](Self::contain) is on.
+    pub retry_budget: u32,
+    /// Wall-clock deadline for one contained operation, in nanoseconds;
+    /// checked at the same wait points as the retry budget. `0` = none.
+    /// Only consulted when [`contain`](Self::contain) is on.
+    pub op_deadline_ns: u64,
 }
 
 impl Default for GfslParams {
@@ -53,6 +73,9 @@ impl Default for GfslParams {
             kernel: BallotKernel::Swar,
             hints: false,
             reclaim: true,
+            contain: false,
+            retry_budget: 0,
+            op_deadline_ns: 0,
         }
     }
 }
@@ -138,6 +161,15 @@ mod tests {
         assert_eq!(p.dsize(), 14);
         assert_eq!(p.merge_threshold(), 4);
         assert_eq!(p.max_levels(), 16);
+    }
+
+    #[test]
+    fn containment_defaults_off() {
+        // PR 1's poisoning semantics must remain the default behavior.
+        let p = GfslParams::default();
+        assert!(!p.contain);
+        assert_eq!(p.retry_budget, 0);
+        assert_eq!(p.op_deadline_ns, 0);
     }
 
     #[test]

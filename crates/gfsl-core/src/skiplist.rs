@@ -1,6 +1,6 @@
 //! The GFSL structure and per-thread operation handles.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use gfsl_gpu_mem::{EpochReclaimer, MemProbe, NoProbe, PoolExhausted, ReclaimStats, SlotId, WordPool};
@@ -19,6 +19,9 @@ pub enum Error {
     /// The key collides with a reserved sentinel (`0` is `-∞`,
     /// `u32::MAX` is `∞`).
     InvalidKey(u32),
+    /// A contained operation aborted instead of completing (see
+    /// [`GfslParams::contain`] and the `try_*` entry points).
+    Aborted(OpAbort),
 }
 
 impl std::fmt::Display for Error {
@@ -26,11 +29,155 @@ impl std::fmt::Display for Error {
         match self {
             Error::PoolExhausted(e) => write!(f, "{e}"),
             Error::InvalidKey(k) => write!(f, "key {k} is reserved (0 = -inf, u32::MAX = inf)"),
+            Error::Aborted(a) => write!(f, "{a}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Why a contained operation aborted, and where. Returned inside
+/// [`Error::Aborted`] by the `try_*` entry points when
+/// [`GfslParams::contain`] is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpAbort {
+    /// What cut the operation short.
+    pub reason: AbortReason,
+    /// The chunk the abort centers on: the chunk being waited on for a
+    /// clean abort, or the first quarantined chunk for a crash.
+    pub chunk: u32,
+}
+
+impl std::fmt::Display for OpAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "operation aborted ({:?}) at chunk {}", self.reason, self.chunk)
+    }
+}
+
+/// The cause carried by an [`OpAbort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The operation itself panicked mid-protocol (e.g. a chaos-injected
+    /// crash); its held chunks moved to the quarantine set. Unless the
+    /// journal had already recorded the commit point, the op's outcome is
+    /// *unknown* until repair runs.
+    Crashed,
+    /// The operation was about to wait on a quarantined chunk; it released
+    /// everything it held (all individually consistent) and had **no
+    /// effect** on the structure.
+    Quarantined,
+    /// The per-op retry budget ([`GfslParams::retry_budget`]) ran out at a
+    /// wait point. No effect on the structure.
+    RetryBudget,
+    /// The per-op deadline ([`GfslParams::op_deadline_ns`]) passed at a
+    /// wait point. No effect on the structure.
+    Deadline,
+}
+
+/// Internal panic payload for *clean* aborts raised at wait points. Caught
+/// by [`GfslHandle::contained`]; never escapes the `try_*` entry points.
+pub(crate) struct AbortSignal {
+    pub(crate) reason: AbortReason,
+    pub(crate) chunk: u32,
+}
+
+/// Cumulative recovery counters (see [`Gfsl::repair_stats`]). All counts
+/// are totals since construction; `quarantine_depth` is the current value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Contained operations that aborted (any [`AbortReason`]).
+    pub aborts: u64,
+    /// Contained operations that crashed (panicked) mid-protocol.
+    pub crashed_ops: u64,
+    /// Chunks ever moved into the quarantine set.
+    pub chunks_quarantined: u64,
+    /// Chunks currently quarantined.
+    pub quarantine_depth: usize,
+    /// Quarantined chunks repaired by rolling the interrupted op forward.
+    pub repaired_forward: u64,
+    /// Quarantined chunks repaired by restoring the pre-op snapshot.
+    pub repaired_back: u64,
+    /// Quarantined chunks whose image was already consistent (clean
+    /// unlock, no rewrite needed).
+    pub unpoisoned_clean: u64,
+    /// Down-pointer repairs queued and applied by `repair_quarantine`.
+    pub downptr_repairs: u64,
+    /// Live chunks re-validated by the background scrubber.
+    pub scrubbed_chunks: u64,
+    /// Invariant violations the scrubber observed on settled chunks.
+    pub scrub_violations: u64,
+}
+
+/// Atomic backing store for [`RepairStats`].
+#[derive(Default)]
+pub(crate) struct RecoveryCounters {
+    pub(crate) aborts: AtomicU64,
+    pub(crate) crashed_ops: AtomicU64,
+    pub(crate) chunks_quarantined: AtomicU64,
+    pub(crate) repaired_forward: AtomicU64,
+    pub(crate) repaired_back: AtomicU64,
+    pub(crate) unpoisoned_clean: AtomicU64,
+    pub(crate) downptr_repairs: AtomicU64,
+    pub(crate) scrubbed_chunks: AtomicU64,
+    pub(crate) scrub_violations: AtomicU64,
+}
+
+/// A chunk parked in the quarantine set: still lock-held by a crashed op,
+/// waiting for [`GfslHandle::repair_quarantine`] to roll it forward or back.
+pub(crate) struct QuarantinedChunk {
+    /// Pool chunk index.
+    pub(crate) chunk: u32,
+    /// Full chunk image (all lanes) captured when the crashed op acquired
+    /// the lock — the certified pre-op state the rollback path restores.
+    pub(crate) snapshot: Vec<u64>,
+    /// The crashed op's journal stub at crash time, shared by every chunk
+    /// it held.
+    pub(crate) intent: Intent,
+}
+
+/// Journal stub describing the structural mutation an op is mid-way
+/// through; consulted by repair to decide roll-forward vs roll-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum Intent {
+    /// No structural mutation in flight.
+    #[default]
+    None,
+    /// Splitting `split` at `level`; `new` is the freshly allocated half,
+    /// `thresh` the max the old half keeps, `published` whether the
+    /// one-word publish store has been issued.
+    Split {
+        split: u32,
+        new: u32,
+        thresh: u32,
+        level: usize,
+        published: bool,
+    },
+    /// Merging `dying` into `absorber` at `level` (removing `k`); `copied`
+    /// is set once every surviving entry has been written into the
+    /// absorber, after which the merge must roll forward.
+    Merge {
+        dying: u32,
+        absorber: u32,
+        k: u32,
+        level: usize,
+        copied: bool,
+    },
+}
+
+/// Committed outcome recorded by the journal once an op's linearization
+/// point has passed; a crash after this returns the real outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Commit {
+    Inserted(bool),
+    Removed(bool),
+}
+
+/// Per-op containment journal carried by the handle.
+#[derive(Default)]
+pub(crate) struct OpJournal {
+    pub(crate) intent: Intent,
+    pub(crate) committed: Option<Commit>,
+}
 
 /// A GPU-friendly skiplist (GFSL).
 ///
@@ -68,6 +215,15 @@ pub struct Gfsl {
     /// [`GfslParams::reclaim`] is off). See DESIGN.md for the safety
     /// argument.
     pub(crate) reclaim: Option<EpochReclaimer>,
+    /// Quarantined chunks awaiting repair (containment mode only).
+    pub(crate) quarantine: Mutex<Vec<QuarantinedChunk>>,
+    /// Lock-free mirror of the quarantine set's size, so the hot path can
+    /// skip the mutex when nothing is quarantined.
+    pub(crate) quarantine_len: AtomicUsize,
+    /// Cumulative recovery counters behind [`Gfsl::repair_stats`].
+    pub(crate) recovery: RecoveryCounters,
+    /// Background scrubber cursor: `(level, next chunk to visit)`.
+    pub(crate) scrub_cursor: Mutex<(usize, u32)>,
 }
 
 /// Maximum concurrently-live handles when reclamation is enabled (epoch
@@ -123,8 +279,49 @@ impl Gfsl {
             reclaim: params
                 .reclaim
                 .then(|| EpochReclaimer::new(MAX_RECLAIM_HANDLES)),
+            quarantine: Mutex::new(Vec::new()),
+            quarantine_len: AtomicUsize::new(0),
+            recovery: RecoveryCounters::default(),
+            scrub_cursor: Mutex::new((0, sentinels[0])),
             params,
         })
+    }
+
+    /// Cumulative recovery counters: aborts, quarantined chunks, repairs by
+    /// kind, scrubber progress. Cheap (atomic loads).
+    pub fn repair_stats(&self) -> RepairStats {
+        let r = &self.recovery;
+        let o = Ordering::Relaxed;
+        RepairStats {
+            aborts: r.aborts.load(o),
+            crashed_ops: r.crashed_ops.load(o),
+            chunks_quarantined: r.chunks_quarantined.load(o),
+            quarantine_depth: self.quarantine_depth(),
+            repaired_forward: r.repaired_forward.load(o),
+            repaired_back: r.repaired_back.load(o),
+            unpoisoned_clean: r.unpoisoned_clean.load(o),
+            downptr_repairs: r.downptr_repairs.load(o),
+            scrubbed_chunks: r.scrubbed_chunks.load(o),
+            scrub_violations: r.scrub_violations.load(o),
+        }
+    }
+
+    /// Number of chunks currently quarantined (lock-free snapshot).
+    pub fn quarantine_depth(&self) -> usize {
+        self.quarantine_len.load(Ordering::Acquire)
+    }
+
+    /// Is `ch` in the quarantine set? Fast-pathed on the depth counter so
+    /// it costs one atomic load while the set is empty.
+    pub(crate) fn is_quarantined(&self, ch: u32) -> bool {
+        if self.quarantine_depth() == 0 {
+            return false;
+        }
+        self.quarantine
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .any(|q| q.chunk == ch)
     }
 
     /// Reclamation counters (zombies retired/reclaimed, epochs advanced,
@@ -191,6 +388,9 @@ impl Gfsl {
             reclaim_slot: ReclaimGuard { list: self, slot },
             hint0: None,
             reclaim_tick: 0,
+            journal: OpJournal::default(),
+            op_waits: 0,
+            op_deadline: None,
         }
     }
 
@@ -282,6 +482,12 @@ impl Gfsl {
 pub(crate) struct HeldLocks<'a> {
     list: &'a Gfsl,
     chunks: Vec<u32>,
+    /// Pre-op chunk images captured at lock acquisition, keyed by chunk.
+    /// Only populated in containment mode ([`GfslParams::contain`]); the
+    /// quarantine entries carry these as certified rollback states (the
+    /// lock CAS preceding the capture means no other writer can have
+    /// touched the chunk since).
+    snaps: Vec<(u32, Vec<u64>)>,
 }
 
 impl<'a> HeldLocks<'a> {
@@ -289,19 +495,28 @@ impl<'a> HeldLocks<'a> {
         HeldLocks {
             list,
             chunks: Vec::new(),
+            snaps: Vec::new(),
         }
     }
 
     #[inline]
     pub(crate) fn acquired(&mut self, ch: u32) {
+        if self.list.params.contain {
+            let lanes = self.list.params.lanes();
+            let base = self.list.chunk(ch);
+            let snap = (0..lanes).map(|i| self.list.pool.read(base.entry_addr(i))).collect();
+            self.snaps.push((ch, snap));
+        }
         self.chunks.push(ch);
     }
 
     /// Forget all tracked locks. Only for code paths that release lock words
     /// by direct pool writes instead of [`GfslHandle::unlock`] (bulk
-    /// construction, where every chunk is sealed unlocked by hand).
+    /// construction, where every chunk is sealed unlocked by hand) and for
+    /// the containment paths that already dispatched every held chunk.
     pub(crate) fn clear(&mut self) {
         self.chunks.clear();
+        self.snaps.clear();
     }
 
     #[inline]
@@ -312,6 +527,23 @@ impl<'a> HeldLocks<'a> {
             }
             None => debug_assert!(false, "releasing untracked lock on chunk {ch}"),
         }
+        if let Some(i) = self.snaps.iter().rposition(|&(c, _)| c == ch) {
+            self.snaps.swap_remove(i);
+        }
+    }
+
+    /// The chunks currently held (containment paths).
+    pub(crate) fn chunks(&self) -> &[u32] {
+        &self.chunks
+    }
+
+    /// The captured pre-op image of a held chunk, if containment recorded
+    /// one.
+    fn snapshot_of(&self, ch: u32) -> Option<Vec<u64>> {
+        self.snaps
+            .iter()
+            .rfind(|&&(c, _)| c == ch)
+            .map(|(_, s)| s.clone())
     }
 }
 
@@ -376,9 +608,32 @@ pub struct GfslHandle<'a, P: MemProbe> {
     /// lookup revalidates the pair (word equality ⇒ the chunk is the same
     /// incarnation and unmutated since) and starts its lateral walk there,
     /// skipping the descent entirely.
-    hint0: Option<(u32, u64)>,
+    hint0: Option<Hint0>,
     /// Update-op counter driving periodic reclamation passes.
     reclaim_tick: u32,
+    /// Containment journal for the op in flight (intent stub + commit
+    /// point); reset by [`Self::contained`].
+    pub(crate) journal: OpJournal,
+    /// Lock-wait + certification retries spent by the contained op in
+    /// flight, charged against [`GfslParams::retry_budget`].
+    op_waits: u32,
+    /// Deadline of the contained op in flight, when
+    /// [`GfslParams::op_deadline_ns`] is set.
+    op_deadline: Option<std::time::Instant>,
+}
+
+/// A cached bottom-level traversal hint (see [`GfslHandle`]). Beyond the
+/// `(chunk, lock word)` pair, the hint carries the reclaimer epoch at
+/// capture time: lock-word versions are monotonic across recycling (see
+/// `reinit_chunk`), but the epoch tag additionally bounds how *old* a hint
+/// may be — a hint that survived two reclaim epochs has had time for its
+/// chunk to be retired, verified, recycled, and re-churned, so it is
+/// dropped outright rather than trusted to a word comparison.
+#[derive(Debug, Clone, Copy)]
+struct Hint0 {
+    chunk: u32,
+    word: u64,
+    epoch: u64,
 }
 
 /// Unregisters a handle's epoch slot when the handle drops. A separate
@@ -509,6 +764,173 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         f(self)
     }
 
+    /// Run one operation inside the containment unwind boundary. A no-op
+    /// passthrough when [`GfslParams::contain`] is off (plain call, zero
+    /// bookkeeping). With containment on: resets the op journal and
+    /// retry/deadline budgets, runs `f` under `catch_unwind`, and converts
+    /// any panic into a typed [`OpAbort`] —
+    ///
+    /// * a clean [`AbortSignal`] (raised by [`Self::note_wait`] at a wait
+    ///   point, where every held chunk is individually consistent) releases
+    ///   all held locks with a version bump and reports the signalled
+    ///   reason;
+    /// * any other panic (a *crash*: chaos injection, poison-detection, or
+    ///   a genuine bug mid-protocol) moves the held chunks — with their
+    ///   pre-op snapshots and the op's journal intent — into the quarantine
+    ///   set for [`Self::repair_quarantine`], leaving the rest of the
+    ///   structure unpoisoned and live.
+    ///
+    /// The caller inspects `self.journal.committed` on `Err`: a recorded
+    /// commit means the op's linearization point had already passed, so its
+    /// outcome is real and must be reported (this is what keeps
+    /// acknowledged writes from being lost across crashes).
+    pub(crate) fn contained<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> Result<R, OpAbort> {
+        if !self.list.params.contain {
+            return Ok(f(self));
+        }
+        self.journal = OpJournal::default();
+        self.op_waits = 0;
+        self.op_deadline = (self.list.params.op_deadline_ns > 0).then(|| {
+            std::time::Instant::now()
+                + std::time::Duration::from_nanos(self.list.params.op_deadline_ns)
+        });
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self))) {
+            Ok(r) => {
+                self.journal.intent = Intent::None;
+                Ok(r)
+            }
+            Err(payload) => {
+                self.list.recovery.aborts.fetch_add(1, Ordering::Relaxed);
+                match payload.downcast::<AbortSignal>() {
+                    Ok(sig) => {
+                        self.abort_release_held();
+                        Err(OpAbort {
+                            reason: sig.reason,
+                            chunk: sig.chunk,
+                        })
+                    }
+                    Err(_) => {
+                        let chunk = self.quarantine_held();
+                        self.list.recovery.crashed_ops.fetch_add(1, Ordering::Relaxed);
+                        // A killing probe (chaos) deregistered this team from
+                        // its scheduler mid-panic; we caught the kill, so tell
+                        // the probe the team lives on — even when the crash is
+                        // reported to the caller as a committed `Ok`.
+                        self.probe.crash_recovered();
+                        Err(OpAbort {
+                            reason: AbortReason::Crashed,
+                            chunk,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blanket-release every held lock after a *clean* abort. Sound because
+    /// clean aborts are raised only at wait points, where each held chunk's
+    /// image is individually consistent (see [`Self::note_wait`]); the
+    /// release bumps the version exactly like [`ops::unlock`] so snapshot
+    /// certification and hints observe the mutation window.
+    fn abort_release_held(&mut self) {
+        let team = &self.list.team;
+        let pool = &self.list.pool;
+        for &ch in self.held.chunks() {
+            let addr = self.list.chunk(ch).entry_addr(team.lock_lane());
+            let cur = pool.read(addr);
+            debug_assert_eq!(
+                crate::chunk::lock_state(cur),
+                crate::chunk::LOCK_LOCKED,
+                "abort-releasing chunk {ch} that is not locked"
+            );
+            pool.write(
+                addr,
+                (cur & !crate::chunk::LOCK_STATE_MASK)
+                    .wrapping_add(crate::chunk::LOCK_VERSION_UNIT)
+                    | LOCK_UNLOCKED,
+            );
+        }
+        self.held.clear();
+    }
+
+    /// Move every held chunk into the quarantine set (still lock-held, with
+    /// its pre-op snapshot and the crashed op's intent stub) and forget them
+    /// locally, so the handle's unwind does not poison the structure.
+    /// Returns the first quarantined chunk (for the [`OpAbort`] report), or
+    /// `NIL` if the crash held nothing.
+    fn quarantine_held(&mut self) -> u32 {
+        let held: Vec<u32> = self.held.chunks().to_vec();
+        let first = held.first().copied().unwrap_or(NIL);
+        let intent = self.journal.intent;
+        if !held.is_empty() {
+            let mut q = self
+                .list
+                .quarantine
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            for &ch in &held {
+                let snapshot = self.held.snapshot_of(ch).unwrap_or_default();
+                q.push(QuarantinedChunk {
+                    chunk: ch,
+                    snapshot,
+                    intent,
+                });
+            }
+            self.list.quarantine_len.store(q.len(), Ordering::Release);
+            self.list
+                .recovery
+                .chunks_quarantined
+                .fetch_add(held.len() as u64, Ordering::Relaxed);
+        }
+        self.held.clear();
+        first
+    }
+
+    /// Contained insert: like [`insert`](Self::insert), but a panic or
+    /// budget overrun mid-protocol surfaces as [`Error::Aborted`] (with the
+    /// faulty chunks quarantined) instead of poisoning the structure.
+    /// Requires [`GfslParams::contain`]; without it this is a plain
+    /// zero-overhead alias of `insert`. If the operation had already passed
+    /// its linearization point when it aborted, the recorded outcome is
+    /// returned as `Ok` — an acknowledged insert is never silently lost.
+    pub fn try_insert(&mut self, k: u32, v: u32) -> Result<bool, Error> {
+        match self.contained(|h| h.insert(k, v)) {
+            Ok(r) => r,
+            Err(abort) => match self.journal.committed.take() {
+                Some(Commit::Inserted(a)) => Ok(a),
+                _ => Err(Error::Aborted(abort)),
+            },
+        }
+    }
+
+    /// Contained remove; see [`Self::try_insert`] for the abort contract.
+    pub fn try_remove(&mut self, k: u32) -> Result<bool, Error> {
+        match self.contained(|h| h.remove(k)) {
+            Ok(r) => Ok(r),
+            Err(abort) => match self.journal.committed.take() {
+                Some(Commit::Removed(a)) => Ok(a),
+                _ => Err(Error::Aborted(abort)),
+            },
+        }
+    }
+
+    /// Contained lookup; reads never mutate, so an abort simply means the
+    /// read gave up (quarantined chunk in its path, or budget spent).
+    pub fn try_get(&mut self, k: u32) -> Result<Option<u32>, Error> {
+        self.contained(|h| h.get(k)).map_err(Error::Aborted)
+    }
+
+    /// Contained membership test; see [`Self::try_get`].
+    pub fn try_contains(&mut self, k: u32) -> Result<bool, Error> {
+        self.contained(|h| h.contains(k)).map_err(Error::Aborted)
+    }
+
+    /// Contained range count; see [`Self::try_get`].
+    pub fn try_count_range(&mut self, lo: u32, hi: u32) -> Result<usize, Error> {
+        self.contained(|h| h.count_range(lo, hi))
+            .map_err(Error::Aborted)
+    }
+
     /// Validate the bottom-level hint against `k` and return its chunk with
     /// the validated snapshot, or `None` (clearing the hint) on miss.
     ///
@@ -531,7 +953,22 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !self.list.params.hints {
             return None;
         }
-        let (c, w) = self.hint0?;
+        let Hint0 { chunk: c, word: w, epoch } = self.hint0?;
+        // Reclamation guard: if the reclaimer advanced two or more epochs
+        // since the hint was captured, the hinted chunk may have completed
+        // a full retire→verify→recycle cycle in the meantime. Versions stay
+        // monotonic across recycling, so the word compare below would still
+        // reject a recycled incarnation — this epoch tag is defense in
+        // depth against any future free-list path that loses that
+        // monotonicity (and it keeps pathologically stale hints from ever
+        // reaching the compare).
+        if let Some(rec) = self.list.reclaim.as_ref() {
+            if rec.epoch().wrapping_sub(epoch) >= 2 {
+                self.stats.hint_misses += 1;
+                self.hint0 = None;
+                return None;
+            }
+        }
         let team = self.list.team;
         let view = self.read_chunk(c);
         if view.lock_word(&team) == w && view.entry(0).key() <= k {
@@ -562,7 +999,8 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     pub(crate) fn note_hint(&mut self, chunk: u32, word: Option<u64>) {
         if self.list.params.hints {
             if let Some(w) = word {
-                self.hint0 = Some((chunk, w));
+                let epoch = self.list.reclaim.as_ref().map_or(0, |r| r.epoch());
+                self.hint0 = Some(Hint0 { chunk, word: w, epoch });
             }
         }
     }
@@ -690,15 +1128,48 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// writer's panic.
     pub(crate) fn certify_poison_check(&mut self, ch: u32) {
         self.stats.certify_retries += 1;
+        self.note_wait(ch);
         if let Some(report) = self.list.poison_report() {
             panic!("read certification on chunk {ch} aborted: structure poisoned ({report})");
         }
         std::hint::spin_loop();
     }
 
+    /// Containment-mode wait accounting, called at every retry of every
+    /// wait point (lock backoff, snapshot certification). Raises a *clean*
+    /// [`AbortSignal`] — caught by [`Self::contained`] — when the wait
+    /// targets a quarantined chunk or the op's retry/deadline budget is
+    /// spent. Every wait point in the protocol occurs while each held chunk
+    /// is individually consistent (waits happen before a chunk's mutation
+    /// starts or after it fully completes; the shift/copy loops themselves
+    /// never wait), which is what entitles the catch site to blanket-release
+    /// the held locks.
+    #[inline]
+    fn note_wait(&mut self, ch: u32) {
+        if !self.list.params.contain {
+            return;
+        }
+        self.op_waits += 1;
+        let budget = self.list.params.retry_budget;
+        if budget > 0 && self.op_waits > budget {
+            std::panic::panic_any(AbortSignal { reason: AbortReason::RetryBudget, chunk: ch });
+        }
+        if self.op_waits < 4 || self.op_waits.is_multiple_of(16) {
+            if self.list.is_quarantined(ch) {
+                std::panic::panic_any(AbortSignal { reason: AbortReason::Quarantined, chunk: ch });
+            }
+            if let Some(d) = self.op_deadline {
+                if std::time::Instant::now() >= d {
+                    std::panic::panic_any(AbortSignal { reason: AbortReason::Deadline, chunk: ch });
+                }
+            }
+        }
+    }
+
     fn lock_backoff(&mut self, spins: &mut u32, ch: u32) {
         *spins += 1;
         let n = *spins;
+        self.note_wait(ch);
         if n.is_multiple_of(64) {
             if let Some(report) = self.list.poison_report() {
                 panic!("lock wait on chunk {ch} aborted: structure poisoned ({report})");

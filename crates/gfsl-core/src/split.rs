@@ -11,7 +11,7 @@ use gfsl_gpu_mem::probe::CrashPoint;
 use gfsl_gpu_mem::MemProbe;
 
 use crate::chunk::{ops, ChunkView, Entry};
-use crate::skiplist::{Error, GfslHandle};
+use crate::skiplist::{Commit, Error, GfslHandle, Intent};
 
 /// The keys moved out of a split/merged chunk, kept for the down-pointer
 /// repair pass. Bounded by `DSIZE`.
@@ -71,6 +71,20 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             }
         };
 
+        // splitCopy: copy the top half into the (still unreachable) new
+        // chunk, publish with one word, then empty the moved entries.
+        let thresh = view.entry(half - 1).key();
+        // Journal the structural intent before any store touches p_new: a
+        // crash before the publish rolls the unreachable p_new back
+        // (retired), one after rolls the split forward.
+        self.journal.intent = Intent::Split {
+            split: p_split,
+            new: p_new,
+            thresh,
+            level,
+            published: false,
+        };
+
         // The new chunk inherits the split chunk's current (max, next): it
         // slots in directly after it.
         let nf = ops::read_next_field(
@@ -89,9 +103,6 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             old_next,
         );
 
-        // splitCopy: copy the top half into the (still unreachable) new
-        // chunk, publish with one word, then empty the moved entries.
-        let thresh = view.entry(half - 1).key();
         let new_ch = self.list.chunk(p_new);
         let mut moved = MovedKeys::new();
         for i in half..team.dsize() {
@@ -109,6 +120,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             thresh,
             p_new,
         );
+        if let Intent::Split { published, .. } = &mut self.journal.intent {
+            *published = true;
+        }
         let split_ch = self.list.chunk(p_split);
         for i in (half..team.dsize()).rev() {
             ops::write_entry(&self.list.pool, &mut self.probe, split_ch, i, Entry::EMPTY);
@@ -124,6 +138,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         let p_insert = if k <= thresh { p_split } else { p_new };
         let iv = self.read_chunk(p_insert);
         self.execute_insert(p_insert, &iv, k, v);
+        if level == 0 {
+            self.journal.committed = Some(Commit::Inserted(true));
+        }
         if p_insert == p_split {
             self.unlock(p_new);
         } else {
@@ -152,6 +169,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         // steps recover), so this is a best-effort performance fix.
         self.update_down_ptrs(level, moved.as_slice(), p_new);
 
+        // The split is fully settled (caller's level-chunk accounting still
+        // pending, which repair performs when it finds a Split intent).
+        self.journal.intent = Intent::None;
         Ok((p_insert, raised))
     }
 
@@ -175,6 +195,18 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             }
         };
 
+        // Unlike the insert-path split, the chunk may be only partially full
+        // (merging just requires it to be too full to absorb its left
+        // neighbour): move the live entries at positions >= DSIZE/2.
+        let thresh = view.entry(half - 1).key();
+        self.journal.intent = Intent::Split {
+            split: p_split,
+            new: p_new,
+            thresh,
+            level,
+            published: false,
+        };
+
         let nf = ops::read_next_field(
             &team,
             &self.list.pool,
@@ -190,10 +222,6 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             nf.val(),
         );
 
-        // Unlike the insert-path split, the chunk may be only partially full
-        // (merging just requires it to be too full to absorb its left
-        // neighbour): move the live entries at positions >= DSIZE/2.
-        let thresh = view.entry(half - 1).key();
         debug_assert!(thresh != crate::chunk::KEY_INF, "absorber at least half full");
         let new_ch = self.list.chunk(p_new);
         let mut moved = MovedKeys::new();
@@ -214,6 +242,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             thresh,
             p_new,
         );
+        if let Intent::Split { published, .. } = &mut self.journal.intent {
+            *published = true;
+        }
         let split_ch = self.list.chunk(p_split);
         for i in (half..half + moved.as_slice().len()).rev() {
             ops::write_entry(&self.list.pool, &mut self.probe, split_ch, i, Entry::EMPTY);
@@ -225,6 +256,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         self.stats.splits += 1;
 
         self.update_down_ptrs(level, moved.as_slice(), p_new);
+        self.journal.intent = Intent::None;
         Ok(())
     }
 }

@@ -7,6 +7,7 @@
 use std::collections::BTreeSet;
 
 use gfsl_gpu_mem::NoProbe;
+use gfsl_simt::Team;
 
 use crate::chunk::{ChunkView, KEY_INF, KEY_NEG_INF, LOCK_UNLOCKED, LOCK_ZOMBIE, NIL};
 use crate::skiplist::Gfsl;
@@ -35,6 +36,64 @@ impl std::fmt::Display for Violation {
             self.detail
         )
     }
+}
+
+/// The *chunk-local* structural invariants of a single non-zombie chunk
+/// view: data lanes sorted / unique / left-packed, and the NEXT lane's max
+/// consistent with the data. Shared by [`Gfsl::validate`] (quiescent, full
+/// walk), the online repair decision table, and the background scrubber —
+/// these are exactly the rules a chunk can be checked against in isolation,
+/// without trusting any other chunk.
+pub(crate) fn chunk_rules(team: &Team, v: &ChunkView, level: usize, chunk: u32) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let keys: Vec<u32> = v.live_entries(team).map(|(_, e)| e.key()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if keys != sorted {
+        violations.push(Violation {
+            rule: "chunk-sorted-unique",
+            level,
+            chunk: Some(chunk),
+            detail: format!("data array {keys:?}"),
+        });
+    }
+    let packed = (0..team.dsize())
+        .map(|i| v.entry(i).is_empty())
+        .collect::<Vec<_>>();
+    if let Some(first_empty) = packed.iter().position(|&e| e) {
+        if packed[first_empty..].iter().any(|&e| !e) {
+            violations.push(Violation {
+                rule: "empties-at-end",
+                level,
+                chunk: Some(chunk),
+                detail: "live entry after EMPTY entry".into(),
+            });
+        }
+    }
+    let max = v.max(team);
+    let next = v.next(team);
+    let data_max = keys.iter().copied().filter(|&k| k != KEY_NEG_INF).max();
+    if next == NIL {
+        if max != KEY_INF {
+            violations.push(Violation {
+                rule: "last-chunk-max-inf",
+                level,
+                chunk: Some(chunk),
+                detail: format!("max = {max}"),
+            });
+        }
+    } else if let Some(dm) = data_max {
+        if max != dm && (keys != vec![KEY_NEG_INF]) {
+            violations.push(Violation {
+                rule: "max-is-largest-key",
+                level,
+                chunk: Some(chunk),
+                detail: format!("max = {max}, largest key = {dm}"),
+            });
+        }
+    }
+    violations
 }
 
 impl Gfsl {
@@ -138,31 +197,8 @@ impl Gfsl {
                 }
                 if !zombie {
                     let keys: Vec<u32> = v.live_entries(&team).map(|(_, e)| e.key()).collect();
-                    // Sorted, left-packed, unique.
-                    let mut sorted = keys.clone();
-                    sorted.sort_unstable();
-                    sorted.dedup();
-                    if keys != sorted {
-                        violations.push(Violation {
-                            rule: "chunk-sorted-unique",
-                            level,
-                            chunk: Some(cur),
-                            detail: format!("data array {keys:?}"),
-                        });
-                    }
-                    let packed = (0..team.dsize())
-                        .map(|i| v.entry(i).is_empty())
-                        .collect::<Vec<_>>();
-                    if let Some(first_empty) = packed.iter().position(|&e| e) {
-                        if packed[first_empty..].iter().any(|&e| !e) {
-                            violations.push(Violation {
-                                rule: "empties-at-end",
-                                level,
-                                chunk: Some(cur),
-                                detail: "live entry after EMPTY entry".into(),
-                            });
-                        }
-                    }
+                    // Chunk-local rules (sorted/unique, packed, max field).
+                    violations.extend(chunk_rules(&team, &v, level, cur));
                     // First chunk holds -inf (head may lag behind a zombified
                     // first chunk, in which case this is checked on its
                     // replacement via the zombie walk).
@@ -175,29 +211,8 @@ impl Gfsl {
                             detail: format!("entry 0 key = {}", v.entry(0).key()),
                         });
                     }
-                    // Max field consistency.
                     let max = v.max(&team);
                     let next = v.next(&team);
-                    let data_max = keys.iter().copied().filter(|&k| k != KEY_NEG_INF).max();
-                    if next == NIL {
-                        if max != KEY_INF {
-                            violations.push(Violation {
-                                rule: "last-chunk-max-inf",
-                                level,
-                                chunk: Some(cur),
-                                detail: format!("max = {max}"),
-                            });
-                        }
-                    } else if let Some(dm) = data_max {
-                        if max != dm && (keys != vec![KEY_NEG_INF]) {
-                            violations.push(Violation {
-                                rule: "max-is-largest-key",
-                                level,
-                                chunk: Some(cur),
-                                detail: format!("max = {max}, largest key = {dm}"),
-                            });
-                        }
-                    }
                     // Lateral ordering between non-zombie chunks.
                     if let Some(pm) = prev_max {
                         if let Some(minimum) = keys.first() {

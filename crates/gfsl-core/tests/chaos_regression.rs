@@ -78,6 +78,32 @@ fn panic_mid_split_poisons_instead_of_deadlocking() {
         msg.contains("poisoned"),
         "writer's panic should carry the poison diagnosis, got: {msg}"
     );
+
+    // Full structural check: the injected crash fires *before* the split
+    // publish, so every data invariant must still hold — the only legal
+    // violations are the orphaned locks themselves.
+    assert_crash_left_data_intact(&list, &[]);
+}
+
+/// Run the full [`Gfsl::validate`] walk on a poisoned structure and assert
+/// the crash corrupted nothing: orphaned locks (`quiescent-unlocked`) are
+/// always expected, and a caller whose crash point freezes a documented
+/// multi-chunk window (e.g. mid-merge, where moved keys transiently exist
+/// in both the dying chunk and its absorber) lists the level-scope rules
+/// that window legitimately suspends. Chunk-local rules — sorted, unique,
+/// packed, max fields — must hold unconditionally.
+fn assert_crash_left_data_intact(list: &Gfsl, window_rules: &[&str]) {
+    let violations = list.validate();
+    assert!(
+        !violations.is_empty(),
+        "a poisoned structure must at least report its orphaned locks"
+    );
+    for v in &violations {
+        assert!(
+            v.rule == "quiescent-unlocked" || window_rules.contains(&v.rule),
+            "crash may orphan locks but never corrupt data: {v}"
+        );
+    }
 }
 
 #[test]
@@ -126,4 +152,65 @@ fn surviving_teams_keep_running_after_peer_dies_elsewhere() {
         assert!(h.contains(k * 10) || list.is_poisoned());
     }
     assert!(h.insert(100_000, 1).unwrap_or(false) || list.is_poisoned());
+    drop(h);
+
+    // Same full-walk guarantee as above, with the merge window's two
+    // legal artifacts: the crash froze the op after the copy but before
+    // the zombie mark, so the moved keys transiently exist in both the
+    // dying chunk and its absorber (duplicates + out-of-order min). Every
+    // chunk-local rule must still hold.
+    if list.is_poisoned() {
+        assert_crash_left_data_intact(&list, &["level-unique-keys", "lateral-order"]);
+    } else {
+        list.assert_valid();
+    }
+}
+
+/// The containment counterpart of the poisoning regressions: the same
+/// injected crash, but with [`GfslParams::contain`] on the worker survives
+/// with a typed abort, the orphaned chunks land in quarantine, and one
+/// repair pass returns the structure to a state where the *full* validation
+/// walk — not just the lock-scrubbed subset — passes clean.
+#[test]
+fn contained_crash_repairs_to_a_fully_valid_structure() {
+    let list = Gfsl::new(GfslParams {
+        team_size: TeamSize::Sixteen,
+        pool_chunks: 1 << 12,
+        contain: true,
+        ..Default::default()
+    })
+    .unwrap();
+    let ctl = ChaosController::new(
+        1,
+        ChaosOptions {
+            panic_at: Some((CrashPoint::SplitPublish, 1)),
+            max_stall_turns: 0,
+            ..Default::default()
+        },
+    );
+
+    let crashed = std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut h = list.handle_with(ctl.probe(0));
+            let mut crashed = 0u32;
+            for k in 1..=100u32 {
+                match h.try_insert(k, k) {
+                    Ok(_) => {}
+                    Err(gfsl::Error::Aborted(_)) => crashed += 1,
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+            crashed
+        })
+        .join()
+        .expect("containment keeps the worker alive")
+    });
+
+    assert!(crashed > 0, "the injected crash must surface as a typed abort");
+    assert!(!list.is_poisoned(), "containment replaces poisoning");
+    assert!(list.quarantine_depth() > 0, "crashed chunks are quarantined");
+
+    let stats = list.handle().repair_quarantine();
+    assert_eq!(stats.quarantine_depth, 0, "repair drains the quarantine");
+    list.assert_valid();
 }

@@ -12,7 +12,7 @@
 //!   [`Error::PoolExhausted`] with every lock released — the structure
 //!   stays fully usable and valid afterwards.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use gfsl::{Error, Gfsl, GfslParams, TeamSize};
 
@@ -105,6 +105,91 @@ fn concurrent_churn_recycles_and_stays_valid() {
     let got: BTreeSet<u32> = list.keys().into_iter().collect();
     let expect: BTreeSet<u32> = finals.into_iter().flatten().collect();
     assert_eq!(got, expect, "membership is the union of both windows");
+}
+
+/// Traversal hints must stay safe across chunk reclamation. A handle's
+/// cached bottom-level hint can name a chunk that is merged away, retired,
+/// reclaimed, and reinitialized under a different key range while the hint
+/// sits idle; the hint's `(lock word, reclaim epoch)` guard must reject
+/// such hints so a hinted lookup never trusts a recycled incarnation.
+///
+/// The churn pushes chunk demand well past 10x the pool (sliding window
+/// through a 64-chunk pool for 6k keys), with hinted lookups interleaved
+/// and checked against a reference map. A second, mostly-idle handle
+/// captures a hint *before* the churn and looks up through it *after*, by
+/// which point the reclaimer has advanced far more than the two epochs the
+/// tag tolerates — the stale hint must be dropped, not followed.
+#[test]
+fn hinted_lookups_stay_correct_across_reclamation_churn() {
+    const WINDOW: u32 = 48;
+    const LAST: u32 = 6_000;
+    let list = Gfsl::new(GfslParams {
+        team_size: TeamSize::Sixteen,
+        pool_chunks: 64,
+        reclaim: true,
+        hints: true,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut h = list.handle();
+    let mut reference: BTreeMap<u32, u32> = BTreeMap::new();
+
+    for k in 1..=WINDOW {
+        h.insert(k, k * 3).unwrap();
+        reference.insert(k, k * 3);
+    }
+    // The idle handle's hint will outlive many reclaim epochs.
+    let mut idle = list.handle();
+    assert_eq!(idle.get(WINDOW / 2), Some(WINDOW / 2 * 3));
+
+    for k in WINDOW + 1..=LAST {
+        h.insert(k, k * 3).unwrap();
+        reference.insert(k, k * 3);
+        assert!(h.remove(k - WINDOW));
+        reference.remove(&(k - WINDOW));
+        if k % 7 == 0 {
+            // Hinted lookups mid-churn: the previous op's hint points at a
+            // window chunk that is about to be merged away and recycled.
+            let probe = k - k % WINDOW;
+            assert_eq!(h.get(probe), reference.get(&probe).copied(), "mid-churn get {probe}");
+        }
+    }
+
+    // The pool was recycled end over end: demand stayed inside 64 chunks
+    // only because zombies were reclaimed (plain sliding-window demand is
+    // ~850 bottom chunks, >13x the pool).
+    let stats = list.reclaim_stats().expect("reclamation on");
+    assert!(
+        stats.reused >= 640,
+        "churn must recycle >10x the pool, reused only {}",
+        stats.reused
+    );
+    assert!(list.chunks_allocated() <= 64, "bump pointer within the pool");
+
+    // The pre-churn hint is now generations stale; the epoch tag (or the
+    // lock-word certification) must reject it and fall back to a full
+    // descent that still answers correctly.
+    assert_eq!(idle.get(WINDOW / 2), None, "pre-churn key is long gone");
+    assert_eq!(
+        idle.get(LAST - WINDOW / 2),
+        reference.get(&(LAST - WINDOW / 2)).copied(),
+        "stale-hinted handle reads the live window"
+    );
+
+    // Full hinted sweep against the reference; ascending keys make almost
+    // every lookup a hint hit, all of them on recycled chunks.
+    for k in 1..=LAST {
+        assert_eq!(h.get(k), reference.get(&k).copied(), "final sweep get {k}");
+    }
+    let s = h.stats();
+    assert!(s.hint_hits > 0, "sweep never used the hint path: {s:?}");
+    assert!(s.hint_misses > 0, "churn never invalidated a hint: {s:?}");
+
+    let violations = list.validate();
+    assert!(violations.is_empty(), "post-churn invariants: {violations:?}");
+    let got: BTreeSet<u32> = list.keys().into_iter().collect();
+    let expect: BTreeSet<u32> = reference.keys().copied().collect();
+    assert_eq!(got, expect);
 }
 
 /// With reclamation off, a tiny pool exhausts under churn. The regression

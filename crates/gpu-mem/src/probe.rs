@@ -59,6 +59,17 @@ pub trait MemProbe {
     /// override it to preempt/stall/kill at the most damaging instants.
     #[inline(always)]
     fn crash_point(&mut self, _point: CrashPoint) {}
+    /// The team survived a contained crash and will keep issuing accesses.
+    ///
+    /// A probe that kills a team at a [`crash_point`](Self::crash_point)
+    /// may also deregister it from its scheduler (the chaos turnstile
+    /// retires the participant so peers stop waiting on it during the
+    /// unwind). A containment layer that *catches* the kill and keeps the
+    /// same thread running calls this from the catch site; scheduling
+    /// probes re-admit the participant here, and every other probe keeps
+    /// the free default.
+    #[inline(always)]
+    fn crash_recovered(&mut self) {}
 }
 
 /// The zero-cost probe: all methods are empty and inline away.

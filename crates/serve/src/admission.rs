@@ -11,16 +11,25 @@ use std::collections::VecDeque;
 
 use crate::request::Request;
 
-/// Typed rejection: the intake queue was full when the request arrived.
+/// Typed rejection: the intake queue (or a degraded service mode) refused
+/// the request at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShedError {
-    /// Queue depth observed at rejection (== capacity).
+    /// Queue depth observed at rejection.
     pub depth: usize,
+    /// Backoff hint: the virtual time after which a retry has a realistic
+    /// chance of admission, derived from the observed depth and the
+    /// queue's drain-rate estimate. Zero when no estimate is configured.
+    pub retry_after_ns: u64,
 }
 
 impl std::fmt::Display for ShedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "request shed: intake queue full at depth {}", self.depth)
+        write!(
+            f,
+            "request shed: intake queue full at depth {} (retry after {} ns)",
+            self.depth, self.retry_after_ns
+        )
     }
 }
 
@@ -32,17 +41,44 @@ pub struct IntakeQueue {
     cap: usize,
     q: VecDeque<Request>,
     sheds: u64,
+    drain_ns_per_req: u64,
 }
 
 impl IntakeQueue {
-    /// A queue admitting at most `cap` requests (`cap > 0`).
+    /// A queue admitting at most `cap` requests (`cap > 0`), with no
+    /// drain-rate estimate (shed retry hints report 0).
     pub fn new(cap: usize) -> IntakeQueue {
+        IntakeQueue::with_drain_hint(cap, 0)
+    }
+
+    /// A queue whose shed errors carry a retry-after hint of
+    /// `depth × ns_per_req` — the virtual time the service needs to work
+    /// off the backlog the rejected request saw.
+    pub fn with_drain_hint(cap: usize, ns_per_req: u64) -> IntakeQueue {
         assert!(cap > 0, "intake capacity must be positive");
         IntakeQueue {
             cap,
             q: VecDeque::with_capacity(cap.min(1 << 16)),
             sheds: 0,
+            drain_ns_per_req: ns_per_req,
         }
+    }
+
+    /// The [`ShedError`] an arrival would receive right now (also used by
+    /// the service's degraded-mode admission gate, which sheds *before*
+    /// the queue is full).
+    pub fn shed_error(&self) -> ShedError {
+        let depth = self.q.len();
+        ShedError {
+            depth,
+            retry_after_ns: (depth as u64).saturating_mul(self.drain_ns_per_req),
+        }
+    }
+
+    /// Count one shed decided outside the queue itself (the service's
+    /// degraded-mode gate), so `sheds()` stays the single total.
+    pub fn note_shed(&mut self) {
+        self.sheds += 1;
     }
 
     /// Admit a request, or shed it. On rejection the request is handed back
@@ -50,7 +86,7 @@ impl IntakeQueue {
     pub fn offer(&mut self, req: Request) -> Result<(), (Request, ShedError)> {
         if self.q.len() >= self.cap {
             self.sheds += 1;
-            return Err((req, ShedError { depth: self.q.len() }));
+            return Err((req, self.shed_error()));
         }
         self.q.push_back(req);
         Ok(())
@@ -107,8 +143,31 @@ mod tests {
         let (back, err) = q.offer(req(3)).unwrap_err();
         assert_eq!(back.id, 3, "rejected request is handed back intact");
         assert_eq!(err.depth, 3);
+        assert_eq!(err.retry_after_ns, 0, "no drain estimate, no hint");
         assert_eq!(q.sheds(), 1);
         assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn retry_hint_scales_with_depth_and_drain_rate() {
+        let mut q = IntakeQueue::with_drain_hint(4, 250);
+        assert_eq!(q.shed_error().retry_after_ns, 0, "empty queue, instant retry");
+        for id in 0..4 {
+            q.offer(req(id)).unwrap();
+        }
+        let (_, err) = q.offer(req(9)).unwrap_err();
+        assert_eq!(err.depth, 4);
+        assert_eq!(err.retry_after_ns, 4 * 250, "hint = backlog x drain estimate");
+        q.drain_upto(2);
+        assert_eq!(q.shed_error().retry_after_ns, 2 * 250, "hint tracks current depth");
+    }
+
+    #[test]
+    fn external_sheds_fold_into_the_total() {
+        let mut q = IntakeQueue::new(2);
+        q.note_shed();
+        q.note_shed();
+        assert_eq!(q.sheds(), 2, "degraded-mode gate sheds count too");
     }
 
     #[test]
@@ -128,9 +187,12 @@ mod tests {
 
     #[test]
     fn shed_error_is_a_real_error() {
-        let e = ShedError { depth: 7 };
+        let e = ShedError {
+            depth: 7,
+            retry_after_ns: 700,
+        };
         let msg = format!("{e}");
-        assert!(msg.contains("depth 7"), "{msg}");
+        assert!(msg.contains("depth 7") && msg.contains("700 ns"), "{msg}");
         let _: &dyn std::error::Error = &e;
     }
 }

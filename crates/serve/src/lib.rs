@@ -18,7 +18,12 @@
 //!    ([`request`]), feeding closed-loop clients their next issue;
 //! 5. **measures** everything — occupancy, queue depth, formation wait,
 //!    p50/p99/p999 latency, sheds ([`metrics`]) — and folds the entire
-//!    schedule into a replayable FNV-1a trace hash ([`trace`]).
+//!    schedule into a replayable FNV-1a trace hash ([`trace`]);
+//! 6. **heals** itself: with the structure in containment mode
+//!    (`GfslParams::contain`), crashed operations surface as typed aborts,
+//!    a per-epoch repair pass drains the quarantine, and a supervisor
+//!    walks the Normal → Shed-writes → Read-only → Drain degradation
+//!    ladder until the structure is healthy again ([`supervisor`]).
 //!
 //! See [`service::serve`] for the event loop and [`service::ExecMode`] for
 //! the measured / modeled / chaos clock modes.
@@ -31,6 +36,7 @@ pub mod request;
 pub mod scheduler;
 pub mod service;
 pub mod source;
+pub mod supervisor;
 pub mod trace;
 
 pub use admission::{IntakeQueue, ShedError};
@@ -39,4 +45,5 @@ pub use request::{ClientId, ClientQueues, Reply, Request, Response};
 pub use scheduler::{Batch, BatchPolicy, Fifo, KeyRangeSharded, KeySorted, PolicyCtx, ReadWriteSeparated};
 pub use service::{env_seed, raw_batch_mops, serve, ExecMode, ServeConfig, ServiceReport};
 pub use source::{ClosedSource, OpenSource, RequestSource};
+pub use supervisor::{ServiceMode, Supervisor};
 pub use trace::TraceHash;

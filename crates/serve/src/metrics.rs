@@ -112,8 +112,24 @@ pub struct ServiceMetrics {
     pub batches: u64,
     /// Batches that were read-only (lock-free fast path end to end).
     pub read_only_batches: u64,
-    /// Requests shed at admission.
+    /// Requests shed at admission (queue-full and degraded-mode combined).
     pub sheds: u64,
+    /// Sheds decided by the degradation ladder rather than a full queue.
+    pub degraded_sheds: u64,
+    /// Replies that failed with a typed operation abort (crash, quarantine,
+    /// retry budget, or deadline) — the recovery signal the supervisor
+    /// watches. Also counted in `failed`.
+    pub aborts: u64,
+    /// Quarantined chunks repaired (rolled forward, rolled back, or
+    /// released clean) by the service's per-epoch repair pass.
+    pub repairs: u64,
+    /// Deepest quarantine observed at an epoch boundary.
+    pub quarantine_depth_max: u64,
+    /// Degradation-ladder transitions (both directions).
+    pub mode_transitions: u64,
+    /// Duration of the last completed degraded interval — first rung away
+    /// from normal service until the return to it — in virtual ns.
+    pub time_to_heal_ns: u64,
     /// Largest intake depth sampled at an epoch close.
     pub queue_depth_max: usize,
     /// Batch-formation wait per request (virtual ns).

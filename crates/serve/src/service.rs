@@ -56,7 +56,13 @@ use crate::metrics::ServiceMetrics;
 use crate::request::{to_batch_op, ClientQueues, Reply, Request, Response};
 use crate::scheduler::{Batch, BatchPolicy, PolicyCtx};
 use crate::source::RequestSource;
+use crate::supervisor::{ServiceMode, Supervisor};
 use crate::trace::TraceHash;
+
+/// Chunks the background scrubber re-validates per epoch when the structure
+/// runs in containment mode. Small on purpose: the scrubber is bycatch of
+/// the driver loop, not a second workload.
+const SCRUB_BUDGET_PER_EPOCH: usize = 32;
 
 /// What advances the virtual clock across an epoch's execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -261,18 +267,30 @@ fn worker_loop(list: &Gfsl, injector: &Injector, done: mpsc::Sender<DoneItem>) {
     }
 }
 
-/// Admit every arrival at or before `limit_ns`, shedding on overflow.
+/// Admit every arrival at or before `limit_ns`, shedding on overflow and —
+/// when the supervisor has degraded the service — by the current mode's
+/// admission rule.
 fn admit_upto(
     src: &mut dyn RequestSource,
     intake: &mut IntakeQueue,
     trace: &mut TraceHash,
     limit_ns: u64,
+    mode: ServiceMode,
+    metrics: &mut ServiceMetrics,
 ) {
     while let Some(t) = src.peek_ns() {
         if t > limit_ns {
             break;
         }
         let req = src.take();
+        if !mode.admits(req.op, intake.len(), intake.capacity()) {
+            let shed = intake.shed_error();
+            intake.note_shed();
+            metrics.degraded_sheds += 1;
+            trace.shed(req.client as u64, shed.depth as u64);
+            src.on_shed(req, t);
+            continue;
+        }
         if let Err((req, shed)) = intake.offer(req) {
             trace.shed(req.client as u64, shed.depth as u64);
             src.on_shed(req, t);
@@ -295,8 +313,11 @@ fn route_done(
     done.sort_by_key(|d| d.seq);
     for d in done {
         for (req, reply) in d.replies {
-            if matches!(reply, Reply::Failed(_)) {
+            if let Reply::Failed(e) = &reply {
                 metrics.failed += 1;
+                if matches!(e, gfsl::Error::Aborted(_)) {
+                    metrics.aborts += 1;
+                }
             }
             match req.op {
                 ServeOp::Get(_) => metrics.gets += 1,
@@ -387,7 +408,14 @@ pub fn serve(
         max_batch: cfg.max_batch,
         lane_align: lanes,
     };
-    let mut intake = IntakeQueue::new(cfg.intake_cap);
+    // Drain-rate estimate behind shed retry-after hints: the modeled (or
+    // chaos) per-op cost when there is one, else the epoch deadline
+    // amortized over a full size-triggered epoch.
+    let drain_ns_per_req = match cfg.exec {
+        ExecMode::Modeled { ns_per_op } | ExecMode::Chaos { ns_per_op, .. } => ns_per_op,
+        ExecMode::Measured => cfg.epoch_ns / cfg.batch_ops.max(1) as u64,
+    };
+    let mut intake = IntakeQueue::with_drain_hint(cfg.intake_cap, drain_ns_per_req);
     let mut metrics = ServiceMetrics::default();
     let mut trace = TraceHash::new();
     let mut queues = ClientQueues::new();
@@ -409,10 +437,51 @@ pub fn serve(
         let mut pending: Option<InFlight> = None;
         let mut early: Vec<DoneItem> = Vec::new();
 
+        // Self-healing plumbing (active only with the structure in
+        // containment mode): a maintenance handle repairs quarantined
+        // chunks and advances the background scrubber each driver pass,
+        // and the supervisor walks the degradation ladder on the observed
+        // abort / quarantine signals.
+        let contain = list.params().contain;
+        let mut maint = list.handle();
+        let mut sup = Supervisor::default();
+        let mut mode = ServiceMode::Normal;
+        let mut last_aborts = 0u64;
+        let mut last_repairs = 0u64;
+        let repairs_base = {
+            let s = list.repair_stats();
+            s.repaired_forward + s.repaired_back + s.unpoisoned_clean
+        };
+
         loop {
+            if contain {
+                let depth = list.quarantine_depth();
+                metrics.quarantine_depth_max = metrics.quarantine_depth_max.max(depth as u64);
+                if depth > 0 {
+                    maint.repair_quarantine();
+                }
+                maint.scrub_step(SCRUB_BUDGET_PER_EPOCH);
+                let s = list.repair_stats();
+                metrics.repairs = (s.repaired_forward + s.repaired_back + s.unpoisoned_clean)
+                    .saturating_sub(repairs_base);
+                let faults_delta = (metrics.aborts - last_aborts)
+                    + (metrics.repairs - last_repairs);
+                last_aborts = metrics.aborts;
+                last_repairs = metrics.repairs;
+                // The depth fed to the supervisor is *post-repair*: staying
+                // positive means repair is not keeping up, which is what
+                // should climb the ladder past shed-writes. Repair activity
+                // itself still counts as a fault for this epoch.
+                let next = sup.observe(clock, faults_delta, list.quarantine_depth());
+                if next != mode {
+                    mode = next;
+                    trace.mode(clock, u64::from(mode.severity()));
+                }
+            }
+
             // Arrivals during the previous epoch's execution have already
             // happened — they contend for intake space now, or are shed.
-            admit_upto(src, &mut intake, &mut trace, clock);
+            admit_upto(src, &mut intake, &mut trace, clock, mode, &mut metrics);
 
             if intake.is_empty() {
                 if let Some(p) = pending.take() {
@@ -428,7 +497,7 @@ pub fn serve(
                     Some(t) => {
                         // Idle: jump the clock to the next arrival.
                         clock = clock.max(t);
-                        admit_upto(src, &mut intake, &mut trace, clock);
+                        admit_upto(src, &mut intake, &mut trace, clock, mode, &mut metrics);
                     }
                     None => break,
                 }
@@ -446,6 +515,14 @@ pub fn serve(
                         break;
                     }
                     let req = src.take();
+                    if !mode.admits(req.op, intake.len(), intake.capacity()) {
+                        let shed = intake.shed_error();
+                        intake.note_shed();
+                        metrics.degraded_sheds += 1;
+                        trace.shed(req.client as u64, shed.depth as u64);
+                        src.on_shed(req, t);
+                        continue;
+                    }
                     match intake.offer(req) {
                         Ok(()) => {
                             if intake.len() >= cfg.batch_ops {
@@ -572,6 +649,8 @@ pub fn serve(
         }
         debug_assert!(early.is_empty(), "stray completions after drain");
         injector.close();
+        metrics.mode_transitions = sup.transitions;
+        metrics.time_to_heal_ns = sup.time_to_heal_ns;
     });
 
     metrics.sheds = intake.sheds();
@@ -713,5 +792,90 @@ mod tests {
         let mut cfg = modeled_cfg();
         cfg.workers = 0;
         cfg.validate();
+    }
+
+    #[test]
+    fn service_heals_through_a_precrashed_structure() {
+        use gfsl::chaos::{ChaosController, ChaosOptions};
+        use gfsl::{AbortReason, CrashPoint, Error};
+
+        let params = GfslParams {
+            team_size: TeamSize::Sixteen,
+            pool_chunks: 1 << 12,
+            contain: true,
+            ..Default::default()
+        };
+        let list = Gfsl::prefilled(params, (1..=2_000u32).filter(|k| k % 2 == 0)).unwrap();
+
+        // Crash one op deterministically before serving: the mid-split
+        // victim leaves its held chunks quarantined (still lock-held), the
+        // exact state the service must route around and repair online.
+        let ctl = ChaosController::new(
+            1,
+            ChaosOptions {
+                panic_at: Some((CrashPoint::SplitPublish, 1)),
+                max_stall_turns: 0,
+                ..Default::default()
+            },
+        );
+        {
+            let mut h = list.handle_with(ctl.probe(0));
+            let mut crashed = false;
+            for k in 0..200u32 {
+                match h.try_insert(2 * k + 1, 7) {
+                    Ok(_) => {}
+                    Err(Error::Aborted(a)) => {
+                        assert_eq!(a.reason, AbortReason::Crashed);
+                        crashed = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            assert!(crashed, "the injected crash must fire before serving");
+        }
+        assert!(list.quarantine_depth() > 0, "crash leaves a quarantine");
+
+        let pop = ClosedLoop::new(16, 50, 1_000, ServeMix::C80, 2_000, 42);
+        let mut src = ClosedSource::new(pop, 1_000);
+        let report = serve(&list, &modeled_cfg(), &mut Fifo::default(), &mut src);
+
+        let m = &report.metrics;
+        assert_eq!(list.quarantine_depth(), 0, "service repaired the quarantine");
+        assert!(m.repairs >= 1, "repair pass handled the crashed op's chunks");
+        assert!(m.quarantine_depth_max >= 1, "degradation signal was observed");
+        assert!(
+            m.mode_transitions >= 2,
+            "supervisor must degrade and return to normal (saw {})",
+            m.mode_transitions
+        );
+        assert!(m.time_to_heal_ns > 0, "completed heal reports its duration");
+        list.assert_valid();
+        // Requests the service acknowledged as applied must be in effect.
+        assert!(m.ops > 0);
+    }
+
+    #[test]
+    fn contained_modeled_runs_still_replay_bit_for_bit() {
+        let run = || {
+            let params = GfslParams {
+                team_size: TeamSize::Sixteen,
+                pool_chunks: 1 << 12,
+                contain: true,
+                ..Default::default()
+            };
+            let list = Gfsl::prefilled(params, (1..=2_000u32).filter(|k| k % 2 == 0)).unwrap();
+            let pop = ClosedLoop::new(16, 50, 1_000, ServeMix::C80, 2_000, 42);
+            let mut src = ClosedSource::new(pop, 1_000);
+            let report = serve(&list, &modeled_cfg(), &mut Fifo::default(), &mut src);
+            list.assert_valid();
+            report
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.trace_hash, b.trace_hash, "containment must not break replay");
+        assert_eq!(a.metrics.ops, 16 * 50);
+        assert_eq!(a.metrics.mode_transitions, 0, "healthy run never degrades");
+        assert_eq!(a.metrics.repairs, 0);
     }
 }

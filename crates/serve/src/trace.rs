@@ -16,6 +16,7 @@ const EV_BATCH: u64 = 0xB2;
 const EV_GRANT: u64 = 0x64;
 const EV_SHED: u64 = 0x5D;
 const EV_CHAOS: u64 = 0xC4;
+const EV_MODE: u64 = 0xD3;
 
 /// Accumulating FNV-1a fold over schedule events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +85,16 @@ impl TraceHash {
         self.fold(EV_CHAOS);
         self.fold(wave_trace);
     }
+
+    /// The supervisor changed the service mode (degradation ladder rung
+    /// `severity`, see `supervisor::ServiceMode::severity`) at virtual time
+    /// `at_ns`. Mode transitions steer admission, so they are part of the
+    /// schedule.
+    pub fn mode(&mut self, at_ns: u64, severity: u64) {
+        self.fold(EV_MODE);
+        self.fold(at_ns);
+        self.fold(severity);
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +111,7 @@ mod tests {
             t.grant(0);
             t.shed(4, 128);
             t.chaos(0xDEAD_BEEF);
+            t.mode(512, 1);
         }
         assert_eq!(a.value(), b.value());
     }
