@@ -1,0 +1,474 @@
+//! The cluster router: epoch-verified single-key dispatch and fenced
+//! multi-shard fan-out.
+//!
+//! ## Lock protocol
+//!
+//! Every path acquires locks in the same global order — **fences before the
+//! map, fences in ascending shard-index order** — so routing, fan-out,
+//! migration, and snapshot compose without deadlock:
+//!
+//! * a routed op: `map.read` (route, drop) → `fence.read(S)` →
+//!   `map.read` (verify, drop) → run → drop fence;
+//! * a fan-out op: route all overlapping shards, `fence.read` each in index
+//!   order, re-verify the epoch, run each sub-op, drop;
+//! * a migration (`reshard.rs`): `fence.write` on the victims in index
+//!   order → export/rebuild → `map.write` (swap + epoch bump, held briefly
+//!   with no further acquisitions inside).
+//!
+//! The verify step is what makes stale routing safe: between routing and
+//! fencing, a migration may have retired the routed shard. Holding the read
+//! fence blocks any *future* migration of that shard, and the map re-read
+//! tells us whether one already happened — if the key no longer routes to
+//! the very same `Arc<Shard>`, the op returns a typed
+//! [`ClusterError::WrongShard`] redirect and the caller re-routes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gfsl::{Error, Gfsl, GfslParams, MemProbe, Violation, KEY_INF};
+use parking_lot::{Mutex, RwLock};
+
+use crate::map::MapInner;
+use crate::shard::{Shard, ShardStats};
+
+/// A cluster-level operation failure.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The op was routed under a shard map that changed before the shard
+    /// fence was acquired, and the key now belongs to a different shard.
+    /// Retry routes correctly; the convenience wrappers do so internally.
+    WrongShard {
+        /// The key that was being routed.
+        key: u32,
+        /// Map epoch the stale route was computed under.
+        routed_epoch: u64,
+        /// Map epoch observed at verification.
+        current_epoch: u64,
+    },
+    /// The underlying shard operation failed (abort, pool exhaustion, …).
+    Shard(Error),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::WrongShard {
+                key,
+                routed_epoch,
+                current_epoch,
+            } => write!(
+                f,
+                "key {key} routed at epoch {routed_epoch} no longer maps to the \
+                 fenced shard (epoch is now {current_epoch}); re-route"
+            ),
+            ClusterError::Shard(e) => write!(f, "shard operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<Error> for ClusterError {
+    fn from(e: Error) -> ClusterError {
+        ClusterError::Shard(e)
+    }
+}
+
+/// K GFSL shards behind an epoch-versioned key-range router.
+pub struct Cluster {
+    pub(crate) params: GfslParams,
+    pub(crate) map: RwLock<MapInner>,
+    /// Serializes structural changes (split, merge, snapshot) so each sees
+    /// a stable shard set; never taken by routed operations.
+    pub(crate) reshard: Mutex<()>,
+    next_shard_id: AtomicU64,
+}
+
+impl Cluster {
+    /// A cluster of `n_shards` equal-width shards covering `[1, KEY_INF)`.
+    pub fn new(params: GfslParams, n_shards: usize) -> Result<Cluster, Error> {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert!(
+            (n_shards as u64) < u64::from(KEY_INF - 1),
+            "more shards than user keys"
+        );
+        let width = (u64::from(KEY_INF) - 1) / n_shards as u64;
+        let bounds: Vec<u32> = (1..n_shards as u64)
+            .map(|i| (1 + i * width) as u32)
+            .collect();
+        Cluster::with_bounds(params, &bounds)
+    }
+
+    /// A cluster with explicit interior split keys: `bounds = [b1 < b2 < …]`
+    /// yields shards `[1, b1), [b1, b2), …, [bk, KEY_INF)`.
+    pub fn with_bounds(params: GfslParams, bounds: &[u32]) -> Result<Cluster, Error> {
+        let mut edges = vec![1u32];
+        edges.extend_from_slice(bounds);
+        edges.push(KEY_INF);
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "interior bounds must be strictly ascending user keys"
+        );
+        let next_shard_id = AtomicU64::new(0);
+        let shards: Result<Vec<_>, Error> = edges
+            .windows(2)
+            .map(|w| {
+                let id = next_shard_id.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::new(Shard::new(id, w[0], w[1], Gfsl::new(params)?)))
+            })
+            .collect();
+        let map = MapInner {
+            epoch: 0,
+            shards: shards?,
+        };
+        map.check();
+        Ok(Cluster {
+            params,
+            map: RwLock::new(map),
+            reshard: Mutex::new(()),
+            next_shard_id,
+        })
+    }
+
+    /// A cluster of `n_shards` shards equal-width over the *working* key
+    /// range `1..=key_range` (the top shard additionally owns everything up
+    /// to `KEY_INF`, keeping the whole space covered), bulk-loaded from an
+    /// ascending `(key, value)` stream — each shard's slice goes through
+    /// `Gfsl::from_sorted_pairs`, so prefill cost is linear and the chunks
+    /// start at the bulk fill target instead of insert-path shapes.
+    pub fn prefilled(
+        params: GfslParams,
+        n_shards: usize,
+        key_range: u32,
+        pairs: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<Cluster, Error> {
+        assert!(n_shards >= 1, "need at least one shard");
+        assert!(
+            key_range < KEY_INF && (n_shards as u64) < u64::from(key_range),
+            "more shards than working keys"
+        );
+        let width = u64::from(key_range) / n_shards as u64;
+        let mut edges: Vec<u32> = (0..n_shards as u64).map(|i| (1 + i * width) as u32).collect();
+        edges.push(KEY_INF);
+
+        let next_shard_id = AtomicU64::new(0);
+        let mut pairs = pairs.into_iter().peekable();
+        let mut shards = Vec::with_capacity(n_shards);
+        for w in edges.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let slice = std::iter::from_fn(|| pairs.next_if(|&(k, _)| k < hi));
+            let list = Gfsl::from_sorted_pairs(params, slice)?;
+            let id = next_shard_id.fetch_add(1, Ordering::Relaxed);
+            shards.push(Arc::new(Shard::new(id, lo, hi, list)));
+        }
+        assert!(
+            pairs.peek().is_none(),
+            "prefill pairs must be ascending user keys below KEY_INF"
+        );
+        let map = MapInner { epoch: 0, shards };
+        map.check();
+        Ok(Cluster {
+            params,
+            map: RwLock::new(map),
+            reshard: Mutex::new(()),
+            next_shard_id,
+        })
+    }
+
+    /// The parameters every shard is built with.
+    pub fn params(&self) -> &GfslParams {
+        &self.params
+    }
+
+    /// Current shard-map epoch.
+    pub fn epoch(&self) -> u64 {
+        self.map.read().epoch
+    }
+
+    /// Current number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.map.read().shards.len()
+    }
+
+    /// A snapshot of the current shard vector (identities may be retired by
+    /// a later migration; use for introspection and static pipelines only).
+    pub fn shards(&self) -> Vec<Arc<Shard>> {
+        self.map.read().shards.clone()
+    }
+
+    /// The current key-range cover as `(lo, hi)` half-open pairs.
+    pub fn bounds(&self) -> Vec<(u32, u32)> {
+        self.map
+            .read()
+            .shards
+            .iter()
+            .map(|s| (s.lo, s.hi))
+            .collect()
+    }
+
+    pub(crate) fn mint_shard_id(&self) -> u64 {
+        self.next_shard_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Route `key`, clone its shard, and report the epoch routed under.
+    fn route(&self, key: u32) -> (Arc<Shard>, u64) {
+        let m = self.map.read();
+        (m.shards[m.find(key)].clone(), m.epoch)
+    }
+
+    /// Run `f` against the live shard owning `key`, under the full routed
+    /// protocol (see module docs). `write` feeds the shard's load window.
+    pub(crate) fn with_shard<T>(
+        &self,
+        key: u32,
+        write: bool,
+        f: impl FnOnce(&Shard) -> T,
+    ) -> Result<T, ClusterError> {
+        assert!((1..KEY_INF).contains(&key), "key {key} outside the user range");
+        let (shard, routed_epoch) = self.route(key);
+        let _fence = shard.fence.read();
+        {
+            let m = self.map.read();
+            if m.epoch != routed_epoch && !Arc::ptr_eq(&m.shards[m.find(key)], &shard) {
+                return Err(ClusterError::WrongShard {
+                    key,
+                    routed_epoch,
+                    current_epoch: m.epoch,
+                });
+            }
+        }
+        shard.note(write);
+        Ok(f(&shard))
+    }
+
+    /// Run `f` once per live shard overlapping the inclusive window
+    /// `[lo, hi]`, all fences read-held simultaneously (a consistent cut).
+    /// `f` receives each shard plus the window clipped to its range.
+    pub(crate) fn with_range_shards<T>(
+        &self,
+        lo: u32,
+        hi: u32,
+        mut f: impl FnMut(&Shard, u32, u32) -> T,
+    ) -> Result<Vec<T>, ClusterError> {
+        assert!(lo >= 1 && hi < KEY_INF && lo <= hi, "bad window [{lo}, {hi}]");
+        let (shards, routed_epoch) = {
+            let m = self.map.read();
+            (m.shards[m.overlapping(lo, hi)].to_vec(), m.epoch)
+        };
+        // Index order — the same global fence order migrations use.
+        let _fences: Vec<_> = shards.iter().map(|s| s.fence.read()).collect();
+        {
+            // Any epoch motion can have reshuffled an overlapped range;
+            // unlike the single-key path there is no cheap identity check
+            // across a window, so redirect on any bump (rare, cheap retry).
+            let m = self.map.read();
+            if m.epoch != routed_epoch {
+                return Err(ClusterError::WrongShard {
+                    key: lo,
+                    routed_epoch,
+                    current_epoch: m.epoch,
+                });
+            }
+        }
+        Ok(shards
+            .iter()
+            .map(|s| {
+                s.note(false);
+                f(s, lo.max(s.lo), hi.min(s.hi - 1))
+            })
+            .collect())
+    }
+
+    // ---- one-shot routed operations (surface WrongShard) ----
+
+    /// Routed lookup; one routing attempt.
+    pub fn try_get(&self, key: u32) -> Result<Option<u32>, ClusterError> {
+        self.with_shard(key, false, |s| s.list.handle().try_get(key))?
+            .map_err(ClusterError::Shard)
+    }
+
+    /// Routed membership test; one routing attempt.
+    pub fn try_contains(&self, key: u32) -> Result<bool, ClusterError> {
+        self.with_shard(key, false, |s| s.list.handle().try_contains(key))?
+            .map_err(ClusterError::Shard)
+    }
+
+    /// Routed insert; one routing attempt. Set-like: `Ok(false)` keeps the
+    /// resident value, exactly as [`gfsl::GfslHandle`] does.
+    pub fn try_insert(&self, key: u32, value: u32) -> Result<bool, ClusterError> {
+        self.with_shard(key, true, |s| s.list.handle().try_insert(key, value))?
+            .map_err(ClusterError::Shard)
+    }
+
+    /// Routed remove; one routing attempt.
+    pub fn try_remove(&self, key: u32) -> Result<bool, ClusterError> {
+        self.with_shard(key, true, |s| s.list.handle().try_remove(key))?
+            .map_err(ClusterError::Shard)
+    }
+
+    // ---- probed one-shot variants (chaos campaigns) ----
+    //
+    // The probe is supplied as a *factory* invoked only after the shard
+    // fence is read-held, and the probe drops (retiring its chaos
+    // participant) before the fence releases. Minting it earlier would
+    // deadlock chaos campaigns against migrations: a live turnstile
+    // participant blocked on the fence (an OS lock, not a parked turn)
+    // stalls every grant, while the migration writer waits on a fence some
+    // parked participant holds.
+
+    /// Like [`Cluster::try_get`], probed; `probe` is minted post-fence.
+    pub fn try_get_with<P: MemProbe>(
+        &self,
+        probe: impl FnOnce() -> P,
+        key: u32,
+    ) -> Result<Option<u32>, ClusterError> {
+        self.with_shard(key, false, move |s| s.list.handle_with(probe()).try_get(key))?
+            .map_err(ClusterError::Shard)
+    }
+
+    /// Like [`Cluster::try_insert`], probed; `probe` is minted post-fence.
+    pub fn try_insert_with<P: MemProbe>(
+        &self,
+        probe: impl FnOnce() -> P,
+        key: u32,
+        value: u32,
+    ) -> Result<bool, ClusterError> {
+        self.with_shard(key, true, move |s| {
+            s.list.handle_with(probe()).try_insert(key, value)
+        })?
+        .map_err(ClusterError::Shard)
+    }
+
+    /// Like [`Cluster::try_remove`], probed; `probe` is minted post-fence.
+    pub fn try_remove_with<P: MemProbe>(
+        &self,
+        probe: impl FnOnce() -> P,
+        key: u32,
+    ) -> Result<bool, ClusterError> {
+        self.with_shard(key, true, move |s| {
+            s.list.handle_with(probe()).try_remove(key)
+        })?
+        .map_err(ClusterError::Shard)
+    }
+
+    // ---- retrying convenience operations ----
+
+    fn retry<T>(&self, mut attempt: impl FnMut() -> Result<T, ClusterError>) -> Result<T, Error> {
+        loop {
+            match attempt() {
+                Ok(v) => return Ok(v),
+                // A redirect means the map moved: re-route and go again.
+                // Progress: each retry re-routes under the *current* map,
+                // and a migration's fence-write section cannot start while
+                // the retried op holds the fresh shard's read fence.
+                Err(ClusterError::WrongShard { .. }) => continue,
+                Err(ClusterError::Shard(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// Lookup, re-routing through migrations.
+    pub fn get(&self, key: u32) -> Result<Option<u32>, Error> {
+        self.retry(|| self.try_get(key))
+    }
+
+    /// Membership test, re-routing through migrations.
+    pub fn contains(&self, key: u32) -> Result<bool, Error> {
+        self.retry(|| self.try_contains(key))
+    }
+
+    /// Set-like insert, re-routing through migrations.
+    pub fn insert(&self, key: u32, value: u32) -> Result<bool, Error> {
+        self.retry(|| self.try_insert(key, value))
+    }
+
+    /// Remove, re-routing through migrations.
+    pub fn remove(&self, key: u32) -> Result<bool, Error> {
+        self.retry(|| self.try_remove(key))
+    }
+
+    // ---- fan-out reads ----
+
+    /// All pairs in the inclusive window `[lo, hi]`, stitched across shard
+    /// boundaries from a consistent fenced cut; one routing attempt.
+    pub fn try_range(&self, lo: u32, hi: u32) -> Result<Vec<(u32, u32)>, ClusterError> {
+        let per = self.with_range_shards(lo, hi, |s, clo, chi| s.list.handle().range(clo, chi))?;
+        // Shards are visited in ascending range order, so concatenation is
+        // already globally sorted.
+        Ok(per.into_iter().flatten().collect())
+    }
+
+    /// Count keys in the inclusive window `[lo, hi]` across shards; one
+    /// routing attempt.
+    pub fn try_count_range(&self, lo: u32, hi: u32) -> Result<usize, ClusterError> {
+        let per =
+            self.with_range_shards(lo, hi, |s, clo, chi| s.list.handle().count_range(clo, chi))?;
+        Ok(per.into_iter().sum())
+    }
+
+    /// Stitched range query, re-routing through migrations.
+    pub fn range(&self, lo: u32, hi: u32) -> Result<Vec<(u32, u32)>, Error> {
+        self.retry(|| self.try_range(lo, hi))
+    }
+
+    /// Stitched range count, re-routing through migrations.
+    pub fn count_range(&self, lo: u32, hi: u32) -> Result<usize, Error> {
+        self.retry(|| self.try_count_range(lo, hi))
+    }
+
+    // ---- introspection (quiescent use) ----
+
+    /// Per-shard statistics for the current map.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards().iter().map(|s| s.stats()).collect()
+    }
+
+    /// Every pair in the cluster, ascending. Quiescent use only.
+    pub fn pairs(&self) -> Vec<(u32, u32)> {
+        self.shards()
+            .iter()
+            .flat_map(|s| s.list.pairs())
+            .collect()
+    }
+
+    /// Total resident keys. Quiescent use only.
+    pub fn len(&self) -> usize {
+        self.shards().iter().map(|s| s.list.len()).sum()
+    }
+
+    /// Is the cluster empty? Quiescent use only.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validate every shard's structure *and* that each shard holds only
+    /// keys inside its assigned range. Quiescent use only.
+    pub fn validate(&self) -> Vec<(u64, Vec<Violation>)> {
+        let mut out = Vec::new();
+        let m = self.map.read();
+        m.check();
+        for s in m.shards.iter() {
+            let mut v = s.list.validate();
+            for k in s.list.keys() {
+                if !s.owns(k) {
+                    v.push(Violation {
+                        rule: "key-in-shard-range",
+                        level: 0,
+                        chunk: None,
+                        detail: format!("key {k} outside shard range [{}, {})", s.lo, s.hi),
+                    });
+                }
+            }
+            if !v.is_empty() {
+                out.push((s.id, v));
+            }
+        }
+        out
+    }
+
+    /// Panic with a readable report on any invariant violation.
+    pub fn assert_valid(&self) {
+        let bad = self.validate();
+        assert!(bad.is_empty(), "cluster invariant violations: {bad:?}");
+    }
+}

@@ -1,0 +1,56 @@
+//! The epoch-versioned shard map: who owns which key range, right now.
+//!
+//! The map is a sorted, contiguous cover of the user key space
+//! `[1, KEY_INF)`. Every structural change (split, merge) installs a new
+//! shard vector and bumps `epoch`; routed operations that raced the swap
+//! detect it by re-reading the map and comparing shard *identity* (not just
+//! epoch — an unrelated shard's migration must not bounce ops that still
+//! route correctly).
+
+use std::sync::Arc;
+
+use gfsl::{KEY_INF, KEY_NEG_INF};
+
+use crate::shard::Shard;
+
+/// The routing table: an epoch counter plus the shard vector it versions.
+pub(crate) struct MapInner {
+    /// Bumped on every installed split/merge.
+    pub epoch: u64,
+    /// Shards in ascending `lo` order, contiguous over `[1, KEY_INF)`.
+    pub shards: Vec<Arc<Shard>>,
+}
+
+impl MapInner {
+    /// Index of the shard owning `key`. `key` must be a user key.
+    pub fn find(&self, key: u32) -> usize {
+        debug_assert!(key > KEY_NEG_INF && key < KEY_INF, "not a user key: {key}");
+        // First shard whose lo exceeds key, minus one.
+        self.shards.partition_point(|s| s.lo <= key) - 1
+    }
+
+    /// Index range of the shards overlapping the inclusive window
+    /// `[lo, hi]`.
+    pub fn overlapping(&self, lo: u32, hi: u32) -> std::ops::Range<usize> {
+        debug_assert!(lo <= hi);
+        self.find(lo)..self.find(hi) + 1
+    }
+
+    /// Assert the structural invariants of the cover (debug/test support).
+    pub fn check(&self) {
+        assert!(!self.shards.is_empty(), "shard map must cover the key space");
+        assert_eq!(self.shards[0].lo, 1, "cover starts at the first user key");
+        assert_eq!(
+            self.shards.last().unwrap().hi,
+            KEY_INF,
+            "cover ends at KEY_INF"
+        );
+        for w in self.shards.windows(2) {
+            assert_eq!(
+                w[0].hi, w[1].lo,
+                "shards {} and {} must be contiguous",
+                w[0].id, w[1].id
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-shard serve pipelines: the whole `gfsl-serve` stack (admission →
+//! batcher → dispatch → supervisor), once per shard, fed disjoint
+//! partitions of one global arrival stream.
+//!
+//! This is the static front end of the cluster: a fixed shard map, one OS
+//! thread per shard running [`gfsl_serve::serve`] against that shard's
+//! GFSL, requests routed at partition time. Range scans that span shard
+//! boundaries are split into one clipped sub-scan per overlapped shard —
+//! the same stitch the dynamic router performs, applied to the script.
+
+use gfsl_serve::{serve, Fifo, ReplaySource, ServeConfig, ServiceReport};
+use gfsl_workload::{Arrival, ServeOp};
+
+use crate::cluster::Cluster;
+
+/// Aggregated outcome of one cluster serve run.
+#[derive(Debug, Clone)]
+pub struct ClusterServeReport {
+    /// One pipeline report per shard, in shard order.
+    pub shards: Vec<ServiceReport>,
+    /// Requests executed across all shards (post shed).
+    pub total_ops: u64,
+    /// Wall clock of the slowest shard pipeline, seconds.
+    pub wall_s: f64,
+    /// Aggregate service throughput: executed Mop/s over the slowest wall.
+    pub mops: f64,
+    /// Virtual clock of the slowest shard pipeline, seconds. Shard
+    /// pipelines run concurrently, so the cluster's virtual duration is the
+    /// max — deterministic under `ExecMode::Modeled`, and the honest
+    /// denominator on hosts without enough cores to parallelize for real.
+    pub vwall_s: f64,
+    /// Aggregate service throughput over the slowest *virtual* wall.
+    pub vmops: f64,
+}
+
+/// Partition a timed arrival stream across contiguous shard ranges
+/// (`bounds` as half-open `(lo, hi)` pairs in ascending order). Point ops
+/// land on their owner; a `Range(lo, hi)` op is split into one clipped
+/// sub-scan per overlapped shard.
+pub fn partition_arrivals(bounds: &[(u32, u32)], arrivals: &[Arrival]) -> Vec<Vec<Arrival>> {
+    let owner = |key: u32| -> usize {
+        debug_assert!(bounds[0].0 <= key && key < bounds[bounds.len() - 1].1);
+        bounds.partition_point(|&(lo, _)| lo <= key) - 1
+    };
+    let mut parts: Vec<Vec<Arrival>> = vec![Vec::new(); bounds.len()];
+    for a in arrivals {
+        match a.op {
+            ServeOp::Range(lo, hi) => {
+                for i in owner(lo)..=owner(hi.max(lo)) {
+                    let (slo, shi) = bounds[i];
+                    parts[i].push(Arrival {
+                        op: ServeOp::Range(lo.max(slo), hi.min(shi - 1)),
+                        ..*a
+                    });
+                }
+            }
+            op => parts[owner(op.key())].push(*a),
+        }
+    }
+    parts
+}
+
+impl Cluster {
+    /// Run one full serve pipeline per shard over `arrivals`, partitioned
+    /// by the current shard map. The map must not migrate during the run
+    /// (each pipeline pins its shard's structure); use the dynamic router
+    /// for migration-concurrent serving.
+    pub fn serve_shards(&self, cfg: &ServeConfig, arrivals: &[Arrival]) -> ClusterServeReport {
+        let shards = self.shards();
+        let parts = partition_arrivals(&self.bounds(), arrivals);
+        let reports: Vec<ServiceReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter()
+                .zip(parts)
+                .map(|(shard, part)| {
+                    s.spawn(move || {
+                        let mut policy = Fifo::default();
+                        let mut src = ReplaySource::new(part);
+                        serve(&shard.list, cfg, &mut policy, &mut src)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard pipeline must not panic"))
+                .collect()
+        });
+        let total_ops: u64 = reports.iter().map(|r| r.metrics.ops).sum();
+        let wall_s = reports
+            .iter()
+            .map(|r| r.metrics.run_wall_s)
+            .fold(0.0f64, f64::max);
+        let vwall_s = reports
+            .iter()
+            .map(|r| r.metrics.clock_end_ns as f64 / 1e9)
+            .fold(0.0f64, f64::max);
+        ClusterServeReport {
+            total_ops,
+            wall_s,
+            mops: if wall_s > 0.0 {
+                total_ops as f64 / wall_s / 1e6
+            } else {
+                0.0
+            },
+            vwall_s,
+            vmops: if vwall_s > 0.0 {
+                total_ops as f64 / vwall_s / 1e6
+            } else {
+                0.0
+            },
+            shards: reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_splits_spanning_ranges_and_routes_points() {
+        let bounds = [(1u32, 100u32), (100, 200), (200, gfsl::KEY_INF)];
+        let arrivals = vec![
+            Arrival {
+                at_ns: 10,
+                client: 0,
+                op: ServeOp::Get(5),
+            },
+            Arrival {
+                at_ns: 20,
+                client: 1,
+                op: ServeOp::Insert(150, 1),
+            },
+            Arrival {
+                at_ns: 30,
+                client: 2,
+                op: ServeOp::Range(90, 210),
+            },
+        ];
+        let parts = partition_arrivals(&bounds, &arrivals);
+        assert_eq!(parts[0].len(), 2, "get(5) + clipped range");
+        assert_eq!(parts[0][1].op, ServeOp::Range(90, 99));
+        assert_eq!(parts[1].len(), 2, "insert(150) + clipped range");
+        assert_eq!(parts[1][1].op, ServeOp::Range(100, 199));
+        assert_eq!(parts[2].len(), 1);
+        assert_eq!(parts[2][0].op, ServeOp::Range(200, 210));
+    }
+}

@@ -1,0 +1,86 @@
+//! Consistent cluster-wide snapshots under a brief all-shard epoch fence.
+//!
+//! Consistency argument: the snapshot write-holds *every* shard fence
+//! simultaneously (acquired in index order, the global fence order), so
+//! there is an instant `T` — after the last fence is acquired and before
+//! the first is released — at which no routed operation is running
+//! anywhere. Every op completed before its shard's fence acquisition is
+//! included; every op blocked on a fence completes after release. The
+//! snapshot is therefore exactly the cluster state at `T`: a linearizable
+//! cut, including across shards. The fences are held only for the eager
+//! per-shard export (a sequential pair walk), not for any rebuild.
+
+use gfsl::{Error, Gfsl, GfslParams};
+
+use crate::cluster::Cluster;
+
+/// Where each shard's pairs landed inside a [`ClusterSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ShardCut {
+    /// Shard id at the cut.
+    pub id: u64,
+    /// Inclusive lower key bound at the cut.
+    pub lo: u32,
+    /// Exclusive upper key bound at the cut.
+    pub hi: u32,
+    /// Number of pairs this shard contributed.
+    pub pairs: usize,
+}
+
+/// A consistent, point-in-time image of the whole cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// Shard-map epoch the cut was taken under.
+    pub epoch: u64,
+    /// Every pair in the cluster, ascending by key.
+    pub pairs: Vec<(u32, u32)>,
+    /// Per-shard contribution layout.
+    pub cuts: Vec<ShardCut>,
+}
+
+impl ClusterSnapshot {
+    /// Materialize the snapshot as a single bulk-built GFSL (the export
+    /// path: a cluster collapses into one structure for offline use).
+    pub fn to_gfsl(&self, params: GfslParams) -> Result<Gfsl, Error> {
+        Gfsl::from_sorted_pairs(params, self.pairs.iter().copied())
+    }
+}
+
+impl Cluster {
+    /// Take a consistent cluster-wide snapshot (see module docs). Blocks
+    /// routed ops only for the duration of the export walks.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        // Stabilize the shard set against concurrent migrations.
+        let _structural = self.reshard.lock();
+        let (shards, epoch) = {
+            let m = self.map.read();
+            (m.shards.clone(), m.epoch)
+        };
+        let fences: Vec<_> = shards.iter().map(|s| s.fence.write()).collect();
+        // Heal before walking: exports must not traverse quarantined chunks.
+        for s in &shards {
+            if s.list.params().contain && s.list.quarantine_depth() > 0 {
+                s.list.handle().repair_quarantine();
+            }
+        }
+        let per_shard: Vec<Vec<(u32, u32)>> = shards
+            .iter()
+            .map(|s| s.list.export_pairs().collect())
+            .collect();
+        drop(fences);
+
+        let mut pairs = Vec::with_capacity(per_shard.iter().map(Vec::len).sum());
+        let mut cuts = Vec::with_capacity(shards.len());
+        for (s, p) in shards.iter().zip(per_shard) {
+            cuts.push(ShardCut {
+                id: s.id,
+                lo: s.lo,
+                hi: s.hi,
+                pairs: p.len(),
+            });
+            pairs.extend(p);
+        }
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "sorted stitch");
+        ClusterSnapshot { epoch, pairs, cuts }
+    }
+}

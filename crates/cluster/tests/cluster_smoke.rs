@@ -1,0 +1,261 @@
+//! Cluster smoke: routing, cross-shard stitching, split/merge data
+//! preservation, consistent snapshots under concurrent writers, and the
+//! load-aware rebalance policy.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use gfsl::{GfslParams, TeamSize};
+use gfsl_cluster::{Cluster, RebalancePolicy, ReshardEvent};
+use gfsl_rng::SplitMix64;
+
+fn params16() -> GfslParams {
+    GfslParams {
+        team_size: TeamSize::Sixteen,
+        pool_chunks: 1 << 12,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn routed_ops_match_an_oracle_across_shards() {
+    let cluster = Cluster::with_bounds(params16(), &[500, 1_000, 1_500]).unwrap();
+    assert_eq!(cluster.shard_count(), 4);
+    let mut oracle = BTreeMap::new();
+    let mut rng = SplitMix64::new(0x5EED);
+    for _ in 0..20_000u32 {
+        let r = rng.next_u64();
+        let k = (r % 2_000 + 1) as u32;
+        let v = (r >> 32) as u32;
+        match (r >> 20) % 3 {
+            0 => {
+                // Set-like insert: duplicates keep the resident value.
+                if cluster.insert(k, v).unwrap() {
+                    oracle.insert(k, v);
+                }
+            }
+            1 => assert_eq!(cluster.remove(k).unwrap(), oracle.remove(&k).is_some()),
+            _ => {
+                assert_eq!(cluster.get(k).unwrap(), oracle.get(&k).copied());
+                assert_eq!(cluster.contains(k).unwrap(), oracle.contains_key(&k));
+            }
+        }
+    }
+    cluster.assert_valid();
+    let expect: Vec<(u32, u32)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(cluster.pairs(), expect);
+    assert_eq!(cluster.len(), oracle.len());
+}
+
+#[test]
+fn range_queries_stitch_across_shard_boundaries() {
+    let cluster = Cluster::with_bounds(params16(), &[100, 200]).unwrap();
+    let mut oracle = BTreeMap::new();
+    for k in (1..=300u32).step_by(3) {
+        cluster.insert(k, k * 7).unwrap();
+        oracle.insert(k, k * 7);
+    }
+    for (lo, hi) in [(1, 300), (50, 250), (99, 101), (100, 200), (150, 150), (290, 300)] {
+        let expect: Vec<(u32, u32)> = oracle.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(cluster.range(lo, hi).unwrap(), expect, "window [{lo}, {hi}]");
+        assert_eq!(
+            cluster.count_range(lo, hi).unwrap(),
+            expect.len(),
+            "count [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn split_and_merge_preserve_every_pair_and_bump_the_epoch() {
+    let cluster = Cluster::with_bounds(params16(), &[1_000]).unwrap();
+    let mut rng = SplitMix64::new(9);
+    for _ in 0..1_500 {
+        let k = (rng.next_u64() % 2_000 + 1) as u32;
+        cluster.insert(k, k ^ 0xABCD).unwrap();
+    }
+    let before = cluster.pairs();
+    assert_eq!(cluster.epoch(), 0);
+
+    let victim = cluster.shards()[0].id;
+    let ev = cluster.split_shard(victim).unwrap().expect("splittable");
+    let ReshardEvent::Split { shard, at, .. } = ev else {
+        panic!("expected a split, got {ev:?}");
+    };
+    assert_eq!(shard, victim);
+    assert!((1..1_000).contains(&at), "split key inside the old range");
+    assert_eq!(cluster.epoch(), 1);
+    assert_eq!(cluster.shard_count(), 3);
+    cluster.assert_valid();
+    assert_eq!(cluster.pairs(), before, "split loses nothing");
+
+    let left = cluster.shards()[0].id;
+    let ev = cluster.merge_with_right(left).unwrap().expect("mergeable");
+    assert!(matches!(ev, ReshardEvent::Merge { .. }));
+    assert_eq!(cluster.epoch(), 2);
+    assert_eq!(cluster.shard_count(), 2);
+    cluster.assert_valid();
+    assert_eq!(cluster.pairs(), before, "merge loses nothing");
+
+    // Retired ids are gone: acting on them is a clean no-op.
+    assert_eq!(cluster.split_shard(victim).unwrap(), None);
+    assert_eq!(cluster.merge_with_right(victim).unwrap(), None);
+    // The rightmost shard has no right neighbour.
+    let rightmost = cluster.shards().last().unwrap().id;
+    assert_eq!(cluster.merge_with_right(rightmost).unwrap(), None);
+}
+
+#[test]
+fn routed_ops_survive_concurrent_migration_churn() {
+    let cluster = Cluster::with_bounds(params16(), &[250, 500, 750]).unwrap();
+    let stop = AtomicBool::new(false);
+    let (oracle, migrations) = std::thread::scope(|s| {
+        let churn = s.spawn(|| {
+            // Alternate splits and merges over whichever shards currently
+            // cover the active key space.
+            let mut rng = SplitMix64::new(0xC0DE);
+            let mut done = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = (rng.next_u64() % 1_000 + 1) as u32;
+                let id = cluster
+                    .shards()
+                    .iter()
+                    .find(|sh| sh.owns(key))
+                    .unwrap()
+                    .id;
+                let ev = if rng.coin(0.5) && cluster.shard_count() < 10 {
+                    cluster.split_shard(id).unwrap()
+                } else {
+                    cluster.merge_with_right(id).unwrap()
+                };
+                done += u64::from(ev.is_some());
+                std::thread::yield_now();
+            }
+            done
+        });
+        // One mutator keeps the oracle exact while the map churns under it.
+        let mut oracle = BTreeMap::new();
+        let mut rng = SplitMix64::new(0xFACE);
+        for _ in 0..30_000u32 {
+            let r = rng.next_u64();
+            let k = (r % 1_000 + 1) as u32;
+            match (r >> 32) % 4 {
+                0 | 1 => {
+                    if cluster.insert(k, k.wrapping_mul(31)).unwrap() {
+                        oracle.insert(k, k.wrapping_mul(31));
+                    }
+                }
+                2 => assert_eq!(cluster.remove(k).unwrap(), oracle.remove(&k).is_some()),
+                _ => assert_eq!(cluster.get(k).unwrap(), oracle.get(&k).copied()),
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        (oracle, churn.join().unwrap())
+    });
+    assert!(migrations > 0, "the churn thread must have migrated something");
+    assert!(cluster.epoch() >= migrations, "every migration bumps the epoch");
+    cluster.assert_valid();
+    let expect: Vec<(u32, u32)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(cluster.pairs(), expect, "no write lost through {migrations} migrations");
+}
+
+#[test]
+fn snapshots_are_consistent_cuts_even_across_shards() {
+    // A writer keeps exactly one or two "token" keys alive, alternating
+    // between the two shards' ranges (insert the new home, then remove the
+    // old). A consistent cut can never observe zero tokens — but a
+    // non-atomic per-shard walk could fence shard A after the token left
+    // it and shard B before it arrived, observing none.
+    let cluster = Cluster::with_bounds(params16(), &[500]).unwrap();
+    let token = |i: u32| -> u32 {
+        if i % 2 == 0 {
+            1 + (i % 400)
+        } else {
+            501 + (i % 400)
+        }
+    };
+    cluster.insert(token(0), 0).unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let mut i = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                cluster.insert(token(i + 1), i + 1).unwrap();
+                cluster.remove(token(i)).unwrap();
+                i += 1;
+            }
+        });
+        for _ in 0..200 {
+            let snap = cluster.snapshot();
+            assert!(
+                snap.pairs.windows(2).all(|w| w[0].0 < w[1].0),
+                "snapshot pairs are strictly ascending"
+            );
+            assert!(
+                (1..=2).contains(&snap.pairs.len()),
+                "a consistent cut holds one or two tokens, saw {:?}",
+                snap.pairs
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    });
+    // The final snapshot materializes back into a single valid GFSL.
+    let snap = cluster.snapshot();
+    let flat = snap.to_gfsl(params16()).unwrap();
+    flat.assert_valid();
+    assert_eq!(flat.pairs(), snap.pairs);
+    assert_eq!(
+        snap.cuts.iter().map(|c| c.pairs).sum::<usize>(),
+        snap.pairs.len()
+    );
+}
+
+#[test]
+fn rebalance_splits_the_hot_shard_and_merges_cold_neighbours() {
+    let cluster = Cluster::with_bounds(params16(), &[2_500, 5_000, 7_500]).unwrap();
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..2_000 {
+        let k = (rng.next_u64() % 10_000 + 1) as u32;
+        cluster.insert(k, k).unwrap();
+    }
+    let policy = RebalancePolicy {
+        min_window_ops: 500,
+        max_shards: 8,
+        min_shards: 2,
+        ..Default::default()
+    };
+
+    // Hammer shard 0's range; it must split.
+    let hot = cluster.shards()[0].id;
+    for _ in 0..2_000 {
+        let k = (rng.next_u64() % 2_000 + 1) as u32;
+        let _ = cluster.get(k).unwrap();
+    }
+    match cluster.rebalance_step(&policy).unwrap() {
+        Some(ReshardEvent::Split { shard, .. }) => assert_eq!(shard, hot, "hot shard splits"),
+        other => panic!("expected a split of the hot shard, got {other:?}"),
+    }
+    cluster.assert_valid();
+
+    // Now hammer only the top range; with splitting capped at the current
+    // shard count, the cold low shards must merge.
+    let before = cluster.shard_count();
+    let merge_policy = RebalancePolicy {
+        max_shards: before,
+        ..policy
+    };
+    for _ in 0..2_000 {
+        let k = (rng.next_u64() % 2_000 + 8_000) as u32;
+        let _ = cluster.get(k).unwrap();
+    }
+    match cluster.rebalance_step(&merge_policy).unwrap() {
+        Some(ReshardEvent::Merge { .. }) => {}
+        other => panic!("expected a merge of cold neighbours, got {other:?}"),
+    }
+    assert_eq!(cluster.shard_count(), before - 1);
+    cluster.assert_valid();
+
+    // An idle window changes nothing.
+    assert_eq!(cluster.rebalance_step(&policy).unwrap(), None);
+}

@@ -28,7 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use gfsl_gpu_mem::{CrashPoint, MemProbe, WordAddr};
 
-use gfsl_rng::SplitMix64;
+use gfsl_rng::{fnv, SplitMix64};
 
 /// Number of [`CrashPoint`] variants (for the hit-count table).
 const CRASH_POINTS: usize = 6;
@@ -173,11 +173,11 @@ impl ChaosState {
     }
 
     fn record(&mut self, id: usize, code: u16) {
-        const PRIME: u64 = 0x0000_0100_0000_01B3;
-        self.trace ^= id as u64;
-        self.trace = self.trace.wrapping_mul(PRIME);
-        self.trace ^= u64::from(code);
-        self.trace = self.trace.wrapping_mul(PRIME);
+        // Word-wise FNV fold (NOT byte-wise): this is the shape every chaos
+        // trace hash since PR 1 was recorded with, shared via gfsl-rng so it
+        // cannot drift from the replay transcripts.
+        self.trace = fnv::fold_word(self.trace, id as u64);
+        self.trace = fnv::fold_word(self.trace, u64::from(code));
         self.steps += 1;
     }
 }
@@ -215,7 +215,7 @@ impl ChaosController {
                 stall_mask,
                 panic_at: opts.panic_at,
                 crash_hits: [0; CRASH_POINTS],
-                trace: 0xCBF2_9CE4_8422_2325, // FNV-1a offset basis
+                trace: fnv::OFFSET,
                 steps: 0,
             }),
             cv: Condvar::new(),

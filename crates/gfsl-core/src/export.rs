@@ -1,0 +1,93 @@
+//! Sorted-pairs export — the inverse of [`Gfsl::from_sorted_pairs`].
+//!
+//! [`Gfsl::export_pairs`] walks the bottom level lazily, yielding every
+//! live `(key, value)` pair in ascending key order while skipping zombie
+//! chunks and the `-inf` level sentinel. Feeding the stream straight back
+//! into [`Gfsl::from_sorted_pairs`] rebuilds an equivalent (and ideally
+//! structured) list — this is the primitive shard migration builds on: a
+//! hot shard exports a key range under a write fence and bulk-loads it into
+//! a fresh structure without materializing the whole set eagerly.
+//!
+//! Quiescent use only (like every whole-structure walk): the caller must
+//! guarantee no concurrent mutators, which the cluster layer does with its
+//! per-shard epoch fence.
+
+use gfsl_gpu_mem::NoProbe;
+
+use crate::chunk::{KEY_NEG_INF, NIL};
+use crate::skiplist::{Gfsl, GfslHandle};
+
+/// Lazy ascending `(key, value)` iterator over a quiescent [`Gfsl`].
+///
+/// Buffers one chunk of entries at a time (at most `dsize - 1` pairs), so
+/// memory stays O(chunk) regardless of list size.
+pub struct ExportIter<'a> {
+    handle: GfslHandle<'a, NoProbe>,
+    /// Next chunk to read, or `None` once the chain is exhausted.
+    next_chunk: Option<u32>,
+    /// Pairs from the chunk currently being drained.
+    buf: std::vec::IntoIter<(u32, u32)>,
+}
+
+impl Iterator for ExportIter<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        loop {
+            if let Some(pair) = self.buf.next() {
+                return Some(pair);
+            }
+            let cur = self.next_chunk?;
+            let team = self.handle.list.team;
+            let v = self.handle.read_chunk(cur);
+            let next = v.next(&team);
+            self.next_chunk = (next != NIL).then_some(next);
+            // Zombie chunks are logically deleted: their contents live on in
+            // the replacement chunk, so exporting them would duplicate keys.
+            if !v.is_zombie(&team) {
+                self.buf = v
+                    .live_entries(&team)
+                    .filter(|(_, e)| e.key() != KEY_NEG_INF)
+                    .map(|(_, e)| (e.key(), e.val()))
+                    .collect::<Vec<_>>()
+                    .into_iter();
+            }
+        }
+    }
+}
+
+impl Gfsl {
+    /// Lazily export every `(key, value)` pair in ascending key order,
+    /// skipping zombies — the inverse of [`Gfsl::from_sorted_pairs`].
+    /// Quiescent use only.
+    pub fn export_pairs(&self) -> ExportIter<'_> {
+        ExportIter {
+            handle: self.handle_with(NoProbe),
+            next_chunk: Some(self.head_of(0)),
+            buf: Vec::new().into_iter(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::params::GfslParams;
+    use crate::skiplist::Gfsl;
+    use gfsl_simt::TeamSize;
+
+    #[test]
+    fn export_is_lazy_and_matches_pairs() {
+        let list = Gfsl::from_sorted_pairs(
+            GfslParams {
+                team_size: TeamSize::Sixteen,
+                ..Default::default()
+            },
+            (1..=2_000u32).map(|k| (k * 3, k)),
+        )
+        .unwrap();
+        // Partial consumption works (laziness smoke).
+        let first_five: Vec<_> = list.export_pairs().take(5).collect();
+        assert_eq!(first_five, vec![(3, 1), (6, 2), (9, 3), (12, 4), (15, 5)]);
+        assert_eq!(list.export_pairs().collect::<Vec<_>>(), list.pairs());
+    }
+}

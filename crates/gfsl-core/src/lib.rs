@@ -75,6 +75,7 @@ pub mod chaos;
 pub mod chunk;
 pub mod delete;
 pub mod downptr;
+pub mod export;
 pub mod history;
 pub mod insert;
 pub mod introspect;

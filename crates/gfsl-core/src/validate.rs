@@ -126,27 +126,10 @@ impl Gfsl {
         self.level_keys(0)
     }
 
-    /// All key-value pairs in ascending key order. Quiescent use only.
+    /// All key-value pairs in ascending key order (an eager collect of
+    /// [`Gfsl::export_pairs`]). Quiescent use only.
     pub fn pairs(&self) -> Vec<(u32, u32)> {
-        let mut h = self.handle_with(NoProbe);
-        let team = self.team;
-        let mut out = Vec::new();
-        let mut cur = self.head_of(0);
-        loop {
-            let v = h.read_chunk(cur);
-            if !v.is_zombie(&team) {
-                for (_, e) in v.live_entries(&team) {
-                    if e.key() != KEY_NEG_INF {
-                        out.push((e.key(), e.val()));
-                    }
-                }
-            }
-            let next = v.next(&team);
-            if next == NIL {
-                return out;
-            }
-            cur = next;
-        }
+        self.export_pairs().collect()
     }
 
     /// Number of keys in the set. O(n) scan; quiescent use only.

@@ -5,9 +5,10 @@
 //! on the same already-probed chunk snapshot, so a kernel swap must change
 //! *nothing observable*: not one reply, not one membership bit, and — under
 //! a scripted chaos schedule — not one bit of the execution trace hash.
-//! That last property is the strongest witness: the FNV trace folds every
-//! granted memory-access turn of every team in execution order, so equal
-//! hashes mean the two kernels drove byte-identical access schedules.
+//! That last property is the strongest witness: the FNV trace (the shared
+//! `gfsl_rng::fnv` word-wise fold) folds every granted memory-access turn
+//! of every team in execution order, so equal hashes mean the two kernels
+//! drove byte-identical access schedules.
 
 use std::sync::{Condvar, Mutex};
 

@@ -92,14 +92,9 @@ fn parse() -> Args {
     a
 }
 
-/// Fold a 64-bit value into an FNV-1a hash (same constants the chaos trace
-/// uses), for combining per-round trace hashes into one per-seed hash.
-fn fnv_fold(mut h: u64, x: u64) -> u64 {
-    for b in x.to_le_bytes() {
-        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
-    }
-    h
-}
+// Per-round trace hashes fold into one per-seed hash via the shared
+// byte-wise FNV-1a helper (gfsl_rng::fnv::fold_u64) — previously a local
+// copy of the fold lived here.
 
 /// Tiny shared key range: every thread fights over the same few chunks so
 /// splits, merges, and lock handoffs happen constantly.
@@ -134,7 +129,7 @@ fn run_chaos_seed(a: &Args, seed: u64) -> Result<SeedOutcome, String> {
     let clock = HistoryClock::new();
     // Keys present at the start of the current round (round 0: empty).
     let mut initial: HashMap<u32, u32> = HashMap::new();
-    let mut trace = 0xCBF2_9CE4_8422_2325u64;
+    let mut trace = gfsl_rng::fnv::OFFSET;
     let mut steps = 0u64;
     let mut stats = OpStats::new();
     let mut crash_hits: Vec<(gfsl::CrashPoint, u64)> = Vec::new();
@@ -230,7 +225,7 @@ fn run_chaos_seed(a: &Args, seed: u64) -> Result<SeedOutcome, String> {
         }
         initial = next_initial;
 
-        trace = fnv_fold(trace, ctl.trace_hash());
+        trace = gfsl_rng::fnv::fold_u64(trace, ctl.trace_hash());
         steps += ctl.steps();
         let hits = ctl.crash_point_hits();
         if crash_hits.is_empty() {

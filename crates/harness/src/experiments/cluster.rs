@@ -1,0 +1,234 @@
+//! Cluster scale-out: aggregate throughput vs shard count × read mix, and
+//! the hot-shard rebalance scenario. Not a paper artifact — this measures
+//! the `gfsl-cluster` subsystem layered on top of the paper's structure.
+//!
+//! **Throughput table.** One full serve pipeline per shard over a
+//! partitioned open-loop arrival stream. Scaling is reported in *virtual*
+//! service time (`ExecMode::Modeled`): each pipeline's epoch clock advances
+//! by `ns_per_op · max-ops-per-worker`, so the numbers are deterministic
+//! and measure the architecture (K independent batching loops) rather than
+//! how many host cores CI happens to have. The headline check: ≥ 2.5×
+//! aggregate throughput going 1 → 4 shards on the uniform [10,10,80] mix.
+//!
+//! **Rebalance table.** A zipf stream whose hot head jumps to a different
+//! shard mid-run ([`HotShard`]); after every window of routed ops one
+//! [`RebalancePolicy`] step may split the hottest shard or merge cold
+//! neighbours. Stability = the first post-shift window whose rebalance
+//! step proposes nothing; time-to-stable must stay bounded (it is asserted
+//! `<` the post-shift window budget).
+
+use gfsl::{GfslParams, TeamSize};
+use gfsl_cluster::{Cluster, RebalancePolicy, ReshardEvent};
+use gfsl_serve::{ExecMode, ServeConfig, ServiceMetrics};
+use gfsl_workload::{HotShard, OpenLoop, ServeMix, ServeOp};
+
+use super::ExpConfig;
+use crate::report::{mops, ratio, Table};
+
+/// Modeled per-op service cost, ns (same figure the serve replay uses).
+const NS_PER_OP: u64 = 300;
+
+fn cluster_params(range: u32, shards: usize, headroom: u64, seed: u64) -> GfslParams {
+    GfslParams {
+        team_size: TeamSize::ThirtyTwo,
+        pool_chunks: GfslParams::chunks_for(
+            range as u64 / shards as u64 + headroom,
+            TeamSize::ThirtyTwo,
+        ),
+        seed,
+        ..Default::default()
+    }
+}
+
+fn prefilled_cluster(range: u32, shards: usize, headroom: u64, seed: u64) -> Cluster {
+    let params = cluster_params(range, shards, headroom, seed);
+    Cluster::prefilled(
+        params,
+        shards,
+        range,
+        (1..range).filter(|k| k % 2 == 0).map(|k| (k, k)),
+    )
+    .expect("cluster prefill")
+}
+
+/// Throughput vs shard count for one mix; returns the per-shard-count
+/// virtual Mop/s so the caller can check the scaling headline.
+fn throughput_rows(
+    cfg: &ExpConfig,
+    range: u32,
+    n_ops: usize,
+    shard_counts: &[usize],
+    mix_name: &str,
+    mix: ServeMix,
+    t: &mut Table,
+) -> Vec<f64> {
+    // Offered rate above every shard's modeled capacity (workers /
+    // ns_per_op per pipeline) even at the widest sharding, so every
+    // configuration is saturated, admission control sheds the excess, and
+    // the virtual throughput measures service capacity rather than the
+    // arrival clock.
+    let rate_mops = 150.0;
+    let arrivals: Vec<_> =
+        OpenLoop::new(mix, range, 256, n_ops as u64, rate_mops, cfg.seed ^ 0xC1).collect();
+    let mut out = Vec::new();
+    for &k in shard_counts {
+        let cluster = prefilled_cluster(range, k, n_ops as u64, cfg.seed);
+        let scfg = ServeConfig {
+            exec: ExecMode::Modeled { ns_per_op: NS_PER_OP },
+            seed: cfg.seed,
+            ..ServeConfig::new(cfg.workers)
+        };
+        let r = cluster.serve_shards(&scfg, &arrivals);
+        if k == *shard_counts.last().unwrap() && mix_name == "10/10/80" {
+            // Structured sidecar: the per-shard service metrics and shard
+            // stats of the widest uniform-mix configuration.
+            let metrics: Vec<ServiceMetrics> =
+                r.shards.iter().map(|s| s.metrics.clone()).collect();
+            t.attach("shard_metrics", &metrics);
+            t.attach("shard_stats", &cluster.stats());
+        }
+        let sheds: u64 = r.shards.iter().map(|s| s.metrics.sheds).sum();
+        let base = *out.first().unwrap_or(&r.vmops);
+        t.row(vec![
+            k.to_string(),
+            mix_name.into(),
+            mops(r.vmops),
+            ratio(r.vmops / base),
+            mops(r.mops),
+            r.total_ops.to_string(),
+            sheds.to_string(),
+            format!("{:.3}", r.vwall_s * 1e3),
+        ]);
+        out.push(r.vmops);
+    }
+    out
+}
+
+/// Run the cluster experiment: the scale-out table and the hot-shard
+/// rebalance trace.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let range = cfg.anchor_range();
+    let n_ops = cfg
+        .ops_override
+        .unwrap_or(if cfg.quick { 120_000 } else { 500_000 });
+    let shard_counts: &[usize] = if cfg.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    let mut t = Table::new(
+        "Cluster: virtual throughput vs shard count (modeled pipelines)",
+        &[
+            "shards", "mix", "MOPS", "vs 1 shard", "host MOPS", "ops", "sheds", "vwall ms",
+        ],
+    );
+    let uniform = throughput_rows(cfg, range, n_ops, shard_counts, "10/10/80", ServeMix::C80, &mut t);
+    throughput_rows(cfg, range, n_ops, shard_counts, "range10", ServeMix::RANGE10, &mut t);
+    if shard_counts.contains(&4) {
+        let x4 = uniform[shard_counts.iter().position(|&k| k == 4).unwrap()] / uniform[0];
+        assert!(
+            x4 >= 2.5,
+            "1 -> 4 shards must scale the uniform mix at least 2.5x, got {x4:.2}x"
+        );
+    }
+
+    // Hot-shard rebalance: 4 equal shards, zipf head on shard 0, jumping to
+    // shard 2 at mid-run.
+    let windows = 16usize;
+    let window_ops = (n_ops / windows).max(1_000);
+    let shift_window = windows / 2;
+    // Theta 0.6: the head is hot enough to overload one shard (its quarter
+    // of the key space draws ~57% of traffic) but diffuse enough that
+    // key-median splits converge — at 0.9 the head's mass exceeds the hot
+    // threshold at every shard count and the policy could never settle.
+    // Zipf ranks walk *upward* from the center, so the centers sit at the
+    // starts of shard 0 and shard 2: the whole head lands in one shard.
+    let hs = HotShard::new(
+        range,
+        0.6,
+        1,
+        range / 2 + 1,
+        (shift_window * window_ops) as u64,
+    );
+    let stream = hs.stream(ServeMix::C80, cfg.seed ^ 0x407, windows * window_ops);
+    let cluster = prefilled_cluster(range, 4, stream.len() as u64, cfg.seed);
+    let policy = RebalancePolicy {
+        min_window_ops: window_ops as u64 / 2,
+        max_shards: 8,
+        min_shards: 2,
+        ..Default::default()
+    };
+
+    let mut d = Table::new(
+        "Cluster: hot-shard rebalance (zipf shift at window 8, policy step per window)",
+        &["window", "phase", "MOPS", "shards", "event"],
+    );
+    let mut time_to_stable: Option<usize> = None;
+    for (w, ops) in stream.chunks(window_ops).enumerate() {
+        let t0 = std::time::Instant::now();
+        for op in ops {
+            match *op {
+                ServeOp::Get(k) => {
+                    cluster.get(k).expect("routed get");
+                }
+                ServeOp::Insert(k, v) => {
+                    cluster.insert(k, v).expect("routed insert");
+                }
+                ServeOp::Delete(k) => {
+                    cluster.remove(k).expect("routed delete");
+                }
+                ServeOp::Range(lo, hi) => {
+                    cluster.count_range(lo, hi).expect("routed range");
+                }
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let ev = cluster.rebalance_step(&policy).expect("rebalance step");
+        if w >= shift_window && ev.is_none() && time_to_stable.is_none() {
+            time_to_stable = Some(w - shift_window);
+        }
+        d.row(vec![
+            w.to_string(),
+            if w < shift_window { "pre" } else { "post" }.into(),
+            mops(ops.len() as f64 / wall / 1e6),
+            cluster.shard_count().to_string(),
+            match ev {
+                Some(ReshardEvent::Split { shard, at, .. }) => format!("split {shard} @ {at}"),
+                Some(ReshardEvent::Merge { left, right, .. }) => format!("merge {left}+{right}"),
+                None => "-".into(),
+            },
+        ]);
+    }
+    let stable = time_to_stable.unwrap_or(windows - shift_window);
+    assert!(
+        stable < windows - shift_window,
+        "rebalance must restabilize within the post-shift budget"
+    );
+    d.attach("shift_window", &(shift_window as u64));
+    d.attach("time_to_stable_windows", &(stable as u64));
+    d.attach("final_shard_stats", &cluster.stats());
+    cluster.assert_valid();
+
+    vec![t, d]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_experiment_runs_tiny() {
+        let cfg = ExpConfig::tiny(2);
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 2);
+        let scale = &tables[0];
+        assert_eq!(scale.rows.len(), 6, "three shard counts x two mixes");
+        assert!(
+            scale.attachments.iter().any(|(k, _)| k == "shard_metrics"),
+            "per-shard service metrics ride along"
+        );
+        let reb = &tables[1];
+        assert_eq!(reb.rows.len(), 16);
+        assert!(reb
+            .attachments
+            .iter()
+            .any(|(k, _)| k == "time_to_stable_windows"));
+    }
+}

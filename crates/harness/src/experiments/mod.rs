@@ -1,6 +1,7 @@
 //! One module per paper artifact; see the crate docs for the index.
 
 pub mod ablate;
+pub mod cluster;
 pub mod cyclesim;
 pub mod diag;
 pub mod figures;
@@ -109,7 +110,7 @@ impl ExpConfig {
 /// Names of all experiments, in run order.
 pub const ALL: &[&str] = &[
     "table5_1", "table5_2", "fig5_1", "fig5_2", "fig5_3", "fig5_4", "pkey", "ablate", "cyclesim",
-    "diag", "serve", "hotpath",
+    "diag", "serve", "hotpath", "cluster",
 ];
 
 /// Run one experiment by id, returning its rendered tables.
@@ -127,6 +128,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "diag" => diag::run(cfg),
         "serve" => serve::run(cfg),
         "hotpath" => hotpath::run(cfg),
+        "cluster" => cluster::run(cfg),
         other => panic!("unknown experiment '{other}'; known: {ALL:?}"),
     }
 }
@@ -186,11 +188,12 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL.len(), 12);
+        assert_eq!(ALL.len(), 13);
         assert!(ALL.contains(&"table5_1"));
         assert!(ALL.contains(&"fig5_4"));
         assert!(ALL.contains(&"diag"));
         assert!(ALL.contains(&"serve"));
         assert!(ALL.contains(&"hotpath"));
+        assert!(ALL.contains(&"cluster"));
     }
 }

@@ -10,6 +10,8 @@
 //! 128-bit multiplicative congruential generator — slightly faster for bulk
 //! key generation.
 
+pub mod fnv;
+
 /// SplitMix64 stream. Good seeder and general-purpose generator.
 #[derive(Debug, Clone)]
 pub struct SplitMix64 {

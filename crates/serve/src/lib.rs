@@ -44,6 +44,6 @@ pub use metrics::{LatencyHisto, ServiceMetrics};
 pub use request::{ClientId, ClientQueues, Reply, Request, Response};
 pub use scheduler::{Batch, BatchPolicy, Fifo, KeyRangeSharded, KeySorted, PolicyCtx, ReadWriteSeparated};
 pub use service::{env_seed, raw_batch_mops, serve, ExecMode, ServeConfig, ServiceReport};
-pub use source::{ClosedSource, OpenSource, RequestSource};
+pub use source::{ClosedSource, OpenSource, ReplaySource, RequestSource};
 pub use supervisor::{ServiceMode, Supervisor};
 pub use trace::TraceHash;

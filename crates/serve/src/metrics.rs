@@ -6,6 +6,8 @@
 /// across PRs, with O(1) memory and no allocation on the hot path.
 #[derive(Debug, Clone)]
 pub struct LatencyHisto {
+    // Serialized as the quantile summary, not the raw buckets — see the
+    // hand-written `Serialize` impl below.
     buckets: [u64; 64],
     count: u64,
     sum: u64,
@@ -91,8 +93,24 @@ impl LatencyHisto {
     }
 }
 
+/// A histogram serializes as its quantile summary: 64 raw log2 buckets
+/// would bloat every report row without adding anything the summary does
+/// not carry (the buckets are a lossy sketch to begin with).
+impl serde::Serialize for LatencyHisto {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("count".to_string(), serde::Value::U64(self.count)),
+            ("mean_ns".to_string(), serde::Value::F64(self.mean_ns())),
+            ("p50_ns".to_string(), serde::Value::U64(self.p50_ns())),
+            ("p99_ns".to_string(), serde::Value::U64(self.p99_ns())),
+            ("p999_ns".to_string(), serde::Value::U64(self.p999_ns())),
+            ("max_ns".to_string(), serde::Value::U64(self.max)),
+        ])
+    }
+}
+
 /// Aggregated metrics for one service run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct ServiceMetrics {
     /// Requests completed.
     pub ops: u64,
@@ -140,8 +158,16 @@ pub struct ServiceMetrics {
     pub exec_wall_s: f64,
     /// Wall-clock seconds for the whole run (formation + routing included).
     pub run_wall_s: f64,
+    /// Virtual clock at the end of the run, ns. Under `ExecMode::Modeled`
+    /// this is the deterministic service duration (what throughput scaling
+    /// studies divide by on hosts whose wall clock can't parallelize);
+    /// under `Measured` it tracks measured execution advances.
+    pub clock_end_ns: u64,
+    #[serde(skip)]
     occupancy_sum: f64,
+    #[serde(skip)]
     queue_depth_sum: u64,
+    #[serde(skip)]
     queue_samples: u64,
 }
 
@@ -186,6 +212,16 @@ impl ServiceMetrics {
             0.0
         } else {
             self.ops as f64 / self.run_wall_s / 1.0e6
+        }
+    }
+
+    /// Completed throughput over the virtual service clock, Mops/s.
+    /// Deterministic under `ExecMode::Modeled`.
+    pub fn virtual_mops(&self) -> f64 {
+        if self.clock_end_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1.0e3 / self.clock_end_ns as f64
         }
     }
 
@@ -240,6 +276,30 @@ mod tests {
         m.sample_queue_depth(30);
         assert_eq!(m.queue_depth_max, 30);
         assert!((m.mean_queue_depth() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_serialize_to_json_with_histo_summaries() {
+        let mut m = ServiceMetrics {
+            ops: 3,
+            gets: 2,
+            run_wall_s: 0.25,
+            ..Default::default()
+        };
+        m.record_batch(16, 32, true);
+        m.wait.record(100);
+        m.latency.record(1_000);
+        let json = serde::to_json_string(&m);
+        assert!(json.starts_with("{\"ops\":3,\"gets\":2,"), "{json}");
+        assert!(
+            json.contains("\"latency\":{\"count\":1,"),
+            "histograms serialize as summaries: {json}"
+        );
+        assert!(json.contains("\"run_wall_s\":0.25"), "{json}");
+        assert!(
+            !json.contains("occupancy_sum"),
+            "private accumulators are skipped: {json}"
+        );
     }
 
     #[test]

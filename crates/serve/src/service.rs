@@ -651,6 +651,7 @@ pub fn serve(
         injector.close();
         metrics.mode_transitions = sup.transitions;
         metrics.time_to_heal_ns = sup.time_to_heal_ns;
+        metrics.clock_end_ns = clock;
     });
 
     metrics.sheds = intake.sheds();

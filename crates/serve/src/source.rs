@@ -141,6 +141,65 @@ impl RequestSource for OpenSource {
     }
 }
 
+/// Replay source: an explicit pre-materialized timed script, open-loop
+/// semantics (arrivals fire on schedule; shed requests are dropped).
+///
+/// This is the handle a sharded front end uses to reuse the whole pipeline
+/// per shard: partition one global arrival stream by key range and run one
+/// `serve` loop per partition (see `gfsl-cluster`). Arrivals are sorted by
+/// time on construction, so partitions of an ordered stream stay valid.
+pub struct ReplaySource {
+    arrivals: std::vec::IntoIter<gfsl_workload::Arrival>,
+    lookahead: Option<gfsl_workload::Arrival>,
+    next_id: u64,
+    /// Requests dropped after shedding (clients that gave up).
+    pub dropped: u64,
+}
+
+impl ReplaySource {
+    /// Wrap an explicit arrival script.
+    pub fn new(mut arrivals: Vec<gfsl_workload::Arrival>) -> ReplaySource {
+        arrivals.sort_by_key(|a| a.at_ns);
+        ReplaySource {
+            arrivals: arrivals.into_iter(),
+            lookahead: None,
+            next_id: 0,
+            dropped: 0,
+        }
+    }
+}
+
+impl RequestSource for ReplaySource {
+    fn peek_ns(&mut self) -> Option<u64> {
+        if self.lookahead.is_none() {
+            self.lookahead = self.arrivals.next();
+        }
+        self.lookahead.as_ref().map(|a| a.at_ns)
+    }
+
+    fn take(&mut self) -> Request {
+        let a = self.lookahead.take().expect("take() without a pending peek");
+        let id = self.next_id;
+        self.next_id += 1;
+        Request {
+            client: a.client,
+            id,
+            arrival_ns: a.at_ns,
+            op: a.op,
+        }
+    }
+
+    fn on_complete(&mut self, _resp: &Response) {}
+
+    fn on_shed(&mut self, _req: Request, _now_ns: u64) {
+        self.dropped += 1;
+    }
+
+    fn exhausted(&self) -> bool {
+        self.lookahead.is_none() && self.arrivals.as_slice().is_empty()
+    }
+}
+
 /// Closed-loop source: each client keeps one request outstanding; a
 /// completion schedules the client's next issue after its think time, and
 /// a shed request is retried after a backoff.
@@ -250,6 +309,33 @@ mod tests {
             assert_eq!(r.arrival_ns, t);
         }
         assert!(s.peek_ns().is_none());
+        assert!(s.exhausted());
+    }
+
+    #[test]
+    fn replay_source_sorts_its_script_and_drops_sheds() {
+        use gfsl_workload::Arrival;
+        let mut s = ReplaySource::new(vec![
+            Arrival {
+                at_ns: 300,
+                client: 1,
+                op: ServeOp::Get(7),
+            },
+            Arrival {
+                at_ns: 100,
+                client: 0,
+                op: ServeOp::Insert(3, 3),
+            },
+        ]);
+        assert_eq!(s.peek_ns(), Some(100), "script is replayed in time order");
+        let first = s.take();
+        assert_eq!((first.client, first.op), (0, ServeOp::Insert(3, 3)));
+        assert!(!s.exhausted());
+        assert_eq!(s.peek_ns(), Some(300));
+        let second = s.take();
+        assert_eq!(second.arrival_ns, 300);
+        s.on_shed(second, 400);
+        assert_eq!(s.dropped, 1, "replay sheds drop, open-loop style");
         assert!(s.exhausted());
     }
 

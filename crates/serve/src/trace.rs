@@ -6,10 +6,12 @@
 //! `u64`. Two runs with the same seed and config produce the same hash or
 //! something is nondeterministic.
 
-/// FNV-1a offset basis (the chaos trace's initial value).
-pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a offset basis (the chaos trace's initial value). Re-exported from
+/// the shared [`gfsl_rng::fnv`] helper so every trace fold in the workspace
+/// uses one definition.
+pub const FNV_OFFSET: u64 = gfsl_rng::fnv::OFFSET;
 /// FNV-1a 64-bit prime.
-pub const FNV_PRIME: u64 = 0x100_0000_01B3;
+pub const FNV_PRIME: u64 = gfsl_rng::fnv::PRIME;
 
 const EV_EPOCH: u64 = 0xE1;
 const EV_BATCH: u64 = 0xB2;
@@ -36,13 +38,11 @@ impl TraceHash {
         TraceHash { h: FNV_OFFSET }
     }
 
-    /// Fold one 64-bit value, byte-wise little-endian (identical to the
-    /// chaos layer's fold).
+    /// Fold one 64-bit value, byte-wise little-endian (the shared
+    /// [`gfsl_rng::fnv::fold_u64`] helper).
     #[inline]
     pub fn fold(&mut self, x: u64) {
-        for b in x.to_le_bytes() {
-            self.h = (self.h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-        }
+        self.h = gfsl_rng::fnv::fold_u64(self.h, x);
     }
 
     /// The current hash value.

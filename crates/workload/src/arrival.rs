@@ -104,6 +104,13 @@ impl ServeMix {
     #[inline]
     pub fn draw(&self, rng: &mut Lehmer64, key_range: u32) -> ServeOp {
         let k = rng.below(key_range as u64) as u32 + 1;
+        self.draw_keyed(rng, k, key_range)
+    }
+
+    /// Draw one request for a caller-chosen key `k` (skewed scenarios pick
+    /// keys from their own distribution and only roll the op kind here).
+    #[inline]
+    pub fn draw_keyed(&self, rng: &mut Lehmer64, k: u32, key_range: u32) -> ServeOp {
         let roll = rng.below(100) as u32;
         if roll < self.insert_pct {
             ServeOp::Insert(k, k)

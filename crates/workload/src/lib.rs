@@ -20,6 +20,7 @@
 
 pub mod arrival;
 pub mod dist;
+pub mod hotshard;
 pub mod mix;
 pub mod prefill;
 pub mod rng;
@@ -27,6 +28,7 @@ pub mod spec;
 
 pub use arrival::{Arrival, ClientStream, ClosedLoop, Exponential, OpenLoop, ServeMix, ServeOp};
 pub use dist::{KeyDist, Zipf};
+pub use hotshard::HotShard;
 pub use mix::{Op, OpKind, OpMix};
 pub use prefill::Prefill;
 pub use rng::{Lehmer64, SplitMix64};

@@ -1,16 +1,261 @@
 //! Offline stand-in for the `serde` crate.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on a handful of config
-//! and report types but never actually serializes them (there is no
-//! serde_json or other format crate in the tree). This shim provides the
-//! two traits as markers plus derive macros that emit empty impls, so the
-//! derives keep compiling in the offline container. If real serialization
-//! is ever needed, swap the patch back to crates.io serde.
+//! Unlike the original marker-only shim, this version carries a real (if
+//! deliberately small) serialization surface: [`Serialize`] renders a value
+//! into an owned [`Value`] tree, and [`to_json_string`] prints that tree as
+//! JSON. The derive macro (see `serde_derive`) walks named-struct fields
+//! and emits a field-by-field `serialize_value`; enums and tuple structs
+//! fall back to their `Debug` rendering as a JSON string, which is exactly
+//! what the workspace's report writers want for unit-variant enums like
+//! `BenchKind` or `OpKind`.
+//!
+//! `Deserialize` remains a marker: nothing in the tree parses serialized
+//! data back in, and keeping it inert avoids dragging in a parser. If full
+//! serde semantics are ever needed, swap the patch back to crates.io serde.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker form of `serde::Serialize` (no-op shim).
-pub trait Serialize {}
+/// An owned, ordered JSON-like value tree.
+///
+/// Objects preserve insertion order (fields serialize in declaration
+/// order), which keeps emitted reports diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float. Non-finite values print as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
 
-/// Marker form of `serde::Deserialize` (no-op shim).
+impl Value {
+    /// Render this tree as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(f) => {
+                if f.is_finite() {
+                    // Rust's shortest-roundtrip Display is valid JSON for
+                    // finite floats (`1` for 1.0, no exponent quirks).
+                    out.push_str(&f.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialize a value into a [`Value`] tree.
+pub trait Serialize {
+    /// Render `self` as an owned [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Marker form of `serde::Deserialize` (still a no-op: nothing in the
+/// workspace parses serialized data back in).
 pub trait Deserialize<'de>: Sized {}
+
+/// Serialize any value straight to a compact JSON string.
+pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
+    value.serialize_value().to_json()
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_covers_every_variant() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::Null),
+            ("b".into(), Value::Bool(true)),
+            ("u".into(), Value::U64(7)),
+            ("i".into(), Value::I64(-3)),
+            ("f".into(), Value::F64(1.5)),
+            ("bad_f".into(), Value::F64(f64::NAN)),
+            ("s".into(), Value::Str("a\"b\\c\nd".into())),
+            ("a".into(), Value::Array(vec![Value::U64(1), Value::U64(2)])),
+        ]);
+        assert_eq!(
+            v.to_json(),
+            r#"{"n":null,"b":true,"u":7,"i":-3,"f":1.5,"bad_f":null,"s":"a\"b\\c\nd","a":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn primitive_impls_round_through_to_json_string() {
+        assert_eq!(to_json_string(&42u32), "42");
+        assert_eq!(to_json_string(&-1i64), "-1");
+        assert_eq!(to_json_string(&2.25f64), "2.25");
+        assert_eq!(to_json_string(&true), "true");
+        assert_eq!(to_json_string("hi"), "\"hi\"");
+        assert_eq!(to_json_string(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json_string(&(1u32, "x".to_string())), "[1,\"x\"]");
+        assert_eq!(to_json_string(&Option::<u32>::None), "null");
+        assert_eq!(to_json_string(&Some(5u32)), "5");
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        assert_eq!(to_json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,41 +1,184 @@
 //! Derive macros for the offline serde shim.
 //!
-//! Emits empty `impl serde::Serialize`/`impl serde::Deserialize` marker
-//! blocks. Parses just enough of the item (the identifier following
-//! `struct`/`enum`/`union`) to name the impl target; `#[serde(...)]`
-//! attributes are accepted and ignored. Generic types are not supported —
-//! the workspace derives only on concrete types.
+//! `#[derive(Serialize)]` on a **named-field struct** emits a real
+//! field-walking `serialize_value` that renders the struct as an ordered
+//! JSON object (fields in declaration order; `#[serde(skip)]` honoured).
+//! Enums, tuple structs, and unit structs fall back to
+//! `Value::Str(format!("{:?}", self))` — every derive site in the
+//! workspace also derives `Debug`, and for unit-variant enums like
+//! `BenchKind` the debug name is the natural JSON encoding.
+//!
+//! The field parser works straight off the token stream (no `syn` in the
+//! offline container): attributes (`#` + bracket group) are skipped,
+//! visibility (`pub`, `pub(...)`) is skipped, a field is an identifier
+//! followed by `:`, and the type is skipped to the next *top-level* comma
+//! with `<`/`>` angle-bracket depth tracking (delimited groups arrive as
+//! single atomic tokens, so parens and brackets need no tracking).
+//! Generic types are not supported — the workspace derives only on
+//! concrete types.
+//!
+//! `#[derive(Deserialize)]` still emits an empty marker impl.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-fn item_name(input: TokenStream) -> String {
+/// The derive target, parsed just deeply enough to pick a strategy.
+enum Item {
+    /// `struct Name { field: Ty, ... }` — fields in declaration order,
+    /// `#[serde(skip)]` fields removed.
+    NamedStruct { name: String, fields: Vec<String> },
+    /// Enum, tuple struct, or unit struct: serialize via `Debug`.
+    Fallback { name: String },
+}
+
+fn parse_item(input: TokenStream) -> Item {
     let mut iter = input.into_iter();
     while let Some(tt) = iter.next() {
         if let TokenTree::Ident(id) = &tt {
-            let s = id.to_string();
-            if s == "struct" || s == "enum" || s == "union" {
-                if let Some(TokenTree::Ident(name)) = iter.next() {
-                    return name.to_string();
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde shim derive: expected item name, got {other:?}"),
+                };
+                if kw == "struct" {
+                    // The body is the next brace group, if any. A paren
+                    // group (tuple struct) or a bare `;` (unit struct)
+                    // selects the Debug fallback.
+                    for tt in iter {
+                        if let TokenTree::Group(g) = &tt {
+                            if g.delimiter() == Delimiter::Brace {
+                                return Item::NamedStruct {
+                                    name,
+                                    fields: parse_named_fields(g.stream()),
+                                };
+                            }
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                break;
+                            }
+                        }
+                    }
                 }
+                return Item::Fallback { name };
             }
         }
     }
     panic!("serde shim derive: could not find struct/enum name");
 }
 
-/// Derive a no-op `serde::Serialize` marker impl.
+/// Extract field names (minus `#[serde(skip)]` ones) from the token stream
+/// of a named-struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    let mut skip_next_field = false;
+    while let Some(tt) = toks.next() {
+        match tt {
+            // Attribute: `#` then a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if attr_is_serde_skip(g.stream()) {
+                            skip_next_field = true;
+                        }
+                        toks.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Swallow a `pub(crate)`-style restriction if present.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                // `ident :` starts a field; then skip the type to the next
+                // top-level comma.
+                match toks.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                        toks.next();
+                        if skip_next_field {
+                            skip_next_field = false;
+                        } else {
+                            fields.push(id.to_string());
+                        }
+                        let mut angle_depth = 0i32;
+                        for tt in toks.by_ref() {
+                            if let TokenTree::Punct(p) = &tt {
+                                match p.as_char() {
+                                    '<' => angle_depth += 1,
+                                    '>' => angle_depth -= 1,
+                                    ',' if angle_depth == 0 => break,
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let mut toks = attr.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Derive `serde::Serialize`: field-walking JSON objects for named
+/// structs, `Debug`-string fallback for everything else.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = item_name(input);
-    format!("impl serde::Serialize for {name} {{}}")
-        .parse()
-        .unwrap()
+    let body = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), \
+                         serde::Serialize::serialize_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Fallback { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> serde::Value {{\n\
+                     serde::Value::Str(format!(\"{{:?}}\", self))\n\
+                 }}\n\
+             }}"
+        ),
+    };
+    body.parse().unwrap()
 }
 
 /// Derive a no-op `serde::Deserialize` marker impl.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = item_name(input);
+    let name = match parse_item(input) {
+        Item::NamedStruct { name, .. } | Item::Fallback { name } => name,
+    };
     format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
         .parse()
         .unwrap()
