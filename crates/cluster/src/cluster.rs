@@ -175,6 +175,46 @@ impl Cluster {
         })
     }
 
+    /// [`Cluster::prefilled`], but with an explicit interior-bounds layout
+    /// (as in [`Cluster::with_bounds`]) instead of equal-width shards —
+    /// how durable recovery restores the exact shard map a checkpoint
+    /// manifest recorded, so per-shard WAL lanes line up across restarts.
+    pub fn prefilled_with_bounds(
+        params: GfslParams,
+        bounds: &[u32],
+        pairs: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<Cluster, Error> {
+        let mut edges = vec![1u32];
+        edges.extend_from_slice(bounds);
+        edges.push(KEY_INF);
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "interior bounds must be strictly ascending user keys"
+        );
+        let next_shard_id = AtomicU64::new(0);
+        let mut pairs = pairs.into_iter().peekable();
+        let mut shards = Vec::with_capacity(edges.len() - 1);
+        for w in edges.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let slice = std::iter::from_fn(|| pairs.next_if(|&(k, _)| k < hi));
+            let list = Gfsl::from_sorted_pairs(params, slice)?;
+            let id = next_shard_id.fetch_add(1, Ordering::Relaxed);
+            shards.push(Arc::new(Shard::new(id, lo, hi, list)));
+        }
+        assert!(
+            pairs.peek().is_none(),
+            "prefill pairs must be ascending user keys below KEY_INF"
+        );
+        let map = MapInner { epoch: 0, shards };
+        map.check();
+        Ok(Cluster {
+            params,
+            map: RwLock::new(map),
+            reshard: Mutex::new(()),
+            next_shard_id,
+        })
+    }
+
     /// The parameters every shard is built with.
     pub fn params(&self) -> &GfslParams {
         &self.params

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
 
-use gfsl::chaos::{ChaosController, ChaosOptions, ALL_CRASH_POINTS};
+use gfsl::chaos::{ChaosController, ChaosOptions, LOCK_CRASH_POINTS};
 use gfsl::history::{check_linearizable, HistoryClock, OpAction, Recorder};
 use gfsl::{AbortReason, CrashPoint, Error, GfslParams, TeamSize};
 use gfsl_cluster::{Cluster, ClusterError};
@@ -280,7 +280,7 @@ fn soak_cell(point: CrashPoint, seed: u64) -> (u64, u64) {
 fn migration_chaos_every_crash_point() {
     let seeds = soak_seeds();
     let mut total_migrations = 0u64;
-    for &point in ALL_CRASH_POINTS.iter() {
+    for &point in LOCK_CRASH_POINTS.iter() {
         let mut crashes_for_point = 0u64;
         for seed in 0..seeds {
             let (crashed, migrations) = soak_cell(point, seed);

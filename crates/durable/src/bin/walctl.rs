@@ -1,0 +1,205 @@
+//! `gfsl-walctl`: read-only inspection of GFSL durability artifacts.
+//!
+//! ```text
+//! gfsl-walctl dump <wal-dir>      dump every segment record with LSN/CRC status
+//! gfsl-walctl verify <ckpt-dir>   verify every checkpoint manifest + data pages
+//! gfsl-walctl status <root-dir>   one-line summary of <root>/wal and <root>/ckpt
+//! ```
+//!
+//! Unlike recovery, `dump` never repairs: a torn tail is *reported*, not
+//! truncated, so the tool is safe to point at a live or post-mortem
+//! directory.
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use gfsl_durable::ckpt::{self, PAGE_BYTES};
+use gfsl_durable::wal::{
+    decode_record, list_segments, RECORD_BYTES, SEG_HEADER_BYTES, WAL_MAGIC,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (cmd, dir) = match (args.get(1), args.get(2)) {
+        (Some(c), Some(d)) => (c.as_str(), Path::new(d)),
+        _ => {
+            eprintln!("usage: gfsl-walctl <dump|verify|status> <dir>");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "dump" => dump_wal(dir),
+        "verify" => verify_ckpt(dir),
+        "status" => status(dir),
+        other => {
+            eprintln!("unknown command {other:?}; try dump, verify, or status");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(clean) if clean => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("gfsl-walctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dump every record of every segment. Returns whether all validated.
+fn dump_wal(dir: &Path) -> std::io::Result<bool> {
+    let segs = list_segments(dir)?;
+    if segs.is_empty() {
+        println!("no WAL segments under {}", dir.display());
+        return Ok(true);
+    }
+    let mut clean = true;
+    for (seq, path) in segs {
+        let bytes = fs::read(&path)?;
+        print!("segment {seq:#x} ({}, {} bytes): ", path.display(), bytes.len());
+        if bytes.len() < SEG_HEADER_BYTES {
+            println!("TORN HEADER ({} of {SEG_HEADER_BYTES} bytes)", bytes.len());
+            clean = false;
+            continue;
+        }
+        if bytes[0..8] != WAL_MAGIC {
+            println!("BAD MAGIC");
+            clean = false;
+            continue;
+        }
+        let base = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        println!("base_lsn {base}");
+        let body = &bytes[SEG_HEADER_BYTES..];
+        let mut offset = 0;
+        while offset < body.len() {
+            let frame = &body[offset..body.len().min(offset + RECORD_BYTES)];
+            let expect = base + (offset / RECORD_BYTES) as u64;
+            match decode_record(frame) {
+                Some(r) if r.lsn == expect => {
+                    println!("  lsn {:>8}  CRC ok   {:?}", r.lsn, r.op)
+                }
+                Some(r) => {
+                    println!("  lsn {:>8}  MISPLACED (expected lsn {expect})", r.lsn);
+                    clean = false;
+                }
+                None if frame.len() < RECORD_BYTES => {
+                    println!("  @byte {:>6}  PARTIAL ({} of {RECORD_BYTES} bytes) — torn tail?", SEG_HEADER_BYTES + offset, frame.len());
+                    clean = false;
+                }
+                None => {
+                    println!("  @byte {:>6}  CRC FAIL (expected lsn {expect})", SEG_HEADER_BYTES + offset);
+                    clean = false;
+                }
+            }
+            offset += RECORD_BYTES;
+        }
+    }
+    Ok(clean)
+}
+
+/// Verify every published checkpoint end to end. Returns whether all pass.
+fn verify_ckpt(dir: &Path) -> std::io::Result<bool> {
+    let seqs = ckpt::list_checkpoints(dir)?;
+    if seqs.is_empty() {
+        println!("no checkpoint manifests under {}", dir.display());
+        return Ok(true);
+    }
+    let mut clean = true;
+    for seq in seqs {
+        match ckpt::try_load(dir, seq) {
+            Ok(loaded) => {
+                let m = &loaded.manifest;
+                println!(
+                    "checkpoint {seq}: OK — epoch {}, {} pairs / {} pages, lane cuts {:?}, {} shards",
+                    m.epoch,
+                    m.n_pairs,
+                    m.n_pages,
+                    m.lane_cuts,
+                    m.shard_bounds.len()
+                );
+            }
+            Err(why) => {
+                println!("checkpoint {seq}: FAIL — {why}");
+                clean = false;
+            }
+        }
+    }
+    Ok(clean)
+}
+
+/// One-line summary of a durable root (engine layout `<root>/{wal,ckpt}`
+/// or cluster layout `<root>/wal/lane-*`).
+fn status(root: &Path) -> std::io::Result<bool> {
+    let mut clean = true;
+    let wal_root = root.join("wal");
+    let mut lane_dirs: Vec<_> = match fs::read_dir(&wal_root) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("lane-"))
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    lane_dirs.sort();
+    if lane_dirs.is_empty() {
+        lane_dirs.push(wal_root);
+    }
+    for lane in &lane_dirs {
+        let segs = list_segments(lane)?;
+        let mut records = 0u64;
+        let mut bad_frames = 0u64;
+        for (seq, path) in &segs {
+            let bytes = fs::read(path)?;
+            if bytes.len() < SEG_HEADER_BYTES || bytes[0..8] != WAL_MAGIC {
+                println!("{}: segment {seq:#x} has a damaged header", lane.display());
+                clean = false;
+                continue;
+            }
+            let base = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+            let body = &bytes[SEG_HEADER_BYTES..];
+            let mut offset = 0;
+            while offset < body.len() {
+                let frame = &body[offset..body.len().min(offset + RECORD_BYTES)];
+                let expect = base + (offset / RECORD_BYTES) as u64;
+                match decode_record(frame) {
+                    Some(r) if r.lsn == expect => records += 1,
+                    _ => bad_frames += 1,
+                }
+                offset += RECORD_BYTES;
+            }
+        }
+        if bad_frames > 0 {
+            println!(
+                "{}: {} segments, {records} valid records, {bad_frames} BAD frames (run dump)",
+                lane.display(),
+                segs.len()
+            );
+            clean = false;
+        } else {
+            println!(
+                "{}: {} segments, {records} records",
+                lane.display(),
+                segs.len()
+            );
+        }
+    }
+    let ckpt_dir = root.join("ckpt");
+    for seq in ckpt::list_checkpoints(&ckpt_dir)? {
+        match ckpt::try_load(&ckpt_dir, seq) {
+            Ok(l) => println!(
+                "checkpoint {seq}: valid, {} pairs ({} bytes/page)",
+                l.manifest.n_pairs, PAGE_BYTES
+            ),
+            Err(why) => {
+                println!("checkpoint {seq}: INVALID — {why}");
+                clean = false;
+            }
+        }
+    }
+    Ok(clean)
+}

@@ -1,0 +1,515 @@
+//! Checkpoints: sorted chunk runs streamed to page-aligned, page-checksummed
+//! files, published atomically via a manifest rename.
+//!
+//! ## On-disk format
+//!
+//! A checkpoint `seq` is two files under the checkpoint directory:
+//!
+//! * `ckpt-<seq:016x>.dat` — the data file: 4096-byte pages, each
+//!   `magic u32 "GFCP" | page_no u32 | n_entries u32 | crc32c u32` followed
+//!   by up to 510 `(key u32, val u32)` pairs, ascending by key across the
+//!   whole file. The page CRC covers the full 4096 bytes with the CRC field
+//!   zeroed, so padding damage is caught too.
+//! * `ckpt-<seq:016x>.man` — the manifest: magic `"GFSLMAN1"`, checkpoint
+//!   seq, cluster epoch, per-WAL-lane cut LSNs, shard key-range bounds,
+//!   pair count, data-file page count, and a trailing CRC over everything
+//!   before it.
+//!
+//! ## Publication protocol
+//!
+//! Both files are written as `tmp-*` siblings, fsync'd, then renamed into
+//! place — data first, manifest last — and the directory fsync'd. The
+//! **manifest rename is the commit point**: a crash anywhere earlier leaves
+//! only temp files (swept by [`clean_temps`]) or an orphan data file that
+//! no manifest references; either way the previous checkpoint remains the
+//! newest valid one. [`CrashPoint::CkptWrite`] fires before each data page
+//! and [`CrashPoint::CkptRename`] immediately before the manifest rename,
+//! so the soak exercises both halves of the window.
+//!
+//! [`load_latest`] walks manifests newest-first and falls back on any
+//! validation failure — a half-damaged newest checkpoint costs nothing but
+//! replay work.
+
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use gfsl::CrashPoint;
+use gfsl_serve::DurabilityContract;
+
+use crate::crc::crc32c;
+use crate::hook::Failpoints;
+
+/// Bytes per checkpoint page.
+pub const PAGE_BYTES: usize = 4096;
+/// Bytes of page header (magic, page_no, n_entries, crc).
+pub const PAGE_HEADER_BYTES: usize = 16;
+/// Pairs a full page holds.
+pub const PAIRS_PER_PAGE: usize = (PAGE_BYTES - PAGE_HEADER_BYTES) / 8;
+/// Page header magic: "GFCP".
+pub const PAGE_MAGIC: u32 = 0x4746_4350;
+/// Manifest magic.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"GFSLMAN1";
+
+/// Everything a manifest pins about one checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic checkpoint sequence number.
+    pub seq: u64,
+    /// Cluster shard-map epoch at the cut (0 for a single engine).
+    pub epoch: u64,
+    /// Per-WAL-lane cut LSNs: every write with `lsn <= cut` on that lane is
+    /// reflected in the data file. A single engine has one lane.
+    pub lane_cuts: Vec<u64>,
+    /// Shard key-range bounds `(lo, hi)` at the cut (empty for a single
+    /// engine) — recovery restores the same shard layout.
+    pub shard_bounds: Vec<(u32, u32)>,
+    /// Pairs in the data file.
+    pub n_pairs: u64,
+    /// Pages in the data file.
+    pub n_pages: u64,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64);
+        b.extend_from_slice(&MANIFEST_MAGIC);
+        b.extend_from_slice(&self.seq.to_le_bytes());
+        b.extend_from_slice(&self.epoch.to_le_bytes());
+        b.extend_from_slice(&(self.lane_cuts.len() as u32).to_le_bytes());
+        b.extend_from_slice(&(self.shard_bounds.len() as u32).to_le_bytes());
+        for &cut in &self.lane_cuts {
+            b.extend_from_slice(&cut.to_le_bytes());
+        }
+        for &(lo, hi) in &self.shard_bounds {
+            b.extend_from_slice(&lo.to_le_bytes());
+            b.extend_from_slice(&hi.to_le_bytes());
+        }
+        b.extend_from_slice(&self.n_pairs.to_le_bytes());
+        b.extend_from_slice(&self.n_pages.to_le_bytes());
+        let crc = crc32c(&b);
+        b.extend_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    /// Decode and CRC-check a manifest; `None` on any damage.
+    pub fn decode(b: &[u8]) -> Option<Manifest> {
+        if b.len() < 32 + 16 + 4 || b[0..8] != MANIFEST_MAGIC {
+            return None;
+        }
+        let (body, tail) = b.split_at(b.len() - 4);
+        if crc32c(body) != u32::from_le_bytes(tail.try_into().ok()?) {
+            return None;
+        }
+        let rd_u64 = |off: usize| -> Option<u64> {
+            Some(u64::from_le_bytes(body.get(off..off + 8)?.try_into().ok()?))
+        };
+        let rd_u32 = |off: usize| -> Option<u32> {
+            Some(u32::from_le_bytes(body.get(off..off + 4)?.try_into().ok()?))
+        };
+        let seq = rd_u64(8)?;
+        let epoch = rd_u64(16)?;
+        let n_lanes = rd_u32(24)? as usize;
+        let n_shards = rd_u32(28)? as usize;
+        let mut off = 32;
+        let mut lane_cuts = Vec::with_capacity(n_lanes);
+        for _ in 0..n_lanes {
+            lane_cuts.push(rd_u64(off)?);
+            off += 8;
+        }
+        let mut shard_bounds = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shard_bounds.push((rd_u32(off)?, rd_u32(off + 4)?));
+            off += 8;
+        }
+        let n_pairs = rd_u64(off)?;
+        let n_pages = rd_u64(off + 8)?;
+        if off + 16 != body.len() {
+            return None;
+        }
+        Some(Manifest {
+            seq,
+            epoch,
+            lane_cuts,
+            shard_bounds,
+            n_pairs,
+            n_pages,
+        })
+    }
+}
+
+/// Data-file path for checkpoint `seq`.
+pub fn data_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{seq:016x}.dat"))
+}
+
+/// Manifest path for checkpoint `seq`.
+pub fn manifest_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{seq:016x}.man"))
+}
+
+fn encode_page(page_no: u32, pairs: &[(u32, u32)]) -> [u8; PAGE_BYTES] {
+    debug_assert!(pairs.len() <= PAIRS_PER_PAGE);
+    let mut b = [0u8; PAGE_BYTES];
+    b[0..4].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
+    b[4..8].copy_from_slice(&page_no.to_le_bytes());
+    b[8..12].copy_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (i, &(k, v)) in pairs.iter().enumerate() {
+        let off = PAGE_HEADER_BYTES + i * 8;
+        b[off..off + 4].copy_from_slice(&k.to_le_bytes());
+        b[off + 4..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+    let crc = crc32c(&b);
+    b[12..16].copy_from_slice(&crc.to_le_bytes());
+    b
+}
+
+/// Decode and CRC-check one page; `None` on damage or a mismatched
+/// `page_no` (a page that validates but sits at the wrong offset).
+pub fn decode_page(b: &[u8], expect_page_no: u32) -> Option<Vec<(u32, u32)>> {
+    if b.len() != PAGE_BYTES {
+        return None;
+    }
+    if u32::from_le_bytes(b[0..4].try_into().unwrap()) != PAGE_MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(b[4..8].try_into().unwrap()) != expect_page_no {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(b[12..16].try_into().unwrap());
+    let mut zeroed = [0u8; PAGE_BYTES];
+    zeroed.copy_from_slice(b);
+    zeroed[12..16].fill(0);
+    if crc32c(&zeroed) != stored_crc {
+        return None;
+    }
+    let n = u32::from_le_bytes(b[8..12].try_into().unwrap()) as usize;
+    if n > PAIRS_PER_PAGE {
+        return None;
+    }
+    let mut pairs = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = PAGE_HEADER_BYTES + i * 8;
+        pairs.push((
+            u32::from_le_bytes(b[off..off + 4].try_into().unwrap()),
+            u32::from_le_bytes(b[off + 4..off + 8].try_into().unwrap()),
+        ));
+    }
+    Some(pairs)
+}
+
+/// Stream `pairs` (ascending by key) into checkpoint `seq` under `dir` and
+/// publish it. Returns the published [`Manifest`].
+pub fn write_checkpoint(
+    dir: &Path,
+    manifest: &Manifest,
+    pairs: &[(u32, u32)],
+    contract: DurabilityContract,
+    hook: &mut Failpoints,
+) -> std::io::Result<Manifest> {
+    debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "pairs unsorted");
+    fs::create_dir_all(dir)?;
+    let seq = manifest.seq;
+    let n_pages = pairs.chunks(PAIRS_PER_PAGE).count() as u64;
+    let manifest = Manifest {
+        n_pairs: pairs.len() as u64,
+        n_pages,
+        ..manifest.clone()
+    };
+
+    let tmp_dat = dir.join(format!("tmp-ckpt-{seq:016x}.dat"));
+    let tmp_man = dir.join(format!("tmp-ckpt-{seq:016x}.man"));
+    {
+        let mut f = File::create(&tmp_dat)?;
+        for (page_no, chunk) in pairs.chunks(PAIRS_PER_PAGE.max(1)).enumerate() {
+            // A kill here leaves a temp file the next startup sweeps.
+            hook.hit(CrashPoint::CkptWrite);
+            f.write_all(&encode_page(page_no as u32, chunk))?;
+        }
+        contract.sync(&f)?;
+    }
+    {
+        let mut f = File::create(&tmp_man)?;
+        f.write_all(&manifest.encode())?;
+        contract.sync(&f)?;
+    }
+    // Data first, manifest last: the manifest rename is the commit point.
+    fs::rename(&tmp_dat, data_path(dir, seq))?;
+    // A kill here leaves an orphan data file no manifest references; the
+    // previous checkpoint is still the newest valid one.
+    hook.hit(CrashPoint::CkptRename);
+    fs::rename(&tmp_man, manifest_path(dir, seq))?;
+    sync_dir(dir, contract)?;
+    Ok(manifest)
+}
+
+fn sync_dir(dir: &Path, contract: DurabilityContract) -> std::io::Result<()> {
+    if !matches!(contract, DurabilityContract::Buffered) {
+        File::open(dir)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// A checkpoint that loaded and validated end to end.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// Its manifest.
+    pub manifest: Manifest,
+    /// Every pair, ascending by key.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+/// Outcome of [`load_latest`].
+#[derive(Debug)]
+pub struct CheckpointScan {
+    /// The newest checkpoint that validated, if any.
+    pub loaded: Option<LoadedCheckpoint>,
+    /// Newer checkpoints skipped because they failed validation, with why.
+    pub fallbacks: Vec<(u64, String)>,
+}
+
+/// Ascending sequence numbers of every published manifest under `dir`.
+pub fn list_checkpoints(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    if !dir.exists() {
+        return Ok(seqs);
+    }
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(hex) = name.strip_prefix("ckpt-").and_then(|s| s.strip_suffix(".man")) {
+            if let Ok(seq) = u64::from_str_radix(hex, 16) {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Load the newest checkpoint that validates end to end (manifest CRC,
+/// every page CRC and position, pair count, sortedness), falling back to
+/// older ones on any failure.
+pub fn load_latest(dir: &Path) -> std::io::Result<CheckpointScan> {
+    let mut fallbacks = Vec::new();
+    for seq in list_checkpoints(dir)?.into_iter().rev() {
+        match try_load(dir, seq) {
+            Ok(loaded) => {
+                return Ok(CheckpointScan {
+                    loaded: Some(loaded),
+                    fallbacks,
+                })
+            }
+            Err(why) => fallbacks.push((seq, why)),
+        }
+    }
+    Ok(CheckpointScan {
+        loaded: None,
+        fallbacks,
+    })
+}
+
+/// Load and fully validate checkpoint `seq`; the error string says what
+/// failed (tooling and [`load_latest`] fallback share this path).
+pub fn try_load(dir: &Path, seq: u64) -> Result<LoadedCheckpoint, String> {
+    let man_bytes = fs::read(manifest_path(dir, seq)).map_err(|e| e.to_string())?;
+    let manifest = Manifest::decode(&man_bytes).ok_or("manifest failed validation")?;
+    if manifest.seq != seq {
+        return Err(format!(
+            "manifest says checkpoint {}, filename says {seq}",
+            manifest.seq
+        ));
+    }
+    let mut f = File::open(data_path(dir, seq)).map_err(|e| e.to_string())?;
+    let mut pairs = Vec::with_capacity(manifest.n_pairs as usize);
+    let mut page = [0u8; PAGE_BYTES];
+    for page_no in 0..manifest.n_pages {
+        f.read_exact(&mut page)
+            .map_err(|e| format!("page {page_no}: {e}"))?;
+        let chunk = decode_page(&page, page_no as u32)
+            .ok_or_else(|| format!("page {page_no} failed validation"))?;
+        pairs.extend(chunk);
+    }
+    if pairs.len() as u64 != manifest.n_pairs {
+        return Err(format!(
+            "data file holds {} pairs, manifest says {}",
+            pairs.len(),
+            manifest.n_pairs
+        ));
+    }
+    if !pairs.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err("pairs out of order".into());
+    }
+    Ok(LoadedCheckpoint { manifest, pairs })
+}
+
+/// Decode checkpoint `seq`'s manifest alone (no data-file read); `None`
+/// if missing or damaged. How the pruner learns retained cuts cheaply.
+pub fn read_manifest(dir: &Path, seq: u64) -> Option<Manifest> {
+    Manifest::decode(&fs::read(manifest_path(dir, seq)).ok()?)
+}
+
+/// Remove leftover `tmp-*` files from a checkpoint interrupted before its
+/// commit point. Returns how many were swept.
+pub fn clean_temps(dir: &Path) -> std::io::Result<u64> {
+    let mut swept = 0;
+    if !dir.exists() {
+        return Ok(swept);
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.starts_with("tmp-"))
+        {
+            fs::remove_file(entry.path())?;
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+/// Delete published checkpoints older than `keep_newest` manifests.
+pub fn prune_old(dir: &Path, keep_newest: usize) -> std::io::Result<u64> {
+    let seqs = list_checkpoints(dir)?;
+    let mut removed = 0;
+    if seqs.len() <= keep_newest {
+        return Ok(0);
+    }
+    for &seq in &seqs[..seqs.len() - keep_newest] {
+        // Manifest first: once it is gone the data file is an orphan, never
+        // half a checkpoint.
+        fs::remove_file(manifest_path(dir, seq))?;
+        let _ = fs::remove_file(data_path(dir, seq));
+        removed += 1;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gfsl_ckpt_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn pairs(n: u32) -> Vec<(u32, u32)> {
+        (0..n).map(|i| (i * 3, i * 3 + 1)).collect()
+    }
+
+    fn man(seq: u64, cut: u64) -> Manifest {
+        Manifest {
+            seq,
+            epoch: 0,
+            lane_cuts: vec![cut],
+            shard_bounds: Vec::new(),
+            n_pairs: 0,
+            n_pages: 0,
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_crc_rejection() {
+        let m = Manifest {
+            seq: 7,
+            epoch: 3,
+            lane_cuts: vec![10, 20, 30],
+            shard_bounds: vec![(0, 100), (100, 200), (200, 300)],
+            n_pairs: 999,
+            n_pages: 2,
+        };
+        let bytes = m.encode();
+        assert_eq!(Manifest::decode(&bytes), Some(m));
+        let mut bad = bytes.clone();
+        bad[17] ^= 1;
+        assert_eq!(Manifest::decode(&bad), None);
+        assert_eq!(Manifest::decode(&bytes[..bytes.len() - 1]), None);
+    }
+
+    #[test]
+    fn write_load_roundtrip_multi_page() {
+        let dir = tmp("roundtrip");
+        let mut hook = Failpoints::Off;
+        let p = pairs(PAIRS_PER_PAGE as u32 * 2 + 17); // 3 pages
+        let published = write_checkpoint(
+            &dir,
+            &man(1, 42),
+            &p,
+            DurabilityContract::DataSynced,
+            &mut hook,
+        )
+        .unwrap();
+        assert_eq!(published.n_pages, 3);
+        let scan = load_latest(&dir).unwrap();
+        let loaded = scan.loaded.unwrap();
+        assert_eq!(loaded.pairs, p);
+        assert_eq!(loaded.manifest.lane_cuts, vec![42]);
+        assert!(scan.fallbacks.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_newest_falls_back_to_previous() {
+        let dir = tmp("fallback");
+        let mut hook = Failpoints::Off;
+        let old = pairs(5);
+        let new = pairs(9);
+        write_checkpoint(&dir, &man(1, 5), &old, DurabilityContract::Buffered, &mut hook)
+            .unwrap();
+        write_checkpoint(&dir, &man(2, 9), &new, DurabilityContract::Buffered, &mut hook)
+            .unwrap();
+        // Flip a byte inside checkpoint 2's only data page.
+        let path = data_path(&dir, 2);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[PAGE_HEADER_BYTES + 3] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+
+        let scan = load_latest(&dir).unwrap();
+        let loaded = scan.loaded.unwrap();
+        assert_eq!(loaded.manifest.seq, 1, "fell back to checkpoint 1");
+        assert_eq!(loaded.pairs, old);
+        assert_eq!(scan.fallbacks.len(), 1);
+        assert_eq!(scan.fallbacks[0].0, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let dir = tmp("empty");
+        let mut hook = Failpoints::Off;
+        write_checkpoint(&dir, &man(1, 0), &[], DurabilityContract::Buffered, &mut hook)
+            .unwrap();
+        let loaded = load_latest(&dir).unwrap().loaded.unwrap();
+        assert!(loaded.pairs.is_empty());
+        assert_eq!(loaded.manifest.n_pages, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temps_are_swept_and_prune_keeps_newest() {
+        let dir = tmp("sweep");
+        let mut hook = Failpoints::Off;
+        for seq in 1..=4 {
+            write_checkpoint(
+                &dir,
+                &man(seq, seq * 10),
+                &pairs(3),
+                DurabilityContract::Buffered,
+                &mut hook,
+            )
+            .unwrap();
+        }
+        fs::write(dir.join("tmp-ckpt-00000000000000ff.dat"), b"junk").unwrap();
+        assert_eq!(clean_temps(&dir).unwrap(), 1);
+        assert_eq!(prune_old(&dir, 2).unwrap(), 2);
+        let scan = load_latest(&dir).unwrap();
+        assert_eq!(scan.loaded.unwrap().manifest.seq, 4);
+        assert!(!manifest_path(&dir, 1).exists());
+        assert!(!data_path(&dir, 2).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,419 @@
+//! [`DurableCluster`]: the durability tier over the key-range-sharded
+//! multi-GFSL engine.
+//!
+//! ## Static WAL lanes, not per-shard logs
+//!
+//! The cluster reshards: splits and live migration move key ranges between
+//! shards, so a log *per shard* would have to move records between logs
+//! (or impose cross-log ordering) whenever the shard map changes. Instead
+//! the durable cluster logs into `n_lanes` **static** lanes — lane of a
+//! key is `key % n_lanes`, fixed for the lifetime of the directory. Every
+//! op on a given key lands in one lane in apply order, and because lanes
+//! own disjoint key sets there is *no* cross-lane ordering to preserve:
+//! each lane is an independent LSN space, synced independently, replayed
+//! in any interleaving.
+//!
+//! ## Checkpoint cut discipline
+//!
+//! The checkpointer reads every lane's `last_lsn` **before** taking the
+//! consistent cluster snapshot. Apply happens before log, so a write can
+//! be in the snapshot yet have `lsn > cut` — replayed redundantly, which
+//! the set-like ops absorb (see [`crate::engine`] module docs). The
+//! reverse — a write with `lsn ≤ cut` missing from the snapshot — cannot
+//! happen with cuts read first, and that is the direction that would lose
+//! data. The manifest records the per-lane cuts, the shard-map epoch, and
+//! every shard's key-range bounds, so recovery restores the same shard
+//! layout before replaying each lane's tail.
+
+use std::path::PathBuf;
+
+use gfsl::GfslParams;
+use gfsl_cluster::{Cluster, ClusterSnapshot};
+use gfsl_serve::DurabilityContract;
+
+use crate::ckpt::{self, Manifest};
+use crate::engine::RecoveryReport;
+use crate::error::{OpError, RecoverError};
+use crate::hook::Failpoints;
+use crate::wal::{self, Wal, WalOp};
+
+/// Shape of a durable cluster's on-disk footprint.
+#[derive(Debug, Clone)]
+pub struct DurableClusterConfig {
+    /// Root directory; lane `i` logs into `<dir>/wal/lane-<i>`,
+    /// checkpoints live in `<dir>/ckpt`.
+    pub dir: PathBuf,
+    /// What an acknowledgement promises, per lane.
+    pub contract: DurabilityContract,
+    /// Records per WAL segment before rotation.
+    pub seg_records: u32,
+    /// Published checkpoints retained.
+    pub ckpt_keep: usize,
+    /// Static WAL lane count — fixed for the directory's lifetime; reopen
+    /// with the same value.
+    pub n_lanes: usize,
+    /// Initial shard count (fresh creates only; recovery restores the
+    /// checkpointed layout).
+    pub n_shards: usize,
+    /// Working key range (fresh creates only).
+    pub key_range: u32,
+    /// Structural parameters for every shard.
+    pub params: GfslParams,
+}
+
+impl DurableClusterConfig {
+    /// Defaults: fsync, 1024-record segments, 2 checkpoints, 4 lanes,
+    /// 4 shards over keys `1..=1_000_000`.
+    pub fn new(dir: impl Into<PathBuf>) -> DurableClusterConfig {
+        DurableClusterConfig {
+            dir: dir.into(),
+            contract: DurabilityContract::Synced,
+            seg_records: 1024,
+            ckpt_keep: 2,
+            n_lanes: 4,
+            n_shards: 4,
+            key_range: 1_000_000,
+            params: GfslParams::default(),
+        }
+    }
+
+    fn lane_dir(&self, lane: usize) -> PathBuf {
+        self.dir.join("wal").join(format!("lane-{lane:04}"))
+    }
+
+    fn ckpt_dir(&self) -> PathBuf {
+        self.dir.join("ckpt")
+    }
+}
+
+/// A sharded cluster + per-lane WALs + manifest-published checkpoints.
+pub struct DurableCluster {
+    cluster: Cluster,
+    lanes: Vec<Wal>,
+    ckpt_dir: PathBuf,
+    ckpt_keep: usize,
+    contract: DurabilityContract,
+    /// Failpoints the durable path reports to (chaos soak entry point).
+    pub hook: Failpoints,
+    ckpt_seq: u64,
+}
+
+impl DurableCluster {
+    /// Create a fresh durable cluster (empty shards, empty lanes).
+    pub fn create(cfg: &DurableClusterConfig) -> Result<DurableCluster, RecoverError> {
+        assert!(cfg.n_lanes >= 1, "need at least one WAL lane");
+        let cluster = Cluster::prefilled(
+            cfg.params,
+            cfg.n_shards,
+            cfg.key_range,
+            std::iter::empty::<(u32, u32)>(),
+        )
+        .map_err(RecoverError::Rebuild)?;
+        let lanes = (0..cfg.n_lanes)
+            .map(|i| Wal::create(cfg.lane_dir(i), cfg.contract, cfg.seg_records))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(DurableCluster {
+            cluster,
+            lanes,
+            ckpt_dir: cfg.ckpt_dir(),
+            ckpt_keep: cfg.ckpt_keep.max(1),
+            contract: cfg.contract,
+            hook: Failpoints::Off,
+            ckpt_seq: 0,
+        })
+    }
+
+    /// Recover a cluster from `cfg.dir`: newest valid checkpoint (shard
+    /// layout restored from its manifest), per-lane torn-tail repair and
+    /// gap checks, per-lane tail replay, full validation walk.
+    pub fn open(
+        cfg: &DurableClusterConfig,
+    ) -> Result<(DurableCluster, RecoveryReport), RecoverError> {
+        assert!(cfg.n_lanes >= 1, "need at least one WAL lane");
+        let mut report = RecoveryReport {
+            swept_temps: ckpt::clean_temps(&cfg.ckpt_dir())?,
+            ..RecoveryReport::default()
+        };
+
+        let scan = ckpt::load_latest(&cfg.ckpt_dir())?;
+        report.checkpoint_fallbacks = scan.fallbacks;
+        let (cuts, bounds, pairs) = match scan.loaded {
+            Some(loaded) => {
+                report.checkpoint_seq = Some(loaded.manifest.seq);
+                report.checkpoint_pairs = loaded.manifest.n_pairs;
+                if loaded.manifest.lane_cuts.len() != cfg.n_lanes {
+                    return Err(RecoverError::Invalid(format!(
+                        "checkpoint has {} WAL lanes, config says {} — lane \
+                         count is fixed per directory",
+                        loaded.manifest.lane_cuts.len(),
+                        cfg.n_lanes
+                    )));
+                }
+                (
+                    loaded.manifest.lane_cuts.clone(),
+                    loaded.manifest.shard_bounds.clone(),
+                    loaded.pairs,
+                )
+            }
+            None => (vec![0; cfg.n_lanes], Vec::new(), Vec::new()),
+        };
+        let ckpt_seq = report.checkpoint_seq.unwrap_or(0);
+
+        // Restore the checkpointed shard layout, or the configured fresh
+        // layout when starting from nothing.
+        let cluster = if bounds.is_empty() {
+            Cluster::prefilled(cfg.params, cfg.n_shards, cfg.key_range, pairs)
+        } else {
+            let interior: Vec<u32> = bounds.iter().skip(1).map(|&(lo, _)| lo).collect();
+            Cluster::prefilled_with_bounds(cfg.params, &interior, pairs)
+        }
+        .map_err(RecoverError::Rebuild)?;
+
+        // Scan, gap-check, and replay each lane independently — disjoint
+        // key ownership means no cross-lane ordering exists to violate.
+        let mut lanes = Vec::with_capacity(cfg.n_lanes);
+        for (lane, &cut) in cuts.iter().enumerate() {
+            let lane_scan = wal::scan_wal(&cfg.lane_dir(lane))?;
+            report.truncated_bytes += lane_scan.truncated_bytes;
+            report.removed_torn_segments += lane_scan.removed_torn_segments;
+            check_lane_reach(&lane_scan, cut)?;
+            for r in lane_scan.records.iter().filter(|r| r.lsn > cut) {
+                let effective = match r.op {
+                    WalOp::Put { key, val } => cluster.insert(key, val),
+                    WalOp::Del { key } => cluster.remove(key),
+                }
+                .map_err(RecoverError::Rebuild)?;
+                report.replayed += 1;
+                report.redundant_replays += u64::from(!effective);
+            }
+            let lane_wal =
+                Wal::resume(cfg.lane_dir(lane), cfg.contract, cfg.seg_records, &lane_scan, cut)?;
+            report.last_lsn = report.last_lsn.max(lane_wal.last_lsn());
+            lanes.push(lane_wal);
+        }
+
+        let violations = cluster.validate();
+        if !violations.is_empty() {
+            let (shard, v) = &violations[0];
+            return Err(RecoverError::Invalid(format!(
+                "{} shards with violations, first: shard {shard}: {:?}",
+                violations.len(),
+                v[0]
+            )));
+        }
+        report.recovered_keys = cluster.len() as u64;
+
+        Ok((
+            DurableCluster {
+                cluster,
+                lanes,
+                ckpt_dir: cfg.ckpt_dir(),
+                ckpt_keep: cfg.ckpt_keep.max(1),
+                contract: cfg.contract,
+                hook: Failpoints::Off,
+                ckpt_seq,
+            },
+            report,
+        ))
+    }
+
+    /// The underlying cluster (reads, resharding, migration, validation).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Which lane owns `key`, for the directory's lifetime.
+    pub fn lane_of(&self, key: u32) -> usize {
+        key as usize % self.lanes.len()
+    }
+
+    /// Insert `key → value`; `Ok(true)` — durable on its lane — iff the
+    /// key was absent.
+    pub fn insert(&mut self, key: u32, value: u32) -> Result<bool, OpError> {
+        let applied = self.cluster.insert(key, value)?;
+        if applied {
+            let lane = self.lane_of(key);
+            self.lanes[lane].append(&[WalOp::Put { key, val: value }], &mut self.hook)?;
+        }
+        Ok(applied)
+    }
+
+    /// Remove `key`; `Ok(true)` — durable — iff the key was present.
+    pub fn remove(&mut self, key: u32) -> Result<bool, OpError> {
+        let applied = self.cluster.remove(key)?;
+        if applied {
+            let lane = self.lane_of(key);
+            self.lanes[lane].append(&[WalOp::Del { key }], &mut self.hook)?;
+        }
+        Ok(applied)
+    }
+
+    /// Read `key` (no durability interaction).
+    pub fn get(&self, key: u32) -> Result<Option<u32>, OpError> {
+        Ok(self.cluster.get(key)?)
+    }
+
+    /// Publish a checkpoint: per-lane cuts read first, then a consistent
+    /// cluster snapshot, then manifest publication and per-lane pruning.
+    pub fn checkpoint(&mut self) -> std::io::Result<Manifest> {
+        // Cuts BEFORE the snapshot: apply precedes log, so reading cuts
+        // first can only over-include (redundant replay, absorbed), never
+        // under-include (lost writes).
+        let cuts: Vec<u64> = self.lanes.iter().map(|w| w.last_lsn()).collect();
+        let snap: ClusterSnapshot = self.cluster.snapshot();
+        let shard_bounds: Vec<(u32, u32)> =
+            snap.cuts.iter().map(|c| (c.lo, c.hi)).collect();
+        let manifest = ckpt::write_checkpoint(
+            &self.ckpt_dir,
+            &Manifest {
+                seq: self.ckpt_seq + 1,
+                epoch: snap.epoch,
+                lane_cuts: cuts.clone(),
+                shard_bounds,
+                n_pairs: 0,
+                n_pages: 0,
+            },
+            &snap.pairs,
+            self.contract,
+            &mut self.hook,
+        )?;
+        self.ckpt_seq = manifest.seq;
+        ckpt::prune_old(&self.ckpt_dir, self.ckpt_keep)?;
+        // Prune each lane only to the oldest RETAINED checkpoint's cut, so
+        // fallback from a damaged newer checkpoint can still replay.
+        let mut safe_cuts = cuts;
+        for seq in ckpt::list_checkpoints(&self.ckpt_dir)? {
+            if let Some(m) = ckpt::read_manifest(&self.ckpt_dir, seq) {
+                for (safe, &c) in safe_cuts.iter_mut().zip(m.lane_cuts.iter()) {
+                    *safe = (*safe).min(c);
+                }
+            }
+        }
+        for (lane, &cut) in safe_cuts.iter().enumerate() {
+            self.lanes[lane].prune_upto(cut, &mut self.hook)?;
+        }
+        Ok(manifest)
+    }
+
+    /// Sum of per-lane lifetime counters.
+    pub fn wal_stats(&self) -> wal::WalStats {
+        let mut total = wal::WalStats::default();
+        for w in &self.lanes {
+            total.group_commits += w.stats.group_commits;
+            total.records += w.stats.records;
+            total.syncs += w.stats.syncs;
+            total.rotations += w.stats.rotations;
+            total.pruned_segments += w.stats.pruned_segments;
+        }
+        total
+    }
+}
+
+impl std::fmt::Debug for DurableCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableCluster")
+            .field("lanes", &self.lanes.len())
+            .field("ckpt_seq", &self.ckpt_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+fn check_lane_reach(scan: &wal::WalScanned, cut: u64) -> Result<(), RecoverError> {
+    let first_available = scan
+        .records
+        .first()
+        .map(|r| r.lsn)
+        .or_else(|| scan.tail.map(|t| t.base_lsn));
+    if let Some(first_available) = first_available {
+        if first_available > cut + 1 {
+            return Err(RecoverError::WalGap {
+                need_from: cut + 1,
+                first_available,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::destroy;
+
+    fn cfg(name: &str) -> DurableClusterConfig {
+        let dir =
+            std::env::temp_dir().join(format!("gfsl_dclu_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DurableClusterConfig {
+            seg_records: 8,
+            n_lanes: 3,
+            n_shards: 4,
+            key_range: 10_000,
+            ..DurableClusterConfig::new(dir)
+        }
+    }
+
+    #[test]
+    fn cluster_write_reopen_recovers_across_lanes() {
+        let cfg = cfg("roundtrip");
+        let mut dc = DurableCluster::create(&cfg).unwrap();
+        for k in 1..=300u32 {
+            assert!(dc.insert(k * 7 % 9973 + 1, k).unwrap());
+        }
+        let expect = dc.cluster().pairs();
+        drop(dc);
+
+        let (dc, report) = DurableCluster::open(&cfg).unwrap();
+        assert_eq!(report.replayed, 300);
+        assert_eq!(report.recovered_keys, 300);
+        assert_eq!(dc.cluster().pairs(), expect);
+        dc.cluster().assert_valid();
+        destroy(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_restores_shard_layout_and_bounds_replay() {
+        let cfg = cfg("ckpt");
+        let mut dc = DurableCluster::create(&cfg).unwrap();
+        for k in 1..=200u32 {
+            dc.insert(k * 31 % 9007 + 1, k).unwrap();
+        }
+        let bounds_before = dc.cluster().bounds();
+        let m = dc.checkpoint().unwrap();
+        assert_eq!(m.lane_cuts.len(), 3);
+        assert_eq!(m.shard_bounds, bounds_before);
+        for k in 500..540u32 {
+            dc.insert(k * 13 + 100_000 % 9973, k).unwrap();
+        }
+        let expect = dc.cluster().pairs();
+        drop(dc);
+
+        let (dc, report) = DurableCluster::open(&cfg).unwrap();
+        assert_eq!(report.checkpoint_seq, Some(1));
+        assert_eq!(report.replayed, 40, "only post-cut lane tails replay");
+        assert_eq!(dc.cluster().bounds(), bounds_before, "layout restored");
+        assert_eq!(dc.cluster().pairs(), expect);
+        dc.cluster().assert_valid();
+        destroy(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn lane_count_mismatch_is_refused() {
+        let cfg = cfg("lanes");
+        let mut dc = DurableCluster::create(&cfg).unwrap();
+        for k in 1..=50u32 {
+            dc.insert(k, k).unwrap();
+        }
+        dc.checkpoint().unwrap();
+        drop(dc);
+        let wrong = DurableClusterConfig {
+            n_lanes: 5,
+            ..cfg.clone()
+        };
+        match DurableCluster::open(&wrong) {
+            Err(RecoverError::Invalid(msg)) => assert!(msg.contains("lane")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        destroy(&cfg.dir).unwrap();
+    }
+}

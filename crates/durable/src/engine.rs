@@ -1,0 +1,495 @@
+//! [`DurableGfsl`]: one GFSL engine whose acknowledged writes survive
+//! process death.
+//!
+//! ## The commit protocol
+//!
+//! Every mutation follows **apply → log → sync → ack**: the structural
+//! operation runs first, then (only if it was effective — GFSL inserts are
+//! set-like, so a duplicate insert changes nothing and logs nothing) a WAL
+//! record is appended and synced per the [`DurabilityContract`]. A crash
+//! before the log leaves an applied-but-unlogged write that dies with the
+//! process — safe, because it was never acknowledged. A crash after the
+//! sync loses nothing. The window in between is the *maybe* zone the
+//! kill-restart soak models with `InsertMaybe`/`RemoveMaybe` history
+//! records.
+//!
+//! ## Why replay is idempotent
+//!
+//! Only *effective* writes are logged, so per key the log alternates
+//! `Put`/`Del`. Replaying a contiguous LSN suffix onto any state at least
+//! as old as the replay floor converges to the post-log state: a `Put`
+//! whose key is resident is a set-like no-op ([`Ok(false)`]), a `Del`
+//! whose key is absent likewise. This is what lets a checkpoint cut be
+//! read *before* its snapshot (see [`DurableCluster`]) and lets recovery
+//! replay records the checkpoint already reflects.
+//!
+//! ## Recovery ([`DurableGfsl::open`])
+//!
+//! 1. Sweep checkpoint temp files (a crash mid-publication leaves only
+//!    `tmp-*` debris).
+//! 2. Load the newest checkpoint that validates end to end, falling back
+//!    on damage ([`ckpt::load_latest`]).
+//! 3. Scan the WAL ([`wal::scan_wal`]): truncate a torn tail, refuse on
+//!    mid-log corruption, damaged headers, or segment gaps.
+//! 4. Refuse with [`RecoverError::WalGap`] if the surviving log does not
+//!    reach back to the checkpoint cut — a stale checkpoint over a pruned
+//!    log would otherwise silently lose acknowledged writes.
+//! 5. Rebuild via `Gfsl::from_sorted_pairs`, replay records past the cut,
+//!    run the full validation walk, and only then serve.
+//!
+//! [`DurableCluster`]: crate::cluster::DurableCluster
+//! [`Ok(false)`]: gfsl::GfslHandle::try_insert
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gfsl::{Gfsl, GfslParams};
+use gfsl_serve::{CommitSink, DurabilityContract, WriteEffect};
+
+use crate::ckpt::{self, Manifest};
+use crate::error::{OpError, RecoverError};
+use crate::hook::Failpoints;
+use crate::wal::{self, Wal, WalOp, WalRecord};
+
+/// Everything that shapes a durable engine's on-disk footprint.
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Root directory; the WAL lives in `<dir>/wal`, checkpoints in
+    /// `<dir>/ckpt`.
+    pub dir: PathBuf,
+    /// What an acknowledgement promises (the group commit's sync step).
+    pub contract: DurabilityContract,
+    /// Records per WAL segment before rotation.
+    pub seg_records: u32,
+    /// Published checkpoints retained (≥ 2 keeps a fallback).
+    pub ckpt_keep: usize,
+    /// Structural parameters for the in-memory engine.
+    pub params: GfslParams,
+}
+
+impl DurableConfig {
+    /// Defaults: fsync contract, 1024-record segments, 2 checkpoints kept.
+    pub fn new(dir: impl Into<PathBuf>) -> DurableConfig {
+        DurableConfig {
+            dir: dir.into(),
+            contract: DurabilityContract::Synced,
+            seg_records: 1024,
+            ckpt_keep: 2,
+            params: GfslParams::default(),
+        }
+    }
+
+    /// The WAL directory.
+    pub fn wal_dir(&self) -> PathBuf {
+        self.dir.join("wal")
+    }
+
+    /// The checkpoint directory.
+    pub fn ckpt_dir(&self) -> PathBuf {
+        self.dir.join("ckpt")
+    }
+}
+
+/// What [`DurableGfsl::open`] did to get back to a servable engine.
+#[derive(Debug, Default, Clone, serde::Serialize)]
+pub struct RecoveryReport {
+    /// Sequence of the checkpoint restored from (`None`: started empty).
+    pub checkpoint_seq: Option<u64>,
+    /// Pairs the checkpoint contributed.
+    pub checkpoint_pairs: u64,
+    /// Newer checkpoints skipped as damaged: `(seq, why)`.
+    pub checkpoint_fallbacks: Vec<(u64, String)>,
+    /// Checkpoint temp files swept (crash mid-publication).
+    pub swept_temps: u64,
+    /// WAL records replayed past the checkpoint cut.
+    pub replayed: u64,
+    /// Replayed records that were already reflected (set-like no-ops) —
+    /// the overlap idempotent replay absorbs.
+    pub redundant_replays: u64,
+    /// Bytes truncated from a torn WAL tail.
+    pub truncated_bytes: u64,
+    /// Headerless final segments removed.
+    pub removed_torn_segments: u64,
+    /// Highest LSN durable after recovery.
+    pub last_lsn: u64,
+    /// Keys resident after recovery.
+    pub recovered_keys: u64,
+}
+
+/// A GFSL engine + WAL + checkpointer, the single-node durability tier.
+#[derive(Debug)]
+pub struct DurableGfsl {
+    list: Gfsl,
+    wal: Wal,
+    ckpt_dir: PathBuf,
+    ckpt_keep: usize,
+    contract: DurabilityContract,
+    /// Failpoints the durable path reports to; swap in a chaos probe to
+    /// run this engine under the kill-restart soak.
+    pub hook: Failpoints,
+    ckpt_seq: u64,
+    ckpt_lsn: u64,
+}
+
+impl DurableGfsl {
+    /// Create a fresh durable engine (empty structure, empty log).
+    pub fn create(cfg: &DurableConfig) -> Result<DurableGfsl, RecoverError> {
+        let list = Gfsl::new(cfg.params).map_err(RecoverError::Rebuild)?;
+        let wal = Wal::create(cfg.wal_dir(), cfg.contract, cfg.seg_records)?;
+        Ok(DurableGfsl {
+            list,
+            wal,
+            ckpt_dir: cfg.ckpt_dir(),
+            ckpt_keep: cfg.ckpt_keep.max(1),
+            contract: cfg.contract,
+            hook: Failpoints::Off,
+            ckpt_seq: 0,
+            ckpt_lsn: 0,
+        })
+    }
+
+    /// Recover an engine from `cfg.dir` (see module docs for the state
+    /// machine). Every acknowledged write is present when this returns;
+    /// any repair taken is in the [`RecoveryReport`].
+    pub fn open(cfg: &DurableConfig) -> Result<(DurableGfsl, RecoveryReport), RecoverError> {
+        let mut report = RecoveryReport {
+            swept_temps: ckpt::clean_temps(&cfg.ckpt_dir())?,
+            ..RecoveryReport::default()
+        };
+
+        let scan = ckpt::load_latest(&cfg.ckpt_dir())?;
+        report.checkpoint_fallbacks = scan.fallbacks;
+        let (cut, pairs) = match scan.loaded {
+            Some(loaded) => {
+                report.checkpoint_seq = Some(loaded.manifest.seq);
+                report.checkpoint_pairs = loaded.manifest.n_pairs;
+                (loaded.manifest.lane_cuts[0], loaded.pairs)
+            }
+            None => (0, Vec::new()),
+        };
+        let ckpt_seq = report.checkpoint_seq.unwrap_or(0);
+
+        let wal_scan = wal::scan_wal(&cfg.wal_dir())?;
+        report.truncated_bytes = wal_scan.truncated_bytes;
+        report.removed_torn_segments = wal_scan.removed_torn_segments;
+        check_reach(&wal_scan, cut)?;
+
+        let list = Gfsl::from_sorted_pairs(cfg.params, pairs.iter().copied())
+            .map_err(RecoverError::Rebuild)?;
+        let (replayed, redundant) = replay(&list, &wal_scan.records, cut)?;
+        report.replayed = replayed;
+        report.redundant_replays = redundant;
+
+        let violations = list.validate();
+        if !violations.is_empty() {
+            return Err(RecoverError::Invalid(format!(
+                "{} violations, first: {:?}",
+                violations.len(),
+                violations[0]
+            )));
+        }
+        report.recovered_keys = list.len() as u64;
+
+        let wal = Wal::resume(cfg.wal_dir(), cfg.contract, cfg.seg_records, &wal_scan, cut)?;
+        report.last_lsn = wal.last_lsn();
+        Ok((
+            DurableGfsl {
+                list,
+                wal,
+                ckpt_dir: cfg.ckpt_dir(),
+                ckpt_keep: cfg.ckpt_keep.max(1),
+                contract: cfg.contract,
+                hook: Failpoints::Off,
+                ckpt_seq,
+                ckpt_lsn: cut,
+            },
+            report,
+        ))
+    }
+
+    /// The in-memory engine (reads, validation, serving).
+    pub fn list(&self) -> &Gfsl {
+        &self.list
+    }
+
+    /// Highest LSN assigned so far.
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.last_lsn()
+    }
+
+    /// Cut LSN of the newest published checkpoint (0 when none).
+    pub fn checkpoint_lsn(&self) -> u64 {
+        self.ckpt_lsn
+    }
+
+    /// WAL lifetime counters.
+    pub fn wal_stats(&self) -> wal::WalStats {
+        self.wal.stats
+    }
+
+    /// Insert `k → v`; `Ok(true)` — now durable to the contract's level —
+    /// iff the key was absent. An effective insert is applied, logged, and
+    /// synced before this returns.
+    pub fn insert(&mut self, k: u32, v: u32) -> Result<bool, OpError> {
+        let applied = self.list.handle().try_insert(k, v)?;
+        if applied {
+            self.wal
+                .append(&[WalOp::Put { key: k, val: v }], &mut self.hook)?;
+        }
+        Ok(applied)
+    }
+
+    /// Remove `k`; `Ok(true)` — durable — iff the key was present.
+    pub fn remove(&mut self, k: u32) -> Result<bool, OpError> {
+        let applied = self.list.handle().try_remove(k)?;
+        if applied {
+            self.wal
+                .append(&[WalOp::Del { key: k }], &mut self.hook)?;
+        }
+        Ok(applied)
+    }
+
+    /// Read `k` (no durability interaction).
+    pub fn get(&mut self, k: u32) -> Result<Option<u32>, OpError> {
+        Ok(self.list.handle().try_get(k)?)
+    }
+
+    /// Publish a checkpoint of the current state, then prune old
+    /// checkpoints and covered WAL segments. The cut is the current last
+    /// LSN: single-threaded, so the export reflects exactly the log
+    /// through the cut. The WAL is pruned only to the **oldest retained**
+    /// checkpoint's cut, not this one's — if this checkpoint is later
+    /// found damaged, fallback to an older one still has the records it
+    /// needs to replay.
+    pub fn checkpoint(&mut self) -> std::io::Result<Manifest> {
+        let cut = self.wal.last_lsn();
+        let pairs: Vec<(u32, u32)> = self.list.export_pairs().collect();
+        let manifest = ckpt::write_checkpoint(
+            &self.ckpt_dir,
+            &Manifest {
+                seq: self.ckpt_seq + 1,
+                epoch: 0,
+                lane_cuts: vec![cut],
+                shard_bounds: Vec::new(),
+                n_pairs: 0,
+                n_pages: 0,
+            },
+            &pairs,
+            self.contract,
+            &mut self.hook,
+        )?;
+        self.ckpt_seq = manifest.seq;
+        self.ckpt_lsn = cut;
+        ckpt::prune_old(&self.ckpt_dir, self.ckpt_keep)?;
+        let mut safe_cut = cut;
+        for seq in ckpt::list_checkpoints(&self.ckpt_dir)? {
+            if let Some(m) = ckpt::read_manifest(&self.ckpt_dir, seq) {
+                safe_cut = safe_cut.min(m.lane_cuts[0]);
+            }
+        }
+        self.wal.prune_upto(safe_cut, &mut self.hook)?;
+        Ok(manifest)
+    }
+
+    /// Split this engine into the two halves the serving loop needs: the
+    /// shared structure for workers and a [`WalSink`] gating every ack —
+    /// pass them to [`gfsl_serve::serve_durable`].
+    pub fn serve_parts(&mut self) -> (&Gfsl, WalSink<'_>) {
+        (
+            &self.list,
+            WalSink {
+                wal: &mut self.wal,
+                hook: &mut self.hook,
+            },
+        )
+    }
+}
+
+/// Refuse if the surviving log cannot replay everything past `cut`.
+fn check_reach(scan: &wal::WalScanned, cut: u64) -> Result<(), RecoverError> {
+    let first_available = scan
+        .records
+        .first()
+        .map(|r| r.lsn)
+        .or_else(|| scan.tail.map(|t| t.base_lsn));
+    if let Some(first_available) = first_available {
+        if first_available > cut + 1 {
+            return Err(RecoverError::WalGap {
+                need_from: cut + 1,
+                first_available,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Replay `records` past `cut` onto `list`; returns
+/// `(replayed, redundant)`.
+fn replay(list: &Gfsl, records: &[WalRecord], cut: u64) -> Result<(u64, u64), RecoverError> {
+    let mut handle = list.handle();
+    let mut replayed = 0;
+    let mut redundant = 0;
+    for r in records.iter().filter(|r| r.lsn > cut) {
+        let effective = match r.op {
+            WalOp::Put { key, val } => handle.try_insert(key, val),
+            WalOp::Del { key } => handle.try_remove(key),
+        }
+        .map_err(RecoverError::Rebuild)?;
+        replayed += 1;
+        redundant += u64::from(!effective);
+    }
+    Ok((replayed, redundant))
+}
+
+/// The [`CommitSink`] a serving loop drains into: maps each epoch's
+/// [`WriteEffect`]s to WAL records and group-commits them — one append,
+/// one sync, then the epoch's responses may route.
+#[derive(Debug)]
+pub struct WalSink<'a> {
+    wal: &'a mut Wal,
+    hook: &'a mut Failpoints,
+}
+
+impl CommitSink for WalSink<'_> {
+    fn commit(&mut self, effects: &[WriteEffect]) -> std::io::Result<u64> {
+        if effects.is_empty() {
+            return Ok(0);
+        }
+        let ops: Vec<WalOp> = effects
+            .iter()
+            .map(|e| match e.value {
+                Some(val) => WalOp::Put { key: e.key, val },
+                None => WalOp::Del { key: e.key },
+            })
+            .collect();
+        let (_, last) = self.wal.append(&ops, self.hook)?;
+        Ok(last)
+    }
+}
+
+/// Remove an engine's entire on-disk footprint (tests, tooling).
+pub fn destroy(dir: &Path) -> std::io::Result<()> {
+    if dir.exists() {
+        fs::remove_dir_all(dir)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(name: &str) -> DurableConfig {
+        let dir = std::env::temp_dir().join(format!("gfsl_eng_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DurableConfig {
+            seg_records: 8,
+            ..DurableConfig::new(dir)
+        }
+    }
+
+    #[test]
+    fn create_write_reopen_recovers_everything() {
+        let cfg = cfg("roundtrip");
+        let mut eng = DurableGfsl::create(&cfg).unwrap();
+        for k in 1..=200u32 {
+            assert!(eng.insert(k * 2, k).unwrap());
+        }
+        assert!(!eng.insert(2, 99).unwrap(), "set-like duplicate");
+        for k in 1..=50u32 {
+            assert!(eng.remove(k * 4).unwrap());
+        }
+        let last = eng.last_lsn();
+        assert_eq!(last, 250, "200 puts + 50 dels, duplicates unlogged");
+        drop(eng); // process death: memory gone, files remain
+
+        let (mut eng, report) = DurableGfsl::open(&cfg).unwrap();
+        assert_eq!(report.replayed, 250);
+        assert_eq!(report.recovered_keys, 150);
+        assert_eq!(report.checkpoint_seq, None);
+        assert_eq!(eng.get(4).unwrap(), None, "removed key stays removed");
+        assert_eq!(eng.get(202).unwrap(), Some(101));
+        eng.list().assert_valid();
+        destroy(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_prunes_wal_and_bounds_replay() {
+        let cfg = cfg("ckpt");
+        let mut eng = DurableGfsl::create(&cfg).unwrap();
+        for k in 1..=100u32 {
+            eng.insert(k, k + 1).unwrap();
+        }
+        let m = eng.checkpoint().unwrap();
+        assert_eq!(m.lane_cuts, vec![100]);
+        assert!(eng.wal_stats().pruned_segments > 0, "covered segments go");
+        for k in 101..=120u32 {
+            eng.insert(k, k + 1).unwrap();
+        }
+        drop(eng);
+
+        let (eng, report) = DurableGfsl::open(&cfg).unwrap();
+        assert_eq!(report.checkpoint_seq, Some(1));
+        assert_eq!(report.checkpoint_pairs, 100);
+        assert_eq!(report.replayed, 20, "only the post-cut tail replays");
+        assert_eq!(report.recovered_keys, 120);
+        assert_eq!(report.last_lsn, 120);
+        eng.list().assert_valid();
+        destroy(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn replay_overlap_is_idempotent() {
+        // Rebuild from a state that already reflects part of the replayed
+        // suffix: the set-like ops must converge, not double-apply.
+        let cfg = cfg("overlap");
+        let mut eng = DurableGfsl::create(&cfg).unwrap();
+        eng.insert(1, 10).unwrap(); // lsn 1
+        eng.remove(1).unwrap(); // lsn 2
+        eng.insert(1, 20).unwrap(); // lsn 3
+        eng.insert(2, 30).unwrap(); // lsn 4
+        drop(eng);
+
+        // Replay EVERYTHING (cut 0) onto the final state itself.
+        let wal_scan = wal::scan_wal(&cfg.wal_dir()).unwrap();
+        let list =
+            Gfsl::from_sorted_pairs(cfg.params, [(1u32, 20u32), (2, 30)]).unwrap();
+        let (replayed, redundant) = replay(&list, &wal_scan.records, 0).unwrap();
+        assert_eq!(replayed, 4);
+        // lsn1 Put(1,10): resident → no-op. lsn2 Del(1): effective. lsn3
+        // Put(1,20): effective again. lsn4 Put(2,30): resident → no-op.
+        assert_eq!(redundant, 2);
+        let mut h = list.handle();
+        assert_eq!(h.try_get(1).unwrap(), Some(20));
+        assert_eq!(h.try_get(2).unwrap(), Some(30));
+        destroy(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn stale_checkpoint_over_pruned_wal_is_refused() {
+        // ckpt_keep = 1: losing the only manifest leaves a pruned log with
+        // no checkpoint to anchor it.
+        let cfg = DurableConfig {
+            ckpt_keep: 1,
+            ..cfg("stale")
+        };
+        let mut eng = DurableGfsl::create(&cfg).unwrap();
+        for k in 1..=60u32 {
+            eng.insert(k, k).unwrap();
+        }
+        eng.checkpoint().unwrap(); // ckpt 1 @ cut 60, early segments pruned
+        for k in 61..=80u32 {
+            eng.insert(k, k).unwrap();
+        }
+        eng.checkpoint().unwrap(); // ckpt 2 @ cut 80, more pruning
+        drop(eng);
+        // Lose checkpoint 2: recovery falls back to checkpoint 1, but the
+        // WAL records in (60, ~80] that checkpoint 2 covered are pruned.
+        fs::remove_file(ckpt::manifest_path(&cfg.ckpt_dir(), 2)).unwrap();
+        match DurableGfsl::open(&cfg) {
+            Err(RecoverError::WalGap { need_from, .. }) => assert_eq!(need_from, 1),
+            other => panic!("expected WalGap, got {other:?}"),
+        }
+        destroy(&cfg.dir).unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! Typed recovery failures.
+//!
+//! The contract: recovery either repairs (torn-tail truncation, checkpoint
+//! fallback — both reported in the [`crate::RecoveryReport`]) or refuses to
+//! serve with one of these errors. It never silently drops acknowledged
+//! data: anything that *could* be silent loss (a CRC mismatch away from the
+//! log tail, a missing segment, a damaged header) is an error, not a skip.
+
+use std::path::PathBuf;
+
+/// Why a restart could not produce a servable engine.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A WAL record away from the log tail failed its CRC or carried the
+    /// wrong LSN — mid-log damage that truncation cannot repair without
+    /// losing acknowledged writes. Refuse to serve.
+    Corrupt {
+        /// The damaged file.
+        file: PathBuf,
+        /// Byte offset of the bad frame.
+        offset: u64,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// A segment header (other than a torn final segment) is damaged:
+    /// without its base LSN the segment's records cannot be placed.
+    BadSegmentHeader {
+        /// The damaged file.
+        file: PathBuf,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// The log does not reach back to the chosen checkpoint: records in
+    /// `need_from..first_available` are gone (a pruned or deleted segment
+    /// paired with a stale checkpoint). Serving would lose them silently.
+    WalGap {
+        /// First LSN replay needs (checkpoint LSN + 1).
+        need_from: u64,
+        /// First LSN the surviving segments actually hold.
+        first_available: u64,
+    },
+    /// The rebuilt structure failed the full validation walk.
+    Invalid(String),
+    /// The bulk rebuild or a replayed operation failed structurally.
+    Rebuild(gfsl::Error),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery I/O failure: {e}"),
+            RecoverError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "WAL corruption in {} at byte {offset}: {detail} (not at the log \
+                 tail, refusing to truncate acknowledged records)",
+                file.display()
+            ),
+            RecoverError::BadSegmentHeader { file, detail } => write!(
+                f,
+                "damaged WAL segment header in {}: {detail}",
+                file.display()
+            ),
+            RecoverError::WalGap {
+                need_from,
+                first_available,
+            } => write!(
+                f,
+                "WAL gap: replay needs LSN {need_from} but the oldest surviving \
+                 record is LSN {first_available}; refusing to serve with missing \
+                 acknowledged writes"
+            ),
+            RecoverError::Invalid(detail) => {
+                write!(f, "recovered structure failed validation: {detail}")
+            }
+            RecoverError::Rebuild(e) => write!(f, "recovery rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> RecoverError {
+        RecoverError::Io(e)
+    }
+}
+
+/// Why a live durable operation failed.
+///
+/// `Io` after a successful structural apply means the write is applied in
+/// memory but **not logged**: the caller must treat it as unacknowledged
+/// (it will not survive a restart), exactly as if the process had died
+/// inside the commit window.
+#[derive(Debug)]
+pub enum OpError {
+    /// The WAL append or sync failed — the write is not durable.
+    Io(std::io::Error),
+    /// The structural operation itself failed (nothing was applied).
+    Structure(gfsl::Error),
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::Io(e) => write!(f, "WAL commit failed (write not durable): {e}"),
+            OpError::Structure(e) => write!(f, "structural operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<std::io::Error> for OpError {
+    fn from(e: std::io::Error) -> OpError {
+        OpError::Io(e)
+    }
+}
+
+impl From<gfsl::Error> for OpError {
+    fn from(e: gfsl::Error) -> OpError {
+        OpError::Structure(e)
+    }
+}

@@ -1,0 +1,746 @@
+//! The write-ahead log: append-only, segment-rotated, CRC-guarded.
+//!
+//! ## On-disk format
+//!
+//! A WAL directory holds segments `wal-<seq:016x>.log`. Each segment is a
+//! 32-byte header followed by fixed-size 24-byte records:
+//!
+//! ```text
+//! header:  magic "GFSLWAL1" | seg_seq u64 | base_lsn u64 | crc32c u32 | pad u32
+//! record:  crc32c u32 | lsn u64 | kind u8 | pad[3] | key u32 | val u32
+//! ```
+//!
+//! All integers little-endian. The record CRC covers bytes 4..24; the
+//! header CRC covers bytes 0..24. Record `i` of a segment must carry
+//! `lsn == base_lsn + i` — LSNs are allocated contiguously, so any hole or
+//! repeat is detectable, and a record that CRC-validates but sits at the
+//! wrong offset is still rejected.
+//!
+//! ## Group commit and the torn-tail window
+//!
+//! [`Wal::append`] writes a whole batch of records and syncs once, per the
+//! configured [`DurabilityContract`] — the ack point of everything above
+//! this layer. The batch's final record is deliberately written in two
+//! parts with [`CrashPoint::WalAppend`] between them: killing the process
+//! there leaves a genuinely torn record on disk, which is exactly what a
+//! real crash mid-`write(2)` leaves and exactly what replay must truncate.
+//! [`CrashPoint::WalFsync`] sits between the writes and the sync: a kill
+//! there loses the unsynced suffix under power loss, but nothing in it was
+//! acknowledged.
+//!
+//! ## Replay rules ([`scan_wal`])
+//!
+//! * An invalid record (bad CRC, wrong LSN, or a partial frame) at the
+//!   **tail of the final segment** — with no valid record after it — is a
+//!   torn write: everything from it on is truncated and replay succeeds.
+//!   (Nothing torn was ever acknowledged: the ack waits for the sync that
+//!   never completed.)
+//! * An invalid record anywhere **else** is real damage under acknowledged
+//!   records: replay refuses with [`RecoverError::Corrupt`].
+//! * A final segment shorter than its header is a crash between segment
+//!   creation and header write: the file is removed, never holding records.
+//! * Any other damaged header refuses with
+//!   [`RecoverError::BadSegmentHeader`]; segment base LSNs must chain
+//!   contiguously or replay refuses with [`RecoverError::WalGap`].
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use gfsl::CrashPoint;
+use gfsl_serve::DurabilityContract;
+
+use crate::crc::crc32c;
+use crate::error::RecoverError;
+use crate::hook::Failpoints;
+
+/// Bytes per WAL record.
+pub const RECORD_BYTES: usize = 24;
+/// Bytes per segment header.
+pub const SEG_HEADER_BYTES: usize = 32;
+/// Segment header magic.
+pub const WAL_MAGIC: [u8; 8] = *b"GFSLWAL1";
+
+const KIND_PUT: u8 = 1;
+const KIND_DEL: u8 = 2;
+
+/// One logical write the log can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// `key` now holds `val`.
+    Put {
+        /// The key written.
+        key: u32,
+        /// The value it now holds.
+        val: u32,
+    },
+    /// `key` was removed.
+    Del {
+        /// The key removed.
+        key: u32,
+    },
+}
+
+/// A decoded record: an op with its log sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Global, contiguous, 1-based sequence number.
+    pub lsn: u64,
+    /// The logged operation.
+    pub op: WalOp,
+}
+
+/// Encode one record frame.
+pub fn encode_record(lsn: u64, op: WalOp) -> [u8; RECORD_BYTES] {
+    let mut b = [0u8; RECORD_BYTES];
+    b[4..12].copy_from_slice(&lsn.to_le_bytes());
+    let (kind, key, val) = match op {
+        WalOp::Put { key, val } => (KIND_PUT, key, val),
+        WalOp::Del { key } => (KIND_DEL, key, 0),
+    };
+    b[12] = kind;
+    b[16..20].copy_from_slice(&key.to_le_bytes());
+    b[20..24].copy_from_slice(&val.to_le_bytes());
+    let crc = crc32c(&b[4..]);
+    b[0..4].copy_from_slice(&crc.to_le_bytes());
+    b
+}
+
+/// Decode one record frame; `None` on CRC mismatch, unknown kind, or
+/// nonzero padding.
+pub fn decode_record(b: &[u8]) -> Option<WalRecord> {
+    if b.len() < RECORD_BYTES {
+        return None;
+    }
+    let crc = u32::from_le_bytes(b[0..4].try_into().unwrap());
+    if crc32c(&b[4..RECORD_BYTES]) != crc {
+        return None;
+    }
+    let lsn = u64::from_le_bytes(b[4..12].try_into().unwrap());
+    let key = u32::from_le_bytes(b[16..20].try_into().unwrap());
+    let val = u32::from_le_bytes(b[20..24].try_into().unwrap());
+    if b[13..16] != [0, 0, 0] {
+        return None;
+    }
+    let op = match b[12] {
+        KIND_PUT => WalOp::Put { key, val },
+        KIND_DEL => WalOp::Del { key },
+        _ => return None,
+    };
+    Some(WalRecord { lsn, op })
+}
+
+fn encode_header(seg_seq: u64, base_lsn: u64) -> [u8; SEG_HEADER_BYTES] {
+    let mut b = [0u8; SEG_HEADER_BYTES];
+    b[0..8].copy_from_slice(&WAL_MAGIC);
+    b[8..16].copy_from_slice(&seg_seq.to_le_bytes());
+    b[16..24].copy_from_slice(&base_lsn.to_le_bytes());
+    let crc = crc32c(&b[0..24]);
+    b[24..28].copy_from_slice(&crc.to_le_bytes());
+    b
+}
+
+/// `(seg_seq, base_lsn)` from a header, or a description of the damage.
+fn decode_header(b: &[u8]) -> Result<(u64, u64), String> {
+    if b.len() < SEG_HEADER_BYTES {
+        return Err(format!("{} bytes, need {SEG_HEADER_BYTES}", b.len()));
+    }
+    if b[0..8] != WAL_MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let crc = u32::from_le_bytes(b[24..28].try_into().unwrap());
+    if crc32c(&b[0..24]) != crc {
+        return Err("header CRC mismatch".to_string());
+    }
+    Ok((
+        u64::from_le_bytes(b[8..16].try_into().unwrap()),
+        u64::from_le_bytes(b[16..24].try_into().unwrap()),
+    ))
+}
+
+/// Segment path for `seq` under `dir`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:016x}.log"))
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Ascending `(seq, path)` of every segment file in `dir`.
+pub fn list_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_segment_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(seq, _)| seq);
+    Ok(out)
+}
+
+/// Counters over a [`Wal`]'s lifetime (this process only).
+#[derive(Debug, Default, Clone, Copy, serde::Serialize)]
+pub struct WalStats {
+    /// `append` calls (= group commits).
+    pub group_commits: u64,
+    /// Records written.
+    pub records: u64,
+    /// Sync calls issued (no-ops under `Buffered` still count).
+    pub syncs: u64,
+    /// Segment rotations.
+    pub rotations: u64,
+    /// Segments deleted by pruning.
+    pub pruned_segments: u64,
+}
+
+/// The append side of the log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    contract: DurabilityContract,
+    seg_records: u32,
+    file: File,
+    seg_seq: u64,
+    records_in_seg: u32,
+    next_lsn: u64,
+    /// Lifetime counters.
+    pub stats: WalStats,
+}
+
+impl Wal {
+    /// Create a fresh log in `dir` (made if missing): segment 0, LSNs from 1.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        contract: DurabilityContract,
+        seg_records: u32,
+    ) -> std::io::Result<Wal> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let file = new_segment(&dir, 0, 1, contract)?;
+        Ok(Wal {
+            dir,
+            contract,
+            seg_records: seg_records.max(1),
+            file,
+            seg_seq: 0,
+            records_in_seg: 0,
+            next_lsn: 1,
+            stats: WalStats::default(),
+        })
+    }
+
+    /// Reopen a scanned log for appending. `floor_lsn` is the highest LSN
+    /// known durable elsewhere (checkpoint LSN); appending resumes after
+    /// `max(scan.last_lsn, floor_lsn)`.
+    pub fn resume(
+        dir: impl Into<PathBuf>,
+        contract: DurabilityContract,
+        seg_records: u32,
+        scan: &WalScanned,
+        floor_lsn: u64,
+    ) -> std::io::Result<Wal> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let next_lsn = scan.last_lsn.max(floor_lsn) + 1;
+        let mut stats = WalStats::default();
+        let (file, seg_seq, records_in_seg) = match scan.tail {
+            // A surviving tail segment that still agrees with the resume
+            // LSN: append into it.
+            Some(tail) if tail.base_lsn + u64::from(tail.records) == next_lsn => {
+                let file = OpenOptions::new()
+                    .append(true)
+                    .open(segment_path(&dir, tail.seq))?;
+                (file, tail.seq, tail.records)
+            }
+            // No usable tail (empty dir, torn-away segment, or a checkpoint
+            // ahead of the surviving log): start a fresh segment.
+            other => {
+                let seq = other.map_or(0, |t| t.seq + 1);
+                stats.rotations += u64::from(other.is_some());
+                (new_segment(&dir, seq, next_lsn, contract)?, seq, 0)
+            }
+        };
+        Ok(Wal {
+            dir,
+            contract,
+            seg_records: seg_records.max(1),
+            file,
+            seg_seq,
+            records_in_seg,
+            next_lsn,
+            stats,
+        })
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sync policy every append honors.
+    pub fn contract(&self) -> DurabilityContract {
+        self.contract
+    }
+
+    /// Last LSN assigned (0 before the first append).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Append `ops` as one group commit: assign contiguous LSNs, write
+    /// (rotating segments as needed), sync once per the contract, return
+    /// `(first, last)` LSN. The batch is durable to the contract's level
+    /// when this returns — the caller may acknowledge.
+    pub fn append(
+        &mut self,
+        ops: &[WalOp],
+        hook: &mut Failpoints,
+    ) -> std::io::Result<(u64, u64)> {
+        assert!(!ops.is_empty(), "empty group commit");
+        let first = self.next_lsn;
+        let mut remaining = ops;
+        while !remaining.is_empty() {
+            let room = (self.seg_records - self.records_in_seg) as usize;
+            if room == 0 {
+                self.rotate()?;
+                continue;
+            }
+            let take = remaining.len().min(room);
+            let mut buf = Vec::with_capacity(take * RECORD_BYTES);
+            for &op in &remaining[..take] {
+                buf.extend_from_slice(&encode_record(self.next_lsn, op));
+                self.next_lsn += 1;
+            }
+            // The torn-tail window: the batch's final record goes out in
+            // two halves with the crash point between them. A kill here
+            // leaves a genuine partial record for replay to truncate.
+            let split = buf.len() - RECORD_BYTES / 2;
+            self.file.write_all(&buf[..split])?;
+            hook.hit(CrashPoint::WalAppend);
+            self.file.write_all(&buf[split..])?;
+            self.records_in_seg += take as u32;
+            self.stats.records += take as u64;
+            remaining = &remaining[take..];
+        }
+        // Records written, sync pending: a kill here loses only unacked
+        // bytes (under power loss; process death keeps the page cache).
+        hook.hit(CrashPoint::WalFsync);
+        self.contract.sync(&self.file)?;
+        self.stats.syncs += 1;
+        self.stats.group_commits += 1;
+        Ok((first, self.next_lsn - 1))
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        // Seal the full segment before opening its successor.
+        self.contract.sync(&self.file)?;
+        self.seg_seq += 1;
+        self.records_in_seg = 0;
+        self.file = new_segment(&self.dir, self.seg_seq, self.next_lsn, self.contract)?;
+        self.stats.rotations += 1;
+        Ok(())
+    }
+
+    /// Delete sealed segments whose every record has LSN ≤ `upto` (they are
+    /// covered by a published checkpoint). The active segment is never
+    /// touched. Returns segments deleted.
+    pub fn prune_upto(&mut self, upto: u64, hook: &mut Failpoints) -> std::io::Result<u64> {
+        let mut pruned = 0;
+        for (seq, path) in list_segments(&self.dir)? {
+            if seq == self.seg_seq {
+                continue;
+            }
+            let Ok((base, records)) = segment_extent(&path) else {
+                continue; // damaged segments are replay's problem, not prune's
+            };
+            if records == 0 || base + u64::from(records) - 1 > upto {
+                continue;
+            }
+            hook.hit(CrashPoint::WalPrune);
+            fs::remove_file(&path)?;
+            pruned += 1;
+            self.stats.pruned_segments += 1;
+        }
+        Ok(pruned)
+    }
+}
+
+fn new_segment(
+    dir: &Path,
+    seq: u64,
+    base_lsn: u64,
+    contract: DurabilityContract,
+) -> std::io::Result<File> {
+    let path = segment_path(dir, seq);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(path)?;
+    file.write_all(&encode_header(seq, base_lsn))?;
+    contract.sync(&file)?;
+    Ok(file)
+}
+
+/// `(base_lsn, complete_records)` of a segment, from header + file size.
+fn segment_extent(path: &Path) -> Result<(u64, u32), String> {
+    let mut header = [0u8; SEG_HEADER_BYTES];
+    let mut f = File::open(path).map_err(|e| e.to_string())?;
+    f.read_exact(&mut header).map_err(|e| e.to_string())?;
+    let (_, base) = decode_header(&header)?;
+    let len = f.metadata().map_err(|e| e.to_string())?.len();
+    let records = (len.saturating_sub(SEG_HEADER_BYTES as u64)) / RECORD_BYTES as u64;
+    Ok((base, records as u32))
+}
+
+/// The surviving tail segment after a scan (where appends resume).
+#[derive(Debug, Clone, Copy)]
+pub struct TailSegment {
+    /// Its sequence number.
+    pub seq: u64,
+    /// Its base LSN.
+    pub base_lsn: u64,
+    /// Complete records it holds after any truncation.
+    pub records: u32,
+}
+
+/// Everything a scan recovers from a WAL directory.
+#[derive(Debug)]
+pub struct WalScanned {
+    /// Every valid record, ascending by LSN.
+    pub records: Vec<WalRecord>,
+    /// Base LSN of the oldest surviving segment (0 when none).
+    pub first_lsn: u64,
+    /// Highest valid LSN found (0 when none).
+    pub last_lsn: u64,
+    /// Segments examined (after torn-segment removal).
+    pub segments: u64,
+    /// Bytes truncated from a torn tail (0 when clean).
+    pub truncated_bytes: u64,
+    /// Headerless final segments removed (crash between create and header).
+    pub removed_torn_segments: u64,
+    /// The tail segment appends should resume into.
+    pub tail: Option<TailSegment>,
+}
+
+/// Scan (and, for torn tails, repair) the WAL under `dir`. See module docs
+/// for the exact accept/truncate/refuse rules.
+pub fn scan_wal(dir: &Path) -> Result<WalScanned, RecoverError> {
+    let mut segs = list_segments(dir)?;
+
+    // A final segment too short to hold its header is a crash between
+    // segment creation and the header write: it never held a record.
+    let mut removed_torn_segments = 0;
+    while let Some((_, path)) = segs.last() {
+        if fs::metadata(path)?.len() >= SEG_HEADER_BYTES as u64 {
+            break;
+        }
+        fs::remove_file(path)?;
+        removed_torn_segments += 1;
+        segs.pop();
+    }
+
+    let mut out = WalScanned {
+        records: Vec::new(),
+        first_lsn: 0,
+        last_lsn: 0,
+        segments: segs.len() as u64,
+        truncated_bytes: 0,
+        removed_torn_segments,
+        tail: None,
+    };
+
+    let last_idx = segs.len().wrapping_sub(1);
+    let mut expected_base: Option<u64> = None;
+    for (i, (seq, path)) in segs.iter().enumerate() {
+        let is_last = i == last_idx;
+        let bytes = fs::read(path)?;
+        let (hdr_seq, base) = decode_header(&bytes).map_err(|detail| {
+            RecoverError::BadSegmentHeader {
+                file: path.clone(),
+                detail,
+            }
+        })?;
+        if hdr_seq != *seq {
+            return Err(RecoverError::BadSegmentHeader {
+                file: path.clone(),
+                detail: format!("header says segment {hdr_seq}, filename says {seq}"),
+            });
+        }
+        if let Some(need) = expected_base {
+            if base != need {
+                return Err(RecoverError::WalGap {
+                    need_from: need,
+                    first_available: base,
+                });
+            }
+        }
+        if out.first_lsn == 0 {
+            out.first_lsn = base;
+        }
+
+        let body = &bytes[SEG_HEADER_BYTES..];
+        let mut valid_records = 0u32;
+        let mut torn_at: Option<usize> = None;
+        let mut offset = 0usize;
+        while offset < body.len() {
+            let frame = &body[offset..body.len().min(offset + RECORD_BYTES)];
+            let expected_lsn = base + (offset / RECORD_BYTES) as u64;
+            match decode_record(frame) {
+                Some(r) if r.lsn == expected_lsn => {
+                    if let Some(bad_off) = torn_at {
+                        // A valid record BEYOND the bad frame: this is
+                        // mid-segment damage, not a torn write.
+                        return Err(RecoverError::Corrupt {
+                            file: path.clone(),
+                            offset: (SEG_HEADER_BYTES + bad_off) as u64,
+                            detail: "invalid record followed by valid records".into(),
+                        });
+                    }
+                    out.records.push(r);
+                    out.last_lsn = r.lsn;
+                    valid_records += 1;
+                }
+                bad => {
+                    let detail = match bad {
+                        Some(r) => format!(
+                            "record carries LSN {} where {expected_lsn} belongs",
+                            r.lsn
+                        ),
+                        None if frame.len() < RECORD_BYTES => {
+                            format!("partial {}-byte frame", frame.len())
+                        }
+                        None => "record CRC mismatch".into(),
+                    };
+                    if !is_last {
+                        return Err(RecoverError::Corrupt {
+                            file: path.clone(),
+                            offset: (SEG_HEADER_BYTES + offset) as u64,
+                            detail,
+                        });
+                    }
+                    if torn_at.is_none() {
+                        torn_at = Some(offset);
+                    }
+                }
+            }
+            offset += RECORD_BYTES;
+        }
+        if let Some(cut) = torn_at {
+            // Torn tail: truncate the file back to its last valid record.
+            let keep = (SEG_HEADER_BYTES + cut) as u64;
+            out.truncated_bytes += bytes.len() as u64 - keep;
+            OpenOptions::new()
+                .write(true)
+                .open(path)?
+                .set_len(keep)?;
+        }
+        expected_base = Some(base + (body.len() / RECORD_BYTES) as u64);
+        if is_last {
+            out.tail = Some(TailSegment {
+                seq: *seq,
+                base_lsn: base,
+                records: valid_records,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gfsl_wal_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ops(n: u32) -> Vec<WalOp> {
+        (0..n)
+            .map(|i| {
+                if i % 3 == 2 {
+                    WalOp::Del { key: i }
+                } else {
+                    WalOp::Put { key: i, val: i * 10 }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn record_roundtrip_and_crc_rejection() {
+        let r = encode_record(42, WalOp::Put { key: 7, val: 9 });
+        assert_eq!(
+            decode_record(&r),
+            Some(WalRecord {
+                lsn: 42,
+                op: WalOp::Put { key: 7, val: 9 }
+            })
+        );
+        let mut bad = r;
+        bad[17] ^= 0x40;
+        assert_eq!(decode_record(&bad), None, "flipped body byte must fail CRC");
+        let d = encode_record(1, WalOp::Del { key: 3 });
+        assert_eq!(
+            decode_record(&d).unwrap().op,
+            WalOp::Del { key: 3 }
+        );
+    }
+
+    #[test]
+    fn append_scan_roundtrip_across_rotations() {
+        let dir = tmp("roundtrip");
+        let mut hook = Failpoints::Off;
+        let mut wal = Wal::create(&dir, DurabilityContract::Synced, 4).unwrap();
+        let batch = ops(11); // 11 records over 4-record segments: 2 rotations
+        let (first, last) = wal.append(&batch, &mut hook).unwrap();
+        assert_eq!((first, last), (1, 11));
+        assert_eq!(wal.stats.rotations, 2);
+        drop(wal);
+
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 11);
+        assert_eq!(scan.first_lsn, 1);
+        assert_eq!(scan.last_lsn, 11);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert!(scan
+            .records
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.lsn == i as u64 + 1));
+        assert_eq!(
+            scan.records[0].op,
+            WalOp::Put { key: 0, val: 0 }
+        );
+
+        // Resume and keep appending: LSNs continue, tail segment reused.
+        let mut wal = Wal::resume(&dir, DurabilityContract::Synced, 4, &scan, 0).unwrap();
+        let (first, last) = wal.append(&ops(2), &mut hook).unwrap();
+        assert_eq!((first, last), (12, 13));
+        drop(wal);
+        assert_eq!(scan_wal(&dir).unwrap().records.len(), 13);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_truncates_and_resumes() {
+        let dir = tmp("torn");
+        let mut hook = Failpoints::Off;
+        let mut wal = Wal::create(&dir, DurabilityContract::DataSynced, 64).unwrap();
+        wal.append(&ops(5), &mut hook).unwrap();
+        let seg = segment_path(&dir, 0);
+        drop(wal);
+        // A torn write: 10 bytes of a sixth record.
+        let garbage = encode_record(6, WalOp::Put { key: 9, val: 9 });
+        OpenOptions::new()
+            .append(true)
+            .open(&seg)
+            .unwrap()
+            .write_all(&garbage[..10])
+            .unwrap();
+
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 5, "valid prefix survives");
+        assert_eq!(scan.truncated_bytes, 10);
+        assert_eq!(
+            fs::metadata(&seg).unwrap().len(),
+            (SEG_HEADER_BYTES + 5 * RECORD_BYTES) as u64,
+            "file physically truncated"
+        );
+        // And the repaired log appends cleanly.
+        let mut wal =
+            Wal::resume(&dir, DurabilityContract::DataSynced, 64, &scan, 0).unwrap();
+        assert_eq!(wal.append(&ops(1), &mut hook).unwrap(), (6, 6));
+        drop(wal);
+        assert_eq!(scan_wal(&dir).unwrap().records.len(), 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_refused() {
+        let dir = tmp("midlog");
+        let mut hook = Failpoints::Off;
+        let mut wal = Wal::create(&dir, DurabilityContract::Buffered, 64).unwrap();
+        wal.append(&ops(4), &mut hook).unwrap();
+        drop(wal);
+        // Flip one byte in record 1 (not the tail: records 2..4 follow).
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[SEG_HEADER_BYTES + RECORD_BYTES + 18] ^= 1;
+        fs::write(&seg, &bytes).unwrap();
+        match scan_wal(&dir) {
+            Err(RecoverError::Corrupt { offset, .. }) => {
+                assert_eq!(offset, (SEG_HEADER_BYTES + RECORD_BYTES) as u64);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_segment_is_a_gap() {
+        let dir = tmp("gap");
+        let mut hook = Failpoints::Off;
+        let mut wal = Wal::create(&dir, DurabilityContract::Buffered, 2).unwrap();
+        wal.append(&ops(6), &mut hook).unwrap(); // segments 0,1,2
+        drop(wal);
+        fs::remove_file(segment_path(&dir, 1)).unwrap();
+        match scan_wal(&dir) {
+            Err(RecoverError::WalGap {
+                need_from,
+                first_available,
+            }) => {
+                assert_eq!(need_from, 3);
+                assert_eq!(first_available, 5);
+            }
+            other => panic!("expected WalGap, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_keeps_the_active_segment_and_uncovered_records() {
+        let dir = tmp("prune");
+        let mut hook = Failpoints::Off;
+        let mut wal = Wal::create(&dir, DurabilityContract::Synced, 2).unwrap();
+        wal.append(&ops(7), &mut hook).unwrap(); // segs 0..3, seg 3 active
+        let pruned = wal.prune_upto(4, &mut hook).unwrap();
+        assert_eq!(pruned, 2, "segments [1,2] and [3,4] are covered");
+        let left: Vec<u64> = list_segments(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(left, vec![2, 3]);
+        // Scan after prune: records 5..=7 survive, base continuity holds.
+        drop(wal);
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.first_lsn, 5);
+        assert_eq!(scan.last_lsn, 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn headerless_final_segment_is_removed() {
+        let dir = tmp("headerless");
+        let mut hook = Failpoints::Off;
+        let mut wal = Wal::create(&dir, DurabilityContract::Synced, 8).unwrap();
+        wal.append(&ops(3), &mut hook).unwrap();
+        drop(wal);
+        // Crash between segment creation and header write: 5 stray bytes.
+        fs::write(segment_path(&dir, 1), [0u8; 5]).unwrap();
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.removed_torn_segments, 1);
+        assert_eq!(scan.records.len(), 3);
+        assert!(!segment_path(&dir, 1).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

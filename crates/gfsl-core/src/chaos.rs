@@ -31,9 +31,11 @@ use gfsl_gpu_mem::{CrashPoint, MemProbe, WordAddr};
 use gfsl_rng::{fnv, SplitMix64};
 
 /// Number of [`CrashPoint`] variants (for the hit-count table).
-const CRASH_POINTS: usize = 6;
+const CRASH_POINTS: usize = 11;
 
-/// All crash points, in discriminant order.
+/// All crash points, in discriminant order: the six lock-protocol windows
+/// (PR 1) followed by the five durability-path windows (`gfsl-durable`'s
+/// WAL append/fsync and checkpoint write/rename/prune).
 pub const ALL_CRASH_POINTS: [CrashPoint; CRASH_POINTS] = [
     CrashPoint::LockCas,
     CrashPoint::LockRelease,
@@ -41,6 +43,35 @@ pub const ALL_CRASH_POINTS: [CrashPoint; CRASH_POINTS] = [
     CrashPoint::MergeZombieMark,
     CrashPoint::NextSwing,
     CrashPoint::DownPtrInstall,
+    CrashPoint::WalAppend,
+    CrashPoint::WalFsync,
+    CrashPoint::CkptWrite,
+    CrashPoint::CkptRename,
+    CrashPoint::WalPrune,
+];
+
+/// The lock-protocol subset of [`ALL_CRASH_POINTS`] — the windows the
+/// in-process recovery soak and migration chaos campaigns can reach by
+/// driving structure operations (the durability windows only fire inside
+/// `gfsl-durable`'s WAL/checkpoint code).
+pub const LOCK_CRASH_POINTS: [CrashPoint; 6] = [
+    CrashPoint::LockCas,
+    CrashPoint::LockRelease,
+    CrashPoint::SplitPublish,
+    CrashPoint::MergeZombieMark,
+    CrashPoint::NextSwing,
+    CrashPoint::DownPtrInstall,
+];
+
+/// The durability-path subset of [`ALL_CRASH_POINTS`] — what the
+/// kill-restart soak iterates (the lock-protocol points are covered by the
+/// in-process recovery soak instead).
+pub const DURABILITY_CRASH_POINTS: [CrashPoint; 5] = [
+    CrashPoint::WalAppend,
+    CrashPoint::WalFsync,
+    CrashPoint::CkptWrite,
+    CrashPoint::CkptRename,
+    CrashPoint::WalPrune,
 ];
 
 /// Stable index of a crash point in [`ALL_CRASH_POINTS`].
@@ -52,6 +83,11 @@ pub fn crash_point_index(p: CrashPoint) -> usize {
         CrashPoint::MergeZombieMark => 3,
         CrashPoint::NextSwing => 4,
         CrashPoint::DownPtrInstall => 5,
+        CrashPoint::WalAppend => 6,
+        CrashPoint::WalFsync => 7,
+        CrashPoint::CkptWrite => 8,
+        CrashPoint::CkptRename => 9,
+        CrashPoint::WalPrune => 10,
     }
 }
 

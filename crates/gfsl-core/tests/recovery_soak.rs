@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::sync::Once;
 
-use gfsl::chaos::{ChaosController, ChaosOptions, ALL_CRASH_POINTS};
+use gfsl::chaos::{ChaosController, ChaosOptions, LOCK_CRASH_POINTS};
 use gfsl::history::{check_linearizable, HistoryClock, OpAction, Recorder};
 use gfsl::{AbortReason, CrashPoint, Error, Gfsl, GfslParams, TeamSize};
 use gfsl_rng::SplitMix64;
@@ -224,7 +224,7 @@ fn soak_cell(point: CrashPoint, seed: u64) -> CellStats {
 fn recovery_soak_every_crash_point() {
     let seeds = soak_seeds();
     let mut report = String::from("point,seed,crashed_ops,aborts,quarantined,fwd,back,clean,downptr\n");
-    for &point in ALL_CRASH_POINTS.iter() {
+    for &point in LOCK_CRASH_POINTS.iter() {
         let mut crashes_for_point = 0u64;
         for seed in 0..seeds {
             let s = soak_cell(point, seed);

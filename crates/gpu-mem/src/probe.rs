@@ -35,6 +35,18 @@ pub enum CrashPoint {
     NextSwing,
     /// About to install a down-pointer into an upper-level chunk.
     DownPtrInstall,
+    /// A write-ahead-log append is in flight: part of the record batch may
+    /// already be on disk (killing here leaves a torn tail).
+    WalAppend,
+    /// WAL records are fully written and the group-commit fsync is about to
+    /// run (killing here loses the unsynced suffix but nothing was acked).
+    WalFsync,
+    /// A checkpoint page is about to be written to the temp file.
+    CkptWrite,
+    /// A finished checkpoint is about to be published by atomic rename.
+    CkptRename,
+    /// A WAL segment older than the checkpoint LSN is about to be deleted.
+    WalPrune,
 }
 
 /// Observer of simulated-device memory accesses.

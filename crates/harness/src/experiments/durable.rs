@@ -1,0 +1,204 @@
+//! Durability tier: group-commit cost per fsync policy, and crash-restart
+//! recovery. Not a paper artifact — this measures the `gfsl-durable`
+//! subsystem layered on top of the paper's structure.
+//!
+//! **Group-commit table.** One serve pipeline per [`DurabilityContract`],
+//! write-heavy mix, acks gated on the WAL sink: every epoch's effective
+//! writes are appended and synced before any of its requests complete, so
+//! the end-to-end latency histogram *is* the ack latency, durability
+//! included. The interesting columns are the throughput ratio vs the
+//! `buffered` floor (what the sync in the contract costs) and records per
+//! group commit (how much of that cost the epoch batcher amortizes).
+//!
+//! **Recovery table.** Each engine is dropped as-is after its run — a
+//! checkpoint of the prefill plus a WAL tail of everything served — then
+//! reopened cold, timing the full pipeline: checkpoint page verification,
+//! rebuild via sorted bulk load, LSN-gated tail replay, validation walk.
+
+use std::time::Instant;
+
+use gfsl::{GfslParams, TeamSize};
+use gfsl_durable::{destroy, DurabilityContract, DurableConfig, DurableGfsl};
+use gfsl_serve::{serve_durable, ClosedSource, ExecMode, Fifo, ServeConfig};
+use gfsl_workload::{ClosedLoop, ServeMix};
+
+use super::ExpConfig;
+use crate::report::{mops, ratio, Table};
+
+/// Write-heavy service mix: durability cost scales with effective writes,
+/// so a lookup-dominated mix would mostly measure the structure again.
+const MIX: ServeMix = ServeMix::new(30, 30, 40, 0, 0);
+
+struct Cell {
+    contract: DurabilityContract,
+    report: gfsl_serve::ServiceReport,
+    stats: gfsl_durable::WalStats,
+    ckpt_pairs: u64,
+    replayed: u64,
+    recovered_keys: u64,
+    recovery_s: f64,
+}
+
+fn measure(cfg: &ExpConfig, contract: DurabilityContract, range: u32, n_ops: usize) -> Cell {
+    let dir = std::env::temp_dir().join(format!(
+        "gfsl_bench_durable_{}_{}",
+        contract.name(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dcfg = DurableConfig {
+        contract,
+        // Large segments keep rotation off the measured path; the serve
+        // soak covers small-segment churn.
+        seg_records: 1 << 16,
+        params: GfslParams {
+            team_size: TeamSize::ThirtyTwo,
+            pool_chunks: GfslParams::chunks_for(u64::from(range) + n_ops as u64, TeamSize::ThirtyTwo),
+            seed: cfg.seed,
+            ..Default::default()
+        },
+        ..DurableConfig::new(&dir)
+    };
+    let mut eng = DurableGfsl::create(&dcfg).expect("create durable engine");
+    // Prefill straight into the structure (unlogged — these writes predate
+    // the measurement), then checkpoint so recovery sees the realistic
+    // shape: a checkpoint base plus a WAL tail of exactly the served ops.
+    {
+        let mut h = eng.list().handle();
+        for k in (1..range).filter(|k| k % 2 == 0) {
+            h.try_insert(k, k).expect("prefill");
+        }
+    }
+    let ckpt_pairs = eng.checkpoint().expect("prefill checkpoint").n_pairs;
+
+    let max_batch = 512;
+    let scfg = ServeConfig {
+        workers: cfg
+            .workers
+            .min(std::thread::available_parallelism().map_or(1, |p| p.get())),
+        epoch_ns: 200_000,
+        batch_ops: cfg.workers * max_batch,
+        max_batch,
+        intake_cap: (cfg.workers * max_batch * 4).max(8192),
+        seed: cfg.seed,
+        exec: ExecMode::Measured,
+    };
+    let clients = (4 * cfg.workers as u32 * 512).min((n_ops / 4).max(1) as u32);
+    let pop = ClosedLoop::new(
+        clients,
+        (n_ops as u64).div_ceil(u64::from(clients)),
+        0,
+        MIX,
+        range,
+        cfg.seed,
+    );
+    let mut src = ClosedSource::new(pop, 1_000);
+    let (list, mut sink) = eng.serve_parts();
+    let report = serve_durable(list, &scfg, &mut Fifo::default(), &mut src, &mut sink);
+    let stats = eng.wal_stats();
+
+    // Crash-restart: drop the engine where it stands and reopen cold.
+    drop(eng);
+    let t0 = Instant::now();
+    let (eng, rec) = DurableGfsl::open(&dcfg).expect("recovery");
+    let recovery_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        rec.replayed + rec.redundant_replays,
+        stats.records,
+        "recovery must replay the whole served WAL tail"
+    );
+    drop(eng);
+    destroy(&dir).expect("cleanup");
+    Cell {
+        contract,
+        report,
+        stats,
+        ckpt_pairs,
+        replayed: rec.replayed,
+        recovered_keys: rec.recovered_keys,
+        recovery_s,
+    }
+}
+
+/// Run the durable experiment: the group-commit policy table and the
+/// crash-restart recovery table.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let range = cfg.anchor_range();
+    let n_ops = cfg
+        .ops_override
+        .unwrap_or(if cfg.quick { 120_000 } else { 600_000 });
+
+    // Weakest contract first: it is the denominator of every ratio.
+    let cells: Vec<Cell> = DurabilityContract::ALL
+        .iter()
+        .rev()
+        .map(|&c| measure(cfg, c, range, n_ops))
+        .collect();
+    let floor = cells[0].report.metrics.mops().max(f64::MIN_POSITIVE);
+
+    let mut t = Table::new(
+        "Durable serve: group commit vs fsync policy ([30,30,40], anchor range)",
+        &[
+            "contract", "MOPS", "vs none", "ack p50 us", "ack p99 us", "commits",
+            "records", "recs/commit", "syncs",
+        ],
+    );
+    for c in &cells {
+        let m = &c.report.metrics;
+        t.row(vec![
+            c.contract.name().into(),
+            mops(m.mops()),
+            ratio(m.mops() / floor),
+            format!("{:.1}", m.latency.p50_ns() as f64 / 1.0e3),
+            format!("{:.1}", m.latency.p99_ns() as f64 / 1.0e3),
+            c.stats.group_commits.to_string(),
+            c.stats.records.to_string(),
+            format!(
+                "{:.1}",
+                c.stats.records as f64 / c.stats.group_commits.max(1) as f64
+            ),
+            c.stats.syncs.to_string(),
+        ]);
+    }
+    t.attach("wal_stats", &cells.iter().map(|c| c.stats).collect::<Vec<_>>());
+
+    let mut r = Table::new(
+        "Durable recovery: checkpoint base + WAL-tail replay, cold reopen",
+        &["contract", "ckpt pairs", "tail replayed", "keys", "recovery ms", "replay Mrec/s"],
+    );
+    for c in &cells {
+        r.row(vec![
+            c.contract.name().into(),
+            c.ckpt_pairs.to_string(),
+            c.replayed.to_string(),
+            c.recovered_keys.to_string(),
+            format!("{:.1}", c.recovery_s * 1.0e3),
+            format!("{:.2}", c.replayed as f64 / c.recovery_s.max(1e-9) / 1.0e6),
+        ]);
+    }
+    vec![t, r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durable_experiment_runs_tiny() {
+        let cfg = ExpConfig::tiny(2);
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 2);
+        let commit = &tables[0];
+        assert_eq!(commit.rows.len(), 3, "one row per durability contract");
+        assert_eq!(commit.rows[0][0], "none", "ratio floor (no sync) leads");
+        assert!(
+            commit.attachments.iter().any(|(k, _)| k == "wal_stats"),
+            "raw WAL counters ride along"
+        );
+        let rec = &tables[1];
+        assert_eq!(rec.rows.len(), 3);
+        for row in &rec.rows {
+            assert!(row[2].parse::<u64>().unwrap() > 0, "served writes replay on reopen");
+        }
+    }
+}

@@ -4,6 +4,7 @@ pub mod ablate;
 pub mod cluster;
 pub mod cyclesim;
 pub mod diag;
+pub mod durable;
 pub mod figures;
 pub mod hotpath;
 pub mod pkey;
@@ -110,7 +111,7 @@ impl ExpConfig {
 /// Names of all experiments, in run order.
 pub const ALL: &[&str] = &[
     "table5_1", "table5_2", "fig5_1", "fig5_2", "fig5_3", "fig5_4", "pkey", "ablate", "cyclesim",
-    "diag", "serve", "hotpath", "cluster",
+    "diag", "serve", "hotpath", "cluster", "durable",
 ];
 
 /// Run one experiment by id, returning its rendered tables.
@@ -129,6 +130,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "serve" => serve::run(cfg),
         "hotpath" => hotpath::run(cfg),
         "cluster" => cluster::run(cfg),
+        "durable" => durable::run(cfg),
         other => panic!("unknown experiment '{other}'; known: {ALL:?}"),
     }
 }
@@ -188,12 +190,13 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL.len(), 13);
+        assert_eq!(ALL.len(), 14);
         assert!(ALL.contains(&"table5_1"));
         assert!(ALL.contains(&"fig5_4"));
         assert!(ALL.contains(&"diag"));
         assert!(ALL.contains(&"serve"));
         assert!(ALL.contains(&"hotpath"));
         assert!(ALL.contains(&"cluster"));
+        assert!(ALL.contains(&"durable"));
     }
 }

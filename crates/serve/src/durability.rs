@@ -1,0 +1,147 @@
+//! The durability contract between the serving loop and a persistence tier.
+//!
+//! The epoch batcher acknowledges a request by routing its response back to
+//! the client. With a [`CommitSink`] installed (see
+//! [`crate::service::serve_durable`]), that acknowledgement is *gated*: the
+//! driver hands every write effect of a collected epoch to the sink, and
+//! only when [`CommitSink::commit`] returns — i.e. the records are on
+//! storage as durable as the configured [`DurabilityContract`] promises —
+//! do the responses route. This is group commit: one sink call (one fsync)
+//! amortizes over the whole epoch's writes.
+//!
+//! The serve crate owns only the *contract*; the write-ahead log, the
+//! checkpointer, and recovery live in `gfsl-durable`, which implements
+//! [`CommitSink`] for its engines.
+
+/// How durable an acknowledged write is — the policy behind the group
+/// commit's sync step, surfaced as an explicit contract so a deployment
+/// states what an ack means instead of inheriting a file-API default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityContract {
+    /// `fsync` (`File::sync_all`): an acked write survives process death
+    /// *and* power loss — data and file metadata are on stable storage.
+    #[default]
+    Synced,
+    /// `fdatasync` (`File::sync_data`): an acked write survives process
+    /// death and power loss, but file metadata (e.g. mtime) may lag. On
+    /// segment-preallocating logs this is the classic latency saver.
+    DataSynced,
+    /// No sync: records are written to the OS page cache only. An acked
+    /// write survives process death (the kernel still holds the pages) but
+    /// NOT power loss or kernel panic. The throughput ceiling, for
+    /// workloads that accept it.
+    Buffered,
+}
+
+impl DurabilityContract {
+    /// Run the contract's sync step on `file`.
+    pub fn sync(self, file: &std::fs::File) -> std::io::Result<()> {
+        match self {
+            DurabilityContract::Synced => file.sync_all(),
+            DurabilityContract::DataSynced => file.sync_data(),
+            DurabilityContract::Buffered => Ok(()),
+        }
+    }
+
+    /// Stable lowercase name (table rows, CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            DurabilityContract::Synced => "fsync",
+            DurabilityContract::DataSynced => "fdatasync",
+            DurabilityContract::Buffered => "none",
+        }
+    }
+
+    /// All contracts, strongest first (experiment sweeps).
+    pub const ALL: [DurabilityContract; 3] = [
+        DurabilityContract::Synced,
+        DurabilityContract::DataSynced,
+        DurabilityContract::Buffered,
+    ];
+}
+
+impl std::fmt::Display for DurabilityContract {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One state-changing effect an epoch acknowledged: what must be durable
+/// before the corresponding response may route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteEffect {
+    /// The key written.
+    pub key: u32,
+    /// `Some(v)`: the key now holds `v` (effective insert); `None`: the key
+    /// was removed (effective delete).
+    pub value: Option<u32>,
+}
+
+/// A persistence tier the epoch batcher drains into.
+///
+/// `commit` must not return until the effects are as durable as the sink's
+/// contract promises; the driver acknowledges the epoch's requests only
+/// after it does. An `Err` means the sink can no longer uphold the
+/// contract — the driver treats that as fatal (it must never acknowledge a
+/// write it cannot make durable).
+pub trait CommitSink {
+    /// Make `effects` durable, in order, as one group commit. Returns the
+    /// last log sequence number assigned (0 when `effects` is empty).
+    fn commit(&mut self, effects: &[WriteEffect]) -> std::io::Result<u64>;
+}
+
+/// Counting sink for tests: records effects in memory, never blocks.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// Every effect committed, in commit order.
+    pub effects: Vec<WriteEffect>,
+    /// Number of `commit` calls (= group commits).
+    pub commits: u64,
+}
+
+impl CommitSink for MemorySink {
+    fn commit(&mut self, effects: &[WriteEffect]) -> std::io::Result<u64> {
+        self.effects.extend_from_slice(effects);
+        self.commits += 1;
+        Ok(self.effects.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_names_and_order() {
+        assert_eq!(DurabilityContract::Synced.name(), "fsync");
+        assert_eq!(DurabilityContract::DataSynced.name(), "fdatasync");
+        assert_eq!(DurabilityContract::Buffered.name(), "none");
+        assert_eq!(DurabilityContract::ALL[0], DurabilityContract::Synced);
+        assert_eq!(DurabilityContract::default(), DurabilityContract::Synced);
+    }
+
+    #[test]
+    fn contract_sync_runs_on_a_real_file() {
+        let dir = std::env::temp_dir().join("gfsl_contract_sync_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.bin");
+        let f = std::fs::File::create(&path).unwrap();
+        for c in DurabilityContract::ALL {
+            c.sync(&f).unwrap();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_sink_counts_group_commits() {
+        let mut sink = MemorySink::default();
+        let a = [
+            WriteEffect { key: 1, value: Some(10) },
+            WriteEffect { key: 2, value: None },
+        ];
+        assert_eq!(sink.commit(&a).unwrap(), 2);
+        assert_eq!(sink.commit(&[]).unwrap(), 2);
+        assert_eq!(sink.commits, 2);
+        assert_eq!(sink.effects.len(), 2);
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod durability;
 pub mod metrics;
 pub mod request;
 pub mod scheduler;
@@ -40,10 +41,14 @@ pub mod supervisor;
 pub mod trace;
 
 pub use admission::{IntakeQueue, ShedError};
+pub use durability::{CommitSink, DurabilityContract, MemorySink, WriteEffect};
 pub use metrics::{LatencyHisto, ServiceMetrics};
 pub use request::{ClientId, ClientQueues, Reply, Request, Response};
 pub use scheduler::{Batch, BatchPolicy, Fifo, KeyRangeSharded, KeySorted, PolicyCtx, ReadWriteSeparated};
-pub use service::{env_seed, raw_batch_mops, serve, ExecMode, ServeConfig, ServiceReport};
+pub use service::{
+    env_seed, raw_batch_mops, serve, serve_durable, serve_durable_supervised, serve_supervised,
+    ExecMode, ServeConfig, ServiceReport,
+};
 pub use source::{ClosedSource, OpenSource, ReplaySource, RequestSource};
 pub use supervisor::{ServiceMode, Supervisor};
 pub use trace::TraceHash;

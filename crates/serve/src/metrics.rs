@@ -163,6 +163,11 @@ pub struct ServiceMetrics {
     /// studies divide by on hosts whose wall clock can't parallelize);
     /// under `Measured` it tracks measured execution advances.
     pub clock_end_ns: u64,
+    /// Group commits issued to the durability sink (at most one per epoch;
+    /// zero when serving without a sink or when an epoch wrote nothing).
+    pub durable_commits: u64,
+    /// Effective write records handed to the durability sink.
+    pub durable_records: u64,
     #[serde(skip)]
     occupancy_sum: f64,
     #[serde(skip)]

@@ -52,6 +52,7 @@ use gfsl::{Gfsl, GfslHandle, MemProbe};
 use gfsl_workload::ServeOp;
 
 use crate::admission::IntakeQueue;
+use crate::durability::{CommitSink, WriteEffect};
 use crate::metrics::ServiceMetrics;
 use crate::request::{to_batch_op, ClientQueues, Reply, Request, Response};
 use crate::scheduler::{Batch, BatchPolicy, PolicyCtx};
@@ -298,6 +299,58 @@ fn admit_upto(
     }
 }
 
+/// Extract the epoch's effective write effects in dispatch (batch-seq)
+/// order: the records a durability sink must persist before any of the
+/// epoch's responses may route. Only *effective* writes are logged — an
+/// `Inserted(false)` / `Deleted(false)` changed nothing and replays to
+/// nothing; failed ops changed nothing by definition.
+///
+/// `done` must already be sorted by batch seq. Within one epoch, batches on
+/// different workers interleave nondeterministically, so seq order is *a*
+/// valid serialization of the epoch's concurrent writes rather than the
+/// exact memory order — any client that saw both orders saw two concurrent
+/// ops, so replaying seq order stays linearizable (see DESIGN.md §15).
+fn write_effects(done: &[DoneItem]) -> Vec<WriteEffect> {
+    let mut effects = Vec::new();
+    for d in done {
+        for (req, reply) in &d.replies {
+            match (req.op, reply) {
+                (ServeOp::Insert(k, v), Reply::Inserted(true)) => {
+                    effects.push(WriteEffect { key: k, value: Some(v) });
+                }
+                (ServeOp::Delete(k), Reply::Deleted(true)) => {
+                    effects.push(WriteEffect { key: k, value: None });
+                }
+                _ => {}
+            }
+        }
+    }
+    effects
+}
+
+/// Group-commit one epoch's write effects into the sink (when one is
+/// installed). Must run before [`route_done`]: routing *is* the ack, and
+/// the durability contract says nothing routes until the WAL says so. A
+/// sink error is fatal by design — acknowledging a write the log cannot
+/// hold would be silent data loss, the one failure mode this tier exists
+/// to rule out.
+fn commit_epoch(
+    sink: &mut Option<&mut dyn CommitSink>,
+    done: &mut [DoneItem],
+    metrics: &mut ServiceMetrics,
+) {
+    let Some(sink) = sink.as_mut() else { return };
+    done.sort_by_key(|d| d.seq);
+    let effects = write_effects(done);
+    if effects.is_empty() {
+        return;
+    }
+    sink.commit(&effects)
+        .expect("durability sink failed: refusing to acknowledge non-durable writes");
+    metrics.durable_commits += 1;
+    metrics.durable_records += effects.len() as u64;
+}
+
 /// Deliver one collected epoch: count, timestamp, histogram, route through
 /// per-client FIFO queues, and feed completions back to the source (which
 /// is what lets closed-loop clients schedule their next issue).
@@ -359,6 +412,7 @@ fn collect_epoch(
     metrics: &mut ServiceMetrics,
     queues: &mut ClientQueues,
     src: &mut dyn RequestSource,
+    sink: &mut Option<&mut dyn CommitSink>,
 ) {
     // The next epoch's batches are already executing; its completions can
     // land on the shared channel interleaved with this epoch's. Claim
@@ -389,6 +443,7 @@ fn collect_epoch(
         }
     };
     *clock = clock.saturating_add(advance.max(1));
+    commit_epoch(sink, &mut done, metrics);
     route_done(done, p.dispatch_t, *clock, metrics, queues, src);
 }
 
@@ -399,6 +454,59 @@ pub fn serve(
     cfg: &ServeConfig,
     policy: &mut dyn BatchPolicy,
     src: &mut dyn RequestSource,
+) -> ServiceReport {
+    serve_inner(list, cfg, policy, src, None, None)
+}
+
+/// [`serve`], with every acknowledgement gated on a durability sink: each
+/// epoch's effective writes are group-committed through `sink` *before*
+/// the epoch's responses route. The sink's contract (see
+/// [`crate::durability::DurabilityContract`]) decides what an ack then
+/// means — fsync-durable, fdatasync-durable, or page-cache-buffered.
+pub fn serve_durable(
+    list: &Gfsl,
+    cfg: &ServeConfig,
+    policy: &mut dyn BatchPolicy,
+    src: &mut dyn RequestSource,
+    sink: &mut dyn CommitSink,
+) -> ServiceReport {
+    serve_inner(list, cfg, policy, src, Some(sink), None)
+}
+
+/// [`serve`], with a caller-owned [`Supervisor`] — the way to install a
+/// drain-completion hook ([`Supervisor::on_drain_quiesced`]) or custom
+/// escalation windows, and to inspect the ladder after the run.
+pub fn serve_supervised(
+    list: &Gfsl,
+    cfg: &ServeConfig,
+    policy: &mut dyn BatchPolicy,
+    src: &mut dyn RequestSource,
+    sup: &mut Supervisor,
+) -> ServiceReport {
+    serve_inner(list, cfg, policy, src, None, Some(sup))
+}
+
+/// [`serve_durable`] and [`serve_supervised`] combined: durability-gated
+/// acks plus a caller-owned supervisor, the full shutdown shape (drain →
+/// quiesce → final checkpoint from the drain hook).
+pub fn serve_durable_supervised(
+    list: &Gfsl,
+    cfg: &ServeConfig,
+    policy: &mut dyn BatchPolicy,
+    src: &mut dyn RequestSource,
+    sink: &mut dyn CommitSink,
+    sup: &mut Supervisor,
+) -> ServiceReport {
+    serve_inner(list, cfg, policy, src, Some(sink), Some(sup))
+}
+
+fn serve_inner(
+    list: &Gfsl,
+    cfg: &ServeConfig,
+    policy: &mut dyn BatchPolicy,
+    src: &mut dyn RequestSource,
+    mut sink: Option<&mut dyn CommitSink>,
+    sup: Option<&mut Supervisor>,
 ) -> ServiceReport {
     cfg.validate();
     let run_t0 = Instant::now();
@@ -444,8 +552,12 @@ pub fn serve(
         // abort / quarantine signals.
         let contain = list.params().contain;
         let mut maint = list.handle();
-        let mut sup = Supervisor::default();
-        let mut mode = ServiceMode::Normal;
+        let mut own_sup = Supervisor::default();
+        let sup: &mut Supervisor = match sup {
+            Some(s) => s,
+            None => &mut own_sup,
+        };
+        let mut mode = sup.mode();
         let mut last_aborts = 0u64;
         let mut last_repairs = 0u64;
         let repairs_base = {
@@ -483,13 +595,20 @@ pub fn serve(
             // happened — they contend for intake space now, or are shed.
             admit_upto(src, &mut intake, &mut trace, clock, mode, &mut metrics);
 
+            // Drain quiescence: nothing queued and nothing in flight means
+            // the ladder's terminal rung has finished draining — latch it
+            // and fire the shutdown hook (final checkpoint, test barriers).
+            if mode == ServiceMode::Drain && intake.is_empty() && pending.is_none() {
+                sup.notify_drain_quiesced(clock);
+            }
+
             if intake.is_empty() {
                 if let Some(p) = pending.take() {
                     // Nothing to form yet; drain the pipeline so the
                     // completions can seed the next arrivals.
                     collect_epoch(
                         p, cfg.exec, &done_rx, &mut early, &mut clock, &mut metrics,
-                        &mut queues, src,
+                        &mut queues, src, &mut sink,
                     );
                     continue;
                 }
@@ -592,7 +711,7 @@ pub fn serve(
                     if let Some(p) = pending.take() {
                         collect_epoch(
                             p, cfg.exec, &done_rx, &mut early, &mut clock, &mut metrics,
-                            &mut queues, src,
+                            &mut queues, src, &mut sink,
                         );
                     }
                     pending = Some(fresh);
@@ -637,6 +756,7 @@ pub fn serve(
                         _ => unreachable!(),
                     };
                     clock = clock.saturating_add(advance.max(1));
+                    commit_epoch(&mut sink, &mut done, &mut metrics);
                     route_done(done, dispatch_t, clock, &mut metrics, &mut queues, src);
                 }
             }
@@ -645,7 +765,14 @@ pub fn serve(
         if let Some(p) = pending.take() {
             collect_epoch(
                 p, cfg.exec, &done_rx, &mut early, &mut clock, &mut metrics, &mut queues, src,
+                &mut sink,
             );
+        }
+        if mode == ServiceMode::Drain {
+            // The loop can exhaust its source in the same pass that drained
+            // the pipeline; report the terminal quiescence it never looped
+            // back to observe.
+            sup.notify_drain_quiesced(clock);
         }
         debug_assert!(early.is_empty(), "stray completions after drain");
         injector.close();
@@ -776,6 +903,55 @@ mod tests {
         assert_eq!(a.policy, "key-sorted");
         let b = run(42);
         assert_eq!(a.trace_hash, b.trace_hash, "hinted runs replay bit-for-bit");
+    }
+
+    #[test]
+    fn durable_serve_commits_every_effective_write_before_ack() {
+        use crate::durability::MemorySink;
+
+        let list = small_list();
+        let pop = ClosedLoop::new(16, 50, 1_000, ServeMix::C80, 2_000, 42);
+        let mut src = ClosedSource::new(pop, 1_000);
+        let mut sink = MemorySink::default();
+        let report = serve_durable(&list, &modeled_cfg(), &mut Fifo::default(), &mut src, &mut sink);
+
+        let m = &report.metrics;
+        assert_eq!(m.ops, 16 * 50);
+        assert_eq!(m.durable_records, sink.effects.len() as u64);
+        assert_eq!(m.durable_commits, sink.commits);
+        assert!(m.durable_commits <= m.epochs, "at most one group commit per epoch");
+        // Every committed record corresponds to an effective write the
+        // structure performed; the structure must agree with the log.
+        let mut inserted = 0u64;
+        let mut deleted = 0u64;
+        for e in &sink.effects {
+            match e.value {
+                Some(_) => inserted += 1,
+                None => deleted += 1,
+            }
+        }
+        assert!(inserted + deleted > 0, "C80 mix must produce effective writes");
+        assert!(inserted <= m.inserts && deleted <= m.deletes);
+        list.assert_valid();
+    }
+
+    #[test]
+    fn durable_modeled_runs_replay_with_identical_logs() {
+        use crate::durability::MemorySink;
+
+        let run = || {
+            let list = small_list();
+            let pop = ClosedLoop::new(16, 50, 1_000, ServeMix::C80, 2_000, 42);
+            let mut src = ClosedSource::new(pop, 1_000);
+            let mut sink = MemorySink::default();
+            let report =
+                serve_durable(&list, &modeled_cfg(), &mut Fifo::default(), &mut src, &mut sink);
+            (report, sink.effects)
+        };
+        let (a, ea) = run();
+        let (b, eb) = run();
+        assert_eq!(a.trace_hash, b.trace_hash, "sink must not perturb the schedule");
+        assert_eq!(ea, eb, "same seed, same WAL effect stream");
     }
 
     #[test]
