@@ -456,6 +456,58 @@ impl Cluster {
         self.retry(|| self.try_count_range(lo, hi))
     }
 
+    // ---- priority-queue front (min-entry scan) ----
+
+    /// Walk shards in ascending key order under the routed single-key
+    /// protocol, running `f` on each until it yields `Some`. The global
+    /// minimum lives in the lowest non-empty shard, so the first hit wins.
+    ///
+    /// Each step fences one shard at a time (not a consistent cut): a
+    /// concurrent insert of a smaller key into a shard already found empty
+    /// can be missed by *this* scan — the same relaxed-front semantics
+    /// concurrent priority queues give, where racing consumers agree each
+    /// element is consumed once but not on a total front order.
+    fn scan_min<T>(
+        &self,
+        write: bool,
+        mut f: impl FnMut(&Shard) -> Result<Option<T>, Error>,
+    ) -> Result<Option<T>, ClusterError> {
+        let mut key = 1u32;
+        loop {
+            let (found, hi) = self.with_shard(key, write, |s| (f(s), s.hi))?;
+            match found {
+                Ok(Some(v)) => return Ok(Some(v)),
+                Ok(None) if hi == KEY_INF => return Ok(None),
+                Ok(None) => key = hi,
+                Err(e) => return Err(ClusterError::Shard(e)),
+            }
+        }
+    }
+
+    /// The smallest present entry across all shards; one routing attempt
+    /// per shard visited.
+    pub fn try_min_entry(&self) -> Result<Option<(u32, u32)>, ClusterError> {
+        self.scan_min(false, |s| s.list.handle().try_min_entry())
+    }
+
+    /// Extract-min across all shards: remove and return the smallest
+    /// present entry; one routing attempt per shard visited. Racing
+    /// consumers never pop the same element (the per-shard extract-min is
+    /// atomic); see [`Self::try_min_entry`] for the cross-shard caveat.
+    pub fn try_pop_min(&self) -> Result<Option<(u32, u32)>, ClusterError> {
+        self.scan_min(true, |s| s.list.handle().try_pop_min())
+    }
+
+    /// Minimum-entry peek, re-routing through migrations.
+    pub fn min_entry(&self) -> Result<Option<(u32, u32)>, Error> {
+        self.retry(|| self.try_min_entry())
+    }
+
+    /// Extract-min, re-routing through migrations.
+    pub fn pop_min(&self) -> Result<Option<(u32, u32)>, Error> {
+        self.retry(|| self.try_pop_min())
+    }
+
     // ---- introspection (quiescent use) ----
 
     /// Per-shard statistics for the current map.

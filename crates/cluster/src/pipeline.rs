@@ -54,6 +54,12 @@ pub fn partition_arrivals(bounds: &[(u32, u32)], arrivals: &[Arrival]) -> Vec<Ve
                     });
                 }
             }
+            // Static pipelines route min ops to the lowest shard: with the
+            // whole stream partitioned up front there is no cross-shard
+            // fallback, so the scenario must keep its priority-queue keys
+            // inside the first shard's range (the dynamic router's
+            // `Cluster::pop_min` scans shards instead).
+            ServeOp::MinEntry | ServeOp::PopMin => parts[0].push(*a),
             op => parts[owner(op.key())].push(*a),
         }
     }

@@ -1,0 +1,152 @@
+//! `edgebench` — socket-level load generator for the GFSL edge server.
+//!
+//! Self-hosts an engine + server on loopback (or targets `--addr`), drives
+//! it with the configured population, and prints a JSON summary:
+//!
+//! ```text
+//! edgebench [--engine single|cluster] [--shards N] [--workers N]
+//!           [--conns N] [--clients N] [--think-us N] [--open-rate R]
+//!           [--duration-ms N] [--mix c80|range10|pq] [--span N]
+//!           [--theta F] [--seed N] [--prefill N] [--addr HOST:PORT]
+//! ```
+//!
+//! `--open-rate R` switches to open-loop at `R` requests/s per connection;
+//! the default (0) runs the closed-loop population.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use gfsl::{Gfsl, GfslParams};
+use gfsl_cluster::Cluster;
+use gfsl_edge::loadgen::{self, LoadConfig};
+use gfsl_edge::{EdgeConfig, EdgeEngine, EdgeServer};
+use gfsl_workload::ServeMix;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Summary {
+    mode: String,
+    conns: usize,
+    duration_ms: u64,
+    ops_ok: u64,
+    failures: u64,
+    sheds: u64,
+    retries: u64,
+    local_drops: u64,
+    conn_errors: u64,
+    goodput_ops_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    server_epochs: u64,
+    server_sheds: u64,
+    server_proto_errors: u64,
+    server_timeouts: u64,
+    ryw_violations: u64,
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("bad {flag}: {e:?}")))
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("see crate docs (src/bin/edgebench.rs) for flags");
+        return;
+    }
+
+    let engine_kind: String = parse(&args, "--engine", "single".to_string());
+    let shards: usize = parse(&args, "--shards", 4);
+    let workers: usize = parse(&args, "--workers", 2);
+    let prefill: u32 = parse(&args, "--prefill", 0);
+    let mix_name: String = parse(&args, "--mix", "c80".to_string());
+    let mix = match mix_name.as_str() {
+        "c80" => ServeMix::C80,
+        "range10" => ServeMix::RANGE10,
+        "pq" => ServeMix::PQ,
+        other => panic!("unknown mix {other:?} (want c80|range10|pq)"),
+    };
+    let cfg = LoadConfig {
+        conns: parse(&args, "--conns", 4),
+        clients_per_conn: parse(&args, "--clients", 8),
+        think_us: parse(&args, "--think-us", 100),
+        open_rate_per_conn: parse(&args, "--open-rate", 0.0),
+        max_outstanding: parse(&args, "--outstanding", 1024),
+        duration_ms: parse(&args, "--duration-ms", 1_000),
+        mix,
+        key_span: parse(&args, "--span", 10_000),
+        zipf_theta: parse(&args, "--theta", 0.6),
+        seed: parse(&args, "--seed", 42),
+    };
+
+    // Target an external server, or self-host one on loopback.
+    let external: Option<SocketAddr> = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("bad --addr"));
+
+    let server = if external.is_none() {
+        let engine = match engine_kind.as_str() {
+            "single" => {
+                let list = if prefill > 0 {
+                    Arc::new(
+                        Gfsl::prefilled(GfslParams::default(), 1..=prefill).expect("prefill"),
+                    )
+                } else {
+                    Arc::new(Gfsl::new(GfslParams::default()).expect("gfsl"))
+                };
+                EdgeEngine::Single(list)
+            }
+            "cluster" => {
+                let c = Arc::new(Cluster::new(GfslParams::default(), shards).expect("cluster"));
+                for k in 1..=prefill {
+                    c.insert(k, k).expect("prefill insert");
+                }
+                EdgeEngine::Cluster(c)
+            }
+            other => panic!("unknown engine {other:?} (want single|cluster)"),
+        };
+        let ecfg = EdgeConfig {
+            workers,
+            ..EdgeConfig::default()
+        };
+        Some(EdgeServer::start(engine, ecfg).expect("start edge server"))
+    } else {
+        None
+    };
+    let addr = external.unwrap_or_else(|| server.as_ref().unwrap().addr());
+
+    let report = loadgen::run(addr, &cfg);
+
+    let stats = server.map(EdgeServer::shutdown).unwrap_or_default();
+    let summary = Summary {
+        mode: if cfg.open_rate_per_conn > 0.0 { "open" } else { "closed" }.to_string(),
+        conns: cfg.conns,
+        duration_ms: report.wall_ms,
+        ops_ok: report.ops_ok,
+        failures: report.failures,
+        sheds: report.sheds,
+        retries: report.retries,
+        local_drops: report.local_drops,
+        conn_errors: report.conn_errors,
+        goodput_ops_s: report.goodput_ops_s,
+        p50_us: report.histo.quantile_ns(0.50) as f64 / 1e3,
+        p99_us: report.histo.quantile_ns(0.99) as f64 / 1e3,
+        p999_us: report.histo.quantile_ns(0.999) as f64 / 1e3,
+        server_epochs: stats.epochs,
+        server_sheds: stats.sheds,
+        server_proto_errors: stats.proto_errors,
+        server_timeouts: stats.timeouts,
+        ryw_violations: stats.ryw_violations,
+    };
+    println!("{}", serde::to_json_string(&summary));
+}

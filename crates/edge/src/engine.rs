@@ -1,0 +1,126 @@
+//! The storage engine behind the edge: one GFSL or a sharded cluster.
+//!
+//! Worker threads execute whole epoch batches here. The single-structure
+//! engine rides the key-sorted batched entry point (the same hinted
+//! dispatch the in-process serve loop uses); the cluster engine routes each
+//! request through the epoch-versioned shard map, so it keeps serving
+//! straight through live split/merge migrations — a redirect retries
+//! internally and never surfaces to the wire.
+
+use std::sync::Arc;
+
+use gfsl::batch::{BatchOp, BatchReply};
+use gfsl::{Error as GfslError, Gfsl};
+use gfsl_cluster::Cluster;
+use gfsl_serve::{request::to_batch_op, Reply};
+use gfsl_workload::ServeOp;
+
+/// The engine a server instance fronts.
+#[derive(Clone)]
+pub enum EdgeEngine {
+    /// One GFSL structure; batches dispatch through
+    /// [`execute_batch_hinted`](gfsl::GfslHandle::execute_batch_hinted).
+    Single(Arc<Gfsl>),
+    /// A sharded cluster; requests route per key and re-route through
+    /// migrations.
+    Cluster(Arc<Cluster>),
+}
+
+impl EdgeEngine {
+    /// Execute one epoch batch, appending one [`Reply`] per op to `out`
+    /// (index-aligned with `ops`).
+    pub fn execute(&self, ops: &[ServeOp], out: &mut Vec<Reply>) {
+        match self {
+            EdgeEngine::Single(list) => {
+                let batch: Vec<BatchOp> = ops.iter().map(|&op| to_batch_op(op)).collect();
+                let mut replies: Vec<BatchReply> = Vec::with_capacity(batch.len());
+                list.handle().execute_batch_hinted(&batch, &mut replies);
+                out.extend(replies.into_iter().map(Reply::from));
+            }
+            EdgeEngine::Cluster(c) => {
+                out.extend(ops.iter().map(|&op| route_one(c, op)));
+            }
+        }
+    }
+
+    /// Current quarantine depth (the supervisor's repair-pressure signal);
+    /// summed across shards for a cluster.
+    pub fn quarantine_depth(&self) -> usize {
+        match self {
+            EdgeEngine::Single(list) => list.quarantine_depth(),
+            EdgeEngine::Cluster(c) => c
+                .shards()
+                .iter()
+                .map(|s| s.list.quarantine_depth())
+                .sum(),
+        }
+    }
+}
+
+fn route_one(c: &Cluster, op: ServeOp) -> Reply {
+    fn done<T>(r: Result<T, GfslError>, f: impl FnOnce(T) -> Reply) -> Reply {
+        match r {
+            Ok(v) => f(v),
+            Err(e) => Reply::Failed(e),
+        }
+    }
+    match op {
+        ServeOp::Get(k) => done(c.get(k), Reply::Got),
+        ServeOp::Insert(k, v) => done(c.insert(k, v), Reply::Inserted),
+        ServeOp::Delete(k) => done(c.remove(k), Reply::Deleted),
+        ServeOp::Range(lo, hi) => done(c.count_range(lo, hi), |n| Reply::Ranged(n as u32)),
+        ServeOp::MinEntry => done(c.min_entry(), Reply::MinIs),
+        ServeOp::PopMin => done(c.pop_min(), Reply::Popped),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfsl::GfslParams;
+
+    fn params() -> GfslParams {
+        GfslParams::default()
+    }
+
+    #[test]
+    fn single_engine_executes_batches_index_aligned() {
+        let list = Arc::new(Gfsl::new(params()).unwrap());
+        let eng = EdgeEngine::Single(list);
+        // Batched dispatch executes in (key, index) order — min ops carry
+        // key 1 and run before the insert of key 5 — but replies come back
+        // index-aligned with the submitted ops.
+        let mut out = Vec::new();
+        eng.execute(&[ServeOp::Insert(5, 50), ServeOp::Get(5)], &mut out);
+        assert_eq!(out, vec![Reply::Inserted(true), Reply::Got(Some(50))]);
+        let mut out = Vec::new();
+        eng.execute(
+            &[ServeOp::MinEntry, ServeOp::PopMin, ServeOp::Get(5)],
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![
+                Reply::MinIs(Some((5, 50))),
+                Reply::Popped(Some((5, 50))),
+                Reply::Got(None),
+            ],
+            "index-aligned replies; same-key order preserved"
+        );
+    }
+
+    #[test]
+    fn cluster_engine_routes_across_shards() {
+        let c = Arc::new(Cluster::new(params(), 4).unwrap());
+        let eng = EdgeEngine::Cluster(c.clone());
+        let keys = [10u32, 2_000_000_000, 1_000_000_000, 3_000_000_000];
+        let ops: Vec<ServeOp> = keys.iter().map(|&k| ServeOp::Insert(k, k)).collect();
+        let mut out = Vec::new();
+        eng.execute(&ops, &mut out);
+        assert!(out.iter().all(|r| matches!(r, Reply::Inserted(true))));
+        let mut out = Vec::new();
+        eng.execute(&[ServeOp::PopMin, ServeOp::MinEntry], &mut out);
+        assert_eq!(out[0], Reply::Popped(Some((10, 10))));
+        assert_eq!(out[1], Reply::MinIs(Some((1_000_000_000, 1_000_000_000))));
+    }
+}

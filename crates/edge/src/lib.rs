@@ -1,0 +1,39 @@
+//! # gfsl-edge — the networked serving edge for GFSL
+//!
+//! Everything below this crate is in-process: the structure
+//! ([`gfsl`]), the batched serving loop ([`gfsl_serve`]), the sharded
+//! cluster ([`gfsl_cluster`]). This crate puts a real network in front of
+//! it:
+//!
+//! - [`proto`] — a compact, versioned binary wire protocol. Fixed-width
+//!   frames, typed decode errors, and backpressure *in the protocol*: shed
+//!   requests answer with a retry-after hint (milliseconds on the wire),
+//!   framing violations with a final typed error frame.
+//! - [`session`] — per-connection state: streaming decode, buffered
+//!   writes, read-your-writes tracking, slow-client accounting.
+//! - [`engine`] — the storage behind the edge: one GFSL or a live
+//!   migrating cluster, executing whole epoch batches.
+//! - [`server`] — a thread-per-core TCP server: one acceptor, per-core
+//!   workers with connection affinity, epoch batching onto the engine,
+//!   commit-before-ack durability, and the supervisor's degradation
+//!   ladder surfacing as typed shed frames.
+//! - [`client`] — the blocking reference client (pipelined, id-matched).
+//! - [`loadgen`] — closed-loop and open-loop client populations over real
+//!   sockets, with zipf-skewed per-tenant key windows, for capacity and
+//!   overload measurement (`edgebench` binary).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::EdgeClient;
+pub use engine::EdgeEngine;
+pub use loadgen::{LoadConfig, LoadReport};
+pub use proto::{DecodeError, Req, Resp};
+pub use server::{EdgeConfig, EdgeServer, EdgeStats, SharedSink, StatsSnapshot};
+pub use session::Session;

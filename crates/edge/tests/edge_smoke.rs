@@ -1,0 +1,298 @@
+//! Socket-level integration tests for the edge server: full round trips,
+//! commit-before-ack durability, typed overload shedding, slow-client
+//! timeouts, framing-violation handling, and read-your-writes under live
+//! shard migrations.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gfsl::{Gfsl, GfslParams};
+use gfsl_cluster::Cluster;
+use gfsl_edge::proto::{self, Req, Resp};
+use gfsl_edge::{EdgeClient, EdgeConfig, EdgeEngine, EdgeServer};
+use gfsl_serve::MemorySink;
+
+fn single_engine() -> EdgeEngine {
+    EdgeEngine::Single(Arc::new(Gfsl::new(GfslParams::default()).unwrap()))
+}
+
+fn connect(server: &EdgeServer) -> EdgeClient {
+    EdgeClient::connect(server.addr(), Some(Duration::from_secs(5))).unwrap()
+}
+
+#[test]
+fn every_op_round_trips_over_the_wire() {
+    let server = EdgeServer::start(single_engine(), EdgeConfig::default()).unwrap();
+    let mut c = connect(&server);
+
+    assert_eq!(c.call(Req::Ping).unwrap(), Resp::Pong);
+    assert_eq!(c.insert(10, 100).unwrap(), Resp::Inserted(true));
+    assert_eq!(c.insert(20, 200).unwrap(), Resp::Inserted(true));
+    assert_eq!(c.insert(10, 100).unwrap(), Resp::Inserted(false));
+    assert_eq!(c.get(10).unwrap(), Resp::Got(Some(100)));
+    assert_eq!(c.get(99).unwrap(), Resp::Got(None));
+    assert_eq!(c.call(Req::Range(1, 50)).unwrap(), Resp::Ranged(2));
+    assert_eq!(c.call(Req::MinEntry).unwrap(), Resp::MinIs(Some((10, 100))));
+    assert_eq!(c.pop_min().unwrap(), Resp::Popped(Some((10, 100))));
+    assert_eq!(c.delete(20).unwrap(), Resp::Deleted(true));
+    assert_eq!(c.pop_min().unwrap(), Resp::Popped(None));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.pings, 1);
+    assert!(stats.ops_ok >= 10);
+    assert_eq!(stats.proto_errors, 0);
+    assert_eq!(stats.ryw_violations, 0, "single session, disjoint keys");
+}
+
+#[test]
+fn pipelined_requests_come_back_id_matched() {
+    let server = EdgeServer::start(single_engine(), EdgeConfig::default()).unwrap();
+    let mut c = connect(&server);
+    let ids: Vec<(u64, u32)> = (1..=64u32).map(|k| (c.send(Req::Insert(k, k * 10)), k)).collect();
+    for (id, k) in &ids {
+        assert_eq!(c.recv(*id).unwrap(), Resp::Inserted(true), "key {k}");
+    }
+    // Claim out of order: query evens before odds.
+    let gets: Vec<(u64, u32)> = (1..=64u32).map(|k| (c.send(Req::Get(k)), k)).collect();
+    for (id, k) in gets.iter().filter(|(_, k)| k % 2 == 0) {
+        assert_eq!(c.recv(*id).unwrap(), Resp::Got(Some(k * 10)));
+    }
+    for (id, k) in gets.iter().filter(|(_, k)| k % 2 == 1) {
+        assert_eq!(c.recv(*id).unwrap(), Resp::Got(Some(k * 10)));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn writes_commit_to_the_sink_before_ack() {
+    let sink = Arc::new(Mutex::new(MemorySink::default()));
+    let server = EdgeServer::start_durable(
+        single_engine(),
+        EdgeConfig::default(),
+        sink.clone(),
+    )
+    .unwrap();
+    let mut c = connect(&server);
+
+    assert_eq!(c.insert(7, 70).unwrap(), Resp::Inserted(true));
+    // The ack has arrived, so the effect must already be in the sink —
+    // commit-before-ack means no window where the reply exists but the
+    // durable record does not.
+    {
+        let s = sink.lock().unwrap();
+        assert!(s.commits >= 1);
+        assert!(s
+            .effects
+            .iter()
+            .any(|e| e.key == 7 && e.value == Some(70)));
+    }
+    assert_eq!(c.delete(7).unwrap(), Resp::Deleted(true));
+    {
+        let s = sink.lock().unwrap();
+        assert!(s.effects.iter().any(|e| e.key == 7 && e.value.is_none()));
+    }
+    // Reads and no-op writes add no effects.
+    let effects_now = sink.lock().unwrap().effects.len();
+    assert_eq!(c.get(7).unwrap(), Resp::Got(None));
+    assert_eq!(c.delete(7).unwrap(), Resp::Deleted(false));
+    assert_eq!(sink.lock().unwrap().effects.len(), effects_now);
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_typed_frames_and_the_connection_survives() {
+    // Tiny admission bound, long epoch deadline: a pipelined burst must
+    // overflow admission and come back as typed Shed frames — not as a
+    // closed connection.
+    let cfg = EdgeConfig {
+        workers: 1,
+        batch_ops: 8,
+        intake_cap: 8,
+        epoch_us: 2_000,
+        drain_ns_per_req: 1_000_000, // 1 ms/req so hints are nonzero ms
+        ..EdgeConfig::default()
+    };
+    let server = EdgeServer::start(single_engine(), cfg).unwrap();
+    let mut c = connect(&server);
+
+    let ids: Vec<u64> = (1..=512u32).map(|k| c.send(Req::Insert(k, k))).collect();
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for id in ids {
+        match c.recv(id).unwrap() {
+            Resp::Inserted(_) => ok += 1,
+            Resp::Shed { retry_after_ms, .. } => {
+                shed += 1;
+                assert!(retry_after_ms >= 1, "drain hint surfaces in ms");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(ok > 0, "some of the burst is admitted");
+    assert!(shed > 0, "the rest sheds with typed frames");
+    // The same connection still serves after the storm.
+    assert_eq!(c.call(Req::Ping).unwrap(), Resp::Pong);
+    assert_eq!(c.get(1).unwrap(), Resp::Got(Some(1)));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.sheds, shed);
+    assert_eq!(stats.proto_errors, 0);
+    assert_eq!(stats.timeouts, 0);
+}
+
+#[test]
+fn malformed_frame_answers_proto_then_sheds_the_connection() {
+    let server = EdgeServer::start(single_engine(), EdgeConfig::default()).unwrap();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut hello = Vec::new();
+    proto::encode_hello(&mut hello);
+    s.write_all(&hello).unwrap();
+    let mut server_hello = [0u8; proto::HELLO_LEN];
+    s.read_exact(&mut server_hello).unwrap();
+    proto::check_hello(&server_hello).unwrap();
+
+    // A frame with a hostile length field (64 KiB claim).
+    s.write_all(&u16::MAX.to_le_bytes()).unwrap();
+
+    // Expect exactly one typed Proto frame, then EOF.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 256];
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("expected clean close, got {e}"),
+        }
+    }
+    let (id, resp, used) = proto::decode_resp(&buf).unwrap();
+    assert_eq!(id, 0);
+    assert_eq!(
+        resp,
+        Resp::Proto { code: proto::DecodeError::Oversized(u16::MAX).code() }
+    );
+    assert_eq!(used, buf.len(), "nothing after the final error frame");
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let st = server.stats();
+        if st.proto_errors == 1 && st.conns_closed >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "proto shed not accounted: {st:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn slow_clients_time_out_but_idle_clients_do_not() {
+    let cfg = EdgeConfig {
+        idle_timeout_ms: 150,
+        ..EdgeConfig::default()
+    };
+    let server = EdgeServer::start(single_engine(), cfg).unwrap();
+
+    // An idle-but-clean client survives well past the timeout.
+    let mut idle = connect(&server);
+    // A slowloris: handshake, then a partial frame and silence.
+    let mut slow = TcpStream::connect(server.addr()).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut hello = Vec::new();
+    proto::encode_hello(&mut hello);
+    slow.write_all(&hello).unwrap();
+    let mut server_hello = [0u8; proto::HELLO_LEN];
+    slow.read_exact(&mut server_hello).unwrap();
+    let mut frame = Vec::new();
+    Req::Insert(1, 1).encode(9, &mut frame);
+    slow.write_all(&frame[..3]).unwrap(); // length + first byte, then stall
+
+    std::thread::sleep(Duration::from_millis(500));
+
+    // The stalled connection was dropped...
+    let mut chunk = [0u8; 64];
+    assert_eq!(slow.read(&mut chunk).unwrap(), 0, "slowloris gets EOF");
+    // ...the idle one still serves.
+    assert_eq!(idle.call(Req::Ping).unwrap(), Resp::Pong);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.timeouts, 1, "exactly the stalled session timed out");
+}
+
+#[test]
+fn read_your_writes_holds_across_live_shard_migrations() {
+    // The satellite regression test: sessions hammer write→read cycles in
+    // disjoint key namespaces over a cluster engine while a churn thread
+    // splits and merges shards under them. Every read must see the
+    // session's own last acknowledged write; the server-side tracker
+    // counts violations exactly because the namespaces are disjoint.
+    let cluster = Arc::new(Cluster::new(GfslParams::default(), 4).unwrap());
+    let server = EdgeServer::start(
+        EdgeEngine::Cluster(cluster.clone()),
+        EdgeConfig { workers: 2, ..EdgeConfig::default() },
+    )
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let cluster = cluster.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let ids: Vec<u64> = cluster.shards().iter().map(|s| s.id).collect();
+                if round % 2 == 0 {
+                    for id in &ids {
+                        let _ = cluster.split_shard(*id);
+                    }
+                } else {
+                    for id in &ids {
+                        let _ = cluster.merge_with_right(*id);
+                    }
+                }
+                round += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    const SESSIONS: usize = 4;
+    const SPAN: u32 = 1 << 20; // spread namespaces across the shard space
+    let mut workers = Vec::new();
+    for t in 0..SESSIONS {
+        let addr = server.addr();
+        workers.push(std::thread::spawn(move || {
+            let mut c = EdgeClient::connect(addr, Some(Duration::from_secs(5))).unwrap();
+            let base = (t as u32) * SPAN + 1;
+            let mut checks = 0u64;
+            for round in 0..120u32 {
+                let k = base + (round % 32) * 97;
+                assert!(matches!(c.insert(k, round + 1).unwrap(), Resp::Inserted(_)));
+                match c.get(k).unwrap() {
+                    Resp::Got(Some(_)) => checks += 1,
+                    other => panic!("read-your-write miss on {k}: {other:?}"),
+                }
+                assert!(matches!(c.delete(k).unwrap(), Resp::Deleted(true)));
+                match c.get(k).unwrap() {
+                    Resp::Got(None) => checks += 1,
+                    other => panic!("read-your-delete miss on {k}: {other:?}"),
+                }
+            }
+            checks
+        }));
+    }
+    let client_checks: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+
+    let stats = server.shutdown();
+    assert_eq!(client_checks, (SESSIONS as u64) * 240);
+    assert_eq!(
+        stats.ryw_violations, 0,
+        "server-side tracker agrees: no session saw a stale read"
+    );
+    assert!(stats.ops_ok >= client_checks, "all checks rode real engine replies");
+}

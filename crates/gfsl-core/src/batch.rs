@@ -24,21 +24,31 @@ pub enum BatchOp {
     Remove(u32),
     /// Count keys in `[lo, hi]`: reply [`BatchReply::Counted`].
     CountRange(u32, u32),
+    /// Peek the smallest present entry: reply [`BatchReply::MinIs`].
+    MinEntry,
+    /// Extract-min (priority-queue pop): reply [`BatchReply::Popped`].
+    PopMin,
 }
 
 impl BatchOp {
     /// True for operations that never take a chunk lock (`Get` /
-    /// `CountRange` ride the paper's lock-free Contains fast path).
+    /// `CountRange` / `MinEntry` ride the paper's lock-free Contains fast
+    /// path).
     pub fn is_read_only(&self) -> bool {
-        matches!(self, BatchOp::Get(_) | BatchOp::CountRange(_, _))
+        matches!(
+            self,
+            BatchOp::Get(_) | BatchOp::CountRange(_, _) | BatchOp::MinEntry
+        )
     }
 
     /// The key the operation is routed by (`lo` for a range count) — what
-    /// hinted batch execution clusters on.
+    /// hinted batch execution clusters on. Min ops address the head of the
+    /// key space, so they report the smallest user key.
     pub fn key(&self) -> u32 {
         match *self {
             BatchOp::Get(k) | BatchOp::Insert(k, _) | BatchOp::Remove(k) => k,
             BatchOp::CountRange(lo, _) => lo,
+            BatchOp::MinEntry | BatchOp::PopMin => 1,
         }
     }
 }
@@ -54,6 +64,10 @@ pub enum BatchReply {
     Removed(bool),
     /// Number of present keys in a `CountRange` window.
     Counted(u32),
+    /// The smallest present entry (or `None`) for a `MinEntry` peek.
+    MinIs(Option<(u32, u32)>),
+    /// The entry a `PopMin` removed, or `None` on an empty structure.
+    Popped(Option<(u32, u32)>),
     /// The operation failed structurally (reserved key, pool exhausted).
     Failed(Error),
 }
@@ -114,6 +128,14 @@ impl<P: MemProbe> GfslHandle<'_, P> {
             },
             BatchOp::CountRange(lo, hi) => match self.try_count_range(lo, hi) {
                 Ok(n) => BatchReply::Counted(n as u32),
+                Err(e) => BatchReply::Failed(e),
+            },
+            BatchOp::MinEntry => match self.try_min_entry() {
+                Ok(kv) => BatchReply::MinIs(kv),
+                Err(e) => BatchReply::Failed(e),
+            },
+            BatchOp::PopMin => match self.try_pop_min() {
+                Ok(kv) => BatchReply::Popped(kv),
                 Err(e) => BatchReply::Failed(e),
             },
         }
@@ -227,7 +249,37 @@ mod tests {
     fn read_only_classification() {
         assert!(BatchOp::Get(1).is_read_only());
         assert!(BatchOp::CountRange(1, 2).is_read_only());
+        assert!(BatchOp::MinEntry.is_read_only());
         assert!(!BatchOp::Insert(1, 1).is_read_only());
         assert!(!BatchOp::Remove(1).is_read_only());
+        assert!(!BatchOp::PopMin.is_read_only());
+    }
+
+    #[test]
+    fn batched_min_ops_drain_in_priority_order() {
+        let list = Gfsl::prefilled(params16(), [30u32, 10, 20]).unwrap();
+        let mut h = list.handle();
+        let ops = [
+            BatchOp::MinEntry,
+            BatchOp::PopMin,
+            BatchOp::PopMin,
+            BatchOp::PopMin,
+            BatchOp::PopMin,
+            BatchOp::MinEntry,
+        ];
+        let mut out = Vec::new();
+        h.execute_batch(&ops, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                BatchReply::MinIs(Some((10, 10))),
+                BatchReply::Popped(Some((10, 10))),
+                BatchReply::Popped(Some((20, 20))),
+                BatchReply::Popped(Some((30, 30))),
+                BatchReply::Popped(None),
+                BatchReply::MinIs(None),
+            ]
+        );
+        list.assert_valid();
     }
 }

@@ -931,6 +931,29 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             .map_err(Error::Aborted)
     }
 
+    /// Contained minimum-entry scan; see [`Self::try_get`] (reads never
+    /// mutate, so an abort simply means the scan gave up).
+    pub fn try_min_entry(&mut self) -> Result<Option<(u32, u32)>, Error> {
+        self.contained(|h| h.min_entry()).map_err(Error::Aborted)
+    }
+
+    /// Contained extract-min: the priority-queue pop built from
+    /// [`min_entry`](Self::min_entry) + [`try_remove`](Self::try_remove).
+    /// Composing at this level (rather than containing
+    /// [`pop_min`](Self::pop_min) wholesale) keeps `try_remove`'s abort
+    /// contract intact: a removal that crashed *after* its linearization
+    /// point still reports `Ok`, so an acknowledged pop is never lost.
+    pub fn try_pop_min(&mut self) -> Result<Option<(u32, u32)>, Error> {
+        loop {
+            let Some((k, v)) = self.try_min_entry()? else {
+                return Ok(None);
+            };
+            if self.try_remove(k)? {
+                return Ok(Some((k, v)));
+            }
+        }
+    }
+
     /// Validate the bottom-level hint against `k` and return its chunk with
     /// the validated snapshot, or `None` (clearing the hint) on miss.
     ///

@@ -177,6 +177,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                 ServeOp::Range(lo, hi) => {
                     cluster.count_range(lo, hi).expect("routed range");
                 }
+                ServeOp::MinEntry => {
+                    cluster.min_entry().expect("routed min-entry");
+                }
+                ServeOp::PopMin => {
+                    cluster.pop_min().expect("routed pop-min");
+                }
             }
         }
         let wall = t0.elapsed().as_secs_f64();

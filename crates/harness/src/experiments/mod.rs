@@ -5,6 +5,7 @@ pub mod cluster;
 pub mod cyclesim;
 pub mod diag;
 pub mod durable;
+pub mod edge;
 pub mod figures;
 pub mod hotpath;
 pub mod pkey;
@@ -111,7 +112,7 @@ impl ExpConfig {
 /// Names of all experiments, in run order.
 pub const ALL: &[&str] = &[
     "table5_1", "table5_2", "fig5_1", "fig5_2", "fig5_3", "fig5_4", "pkey", "ablate", "cyclesim",
-    "diag", "serve", "hotpath", "cluster", "durable",
+    "diag", "serve", "hotpath", "cluster", "durable", "edge",
 ];
 
 /// Run one experiment by id, returning its rendered tables.
@@ -131,6 +132,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "hotpath" => hotpath::run(cfg),
         "cluster" => cluster::run(cfg),
         "durable" => durable::run(cfg),
+        "edge" => edge::run(cfg),
         other => panic!("unknown experiment '{other}'; known: {ALL:?}"),
     }
 }
@@ -190,7 +192,7 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL.len(), 14);
+        assert_eq!(ALL.len(), 15);
         assert!(ALL.contains(&"table5_1"));
         assert!(ALL.contains(&"fig5_4"));
         assert!(ALL.contains(&"diag"));
@@ -198,5 +200,6 @@ mod tests {
         assert!(ALL.contains(&"hotpath"));
         assert!(ALL.contains(&"cluster"));
         assert!(ALL.contains(&"durable"));
+        assert!(ALL.contains(&"edge"));
     }
 }

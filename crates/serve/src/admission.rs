@@ -23,6 +23,18 @@ pub struct ShedError {
     pub retry_after_ns: u64,
 }
 
+impl ShedError {
+    /// The retry hint converted for the wire: **milliseconds**, rounded
+    /// *up* (a hint of 1 ns must not truncate to "retry immediately"), and
+    /// clamped to `u32::MAX` ms. Protocol frames carry this value — every
+    /// edge client and server agrees the on-wire unit is ms, while the
+    /// in-process hint stays in virtual ns (see `gfsl-edge`).
+    pub fn retry_after_ms(&self) -> u32 {
+        let ms = self.retry_after_ns.div_ceil(1_000_000);
+        ms.min(u32::MAX as u64) as u32
+    }
+}
+
 impl std::fmt::Display for ShedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -183,6 +195,17 @@ mod tests {
         let rest = q.drain_upto(100);
         assert_eq!(rest.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2, 3, 9]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn retry_after_ms_rounds_up_and_clamps() {
+        let e = |ns| ShedError { depth: 1, retry_after_ns: ns };
+        assert_eq!(e(0).retry_after_ms(), 0, "no backlog, instant retry");
+        assert_eq!(e(1).retry_after_ms(), 1, "sub-ms hints round up, never to zero");
+        assert_eq!(e(1_000_000).retry_after_ms(), 1);
+        assert_eq!(e(1_000_001).retry_after_ms(), 2);
+        assert_eq!(e(250_000_000).retry_after_ms(), 250);
+        assert_eq!(e(u64::MAX).retry_after_ms(), u32::MAX, "clamped at the wire bound");
     }
 
     #[test]

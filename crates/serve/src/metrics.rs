@@ -122,6 +122,10 @@ pub struct ServiceMetrics {
     pub deletes: u64,
     /// Completed `Range`s.
     pub ranges: u64,
+    /// Completed `MinEntry` peeks.
+    pub min_peeks: u64,
+    /// Completed `PopMin` extract-mins.
+    pub pops: u64,
     /// Replies that failed structurally (reserved key, pool exhausted).
     pub failed: u64,
     /// Epochs closed.

@@ -31,6 +31,10 @@ pub enum Reply {
     Deleted(bool),
     /// `Range`: number of keys in the window.
     Ranged(u32),
+    /// `MinEntry`: the smallest present entry, if any.
+    MinIs(Option<(u32, u32)>),
+    /// `PopMin`: the extracted entry, or `None` on an empty structure.
+    Popped(Option<(u32, u32)>),
     /// The operation failed structurally (reserved key, pool exhausted).
     Failed(GfslError),
 }
@@ -42,6 +46,8 @@ impl From<BatchReply> for Reply {
             BatchReply::Inserted(b) => Reply::Inserted(b),
             BatchReply::Removed(b) => Reply::Deleted(b),
             BatchReply::Counted(n) => Reply::Ranged(n),
+            BatchReply::MinIs(kv) => Reply::MinIs(kv),
+            BatchReply::Popped(kv) => Reply::Popped(kv),
             BatchReply::Failed(e) => Reply::Failed(e),
         }
     }
@@ -54,6 +60,8 @@ pub fn to_batch_op(op: ServeOp) -> BatchOp {
         ServeOp::Insert(k, v) => BatchOp::Insert(k, v),
         ServeOp::Delete(k) => BatchOp::Remove(k),
         ServeOp::Range(lo, hi) => BatchOp::CountRange(lo, hi),
+        ServeOp::MinEntry => BatchOp::MinEntry,
+        ServeOp::PopMin => BatchOp::PopMin,
     }
 }
 
@@ -152,6 +160,11 @@ mod tests {
         assert_eq!(Reply::from(BatchReply::Inserted(true)), Reply::Inserted(true));
         assert_eq!(Reply::from(BatchReply::Removed(false)), Reply::Deleted(false));
         assert_eq!(Reply::from(BatchReply::Counted(9)), Reply::Ranged(9));
+        assert_eq!(
+            Reply::from(BatchReply::MinIs(Some((1, 2)))),
+            Reply::MinIs(Some((1, 2)))
+        );
+        assert_eq!(Reply::from(BatchReply::Popped(None)), Reply::Popped(None));
         assert_eq!(
             Reply::from(BatchReply::Failed(GfslError::InvalidKey(0))),
             Reply::Failed(GfslError::InvalidKey(0))

@@ -321,6 +321,11 @@ fn write_effects(done: &[DoneItem]) -> Vec<WriteEffect> {
                 (ServeOp::Delete(k), Reply::Deleted(true)) => {
                     effects.push(WriteEffect { key: k, value: None });
                 }
+                (ServeOp::PopMin, Reply::Popped(Some((k, _)))) => {
+                    // An extract-min replays as the removal of the key it
+                    // popped — position-independent, like any delete.
+                    effects.push(WriteEffect { key: *k, value: None });
+                }
                 _ => {}
             }
         }
@@ -377,6 +382,8 @@ fn route_done(
                 ServeOp::Insert(..) => metrics.inserts += 1,
                 ServeOp::Delete(_) => metrics.deletes += 1,
                 ServeOp::Range(..) => metrics.ranges += 1,
+                ServeOp::MinEntry => metrics.min_peeks += 1,
+                ServeOp::PopMin => metrics.pops += 1,
             }
             metrics.ops += 1;
             let (client, id) = (req.client, req.id);

@@ -60,10 +60,14 @@ impl ServiceMode {
     }
 
     /// Would this rung admit `op` when the intake queue holds `depth` of
-    /// `cap` requests? Reads (`Get`/`Range`) ride the structure's lock-free
-    /// path and stay admitted until `Drain`; writes are shed progressively.
+    /// `cap` requests? Reads (`Get`/`Range`/`MinEntry`) ride the
+    /// structure's lock-free path and stay admitted until `Drain`; writes
+    /// (`Insert`/`Delete`/`PopMin`) are shed progressively.
     pub fn admits(self, op: ServeOp, depth: usize, cap: usize) -> bool {
-        let write = matches!(op, ServeOp::Insert(..) | ServeOp::Delete(_));
+        let write = matches!(
+            op,
+            ServeOp::Insert(..) | ServeOp::Delete(_) | ServeOp::PopMin
+        );
         match self {
             ServiceMode::Normal => true,
             ServiceMode::ShedWrites => !write || depth < cap / 2,
@@ -354,5 +358,9 @@ mod tests {
         assert!(!ServiceMode::ReadOnly.admits(d, 0, 100));
         assert!(ServiceMode::ReadOnly.admits(q, 99, 100));
         assert!(!ServiceMode::Drain.admits(r, 0, 100));
+        // Min ops: the peek is a read, the pop removes and is a write.
+        assert!(ServiceMode::ReadOnly.admits(ServeOp::MinEntry, 99, 100));
+        assert!(!ServiceMode::ReadOnly.admits(ServeOp::PopMin, 0, 100));
+        assert!(!ServiceMode::ShedWrites.admits(ServeOp::PopMin, 60, 100));
     }
 }

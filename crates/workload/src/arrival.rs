@@ -32,29 +32,39 @@ pub enum ServeOp {
     Delete(u32),
     /// Count keys in the inclusive window `[lo, hi]`.
     Range(u32, u32),
+    /// Peek the smallest present entry (priority-queue front).
+    MinEntry,
+    /// Extract-min: remove and return the smallest present entry.
+    PopMin,
 }
 
 impl ServeOp {
     /// The (low) key the operation addresses — what sharded batch policies
-    /// partition on.
+    /// partition on. Min ops address the head of the key space, so they
+    /// report the smallest user key.
     #[inline]
     pub fn key(&self) -> u32 {
         match *self {
             ServeOp::Get(k) | ServeOp::Insert(k, _) | ServeOp::Delete(k) | ServeOp::Range(k, _) => {
                 k
             }
+            ServeOp::MinEntry | ServeOp::PopMin => 1,
         }
     }
 
     /// True for operations that never take a chunk lock (the paper's
-    /// lock-free Contains fast path and the range scan built on it).
+    /// lock-free Contains fast path, the range scan built on it, and the
+    /// min-entry peek). `PopMin` removes, so it is a write.
     #[inline]
     pub fn is_read_only(&self) -> bool {
-        matches!(self, ServeOp::Get(_) | ServeOp::Range(_, _))
+        matches!(
+            self,
+            ServeOp::Get(_) | ServeOp::Range(_, _) | ServeOp::MinEntry
+        )
     }
 }
 
-/// Percent mixture over the four request kinds, plus the key span of range
+/// Percent mixture over the request kinds, plus the key span of range
 /// scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeMix {
@@ -66,6 +76,10 @@ pub struct ServeMix {
     pub get_pct: u32,
     /// Percent of `Range` requests.
     pub range_pct: u32,
+    /// Percent of `PopMin` (extract-min) requests.
+    pub pop_pct: u32,
+    /// Percent of `MinEntry` (peek-min) requests.
+    pub min_pct: u32,
     /// Key span of each range scan (`hi = lo + range_span`, clamped).
     pub range_span: u32,
 }
@@ -79,7 +93,14 @@ impl ServeMix {
     /// 64-key window.
     pub const RANGE10: ServeMix = ServeMix::new(10, 10, 70, 10, 64);
 
-    /// A new mixture; percentages must sum to 100.
+    /// The producer/consumer priority-queue mix: producers insert
+    /// timestamped work items, consumers extract-min, a few peek the front
+    /// — the shape of *Practical Concurrent Priority Queues* workloads.
+    /// Slightly producer-heavy so the queue never empties out under load.
+    pub const PQ: ServeMix = ServeMix::new_pq(48, 0, 5, 0, 42, 5, 0);
+
+    /// A new mixture over the point/range kinds; percentages must sum
+    /// to 100. Min ops are disabled — see [`ServeMix::new_pq`].
     pub const fn new(
         insert_pct: u32,
         delete_pct: u32,
@@ -87,8 +108,22 @@ impl ServeMix {
         range_pct: u32,
         range_span: u32,
     ) -> ServeMix {
+        ServeMix::new_pq(insert_pct, delete_pct, get_pct, range_pct, 0, 0, range_span)
+    }
+
+    /// A new mixture over all six request kinds; percentages must sum
+    /// to 100.
+    pub const fn new_pq(
+        insert_pct: u32,
+        delete_pct: u32,
+        get_pct: u32,
+        range_pct: u32,
+        pop_pct: u32,
+        min_pct: u32,
+        range_span: u32,
+    ) -> ServeMix {
         assert!(
-            insert_pct + delete_pct + get_pct + range_pct == 100,
+            insert_pct + delete_pct + get_pct + range_pct + pop_pct + min_pct == 100,
             "request mix must sum to 100%"
         );
         ServeMix {
@@ -96,6 +131,8 @@ impl ServeMix {
             delete_pct,
             get_pct,
             range_pct,
+            pop_pct,
+            min_pct,
             range_span,
         }
     }
@@ -118,9 +155,15 @@ impl ServeMix {
             ServeOp::Delete(k)
         } else if roll < self.insert_pct + self.delete_pct + self.get_pct {
             ServeOp::Get(k)
-        } else {
+        } else if roll < self.insert_pct + self.delete_pct + self.get_pct + self.range_pct {
             let hi = k.saturating_add(self.range_span).min(key_range);
             ServeOp::Range(k, hi)
+        } else if roll
+            < self.insert_pct + self.delete_pct + self.get_pct + self.range_pct + self.pop_pct
+        {
+            ServeOp::PopMin
+        } else {
+            ServeOp::MinEntry
         }
     }
 
@@ -318,13 +361,15 @@ mod tests {
         let mut rng = Lehmer64::new(7);
         let mix = ServeMix::RANGE10;
         let n = 100_000;
-        let mut counts = [0u32; 4];
+        let mut counts = [0u32; 6];
         for _ in 0..n {
             match mix.draw(&mut rng, 1_000_000) {
                 ServeOp::Insert(..) => counts[0] += 1,
                 ServeOp::Delete(_) => counts[1] += 1,
                 ServeOp::Get(_) => counts[2] += 1,
                 ServeOp::Range(..) => counts[3] += 1,
+                ServeOp::PopMin => counts[4] += 1,
+                ServeOp::MinEntry => counts[5] += 1,
             }
         }
         let pct = |c: u32| c as f64 / n as f64 * 100.0;
@@ -332,6 +377,28 @@ mod tests {
         assert!((pct(counts[1]) - 10.0).abs() < 1.0);
         assert!((pct(counts[2]) - 70.0).abs() < 1.0);
         assert!((pct(counts[3]) - 10.0).abs() < 1.0);
+        assert_eq!(counts[4] + counts[5], 0, "min ops disabled in RANGE10");
+    }
+
+    #[test]
+    fn pq_mix_produces_producer_consumer_streams() {
+        let mut rng = Lehmer64::new(13);
+        let mix = ServeMix::PQ;
+        let n = 100_000;
+        let (mut pops, mut mins, mut inserts) = (0u32, 0u32, 0u32);
+        for _ in 0..n {
+            match mix.draw(&mut rng, 1_000_000) {
+                ServeOp::PopMin => pops += 1,
+                ServeOp::MinEntry => mins += 1,
+                ServeOp::Insert(..) => inserts += 1,
+                _ => {}
+            }
+        }
+        let pct = |c: u32| c as f64 / n as f64 * 100.0;
+        assert!((pct(inserts) - 48.0).abs() < 1.0);
+        assert!((pct(pops) - 42.0).abs() < 1.0);
+        assert!((pct(mins) - 5.0).abs() < 1.0);
+        assert!(inserts > pops, "producer-heavy: the queue must not drain dry");
     }
 
     #[test]
