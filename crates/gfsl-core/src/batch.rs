@@ -97,13 +97,26 @@ impl<P: MemProbe> GfslHandle<'_, P> {
     /// are mutually unordered in either entry point, exactly as they would
     /// be across concurrently dispatched batches.
     pub fn execute_batch_hinted(&mut self, ops: &[BatchOp], out: &mut Vec<BatchReply>) -> usize {
-        let mut order: Vec<u32> = (0..ops.len() as u32).collect();
-        order.sort_unstable_by_key(|&i| (ops[i as usize].key(), i));
+        // The `(key, index)` sort runs on packed `(key << 32) | index` words:
+        // one u64 compare per branch instead of a tuple compare that chases
+        // `ops[i]`, with the index in the low half keeping same-key ops in
+        // their original relative order. The scratch buffer lives on the
+        // handle so steady-state batch dispatch allocates nothing.
+        let mut order = std::mem::take(&mut self.batch_order);
+        order.clear();
+        order.extend(
+            ops.iter()
+                .enumerate()
+                .map(|(i, op)| ((op.key() as u64) << 32) | i as u64),
+        );
+        order.sort_unstable();
         let base = out.len();
         out.resize(base + ops.len(), BatchReply::Got(None));
-        for &i in &order {
-            out[base + i as usize] = self.dispatch_one(ops[i as usize]);
+        for &packed in &order {
+            let i = (packed & u32::MAX as u64) as usize;
+            out[base + i] = self.dispatch_one(ops[i]);
         }
+        self.batch_order = order;
         ops.len()
     }
 

@@ -76,6 +76,7 @@ pub mod chunk;
 pub mod delete;
 pub mod downptr;
 pub mod export;
+pub mod flat;
 pub mod history;
 pub mod insert;
 pub mod introspect;
@@ -97,8 +98,9 @@ pub use skiplist::{
     AbortReason, Error, Gfsl, GfslHandle, OpAbort, RepairStats, LOCK_RETRY_BOUND,
     STARVATION_RETRIES,
 };
+pub use flat::{EngineKind, FlatSkiplist, KvEngine};
 pub use introspect::{LevelShape, Shape};
-pub use stats::OpStats;
+pub use stats::{OpStats, FINGER_LEVELS};
 pub use validate::Violation;
 
 /// Re-exported crash-point seam (the named vulnerable windows of the lock
@@ -116,6 +118,9 @@ pub use gfsl_simt::TeamSize;
 /// Re-exported ballot-kernel selector (scalar reference loop vs branch-free
 /// SWAR), the [`GfslParams::kernel`] knob.
 pub use gfsl_simt::BallotKernel;
+
+/// Re-exported software-prefetch policy, the [`GfslParams::prefetch`] knob.
+pub use gfsl_gpu_mem::Prefetch;
 
 /// Re-exported reclamation counters surfaced by [`Gfsl::reclaim_stats`].
 pub use gfsl_gpu_mem::ReclaimStats;

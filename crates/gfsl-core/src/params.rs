@@ -1,5 +1,6 @@
 //! Tunable parameters of a GFSL instance.
 
+use gfsl_gpu_mem::Prefetch;
 use gfsl_simt::{BallotKernel, TeamSize};
 
 /// Configuration for a [`crate::Gfsl`] instance.
@@ -36,6 +37,20 @@ pub struct GfslParams {
     /// handle's keys arrive in sorted/clustered order (batched serving), and
     /// costs one wasted chunk read per miss otherwise.
     pub hints: bool,
+    /// Enable the per-handle multi-level *finger*: in addition to the
+    /// bottom-level hint, each handle caches the `(chunk, lock word)` pair
+    /// it descended through at every level. A hint miss then restarts from
+    /// the deepest still-valid cached level instead of the head, and
+    /// hinted lateral walks skim `(max, next)` words instead of reading
+    /// whole chunks while laterally far from the key. Implies the hint
+    /// behaviour of [`hints`](Self::hints) for the bottom level. Off by
+    /// default, same trade-off as `hints`.
+    pub fingers: bool,
+    /// Software-prefetch policy for traversals: with [`Prefetch::Next`],
+    /// hinted walks, descents, and range scans prefetch the predicted next
+    /// chunk (host `_mm_prefetch` plus the modeled L2 fill in counting
+    /// probes) before finishing work on the current one. Off by default.
+    pub prefetch: Prefetch,
     /// Enable epoch-based reclamation of unlinked zombie chunks (recycled
     /// through `alloc_chunk`). See `gfsl_gpu_mem::reclaim` and DESIGN.md for
     /// the safety argument.
@@ -72,6 +87,8 @@ impl Default for GfslParams {
             seed: 0x9E37_79B9_7F4A_7C15,
             kernel: BallotKernel::Swar,
             hints: false,
+            fingers: false,
+            prefetch: Prefetch::Off,
             reclaim: true,
             contain: false,
             retry_budget: 0,
@@ -96,6 +113,12 @@ impl GfslParams {
         let per_chunk = (team_size.dsize() as u64 * 5 / 10).max(1);
         let chunks = expected_keys / per_chunk + expected_keys / (per_chunk * per_chunk) + 4096;
         chunks.min(u32::MAX as u64 / team_size.lanes() as u64) as u32
+    }
+
+    /// Whether reads should take the hinted dispatch path: fingers imply
+    /// bottom-level hinting, so either knob selects it.
+    pub fn hinted_dispatch(&self) -> bool {
+        self.hints || self.fingers
     }
 
     /// Number of entries per chunk (`N`).
@@ -170,6 +193,24 @@ mod tests {
         assert!(!p.contain);
         assert_eq!(p.retry_budget, 0);
         assert_eq!(p.op_deadline_ns, 0);
+    }
+
+    #[test]
+    fn locality_knobs_default_off_and_fingers_imply_hinted_dispatch() {
+        let p = GfslParams::default();
+        assert!(!p.fingers);
+        assert_eq!(p.prefetch, Prefetch::Off);
+        assert!(!p.hinted_dispatch());
+        let p = GfslParams {
+            fingers: true,
+            ..Default::default()
+        };
+        assert!(p.hinted_dispatch(), "fingers select the hinted path");
+        let p = GfslParams {
+            hints: true,
+            ..Default::default()
+        };
+        assert!(p.hinted_dispatch());
     }
 
     #[test]

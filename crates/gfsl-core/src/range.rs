@@ -59,6 +59,10 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 let w = view.lock_word(&team);
                 self.note_hint(c, (lock_state(w) == LOCK_UNLOCKED).then_some(w));
             }
+            // Foresight: the scan will almost always continue into the
+            // successor, so start pulling it while this chunk's entries are
+            // filtered and yielded.
+            self.prefetch_chunk(view.next(&team));
             let words = view.data_words(&team);
             let in_range = kernel.keys_in_range(words, lo, hi);
             for lane in 0..team.dsize() {

@@ -5,7 +5,7 @@ use gfsl_gpu_mem::MemProbe;
 use gfsl_simt::{Ballot, BallotKernel, LaneId, Team};
 
 use crate::chunk::{ops, is_user_key, ChunkView, NIL};
-use crate::skiplist::{GfslHandle, HINT_WALK_BUDGET};
+use crate::skiplist::{GfslHandle, FINGER_WALK_BUDGET, HINT_WALK_BUDGET};
 
 /// Team decision for the next traversal step (result of the ballot in
 /// `getTidForNextStep`, Algorithm 4.3).
@@ -118,6 +118,10 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if let Some((c, view)) = self.hint_start(k) {
             let team = self.list.team;
             let kernel = self.list.params.kernel;
+            // Foresight: under key-sorted dispatch the stream moves right,
+            // so the hinted chunk's successor is the likely next touch —
+            // warm it while the ballot decides.
+            self.prefetch_chunk(view.next(&team));
             match tid_with_equal_key(kernel, &team, k, &view) {
                 LateralStep::Found(lane) => {
                     // The validated word is unlocked by construction.
@@ -187,34 +191,141 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// final down-step (Algorithm 4.2). Restarts from the top in the rare
     /// backtrack-with-no-previous case.
     pub(crate) fn search_down(&mut self, k: u32) -> u32 {
+        self.descend(k, None)
+    }
+
+    /// The one descent loop behind `search_down` and `search_slow` (the
+    /// read and update paths previously hand-rolled it separately).
+    ///
+    /// * `path = None` — read-only: zombies met at the top of a level are
+    ///   stepped through without taking any lock, preserving `contains`'s
+    ///   lock-freedom.
+    /// * `path = Some` — update path: per-level `path[i]` is recorded
+    ///   (levels the descent never visits are filled with the level heads
+    ///   on entry and on every restart) and zombie runs are lazily
+    ///   unlinked via try-lock redirection.
+    ///
+    /// With [`GfslParams::fingers`] on, the descent first tries to restart
+    /// from the deepest still-valid cached finger level instead of the
+    /// head ([`Self::finger_restart`]), and re-caches every chunk it steps
+    /// down through whose lock word was observed unlocked. An in-descent
+    /// restart (torn backtrack) always returns to the head: the finger that
+    /// got us here may be what went stale.
+    pub(crate) fn descend(
+        &mut self,
+        k: u32,
+        mut path: Option<&mut [u32; gfsl_simt::WARP_SIZE]>,
+    ) -> u32 {
         let team = self.list.team;
         let kernel = self.list.params.kernel;
+        let mut from_finger = if self.list.params.fingers {
+            self.finger_restart(k)
+        } else {
+            None
+        };
+        // Lateral steps remaining before a finger-started descent gives up
+        // and falls back to the head. Validation only proves the finger is
+        // *at-or-left* of `k` on its level, not near it: when the access
+        // pattern jumps (a batch moves to a new hot band), a deep finger
+        // can sit thousands of chunks left of `k`, and crawling a low level
+        // across the keyspace costs far more than the head's O(log n)
+        // strides ever save. The budget caps the damage at less than one
+        // head descent's worth of reads.
+        let mut finger_laterals = FINGER_WALK_BUDGET;
         'restart: loop {
+            if let Some(p) = path.as_deref_mut() {
+                for (i, slot) in p.iter_mut().enumerate().take(self.list.params.max_levels()) {
+                    *slot = self.list.head_of(i);
+                }
+            }
             // prev = the chunk we lateral-stepped from (pointer + snapshot).
             let mut prev: Option<(u32, ChunkView)> = None;
-            let mut height = self.list.height();
-            let mut cur = self.list.head_of(height);
+            // The finger restart hands over its validating view so the
+            // first step pays no second read.
+            let mut pending: Option<ChunkView> = None;
+            // Level this descent attempt restarted from, while its lateral
+            // budget still applies (None once descending from the head).
+            let mut fingered_level: Option<usize> = None;
+            let (mut height, mut cur) = match from_finger.take() {
+                Some((level, chunk, view)) => {
+                    pending = Some(view);
+                    fingered_level = Some(level);
+                    (level, chunk)
+                }
+                None => {
+                    let h = self.list.height();
+                    (h, self.list.head_of(h))
+                }
+            };
             while height > 0 {
-                let view = self.read_chunk(cur);
+                let mut view = match pending.take() {
+                    Some(v) => v,
+                    None => self.read_chunk(cur),
+                };
                 if view.is_zombie(&team) {
-                    // Zombies keep pointing at the chunk that absorbed their
-                    // keys; just step through.
-                    let next = view.next(&team);
-                    if next == NIL {
-                        // Defensive: the last chunk is never zombified, so
-                        // this indicates we raced something unusual.
-                        self.stats.search_restarts += 1;
-                        continue 'restart;
+                    if path.is_some() {
+                        // Update path: lazily unlink the zombie run.
+                        let (nz, nz_view) = match self.first_non_zombie(view) {
+                            Some(x) => x,
+                            None => {
+                                self.stats.search_restarts += 1;
+                                continue 'restart;
+                            }
+                        };
+                        match prev {
+                            Some((pptr, _)) => self.redirect_past_zombies(pptr, cur, nz, height),
+                            None => {
+                                if self.list.head_of(height) == cur {
+                                    self.update_head(height, cur, nz);
+                                }
+                            }
+                        }
+                        cur = nz;
+                        view = nz_view;
+                    } else {
+                        // Read path: zombies keep pointing at the chunk that
+                        // absorbed their keys; just step through, lock-free.
+                        let next = view.next(&team);
+                        if next == NIL {
+                            // Defensive: the last chunk is never zombified,
+                            // so this indicates we raced something unusual.
+                            self.stats.search_restarts += 1;
+                            continue 'restart;
+                        }
+                        if let Some(level) = fingered_level {
+                            if finger_laterals == 0 {
+                                self.finger_overrun(level);
+                                continue 'restart;
+                            }
+                            finger_laterals -= 1;
+                        }
+                        cur = next;
+                        continue;
                     }
-                    cur = next;
-                    continue;
                 }
                 match tid_for_next_step(kernel, &team, k, &view) {
                     NextStep::Lateral => {
+                        if let Some(level) = fingered_level {
+                            if finger_laterals == 0 {
+                                self.finger_overrun(level);
+                                continue 'restart;
+                            }
+                            finger_laterals -= 1;
+                        }
                         prev = Some((cur, view));
                         cur = view.next(&team);
                     }
                     NextStep::Down(lane) => {
+                        if let Some(p) = path.as_deref_mut() {
+                            p[height] = cur;
+                        }
+                        let word = view.lock_word(&team);
+                        self.note_finger(
+                            height,
+                            cur,
+                            (crate::chunk::lock_state(word) == crate::chunk::LOCK_UNLOCKED)
+                                .then_some(word),
+                        );
                         height -= 1;
                         prev = None;
                         cur = view.entry(lane).val();
@@ -226,7 +337,17 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                             self.stats.search_restarts += 1;
                             continue 'restart;
                         }
-                        Some((_, pview)) => {
+                        Some((pptr, pview)) => {
+                            if let Some(p) = path.as_deref_mut() {
+                                p[height] = pptr;
+                            }
+                            let word = pview.lock_word(&team);
+                            self.note_finger(
+                                height,
+                                pptr,
+                                (crate::chunk::lock_state(word) == crate::chunk::LOCK_UNLOCKED)
+                                    .then_some(word),
+                            );
                             height -= 1;
                             cur = match down_step_lane(kernel, &team, k, &pview) {
                                 Some(lane) => pview.entry(lane).val(),
@@ -281,13 +402,68 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     ) -> Option<LateralResult> {
         let team = self.list.team;
         let kernel = self.list.params.kernel;
+        let skim = self.list.params.fingers;
         let mut cur = start;
         let mut moves = 0u32;
         // Lock word observed before the current view's data lanes (i.e. from
         // the previous read of the *same* chunk). Reset on every move.
         let mut certify: Option<u64> = None;
         loop {
+            if skim && moves >= 2 {
+                // Max-skip: while laterally far from `k`, read only the
+                // `(max, next)` word instead of the whole chunk. `max < k`
+                // decides `Continue` exactly — every data key is `<= max`,
+                // so no passed chunk can hold `k`, zombie or not (a zombie
+                // with `max < k` is stepped through identically, and one
+                // with `max >= k` falls to the full read below, which
+                // discovers it).
+                //
+                // Engaged only once two full reads have already stepped:
+                // a word probed for a chunk the full read then re-reads is
+                // pure overhead on the 1–2 step walks that dominate hinted
+                // hot-band traffic, while the runs that matter (zombie
+                // chains at a churn window's trailing edge) are dozens of
+                // chunks long and amortize the two-step on-ramp.
+                loop {
+                    let nf = ops::read_next_field(
+                        &team,
+                        &self.list.pool,
+                        &mut self.probe,
+                        self.list.chunk(cur),
+                    );
+                    if nf.key() >= k {
+                        break;
+                    }
+                    let next = nf.val();
+                    debug_assert_ne!(next, NIL, "max < k implies a successor");
+                    self.stats.skip_reads += 1;
+                    self.prefetch_chunk(next);
+                    cur = next;
+                    certify = None;
+                    moves += 1;
+                    if moves > budget {
+                        return None;
+                    }
+                }
+            }
+            // Pre-bracket: observe the lock word before the team read. If
+            // the view's own lock lane (read after every data lane) repeats
+            // it unlocked, the view is *certified on first read* — a
+            // `NotFound` answer returns without the confirming re-read the
+            // certify loop below would otherwise pay, and a `Found` view is
+            // eligible for the fat-hint stash. One extra word read per
+            // chunk arrival buys back a whole team read on the (common)
+            // quiescent-chunk case.
+            if certify.is_none() {
+                let addr = ops::lock_addr(&team, self.list.chunk(cur));
+                self.probe.lane_read(addr);
+                certify = Some(self.list.pool.read(addr));
+            }
             let view = self.read_chunk(cur);
+            // Foresight: the successor is the likely next read — either
+            // this walk continues, or (under key-sorted batch dispatch)
+            // the handle's next operation lands there.
+            self.prefetch_chunk(view.next(&team));
             if view.is_zombie(&team) {
                 cur = view.next(&team);
                 certify = None;
@@ -309,6 +485,13 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 }
                 LateralStep::Found(lane) => {
                     let word = view.lock_word(&team);
+                    if certify == Some(word)
+                        && crate::chunk::lock_state(word) == crate::chunk::LOCK_UNLOCKED
+                    {
+                        // Pre-bracketed: certified despite needing no
+                        // confirmation for the answer itself.
+                        self.stash_hint_view(cur, &view);
+                    }
                     return Some(LateralResult {
                         enclosing: cur,
                         found: Some((lane, view.entry(lane).val())),
@@ -322,6 +505,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     if certify == Some(after)
                         && crate::chunk::lock_state(after) == crate::chunk::LOCK_UNLOCKED
                     {
+                        // Bracketed by the previous read's lock lane and this
+                        // view's own: certified, so eligible as the fat hint.
+                        self.stash_hint_view(cur, &view);
                         return Some(LateralResult {
                             enclosing: cur,
                             found: None,
@@ -345,71 +531,11 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// `path[i]` = chunk in level `i` at-or-left of `k`'s enclosing chunk;
     /// levels the traversal never visited default to the level head.
     pub(crate) fn search_slow(&mut self, k: u32) -> (LateralResult, [u32; gfsl_simt::WARP_SIZE]) {
-        let team = self.list.team;
-        let kernel = self.list.params.kernel;
-        'restart: loop {
-            let mut path = [NIL; gfsl_simt::WARP_SIZE];
-            for (i, slot) in path.iter_mut().enumerate().take(self.list.params.max_levels()) {
-                *slot = self.list.head_of(i);
-            }
-            let mut prev: Option<(u32, ChunkView)> = None;
-            let mut height = self.list.height();
-            let mut cur = self.list.head_of(height);
-            while height > 0 {
-                let mut view = self.read_chunk(cur);
-                if view.is_zombie(&team) {
-                    let (nz, nz_view) = match self.first_non_zombie(view) {
-                        Some(x) => x,
-                        None => {
-                            self.stats.search_restarts += 1;
-                            continue 'restart;
-                        }
-                    };
-                    match prev {
-                        Some((pptr, _)) => self.redirect_past_zombies(pptr, cur, nz, height),
-                        None => {
-                            if self.list.head_of(height) == cur {
-                                self.update_head(height, cur, nz);
-                            }
-                        }
-                    }
-                    cur = nz;
-                    view = nz_view;
-                }
-                match tid_for_next_step(kernel, &team, k, &view) {
-                    NextStep::Lateral => {
-                        prev = Some((cur, view));
-                        cur = view.next(&team);
-                    }
-                    NextStep::Down(lane) => {
-                        path[height] = cur;
-                        height -= 1;
-                        prev = None;
-                        cur = view.entry(lane).val();
-                    }
-                    NextStep::Backtrack => match prev.take() {
-                        None => {
-                            self.stats.search_restarts += 1;
-                            continue 'restart;
-                        }
-                        Some((pptr, pview)) => {
-                            path[height] = pptr;
-                            height -= 1;
-                            cur = match down_step_lane(kernel, &team, k, &pview) {
-                                Some(lane) => pview.entry(lane).val(),
-                                None => {
-                                    self.stats.search_restarts += 1;
-                                    continue 'restart;
-                                }
-                            };
-                        }
-                    },
-                }
-            }
-            let res = self.search_lateral_redirect(k, cur);
-            path[0] = res.enclosing;
-            return (res, path);
-        }
+        let mut path = [NIL; gfsl_simt::WARP_SIZE];
+        let bottom = self.descend(k, Some(&mut path));
+        let res = self.search_lateral_redirect(k, bottom);
+        path[0] = res.enclosing;
+        (res, path)
     }
 
     /// Like [`Self::search_lateral`] but lazily unlinks zombie runs it walks
@@ -422,6 +548,14 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         // NotFound certification, exactly as in `search_lateral`.
         let mut certify: Option<u64> = None;
         loop {
+            // Pre-bracket, as in `search_lateral_bounded`: certify views on
+            // first read so the common quiescent case (every fresh insert's
+            // final `NotFound`) skips the confirming re-read.
+            if certify.is_none() {
+                let addr = ops::lock_addr(&team, self.list.chunk(cur));
+                self.probe.lane_read(addr);
+                certify = Some(self.list.pool.read(addr));
+            }
             let view = self.read_chunk(cur);
             if view.is_zombie(&team) {
                 certify = None;
@@ -450,6 +584,11 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 }
                 LateralStep::Found(lane) => {
                     let word = view.lock_word(&team);
+                    if certify == Some(word)
+                        && crate::chunk::lock_state(word) == crate::chunk::LOCK_UNLOCKED
+                    {
+                        self.stash_hint_view(cur, &view);
+                    }
                     return LateralResult {
                         enclosing: cur,
                         found: Some((lane, view.entry(lane).val())),
@@ -462,6 +601,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     if certify == Some(after)
                         && crate::chunk::lock_state(after) == crate::chunk::LOCK_UNLOCKED
                     {
+                        self.stash_hint_view(cur, &view);
                         return LateralResult {
                             enclosing: cur,
                             found: None,

@@ -9,7 +9,7 @@ use gfsl_simt::Team;
 use crate::chunk::{ops, ChunkRef, ChunkView, Entry, KEY_INF, KEY_NEG_INF, LOCK_UNLOCKED, NIL};
 use crate::params::GfslParams;
 use gfsl_rng::SplitMix64;
-use crate::stats::OpStats;
+use crate::stats::{OpStats, FINGER_LEVELS};
 
 /// Errors surfaced by updating operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -387,7 +387,10 @@ impl Gfsl {
             held: HeldLocks::new(self),
             reclaim_slot: ReclaimGuard { list: self, slot },
             hint0: None,
+            hint_view: None,
+            finger: [None; FINGER_LEVELS],
             reclaim_tick: 0,
+            batch_order: Vec::new(),
             journal: OpJournal::default(),
             op_waits: 0,
             op_deadline: None,
@@ -589,6 +592,19 @@ pub const LOCK_RETRY_BOUND: u32 = 1 << 26;
 /// chunk reads.
 pub(crate) const HINT_WALK_BUDGET: u32 = 8;
 
+/// Lateral steps a finger-restarted descent may take before abandoning the
+/// finger and re-descending from the head. A validated finger is only
+/// *at-or-left* on its level; when the access pattern jumps to a new hot
+/// band the cached chunk can be arbitrarily far left, and crawling a low
+/// level across that gap costs unboundedly more than the head descent the
+/// finger was meant to save. Eight lateral reads is well under one head
+/// descent's worth of chunk reads at the 1M anchor, and a *good* restart
+/// rarely needs more than two: the budget trades a sliver of reach on
+/// borderline restarts for a tight cap on what an adversarial pattern
+/// (alternating far-apart keys, e.g. a churn window's two edges) can burn
+/// per operation.
+pub(crate) const FINGER_WALK_BUDGET: u32 = 8;
+
 /// A per-thread session on a [`Gfsl`]: the moral equivalent of one GPU team.
 ///
 /// Holds the thread's memory probe, RNG stream, and operation statistics.
@@ -609,8 +625,32 @@ pub struct GfslHandle<'a, P: MemProbe> {
     /// incarnation and unmutated since) and starts its lateral walk there,
     /// skipping the descent entirely.
     hint0: Option<Hint0>,
+    /// Fat bottom-level hint: the last *certified* snapshot this handle's
+    /// traversals produced, tagged with its chunk index (the observed
+    /// unlocked word is the view's own lock lane). When the next lookup's
+    /// [`hint0`](Self::hint0) names the same `(chunk, word)` pair,
+    /// [`hint_start`](Self::hint_start) revalidates with a single lock-lane
+    /// read instead of the full team read: the identical unlocked word
+    /// proves no writer completed since the snapshot was certified, so the
+    /// cached data lanes are still authentic. Only views whose data lanes
+    /// were *bracketed* by two observations of the same unlocked word may
+    /// be stashed here — the later one-word re-read extends a bracket
+    /// forward, it cannot create one around an uncertified read.
+    hint_view: Option<(u32, ChunkView)>,
+    /// Multi-level finger: the cached descent path, one `(chunk, lock word)`
+    /// pair per level (slot `i` = level `i`; slot 0 is unused — the bottom
+    /// level lives in [`hint0`](Self::hint0), whose validated snapshot
+    /// doubles as the answer certification). A descent revalidates entries
+    /// deepest-first and restarts from the deepest still-valid level
+    /// instead of the head. Only populated when [`GfslParams::fingers`] is
+    /// on.
+    finger: [Option<Hint0>; FINGER_LEVELS],
     /// Update-op counter driving periodic reclamation passes.
     reclaim_tick: u32,
+    /// Reusable `(key << 32) | index` sort scratch for
+    /// [`execute_batch_hinted`](Self::execute_batch_hinted), so steady-state
+    /// batch dispatch allocates nothing.
+    pub(crate) batch_order: Vec<u64>,
     /// Containment journal for the op in flight (intent stub + commit
     /// point); reset by [`Self::contained`].
     pub(crate) journal: OpJournal,
@@ -973,7 +1013,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// cached one and the view's own lock lane, which `read_chunk` reads
     /// last), so a negative answer derived from it needs no re-read.
     pub(crate) fn hint_start(&mut self, k: u32) -> Option<(u32, ChunkView)> {
-        if !self.list.params.hints {
+        if !self.list.params.hinted_dispatch() {
             return None;
         }
         let Hint0 { chunk: c, word: w, epoch } = self.hint0?;
@@ -989,18 +1029,69 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             if rec.epoch().wrapping_sub(epoch) >= 2 {
                 self.stats.hint_misses += 1;
                 self.hint0 = None;
+                // The snapshot is as old as the hint it certified; the same
+                // defense-in-depth retires it.
+                self.hint_view = None;
                 return None;
             }
         }
         let team = self.list.team;
+        // Fat-hint fast path: when the last certified snapshot is of this
+        // very `(chunk, word)` pair, one lock-lane read re-certifies the
+        // whole cached view — the full team read is only paid when the hint
+        // moved to a chunk we have no snapshot of.
+        if let Some((vc, view)) = self.hint_view {
+            if vc == c && view.lock_word(&team) == w {
+                let addr = ops::lock_addr(&team, self.list.chunk(c));
+                self.probe.lane_read(addr);
+                self.stats.skip_reads += 1;
+                if self.list.pool.read(addr) == w && view.entry(0).key() <= k {
+                    self.stats.hint_hits += 1;
+                    if self.list.params.fingers {
+                        // A validated bottom hint is a depth-0 finger restart.
+                        self.stats.finger_depth_hits[0] += 1;
+                    }
+                    return Some((c, view));
+                }
+                // Either the chunk mutated since the snapshot (the word
+                // changed, so a full re-read would fail the same compare) or
+                // its authentic minimum sits right of `k`; both are exactly
+                // the miss conditions of the full-read path below, so
+                // declare the miss without paying the team read.
+                self.hint_view = None;
+                self.stats.hint_misses += 1;
+                self.hint0 = None;
+                return None;
+            }
+        }
         let view = self.read_chunk(c);
         if view.lock_word(&team) == w && view.entry(0).key() <= k {
             self.stats.hint_hits += 1;
+            if self.list.params.fingers {
+                // A validated bottom hint is a depth-0 finger restart.
+                self.stats.finger_depth_hits[0] += 1;
+            }
+            // Bracketed by the cached word observation (before this read's
+            // data lanes) and the view's own lock lane (after them): a
+            // certified snapshot, eligible for the fast path above.
+            self.hint_view = Some((c, view));
             Some((c, view))
         } else {
             self.stats.hint_misses += 1;
             self.hint0 = None;
             None
+        }
+    }
+
+    /// Stash a *certified* view (data lanes bracketed by two observations of
+    /// the same unlocked lock word) as the fat bottom-level hint, so a later
+    /// [`Self::hint_start`] for the same `(chunk, word)` can revalidate it
+    /// with a single lock-lane read. Uncertified views must never be passed
+    /// here — see [`Self::hint_view`].
+    #[inline]
+    pub(crate) fn stash_hint_view(&mut self, chunk: u32, view: &ChunkView) {
+        if self.list.params.hinted_dispatch() {
+            self.hint_view = Some((chunk, *view));
         }
     }
 
@@ -1011,7 +1102,27 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     pub(crate) fn hint_overrun(&mut self) {
         self.stats.hint_hits -= 1;
         self.stats.hint_misses += 1;
+        if self.list.params.fingers {
+            self.stats.finger_depth_hits[0] -= 1;
+        }
         self.hint0 = None;
+        self.hint_view = None;
+    }
+
+    /// Demote the finger hit just recorded by [`Self::finger_restart`] to a
+    /// miss: the finger validated but sat too far left of `k` on its level,
+    /// so the descent burned its lateral budget
+    /// ([`FINGER_WALK_BUDGET`](crate::skiplist::FINGER_WALK_BUDGET)) and
+    /// fell back to the head. Clearing the slot keeps the next descent from
+    /// paying the crawl again.
+    pub(crate) fn finger_overrun(&mut self, level: usize) {
+        self.stats.finger_depth_hits[level] -= 1;
+        self.stats.finger_misses += 1;
+        // The whole stack, not just the restart level: every cached level
+        // points into the neighborhood the access pattern just left, so a
+        // shallower slot would only validate and burn the budget again on
+        // the very next descent.
+        self.finger = [None; FINGER_LEVELS];
     }
 
     /// Record a bottom-level chunk as the traversal hint. `word` must be its
@@ -1020,12 +1131,83 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// unlocked observation is available, leaving the previous hint alone.
     #[inline]
     pub(crate) fn note_hint(&mut self, chunk: u32, word: Option<u64>) {
-        if self.list.params.hints {
+        if self.list.params.hinted_dispatch() {
             if let Some(w) = word {
                 let epoch = self.list.reclaim.as_ref().map_or(0, |r| r.epoch());
                 self.hint0 = Some(Hint0 { chunk, word: w, epoch });
             }
         }
+    }
+
+    /// Record a level-`level` chunk the descent passed down through as that
+    /// level's finger. `word` must be its lock word as observed *unlocked*
+    /// in the descent's view (callers pass `None` otherwise, leaving the
+    /// slot alone). The capture view needs no certification: validity is
+    /// established at restart time, when [`Self::finger_restart`] re-reads
+    /// the chunk and demands the same unlocked word.
+    #[inline]
+    pub(crate) fn note_finger(&mut self, level: usize, chunk: u32, word: Option<u64>) {
+        if self.list.params.fingers && level > 0 && level < FINGER_LEVELS {
+            if let Some(w) = word {
+                let epoch = self.list.reclaim.as_ref().map_or(0, |r| r.epoch());
+                self.finger[level] = Some(Hint0 { chunk, word: w, epoch });
+            }
+        }
+    }
+
+    /// Find the deepest still-valid finger level for `k`: revalidate cached
+    /// `(chunk, word)` pairs bottom-up (cheapest win first) and return the
+    /// first that passes, with the validating view so the descent's first
+    /// step pays no second read. Invalid entries are cleared as they fail.
+    ///
+    /// Validity mirrors [`Self::hint_start`]: the same epoch guard, then a
+    /// fresh read showing the identical *unlocked* lock word (⇒ same chunk
+    /// incarnation — and therefore still on the same level — unmutated and
+    /// writer-free since capture) whose `entry(0) <= k` places the chunk
+    /// at-or-left of `k`'s position on that level. Upper levels of the
+    /// update path above the restart level simply keep their level-head
+    /// defaults, which are trivially at-or-left.
+    pub(crate) fn finger_restart(&mut self, k: u32) -> Option<(usize, u32, ChunkView)> {
+        let team = self.list.team;
+        let epoch_now = self.list.reclaim.as_ref().map(|r| r.epoch());
+        for level in 1..FINGER_LEVELS {
+            let Some(Hint0 { chunk: c, word: w, epoch }) = self.finger[level] else {
+                continue;
+            };
+            if let Some(now) = epoch_now {
+                if now.wrapping_sub(epoch) >= 2 {
+                    self.finger[level] = None;
+                    continue;
+                }
+            }
+            let view = self.read_chunk(c);
+            if view.lock_word(&team) == w && view.entry(0).key() <= k {
+                self.stats.finger_depth_hits[level] += 1;
+                return Some((level, c, view));
+            }
+            self.finger[level] = None;
+        }
+        self.stats.finger_misses += 1;
+        None
+    }
+
+    /// Issue a software prefetch for the chunk's words: the host-CPU hint
+    /// plus the modeled L2 fill in instrumented runs. A no-op unless
+    /// [`GfslParams::prefetch`] asks for it.
+    #[inline]
+    pub(crate) fn prefetch_chunk(&mut self, index: u32) {
+        if !self.list.params.prefetch.enabled() || index == NIL {
+            return;
+        }
+        let lanes = self.list.params.lanes();
+        let base = self.list.chunk(index).base;
+        self.list.pool.prefetch(base, lanes as u32);
+        let mut addrs = [0u32; gfsl_simt::WARP_SIZE];
+        for (i, a) in addrs.iter_mut().enumerate().take(lanes) {
+            *a = base + i as u32;
+        }
+        self.probe.warp_prefetch(&addrs[..lanes]);
+        self.stats.prefetch_issued += 1;
     }
 
     /// Spin until the chunk that *encloses* `k` is locked, walking right

@@ -13,7 +13,7 @@
 use std::sync::{Condvar, Mutex};
 
 use gfsl::chaos::{ChaosController, ChaosOptions};
-use gfsl::{BallotKernel, BatchOp, BatchReply, Gfsl, GfslParams, TeamSize};
+use gfsl::{BallotKernel, BatchOp, BatchReply, Gfsl, GfslParams, Prefetch, TeamSize};
 use proptest::prelude::*;
 
 /// Keys per worker class in the scripted runs: enough to force several
@@ -41,11 +41,20 @@ fn script_from_seed(seed: u64, len: usize) -> Vec<u8> {
 /// Handle creation is serialized through a gate (worker 0 first) because a
 /// handle's raise-coin RNG stream is assigned at creation; leaving that to
 /// OS spawn order would compare two *different* workloads, not two kernels.
-fn scripted_run(kernel: BallotKernel, script: Vec<u8>) -> (u64, Vec<u32>) {
+///
+/// With `locality` on, the run additionally enables the multi-level finger,
+/// foresight prefetch, and chunk reclamation — so the cached descent path
+/// is continuously split, merged, retired, and recycled underneath the
+/// fingers, and the in-run membership asserts witness that no operation
+/// ever trusted a stale cached chunk.
+fn scripted_run(kernel: BallotKernel, script: Vec<u8>, locality: bool) -> (u64, Vec<u32>) {
     let list = Gfsl::new(GfslParams {
         team_size: TeamSize::Sixteen,
         pool_chunks: 1 << 12,
         kernel,
+        fingers: locality,
+        prefetch: if locality { Prefetch::Next } else { Prefetch::Off },
+        reclaim: locality,
         ..Default::default()
     })
     .expect("params valid");
@@ -114,12 +123,34 @@ fn scripted_run(kernel: BallotKernel, script: Vec<u8>) -> (u64, Vec<u32>) {
 fn scripted_chaos_traces_are_bit_identical_across_kernels() {
     for seed in 0..6u64 {
         let script = script_from_seed(seed, 64);
-        let scalar = scripted_run(BallotKernel::Scalar, script.clone());
-        let swar = scripted_run(BallotKernel::Swar, script);
+        let scalar = scripted_run(BallotKernel::Scalar, script.clone(), false);
+        let swar = scripted_run(BallotKernel::Swar, script, false);
         assert_eq!(
             scalar, swar,
             "kernel changed the observable schedule under script seed {seed}"
         );
+    }
+}
+
+/// Finger-invalidation chaos: under scripted schedules whose splits,
+/// merges, and reclamation churn the cached descent path, a fingered run
+/// must (a) pass every in-run membership assert — a stale finger would
+/// surface as a wrong `get`/`remove` — and (b) finish with exactly the
+/// membership of the unfingered run (the workload's final state is
+/// schedule-independent), and (c) replay bit-identically, since the finger
+/// is deterministic state.
+#[test]
+fn fingered_scripted_chaos_never_observes_stale_chunks() {
+    for seed in 0..4u64 {
+        let script = script_from_seed(seed ^ 0xF16E5, 64);
+        let plain = scripted_run(BallotKernel::Swar, script.clone(), false);
+        let fingered = scripted_run(BallotKernel::Swar, script.clone(), true);
+        assert_eq!(
+            plain.1, fingered.1,
+            "fingers changed final membership under script seed {seed}"
+        );
+        let replay = scripted_run(BallotKernel::Swar, script, true);
+        assert_eq!(fingered, replay, "fingered scripted run must replay identically");
     }
 }
 
@@ -129,8 +160,8 @@ fn scripted_chaos_traces_are_bit_identical_across_kernels() {
 #[test]
 fn scripted_run_replays_identically_with_one_kernel() {
     let script = script_from_seed(0xD1FF, 48);
-    let a = scripted_run(BallotKernel::Swar, script.clone());
-    let b = scripted_run(BallotKernel::Swar, script);
+    let a = scripted_run(BallotKernel::Swar, script.clone(), false);
+    let b = scripted_run(BallotKernel::Swar, script, false);
     assert_eq!(a, b, "scripted harness must be deterministic");
 }
 
@@ -159,12 +190,19 @@ fn op_strategy() -> impl Strategy<Value = BatchOp> {
 
 /// Apply one history to a fresh list under the given configuration and
 /// return every reply plus the final membership.
-fn apply_history(ops: &[BatchOp], kernel: BallotKernel, hints: bool) -> (Vec<BatchReply>, Vec<u32>) {
+fn apply_history(
+    ops: &[BatchOp],
+    kernel: BallotKernel,
+    hints: bool,
+    fingers: bool,
+) -> (Vec<BatchReply>, Vec<u32>) {
     let list = Gfsl::new(GfslParams {
         team_size: TeamSize::Sixteen,
         pool_chunks: 1 << 12,
         kernel,
         hints,
+        fingers,
+        prefetch: if fingers { Prefetch::Next } else { Prefetch::Off },
         ..Default::default()
     })
     .expect("params valid");
@@ -180,17 +218,23 @@ proptest! {
 
     /// Random single-thread histories (including sentinel-adjacent and
     /// reserved keys) produce identical replies and identical final
-    /// membership under the scalar reference, the SWAR kernel, and the SWAR
-    /// kernel with the hint cache enabled.
+    /// membership under the scalar reference, the SWAR kernel, the SWAR
+    /// kernel with the hint cache enabled, and the SWAR kernel with the
+    /// multi-level finger and foresight prefetch on. The history's inserts
+    /// and removes split and merge chunks directly on the cached path, so
+    /// this is the single-threaded finger-invalidation check: a finger
+    /// surviving a split/merge it should have rejected would change a reply.
     #[test]
     fn kernels_agree_on_random_histories(
         ops in proptest::collection::vec(op_strategy(), 0..250),
     ) {
-        let scalar = apply_history(&ops, BallotKernel::Scalar, false);
-        let swar = apply_history(&ops, BallotKernel::Swar, false);
+        let scalar = apply_history(&ops, BallotKernel::Scalar, false, false);
+        let swar = apply_history(&ops, BallotKernel::Swar, false, false);
         prop_assert_eq!(&scalar, &swar, "scalar vs swar diverged");
-        let hinted = apply_history(&ops, BallotKernel::Swar, true);
+        let hinted = apply_history(&ops, BallotKernel::Swar, true, false);
         prop_assert_eq!(&scalar, &hinted, "hinted traversal changed results");
+        let fingered = apply_history(&ops, BallotKernel::Swar, false, true);
+        prop_assert_eq!(&scalar, &fingered, "fingered traversal changed results");
     }
 }
 
@@ -203,12 +247,14 @@ proptest! {
 fn sentinel_edge_lanes_agree_across_configs() {
     let mut outputs: Vec<(Vec<BatchReply>, Vec<u32>)> = Vec::new();
     for kernel in [BallotKernel::Scalar, BallotKernel::Swar] {
-        for hints in [false, true] {
+        for (hints, fingers) in [(false, false), (true, false), (false, true)] {
             let list = Gfsl::new(GfslParams {
                 team_size: TeamSize::Sixteen,
                 pool_chunks: 1 << 12,
                 kernel,
                 hints,
+                fingers,
+                prefetch: if fingers { Prefetch::Next } else { Prefetch::Off },
                 ..Default::default()
             })
             .expect("params valid");

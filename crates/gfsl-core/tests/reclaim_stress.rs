@@ -192,6 +192,92 @@ fn hinted_lookups_stay_correct_across_reclamation_churn() {
     assert_eq!(got, expect);
 }
 
+/// The multi-level finger must stay safe across chunk reclamation, exactly
+/// like the bottom hint: every cached `(chunk, lock word, epoch)` level can
+/// name a chunk that is split, merged away, retired, reclaimed, and
+/// reinitialized under a different key range while the finger sits idle.
+/// The top-down validation (identical unlocked lock word + epoch window)
+/// must reject recycled incarnations level by level, so a fingered descent
+/// never starts below a stale chunk.
+///
+/// Same shape as the hinted test above, with fingers + foresight prefetch
+/// on: sliding-window churn >10x through a 64-chunk pool with fingered
+/// lookups interleaved and checked against a reference map, plus an idle
+/// handle whose whole finger stack goes generations stale.
+#[test]
+fn fingered_lookups_stay_correct_across_reclamation_churn() {
+    const WINDOW: u32 = 48;
+    const LAST: u32 = 6_000;
+    let list = Gfsl::new(GfslParams {
+        team_size: TeamSize::Sixteen,
+        pool_chunks: 64,
+        reclaim: true,
+        fingers: true,
+        prefetch: gfsl::Prefetch::Next,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut h = list.handle();
+    let mut reference: BTreeMap<u32, u32> = BTreeMap::new();
+
+    for k in 1..=WINDOW {
+        h.insert(k, k * 3).unwrap();
+        reference.insert(k, k * 3);
+    }
+    // The idle handle's finger stack will outlive many reclaim epochs.
+    let mut idle = list.handle();
+    assert_eq!(idle.get(WINDOW / 2), Some(WINDOW / 2 * 3));
+
+    for k in WINDOW + 1..=LAST {
+        h.insert(k, k * 3).unwrap();
+        reference.insert(k, k * 3);
+        assert!(h.remove(k - WINDOW));
+        reference.remove(&(k - WINDOW));
+        if k % 7 == 0 {
+            // Fingered lookups mid-churn: every cached level points into a
+            // window region that is continuously merged away and recycled.
+            let probe = k - k % WINDOW;
+            assert_eq!(h.get(probe), reference.get(&probe).copied(), "mid-churn get {probe}");
+        }
+    }
+
+    let stats = list.reclaim_stats().expect("reclamation on");
+    assert!(
+        stats.reused >= 640,
+        "churn must recycle >10x the pool, reused only {}",
+        stats.reused
+    );
+    assert!(list.chunks_allocated() <= 64, "bump pointer within the pool");
+
+    // The idle handle's fingers are now generations stale at every level;
+    // validation must reject them all and restart from the head.
+    assert_eq!(idle.get(WINDOW / 2), None, "pre-churn key is long gone");
+    assert_eq!(
+        idle.get(LAST - WINDOW / 2),
+        reference.get(&(LAST - WINDOW / 2)).copied(),
+        "stale-fingered handle reads the live window"
+    );
+
+    // Full fingered sweep against the reference: ascending keys keep the
+    // finger hot, all of it over recycled chunks.
+    for k in 1..=LAST {
+        assert_eq!(h.get(k), reference.get(&k).copied(), "final sweep get {k}");
+    }
+    let s = h.stats();
+    assert!(
+        s.finger_depth_hits.iter().sum::<u64>() > 0,
+        "sweep never restarted from a finger: {s:?}"
+    );
+    assert!(s.finger_misses > 0, "churn never invalidated the finger stack: {s:?}");
+    assert!(s.prefetch_issued > 0, "foresight prefetch never fired: {s:?}");
+
+    let violations = list.validate();
+    assert!(violations.is_empty(), "post-churn invariants: {violations:?}");
+    let got: BTreeSet<u32> = list.keys().into_iter().collect();
+    let expect: BTreeSet<u32> = reference.keys().copied().collect();
+    assert_eq!(got, expect);
+}
+
 /// With reclamation off, a tiny pool exhausts under churn. The regression
 /// being pinned: exhaustion inside a split used to leave chunk locks held,
 /// wedging every later writer. It must instead surface the typed error

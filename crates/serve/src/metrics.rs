@@ -1,4 +1,7 @@
-//! Service-level metrics: latency histograms, batch occupancy, queue depth.
+//! Service-level metrics: latency histograms, batch occupancy, queue depth,
+//! and structure-locality counters (hints, fingers, prefetch).
+
+use gfsl::FINGER_LEVELS;
 
 /// Log2-bucketed latency histogram (nanoseconds). Bucket `i` covers
 /// `[2^i, 2^(i+1))`; quantiles report the bucket's upper bound, so a
@@ -109,6 +112,25 @@ impl serde::Serialize for LatencyHisto {
     }
 }
 
+/// Per-level finger restart counts (slot `i` = descents resumed from a
+/// still-valid cached chunk at level `i`; slot 0 is the bottom hint).
+/// Serializes as an `l0..l7` object so the BENCH json carries the whole
+/// depth histogram in one readable row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FingerDepths(pub [u64; FINGER_LEVELS]);
+
+impl serde::Serialize for FingerDepths {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(
+            self.0
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (format!("l{i}"), serde::Value::U64(n)))
+                .collect(),
+        )
+    }
+}
+
 /// Aggregated metrics for one service run.
 #[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct ServiceMetrics {
@@ -172,6 +194,20 @@ pub struct ServiceMetrics {
     pub durable_commits: u64,
     /// Effective write records handed to the durability sink.
     pub durable_records: u64,
+    /// Fraction of bottom-hint validations that succeeded across workers
+    /// (0.0 when the hint cache never ran) — the key-sorted-dispatch
+    /// locality signal.
+    pub hint_hit_rate: f64,
+    /// Finger restart depth histogram across workers (see [`FingerDepths`]).
+    pub finger_depth_hits: FingerDepths,
+    /// Fingered descents that restarted from the head (no cached level
+    /// validated).
+    pub finger_misses: u64,
+    /// Software prefetches issued for predicted next chunks.
+    pub prefetch_issued: u64,
+    /// Lateral steps that skimmed only the `(max, next)` word instead of
+    /// reading the whole chunk.
+    pub skip_reads: u64,
     #[serde(skip)]
     occupancy_sum: f64,
     #[serde(skip)]
@@ -213,6 +249,16 @@ impl ServiceMetrics {
         } else {
             self.queue_depth_sum as f64 / self.queue_samples as f64
         }
+    }
+
+    /// Fold the run's merged structure-level counters into the locality
+    /// fields (hint hit rate, finger depth histogram, prefetch/skim totals).
+    pub fn absorb_op_stats(&mut self, s: &gfsl::OpStats) {
+        self.hint_hit_rate = s.hint_hit_rate().unwrap_or(0.0);
+        self.finger_depth_hits = FingerDepths(s.finger_depth_hits);
+        self.finger_misses = s.finger_misses;
+        self.prefetch_issued = s.prefetch_issued;
+        self.skip_reads = s.skip_reads;
     }
 
     /// Completed throughput over the whole run wall-clock, Mops/s.
@@ -309,6 +355,27 @@ mod tests {
             !json.contains("occupancy_sum"),
             "private accumulators are skipped: {json}"
         );
+    }
+
+    #[test]
+    fn locality_counters_serialize_as_depth_histogram() {
+        let mut m = ServiceMetrics::default();
+        let mut s = gfsl::OpStats::new();
+        s.hint_hits = 3;
+        s.hint_misses = 1;
+        s.finger_depth_hits[1] = 7;
+        s.finger_misses = 2;
+        s.prefetch_issued = 11;
+        s.skip_reads = 5;
+        m.absorb_op_stats(&s);
+        assert!((m.hint_hit_rate - 0.75).abs() < 1e-12);
+        let json = serde::to_json_string(&m);
+        assert!(
+            json.contains("\"finger_depth_hits\":{\"l0\":0,\"l1\":7,"),
+            "depth histogram serializes inline: {json}"
+        );
+        assert!(json.contains("\"prefetch_issued\":11"), "{json}");
+        assert!(json.contains("\"skip_reads\":5"), "{json}");
     }
 
     #[test]

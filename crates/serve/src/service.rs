@@ -240,12 +240,18 @@ fn exec_batch<P: MemProbe>(
         .collect()
 }
 
-fn worker_loop(list: &Gfsl, injector: &Injector, done: mpsc::Sender<DoneItem>) {
+fn worker_loop(
+    list: &Gfsl,
+    injector: &Injector,
+    done: mpsc::Sender<DoneItem>,
+    op_stats: &std::sync::Mutex<gfsl::OpStats>,
+) {
     let mut h = list.handle();
-    // When the structure's traversal hint cache is on, execute each batch
-    // in key order so consecutive ops validate the hint (replies stay
-    // index-aligned either way).
-    let hinted = list.params().hints;
+    // When the structure's hint cache or multi-level finger is on, execute
+    // each batch in key order so consecutive ops validate the cached path
+    // (replies stay index-aligned either way).
+    let hinted = list.params().hinted_dispatch();
+    let mut chaos_stats = gfsl::OpStats::new();
     while let Some(item) = injector.pop() {
         let replies = match item.probe {
             None => exec_batch(&mut h, item.reqs, hinted),
@@ -254,7 +260,9 @@ fn worker_loop(list: &Gfsl, injector: &Injector, done: mpsc::Sender<DoneItem>) {
                 // wave participant *before* the done message is sent, so
                 // the wave's trace hash is final once all batches report.
                 let mut ch = list.handle_with(p);
-                exec_batch(&mut ch, item.reqs, hinted)
+                let replies = exec_batch(&mut ch, item.reqs, hinted);
+                chaos_stats.merge(&ch.stats());
+                replies
             }
         };
         let reply = DoneItem {
@@ -266,6 +274,8 @@ fn worker_loop(list: &Gfsl, injector: &Injector, done: mpsc::Sender<DoneItem>) {
             break;
         }
     }
+    chaos_stats.merge(&h.stats());
+    op_stats.lock().unwrap().merge(&chaos_stats);
 }
 
 /// Admit every arrival at or before `limit_ns`, shedding on overflow and —
@@ -536,6 +546,7 @@ fn serve_inner(
     let mut queues = ClientQueues::new();
     let injector = Injector::new();
     let (done_tx, done_rx) = mpsc::channel::<DoneItem>();
+    let op_stats = std::sync::Mutex::new(gfsl::OpStats::new());
 
     let mut clock: u64 = 0;
     let mut epoch_seq: u64 = 0;
@@ -545,7 +556,8 @@ fn serve_inner(
         for _ in 0..cfg.workers {
             let tx = done_tx.clone();
             let inj = &injector;
-            s.spawn(move || worker_loop(list, inj, tx));
+            let st = &op_stats;
+            s.spawn(move || worker_loop(list, inj, tx, st));
         }
         drop(done_tx);
 
@@ -790,6 +802,9 @@ fn serve_inner(
 
     metrics.sheds = intake.sheds();
     metrics.run_wall_s = run_t0.elapsed().as_secs_f64();
+    // Workers have joined (scope end): fold their structure-level locality
+    // counters into the service report.
+    metrics.absorb_op_stats(&op_stats.into_inner().unwrap());
     ServiceReport {
         policy: policy.name(),
         metrics,
@@ -803,7 +818,7 @@ fn serve_inner(
 pub fn raw_batch_mops(list: &Gfsl, ops: &[ServeOp], workers: usize) -> f64 {
     assert!(workers > 0 && !ops.is_empty());
     let slab = ops.len().div_ceil(workers);
-    let hinted = list.params().hints;
+    let hinted = list.params().hinted_dispatch();
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for chunk in ops.chunks(slab) {

@@ -146,6 +146,40 @@ fn swar_mask(words: &[u64], f: impl Fn(u64) -> u32 + Copy) -> u32 {
     bits
 }
 
+/// Count entries with key `<= k` across an arbitrarily wide word run.
+///
+/// Ballots pack one vote bit per lane, which caps them at 32 entries — the
+/// warp width. The flat-bottom (B-Skiplist) engine packs *hundreds* of
+/// sorted entries into one fat leaf, so its position vote is a **rank**
+/// (a count), not a mask. The scalar loop is the oracle; the SWAR version
+/// accumulates the same branch-free compare bits in unrolled 8-word blocks.
+#[inline]
+fn scalar_rank_le(words: &[u64], k: u32) -> usize {
+    words.iter().filter(|&&w| w as u32 <= k).count()
+}
+
+#[inline]
+fn swar_rank_le(words: &[u64], k: u32) -> usize {
+    let mut count = 0u32;
+    let mut chunks = words.chunks_exact(8);
+    for blk in &mut chunks {
+        // One straight-line block, no early exit: auto-vectorizes to packed
+        // compares + horizontal add.
+        count += le_bit(blk[0], k)
+            + le_bit(blk[1], k)
+            + le_bit(blk[2], k)
+            + le_bit(blk[3], k)
+            + le_bit(blk[4], k)
+            + le_bit(blk[5], k)
+            + le_bit(blk[6], k)
+            + le_bit(blk[7], k);
+    }
+    for &w in chunks.remainder() {
+        count += le_bit(w, k);
+    }
+    count as usize
+}
+
 impl VectorBallot for SwarBallot {
     #[inline]
     fn keys_le(&self, words: &[u64], k: u32) -> u32 {
@@ -219,6 +253,17 @@ impl BallotKernel {
         };
         Ballot::from_bits(bits)
     }
+
+    /// Rank of `k` in a word run of *any* width: the count of entries with
+    /// key `<= k`. The fat-leaf analogue of [`keys_le`](Self::keys_le) for
+    /// runs wider than the 32-lane ballot (flat-bottom engine leaves).
+    #[inline]
+    pub fn rank_le(self, words: &[u64], k: u32) -> usize {
+        match self {
+            BallotKernel::Scalar => scalar_rank_le(words, k),
+            BallotKernel::Swar => swar_rank_le(words, k),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,7 +325,27 @@ mod tests {
         }
     }
 
+    #[test]
+    fn rank_le_counts_past_warp_width() {
+        // 300 sorted keys 10,20,...,3000: far wider than one ballot.
+        let words: Vec<u64> = (1..=300u32).map(|i| word(i * 10, i)).collect();
+        for kernel in [BallotKernel::Scalar, BallotKernel::Swar] {
+            assert_eq!(kernel.rank_le(&words, 5), 0, "{kernel:?}");
+            assert_eq!(kernel.rank_le(&words, 10), 1, "{kernel:?}");
+            assert_eq!(kernel.rank_le(&words, 1234), 123, "{kernel:?}");
+            assert_eq!(kernel.rank_le(&words, u32::MAX), 300, "{kernel:?}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn swar_matches_scalar_rank_le(
+            words in proptest::collection::vec(any::<u64>(), 0..=512),
+            k in any::<u32>(),
+        ) {
+            prop_assert_eq!(swar_rank_le(&words, k), scalar_rank_le(&words, k));
+        }
+
         #[test]
         fn swar_matches_scalar_le(
             words in proptest::collection::vec(any::<u64>(), 0..=30),
