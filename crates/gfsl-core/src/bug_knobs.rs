@@ -1,0 +1,102 @@
+//! Test-only knobs that re-introduce fixed races — the model checker's
+//! differential oracle.
+//!
+//! A schedule-exploring checker that only ever reports "no violation" is
+//! indistinguishable from one that explores nothing. These knobs let the
+//! model-check suite *prove its own teeth*: flip a knob to revert one of
+//! the two real races PR 1's chaos soak found and fixed, run the
+//! bounded-exhaustive search on a small configuration, and assert the
+//! checker emits a counterexample (then flip it back and assert the pass).
+//!
+//! The knobs are process-global relaxed atomics read once per affected
+//! operation (one relaxed load per split / per physical remove — noise even
+//! on the hot path, and the hot paths are benchmarked with the knobs cold).
+//! They are `#[doc(hidden)]`-style test plumbing kept always-compiled so
+//! the release-build model-check binary can use them too; nothing outside
+//! the model-check tests should ever set them, and tests that do must
+//! serialize on [`knob_test_lock`] because the knobs are process-global.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Revert the PR-1 *split raised-key placement* fix: always raise
+/// `max(k, min-of-new-chunk)` at level 0, as the paper's pseudocode does,
+/// even when that key's bottom chunk has already been unlocked. A
+/// concurrent remove of the raised key can then run between the unlock and
+/// the level-1 install, leaving a dangling index entry
+/// (upper-subset-of-lower violation).
+static REVERT_SPLIT_RAISED_KEY: AtomicBool = AtomicBool::new(false);
+
+/// Revert the PR-1 *remove-shift torn-read* fix: shift the surviving
+/// entries right-to-left instead of left-to-right, so each key in the
+/// shifted range transiently disappears from the chunk between the write
+/// that clobbers its slot and the write that restores it one slot left. A
+/// concurrent lock-free `get` scheduled into that window misses a present
+/// key (linearizability violation).
+///
+/// Reverting the shift alone is no longer observable: the PR-8 certified
+/// read path brackets every `NotFound` with equal *unlocked* lock words,
+/// and the shift only runs while the chunk is locked, so a certified
+/// reader retries straight past the torn window. The knob therefore also
+/// reverts the reader to the seed-era *uncertified* single team read —
+/// the environment in which this race was live — restoring the full PR-1
+/// failure mode for the oracle. (Which doubles as a model-checked
+/// regression argument for certification itself: shift-revert minus the
+/// reader-revert explores clean.)
+static REVERT_REMOVE_SHIFT: AtomicBool = AtomicBool::new(false);
+
+/// Serializes tests that touch the process-global knobs.
+static KNOB_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// True if the split raised-key fix is reverted.
+#[inline]
+pub fn revert_split_raised_key() -> bool {
+    REVERT_SPLIT_RAISED_KEY.load(Ordering::Relaxed)
+}
+
+/// True if the remove-shift fix is reverted.
+#[inline]
+pub fn revert_remove_shift() -> bool {
+    REVERT_REMOVE_SHIFT.load(Ordering::Relaxed)
+}
+
+/// Acquire the knob test lock, then set/clear the split knob. Restores on
+/// drop (including panic, so one knob test's assertion failure cannot
+/// poison the next test's baseline run).
+pub struct KnobGuard {
+    knob: &'static AtomicBool,
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl KnobGuard {
+    fn set(knob: &'static AtomicBool) -> KnobGuard {
+        let serial = KNOB_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        knob.store(true, Ordering::Relaxed);
+        KnobGuard {
+            knob,
+            _serial: serial,
+        }
+    }
+}
+
+impl Drop for KnobGuard {
+    fn drop(&mut self) {
+        self.knob.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Revert the split raised-key fix for the guard's lifetime.
+pub fn revert_split_raised_key_guard() -> KnobGuard {
+    KnobGuard::set(&REVERT_SPLIT_RAISED_KEY)
+}
+
+/// Revert the remove-shift fix for the guard's lifetime.
+pub fn revert_remove_shift_guard() -> KnobGuard {
+    KnobGuard::set(&REVERT_REMOVE_SHIFT)
+}
+
+/// Serialize a knob-adjacent test without setting any knob (for baseline
+/// runs that must not race a knob-holding test in the same process).
+pub fn knob_test_lock() -> MutexGuard<'static, ()> {
+    KNOB_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -321,6 +321,21 @@ impl ChaosController {
     /// crash-point event (0 for plain accesses).
     fn step(&self, id: usize, code: u16, point: Option<CrashPoint>) -> u32 {
         let mut st = self.state.lock().unwrap();
+        // Retired-participant passthrough. A participant retired by an
+        // injected panic can reach another probed access *before* its
+        // containment catch site revives it (any gated access in the
+        // unwind/bookkeeping path) — and `choose` never picks a retired
+        // participant, so parking here would wedge the whole turnstile:
+        // the retiree waits for a turn that is never granted while its
+        // peers spin on the lock words it still holds. Letting the access
+        // through ungated keeps the run live; it is deliberately NOT folded
+        // into the trace hash — an ungated access interleaves with granted
+        // turns on OS timing, so recording it would break replay
+        // determinism (the retiree is simply not a schedule participant
+        // until revived, like the validation walk at quiescence).
+        if st.retired[id] {
+            return 0;
+        }
         st.waiting[id] = true;
         loop {
             if st.granted == Some(id) {

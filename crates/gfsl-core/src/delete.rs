@@ -216,6 +216,9 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
             );
         }
 
+        if crate::bug_knobs::revert_remove_shift() {
+            return self.execute_remove_shift_reverted(p_enc, view, idx);
+        }
         let mut cleared = false;
         for i in idx + 1..team.dsize() {
             let e = view.entry(i);
@@ -228,6 +231,37 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !cleared {
             // k sat in (or the shift reached) the final data slot: the NEXT
             // lane empties it explicitly (no lane to its right to do so).
+            ops::write_entry(
+                &self.list.pool,
+                &mut self.probe,
+                ch,
+                team.dsize() - 1,
+                Entry::EMPTY,
+            );
+        }
+    }
+
+    /// The pre-PR-1 buggy shift, kept behind
+    /// [`crate::bug_knobs::revert_remove_shift`] as the model checker's
+    /// differential oracle: identical final state, but the writes run
+    /// right-to-left, so every surviving key in the shifted range vanishes
+    /// from the chunk between the write that clobbers its slot and the
+    /// write that restores it one slot left — a concurrent lock-free `get`
+    /// interleaved into that window misses a present key.
+    fn execute_remove_shift_reverted(&mut self, p_enc: u32, view: &ChunkView, idx: usize) {
+        let team = self.list.team;
+        let ch = self.list.chunk(p_enc);
+        let mut end = team.dsize();
+        for i in idx + 1..team.dsize() {
+            if view.entry(i).is_empty() {
+                end = i + 1;
+                break;
+            }
+        }
+        for i in (idx + 1..end).rev() {
+            ops::write_entry(&self.list.pool, &mut self.probe, ch, i - 1, view.entry(i));
+        }
+        if end == team.dsize() {
             ops::write_entry(
                 &self.list.pool,
                 &mut self.probe,

@@ -34,18 +34,26 @@
 //! Lock order is always index-then-leaf; at most one leaf mutex is held
 //! at a time. No cycles, no deadlock.
 //!
+//! Every acquisition goes through a scheduled gate ([`lock_leaf`] and the
+//! `index_read`/`index_write` helpers): outside a model-check hook it is
+//! the plain blocking lock (no overhead beyond one thread-local check);
+//! under [`crate::mc`]'s turnstile each attempt becomes a yield point, so
+//! the schedule explorer enumerates lock-acquisition interleavings of
+//! this protocol directly — including the leaf-split path.
+//!
 //! The [`KvEngine`] trait is the seam both engines implement
 //! (per-thread handles, `&mut self` ops), and [`EngineKind`] is the
 //! dispatch knob the harness grid and serving tier select on.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 use gfsl_simt::BallotKernel;
 use parking_lot::{Mutex, RwLock};
 
 use crate::chunk::is_user_key;
 use crate::skiplist::GfslHandle;
+use gfsl_gpu_mem::schedule::{self, AccessKind, SYNTH_FLAT_INDEX, SYNTH_FLAT_LEAF_BASE};
 use gfsl_gpu_mem::MemProbe;
 
 /// Which engine serves a keyspace: the paper's chunked GFSL or the
@@ -113,7 +121,32 @@ impl<P: MemProbe> KvEngine for GfslHandle<'_, P> {
 /// low half), dense — no EMPTY sentinels, `len()` live entries.
 #[derive(Debug)]
 struct Leaf {
+    /// Stable id for the model checker's synthetic lock address
+    /// (`SYNTH_FLAT_LEAF_BASE | id`). Assigned in split order, which the
+    /// turnstile serializes, so ids — and therefore trace hashes — are a
+    /// deterministic function of the schedule.
+    id: u32,
     entries: Mutex<Vec<u64>>,
+}
+
+/// Acquire a leaf mutex. Outside a scheduler hook this is the plain
+/// blocking acquire; under a hook every attempt is a yield point, because
+/// the turnstile only grants turns when all live threads are parked — a
+/// thread blocked inside the OS lock would wedge it. Spinning through
+/// `try_lock` with a [`schedule::wait_hint`] keeps acquisition order under
+/// the scheduler's control instead of the OS's.
+fn lock_leaf(leaf: &Leaf) -> MutexGuard<'_, Vec<u64>> {
+    if !schedule::hooked() {
+        return leaf.entries.lock();
+    }
+    let addr = SYNTH_FLAT_LEAF_BASE | leaf.id;
+    loop {
+        schedule::yield_point(AccessKind::Rmw, addr);
+        if let Some(g) = leaf.entries.try_lock() {
+            return g;
+        }
+        schedule::wait_hint(addr);
+    }
 }
 
 #[inline]
@@ -151,6 +184,8 @@ pub struct FlatSkiplist {
     /// (last leaf is unbounded above). `fence[0] == 0` always, so every
     /// user key has a covering leaf.
     index: RwLock<Vec<(u32, Arc<Leaf>)>>,
+    /// Next leaf id for model-check lock addresses (leaf 0 is the seed leaf).
+    next_leaf_id: AtomicU32,
     splits: AtomicU64,
     merges: AtomicU64,
 }
@@ -171,11 +206,45 @@ impl FlatSkiplist {
             index: RwLock::new(vec![(
                 0,
                 Arc::new(Leaf {
+                    id: 0,
                     entries: Mutex::new(Vec::new()),
                 }),
             )]),
+            next_leaf_id: AtomicU32::new(1),
             splits: AtomicU64::new(0),
             merges: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquire the index read lock (a model-check yield point when a
+    /// scheduler hook is registered; see [`lock_leaf`]). Read-read
+    /// acquisitions commute, so this gate is an [`AccessKind::Load`] and
+    /// partial-order pruning treats two of them as independent.
+    fn index_read(&self) -> RwLockReadGuard<'_, Vec<(u32, Arc<Leaf>)>> {
+        if !schedule::hooked() {
+            return self.index.read();
+        }
+        loop {
+            schedule::yield_point(AccessKind::Load, SYNTH_FLAT_INDEX);
+            if let Some(g) = self.index.try_read() {
+                return g;
+            }
+            schedule::wait_hint(SYNTH_FLAT_INDEX);
+        }
+    }
+
+    /// Acquire the index write lock (a model-check yield point when a
+    /// scheduler hook is registered; see [`lock_leaf`]).
+    fn index_write(&self) -> RwLockWriteGuard<'_, Vec<(u32, Arc<Leaf>)>> {
+        if !schedule::hooked() {
+            return self.index.write();
+        }
+        loop {
+            schedule::yield_point(AccessKind::Rmw, SYNTH_FLAT_INDEX);
+            if let Some(g) = self.index.try_write() {
+                return g;
+            }
+            schedule::wait_hint(SYNTH_FLAT_INDEX);
         }
     }
 
@@ -194,11 +263,14 @@ impl FlatSkiplist {
     /// A racing split may have already made room; that is fine — the
     /// caller retries its op either way.
     fn split_covering(&self, k: u32) {
-        let mut index = self.index.write();
+        let mut index = self.index_write();
         let i = Self::pos(&index, k);
         // Write lock excludes all leaf-mutex holders (they hold the read
         // lock), so this lock is uncontended and purely for &mut access.
-        let mut entries = index[i].1.entries.lock();
+        // Still gated: if that exclusion argument were ever broken, the
+        // model checker's try-lock spin would livelock here and trip the
+        // episode step bomb instead of silently blocking.
+        let mut entries = lock_leaf(&index[i].1);
         if entries.len() < self.leaf_cap {
             return;
         }
@@ -211,6 +283,7 @@ impl FlatSkiplist {
             (
                 fence,
                 Arc::new(Leaf {
+                    id: self.next_leaf_id.fetch_add(1, Ordering::Relaxed),
                     entries: Mutex::new(upper),
                 }),
             ),
@@ -221,12 +294,12 @@ impl FlatSkiplist {
     /// Drop the (empty) leaf covering `k` under the index write lock,
     /// merging its key range into a neighbour's fence.
     fn retire_covering(&self, k: u32) {
-        let mut index = self.index.write();
+        let mut index = self.index_write();
         if index.len() <= 1 {
             return;
         }
         let i = Self::pos(&index, k);
-        if !index[i].1.entries.lock().is_empty() {
+        if !lock_leaf(&index[i].1).is_empty() {
             return; // racing insert refilled it
         }
         index.remove(i);
@@ -285,8 +358,8 @@ pub struct FlatHandle<'a> {
 
 impl KvEngine for FlatHandle<'_> {
     fn get(&mut self, k: u32) -> Option<u32> {
-        let index = self.list.index.read();
-        let entries = index[FlatSkiplist::pos(&index, k)].1.entries.lock();
+        let index = self.list.index_read();
+        let entries = lock_leaf(&index[FlatSkiplist::pos(&index, k)].1);
         let r = self.list.kernel.rank_le(&entries, k);
         match r.checked_sub(1).map(|i| entries[i]) {
             Some(e) if e as u32 == k => Some((e >> 32) as u32),
@@ -298,8 +371,8 @@ impl KvEngine for FlatHandle<'_> {
         assert!(is_user_key(k), "key {k} is a reserved sentinel");
         loop {
             {
-                let index = self.list.index.read();
-                let mut entries = index[FlatSkiplist::pos(&index, k)].1.entries.lock();
+                let index = self.list.index_read();
+                let mut entries = lock_leaf(&index[FlatSkiplist::pos(&index, k)].1);
                 let r = self.list.kernel.rank_le(&entries, k);
                 if r > 0 && entries[r - 1] as u32 == k {
                     return false;
@@ -316,8 +389,8 @@ impl KvEngine for FlatHandle<'_> {
 
     fn remove(&mut self, k: u32) -> bool {
         let emptied = {
-            let index = self.list.index.read();
-            let mut entries = index[FlatSkiplist::pos(&index, k)].1.entries.lock();
+            let index = self.list.index_read();
+            let mut entries = lock_leaf(&index[FlatSkiplist::pos(&index, k)].1);
             let r = self.list.kernel.rank_le(&entries, k);
             if r == 0 || entries[r - 1] as u32 != k {
                 return false;
@@ -336,7 +409,7 @@ impl KvEngine for FlatHandle<'_> {
         if lo > hi {
             return out;
         }
-        let index = self.list.index.read();
+        let index = self.list.index_read();
         // Holding the read lock pins the leaf set; each leaf is snapshotted
         // atomically under its mutex, and fences guarantee ascending order
         // across leaves.
@@ -345,7 +418,7 @@ impl KvEngine for FlatHandle<'_> {
             if *fence > hi {
                 break;
             }
-            let entries = leaf.entries.lock();
+            let entries = lock_leaf(leaf);
             let from = if lo == 0 { 0 } else { self.list.kernel.rank_le(&entries, lo - 1) };
             let to = self.list.kernel.rank_le(&entries, hi);
             out.extend(entries[from..to].iter().map(|&e| (e as u32, (e >> 32) as u32)));

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod bug_knobs;
 pub mod bulk;
 pub mod chaos;
 pub mod chunk;
@@ -80,6 +81,7 @@ pub mod flat;
 pub mod history;
 pub mod insert;
 pub mod introspect;
+pub mod mc;
 pub mod params;
 pub mod range;
 pub mod repair;
@@ -99,6 +101,7 @@ pub use skiplist::{
     STARVATION_RETRIES,
 };
 pub use flat::{EngineKind, FlatSkiplist, KvEngine};
+pub use mc::{Counterexample, McConfig, McOp, McReport, Target};
 pub use introspect::{LevelShape, Shape};
 pub use stats::{OpStats, FINGER_LEVELS};
 pub use validate::Violation;

@@ -1,0 +1,169 @@
+//! Named model-check configurations.
+//!
+//! Each configuration is a small, fully scripted concurrent run chosen to
+//! put one protocol path under systematic schedule exploration. They are
+//! shared between the `gfsl` integration tests (tier-1 and the CI
+//! `modelcheck` job) and `stress --modelcheck <name>`, so a counterexample
+//! spec printed by either replays in both.
+//!
+//! Sizing discipline: exhaustive exploration cost grows roughly with
+//! `(decision points)^(preemption bound)`, and every gated pool access is
+//! a decision point, so chunked configs stay at 2–3 threads and 1–3 ops
+//! per thread over a single near-full chunk. Flat configs are cheap (only
+//! lock acquisitions are gated) and exhaust in seconds even at bound 3.
+
+use gfsl_simt::TeamSize;
+
+use super::{McConfig, McOp, Target};
+use crate::params::GfslParams;
+
+/// Chunked-engine parameters every config shares: the 16-lane team (14
+/// data entries — smallest structure, shortest episodes), a tiny pool,
+/// deterministic raise coins via `p_chunk = 1`, and the PR-3/PR-8 read
+/// locality knobs on so the *certified-snapshot hinted read path* is what
+/// gets explored.
+fn mc_params() -> GfslParams {
+    GfslParams {
+        team_size: TeamSize::Sixteen,
+        p_chunk: 1.0,
+        pool_chunks: 64,
+        hints: true,
+        fingers: true,
+        ..GfslParams::default()
+    }
+}
+
+/// Keys `2, 4, …, 26`: together with the `-inf` sentinel entry these 13
+/// keys exactly fill the 14-slot head chunk, so the *scripted* insert —
+/// not the prefill — takes the split path.
+fn full_chunk_prefill() -> Vec<(u32, u32)> {
+    (1..=13u32).map(|i| (2 * i, 100 + i)).collect()
+}
+
+/// All registered configurations.
+pub fn all() -> Vec<McConfig> {
+    vec![
+        McConfig {
+            name: "cert-read-2t",
+            about: "certified-snapshot hinted reads racing a chunk split",
+            target: Target::Chunked(Box::new(mc_params())),
+            prefill: full_chunk_prefill(),
+            threads: vec![
+                // Splitter: insert below every prefilled key into the full
+                // chunk — forces split + raise while the reader walks.
+                vec![McOp::Insert(1, 1)],
+                // Reader: certified reads on both halves of the split (14
+                // is the first key moved to the new chunk, 26 the last).
+                vec![McOp::Get(14), McOp::Get(26)],
+            ],
+            max_steps: 20_000,
+        },
+        McConfig {
+            name: "cert-read-3t",
+            about: "hinted reads racing a split and a removal",
+            target: Target::Chunked(Box::new(mc_params())),
+            prefill: full_chunk_prefill(),
+            threads: vec![
+                vec![McOp::Insert(1, 1)],
+                vec![McOp::Remove(26)],
+                vec![McOp::Get(14), McOp::Get(2)],
+            ],
+            max_steps: 30_000,
+        },
+        McConfig {
+            name: "split-raise-2t",
+            about: "split raised-key placement vs. concurrent remove (PR 1 seed race #1 oracle)",
+            target: Target::Chunked(Box::new(mc_params())),
+            prefill: full_chunk_prefill(),
+            threads: vec![
+                // Insert(1) lands in the old (still locked) half, so the
+                // fixed code raises key 1 itself; the reverted bug raises
+                // max(k, min_moved) = 14 — a key living in the *unlocked*
+                // new chunk.
+                vec![McOp::Insert(1, 1)],
+                // Racing remove of that raised key: scheduled between the
+                // new chunk's unlock and the level-1 install, it deletes 14
+                // from level 0, finds no index entry to clean, and leaves
+                // the subsequently installed level-1 entry dangling.
+                vec![McOp::Remove(14)],
+            ],
+            max_steps: 20_000,
+        },
+        McConfig {
+            name: "remove-shift-2t",
+            about: "remove compaction shift vs. concurrent reads (PR 1 seed race #2 oracle)",
+            target: Target::Chunked(Box::new(mc_params())),
+            // Four keys in one chunk; removing 20 shifts 30 and 40 left.
+            prefill: vec![(10, 1), (20, 2), (30, 3), (40, 4)],
+            threads: vec![
+                vec![McOp::Remove(20)],
+                // The reverted right-to-left shift makes 30 transiently
+                // vanish (slot overwritten by 40 before 30 moves left); a
+                // lock-free read in that window returns Get(30) = None,
+                // which no linearization of {remove 20 ∥ get 30, get 40}
+                // permits.
+                vec![McOp::Get(30), McOp::Get(40)],
+            ],
+            max_steps: 20_000,
+        },
+        McConfig {
+            name: "flat-split-2t",
+            about: "flat-bottom leaf split racing a second inserter",
+            target: Target::Flat { leaf_cap: 4 },
+            prefill: vec![(10, 1), (20, 2), (30, 3), (40, 4)],
+            threads: vec![
+                // Both inserts land in the one full leaf: each drops its
+                // locks, splits under the write lock, and retries — the
+                // double-split / already-split-by-peer interleavings are
+                // the point.
+                vec![McOp::Insert(15, 5)],
+                vec![McOp::Insert(25, 6)],
+            ],
+            max_steps: 2_000,
+        },
+        McConfig {
+            name: "flat-split-3t",
+            about: "flat-bottom split, empty-leaf retirement, and a reader",
+            target: Target::Flat { leaf_cap: 4 },
+            prefill: vec![(10, 1), (20, 2), (30, 3), (40, 4)],
+            threads: vec![
+                vec![McOp::Insert(15, 5)],
+                // Drains a leaf so retirement (index write lock) races the
+                // split and the reader.
+                vec![McOp::Remove(10), McOp::Remove(20)],
+                vec![McOp::Get(30)],
+            ],
+            max_steps: 4_000,
+        },
+    ]
+}
+
+/// Look up a configuration by its registry name.
+pub fn by_name(name: &str) -> Option<McConfig> {
+    all().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_resolvable() {
+        let cfgs = all();
+        for c in &cfgs {
+            assert!(by_name(c.name).is_some());
+            assert!(!c.threads.is_empty());
+            assert!(c.threads.iter().all(|ops| !ops.is_empty()));
+        }
+        let mut names: Vec<_> = cfgs.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cfgs.len(), "duplicate config name");
+    }
+
+    #[test]
+    fn full_chunk_prefill_exactly_fills_sixteen_team_chunk() {
+        // The head chunk holds the -inf sentinel in one of its dsize slots.
+        assert_eq!(full_chunk_prefill().len(), mc_params().dsize() - 1);
+    }
+}

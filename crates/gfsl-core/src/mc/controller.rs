@@ -1,0 +1,365 @@
+//! The model checker's turnstile: one thread runs at a time, the
+//! [`Scheduler`] decides which.
+//!
+//! Same grant discipline as [`crate::chaos::ChaosController`] (a turn is
+//! granted only when every live participant is parked, so the schedule is
+//! a pure function of the decision stream, not OS timing), with three
+//! extensions the chaos layer does not need:
+//!
+//! * **Access-level parking.** Participants park at
+//!   [`gfsl_gpu_mem::schedule`] yield points — every individual pool
+//!   atomic in `sched` builds — and report the access kind and address
+//!   they are *about to* perform, so the scheduler can reason about
+//!   conflicts before committing an order.
+//! * **Decision recording.** Every decision point with ≥ 2 effective
+//!   candidates logs the chosen index as one byte. The byte list replays
+//!   the episode exactly (via [`super::strategy::Replay`]) and is what
+//!   ddmin minimizes; the trace hash (same word-wise FNV fold as chaos)
+//!   is the one-line fingerprint.
+//! * **Spin-wait tracking.** `wait_hint(addr)` marks the caller as
+//!   spinning on `addr`; waiting threads are excluded from the effective
+//!   candidate set while any non-waiting thread is runnable (scheduling a
+//!   spinner before its lock word changes only permutes futile spins),
+//!   and every granted store/RMW clears the flags so woken spinners
+//!   rejoin the candidate set. If *everyone* is waiting the controller
+//!   schedules them anyway — a genuinely deadlocked protocol then trips
+//!   the per-episode step bomb instead of hanging the test run.
+//!
+//! Like the chaos turnstile, a **retired** participant passes through
+//! ungated (and unrecorded): a thread that keeps executing probed code
+//! after retirement must never park waiting for a turn no scheduler
+//! grants to the retired.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use gfsl_gpu_mem::schedule::{AccessKind, SchedHook};
+use gfsl_gpu_mem::WordAddr;
+use gfsl_rng::fnv;
+
+use super::strategy::{PendingAccess, Scheduler};
+
+/// Synthetic address of the episode start gate: every worker's first
+/// yield point, so all threads are parked before any instruction of any
+/// operation runs (thread *startup* code would otherwise race ungated).
+pub const SYNTH_START: WordAddr = 0xFFFF_FFFC;
+
+/// A strategy shared between the episode executor (between episodes) and
+/// the controller (during an episode).
+pub type SharedScheduler = Arc<Mutex<Box<dyn Scheduler>>>;
+
+struct McState {
+    parked: Vec<bool>,
+    retired: Vec<bool>,
+    pending: Vec<PendingAccess>,
+    waiting: Vec<bool>,
+    granted: Option<usize>,
+    last: Option<usize>,
+    decisions: Vec<u8>,
+    trace: u64,
+    steps: u64,
+    max_steps: u64,
+}
+
+/// The per-episode scheduling turnstile (see module docs). One per
+/// episode; workers attach via [`McController::hook`].
+pub struct McController {
+    state: Mutex<McState>,
+    cv: Condvar,
+    strategy: SharedScheduler,
+}
+
+impl McController {
+    /// A controller for `threads` participants driving decisions from
+    /// `strategy`. `max_steps` bounds one episode's granted turns (the
+    /// livelock/deadlock bomb); 0 means no bound.
+    pub fn new(threads: usize, strategy: SharedScheduler, max_steps: u64) -> Arc<McController> {
+        Arc::new(McController {
+            state: Mutex::new(McState {
+                parked: vec![false; threads],
+                retired: vec![false; threads],
+                pending: vec![
+                    PendingAccess {
+                        kind: AccessKind::Load,
+                        addr: 0,
+                    };
+                    threads
+                ],
+                waiting: vec![false; threads],
+                granted: None,
+                last: None,
+                decisions: Vec::new(),
+                trace: fnv::OFFSET,
+                steps: 0,
+                max_steps,
+            }),
+            cv: Condvar::new(),
+            strategy,
+        })
+    }
+
+    /// The [`SchedHook`] for participant `id` (register it in that
+    /// worker's thread-local via [`gfsl_gpu_mem::schedule::register`]).
+    pub fn hook(self: &Arc<McController>, id: usize) -> Arc<McHook> {
+        Arc::new(McHook {
+            controller: self.clone(),
+            id,
+        })
+    }
+
+    /// Declare participant `id` finished. Idempotent; wakes the turnstile
+    /// so the remaining participants' parked==live condition can re-form.
+    pub fn retire(&self, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.retired[id] {
+            return;
+        }
+        st.retired[id] = true;
+        st.parked[id] = false;
+        st.waiting[id] = false;
+        if st.granted == Some(id) {
+            st.granted = None;
+        }
+        self.cv.notify_all();
+    }
+
+    /// The episode's trace hash (word-wise FNV over every granted step's
+    /// (thread, kind, address), same fold as the chaos trace hashes).
+    pub fn trace_hash(&self) -> u64 {
+        self.state.lock().unwrap().trace
+    }
+
+    /// Granted turns this episode.
+    pub fn steps(&self) -> u64 {
+        self.state.lock().unwrap().steps
+    }
+
+    /// The episode's decision byte log (one byte per ≥2-candidate
+    /// decision point: the chosen index into the effective candidate
+    /// list). Feed to [`super::strategy::Replay`] to reproduce.
+    pub fn decisions(&self) -> Vec<u8> {
+        self.state.lock().unwrap().decisions.clone()
+    }
+
+    fn step(&self, id: usize, kind: AccessKind, addr: WordAddr) {
+        let mut st = self.state.lock().unwrap();
+        if st.retired[id] {
+            // Retired passthrough: ungated AND unrecorded (an ungated
+            // access interleaves on OS timing; folding it into the trace
+            // would break replay determinism).
+            return;
+        }
+        st.pending[id] = PendingAccess { kind, addr };
+        st.parked[id] = true;
+        loop {
+            if st.granted == Some(id) {
+                st.granted = None;
+                st.parked[id] = false;
+                st.last = Some(id);
+                st.trace = fnv::fold_word(st.trace, id as u64);
+                st.trace = fnv::fold_word(st.trace, u64::from(kind.code()));
+                st.trace = fnv::fold_word(st.trace, u64::from(addr));
+                st.steps += 1;
+                // Feed the access log the DFS's delayed-conflict pruning
+                // reads; lock order state -> strategy matches decide().
+                self.strategy
+                    .lock()
+                    .unwrap()
+                    .observe(id, PendingAccess { kind, addr });
+                if kind != AccessKind::Load {
+                    // A write landed: spinners may now observe what they
+                    // were waiting for. Conservative (clears on *any*
+                    // write, not just the watched address): a woken
+                    // spinner re-parks and re-hints at worst.
+                    for i in 0..st.waiting.len() {
+                        if !st.retired[i] {
+                            st.waiting[i] = false;
+                        }
+                    }
+                }
+                let max = st.max_steps;
+                let over_budget = max > 0 && st.steps > max;
+                self.cv.notify_all();
+                drop(st);
+                if over_budget {
+                    panic!(
+                        "mc: episode exceeded {max} scheduled steps — livelocked or \
+                         deadlocked schedule (all threads spin-waiting?)"
+                    );
+                }
+                return;
+            }
+            if st.granted.is_none() {
+                let live = st.retired.iter().filter(|&&r| !r).count();
+                let parked = st
+                    .parked
+                    .iter()
+                    .zip(&st.retired)
+                    .filter(|&(&p, &r)| p && !r)
+                    .count();
+                if parked == live && live > 0 {
+                    let next = Self::decide(&mut st, &self.strategy);
+                    st.granted = Some(next);
+                    self.cv.notify_all();
+                    if next == id {
+                        continue;
+                    }
+                }
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// All live participants are parked: compute the effective candidate
+    /// set, consult the strategy if there is a real choice, log it.
+    fn decide(st: &mut McState, strategy: &SharedScheduler) -> usize {
+        let enabled: Vec<usize> = (0..st.parked.len())
+            .filter(|&i| st.parked[i] && !st.retired[i])
+            .collect();
+        debug_assert!(!enabled.is_empty());
+        let non_waiting: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|&i| !st.waiting[i])
+            .collect();
+        let effective = if non_waiting.is_empty() {
+            enabled
+        } else {
+            non_waiting
+        };
+        if effective.len() == 1 {
+            return effective[0];
+        }
+        let pending: Vec<PendingAccess> = effective.iter().map(|&i| st.pending[i]).collect();
+        let idx = strategy
+            .lock()
+            .unwrap()
+            .pick(&effective, &pending, st.last);
+        assert!(idx < effective.len(), "scheduler picked out of range");
+        st.decisions.push(idx as u8);
+        effective[idx]
+    }
+
+    fn note_wait(&self, id: usize, _addr: WordAddr) {
+        let mut st = self.state.lock().unwrap();
+        if !st.retired[id] {
+            st.waiting[id] = true;
+        }
+    }
+}
+
+/// Per-thread [`SchedHook`] bridging the thread-local yield points to the
+/// shared [`McController`].
+pub struct McHook {
+    controller: Arc<McController>,
+    id: usize,
+}
+
+impl SchedHook for McHook {
+    fn yield_point(&self, kind: AccessKind, addr: WordAddr) {
+        self.controller.step(self.id, kind, addr);
+    }
+    fn wait_hint(&self, addr: WordAddr) {
+        self.controller.note_wait(self.id, addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::strategy::Replay;
+
+    fn shared(s: impl Scheduler + 'static) -> SharedScheduler {
+        Arc::new(Mutex::new(Box::new(s)))
+    }
+
+    /// Two threads, three gated accesses each: a replayed decision list
+    /// produces a deterministic grant order and trace hash.
+    #[test]
+    fn turnstile_serializes_and_replays() {
+        let run = |bytes: Vec<u8>| {
+            let strategy = shared(Replay::new(bytes));
+            strategy.lock().unwrap().begin_episode();
+            let ctl = McController::new(2, strategy, 1000);
+            let order = Arc::new(Mutex::new(Vec::new()));
+            std::thread::scope(|s| {
+                for id in 0..2usize {
+                    let ctl = ctl.clone();
+                    let order = order.clone();
+                    s.spawn(move || {
+                        let hook = ctl.hook(id);
+                        for a in 0..3u32 {
+                            hook.yield_point(AccessKind::Store, 100 + a);
+                            order.lock().unwrap().push((id, a));
+                        }
+                        ctl.retire(id);
+                    });
+                }
+            });
+            let order = order.lock().unwrap().clone();
+            (order, ctl.trace_hash(), ctl.steps())
+        };
+        let a = run(vec![0, 1, 0, 1]);
+        let b = run(vec![0, 1, 0, 1]);
+        assert_eq!(a, b, "same decisions ⇒ same order and trace");
+        let c = run(vec![1, 1, 1, 1]);
+        assert_ne!(a.1, c.1, "different decisions ⇒ different trace");
+        assert_eq!(a.2, 6, "each access is one granted step");
+    }
+
+    /// A retired participant's accesses pass through without parking.
+    #[test]
+    fn retired_passthrough_never_parks() {
+        let strategy = shared(Replay::new(Vec::new()));
+        strategy.lock().unwrap().begin_episode();
+        let ctl = McController::new(2, strategy, 1000);
+        ctl.retire(1);
+        let hook = ctl.hook(1);
+        // Would park forever pre-fix: no peer is running to grant a turn.
+        hook.yield_point(AccessKind::Store, 5);
+        hook.wait_hint(5);
+        assert_eq!(ctl.steps(), 0, "passthrough accesses are unrecorded");
+    }
+
+    /// Spin-wait flags exclude spinners until a write is granted.
+    #[test]
+    fn wait_hint_deprioritizes_spinner() {
+        // Thread 1 hints a wait, then parks; thread 0 keeps running.
+        // The decision log must show no ≥2-candidate decisions granted to
+        // the waiting thread until thread 0's store clears the flag.
+        let strategy = shared(Replay::new(vec![0, 0, 0, 0, 0, 0, 0, 0]));
+        strategy.lock().unwrap().begin_episode();
+        let ctl = McController::new(2, strategy, 1000);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            {
+                let ctl = ctl.clone();
+                let order = order.clone();
+                s.spawn(move || {
+                    let hook = ctl.hook(0);
+                    for _ in 0..3 {
+                        hook.yield_point(AccessKind::Load, 1);
+                        order.lock().unwrap().push(0);
+                    }
+                    hook.yield_point(AccessKind::Store, 2); // wakes spinner
+                    order.lock().unwrap().push(0);
+                    ctl.retire(0);
+                });
+            }
+            {
+                let ctl = ctl.clone();
+                let order = order.clone();
+                s.spawn(move || {
+                    let hook = ctl.hook(1);
+                    hook.wait_hint(2);
+                    hook.yield_point(AccessKind::Load, 2);
+                    order.lock().unwrap().push(1);
+                    ctl.retire(1);
+                });
+            }
+        });
+        let order = order.lock().unwrap().clone();
+        // Thread 1 was marked waiting before its first park, so thread 0
+        // runs alone until its store; thread 1's access is granted last.
+        assert_eq!(order, vec![0, 0, 0, 0, 1]);
+    }
+}

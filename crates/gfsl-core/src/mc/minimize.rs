@@ -1,0 +1,104 @@
+//! Delta-debugging (ddmin) of failing decision byte lists.
+//!
+//! A counterexample straight out of the DFS or a random walk carries every
+//! decision its episode made — typically hundreds of bytes, almost all of
+//! which are the default choice and irrelevant to the failure. Zeller's
+//! ddmin shrinks the list to a locally minimal failing subset: remove a
+//! chunk, replay the remainder (missing decisions fall back to the
+//! deterministic default policy, which is exactly why removal is
+//! meaningful), keep the removal if the episode still fails.
+//!
+//! The result is *1-minimal with respect to chunk removal*, not globally
+//! minimal — standard for delta debugging and plenty for a readable
+//! one-line repro.
+
+/// Minimize `bytes` against `still_fails` (which must be deterministic:
+/// it replays one episode from a candidate byte list and reports whether
+/// the failure reproduces). `still_fails(&bytes)` is assumed true on
+/// entry. Returns the minimized list and the number of replay episodes
+/// spent.
+pub fn ddmin(bytes: &[u8], mut still_fails: impl FnMut(&[u8]) -> bool) -> (Vec<u8>, u64) {
+    let mut cur: Vec<u8> = bytes.to_vec();
+    let mut tests = 0u64;
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            // Complement: everything except cur[start..end].
+            let candidate: Vec<u8> = cur[..start]
+                .iter()
+                .chain(&cur[end..])
+                .copied()
+                .collect();
+            tests += 1;
+            if still_fails(&candidate) {
+                cur = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if n >= cur.len() {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    // Final polish: try dropping single trailing defaults (cheap, common).
+    while let Some((&_last, rest)) = cur.split_last() {
+        tests += 1;
+        if still_fails(rest) {
+            cur = rest.to_vec();
+        } else {
+            break;
+        }
+    }
+    (cur, tests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_relevant_bytes() {
+        // Failure iff the list contains a 7 somewhere and a 9 after it.
+        let fails = |b: &[u8]| {
+            b.iter()
+                .position(|&x| x == 7)
+                .is_some_and(|i| b[i..].contains(&9))
+        };
+        let noisy: Vec<u8> = (0..200u8).map(|i| i % 5).chain([7, 1, 1, 9, 2]).collect();
+        assert!(fails(&noisy));
+        let (min, _tests) = ddmin(&noisy, |b| fails(b));
+        assert!(fails(&min), "minimized list must still fail");
+        assert_eq!(min, vec![7, 9], "only the two relevant bytes survive");
+    }
+
+    #[test]
+    fn already_minimal_is_stable() {
+        let fails = |b: &[u8]| b == [1, 2];
+        let (min, _) = ddmin(&[1, 2], fails);
+        assert_eq!(min, vec![1, 2]);
+    }
+
+    #[test]
+    fn single_byte_input() {
+        let fails = |b: &[u8]| b.contains(&3);
+        let (min, _) = ddmin(&[3], fails);
+        assert_eq!(min, vec![3]);
+    }
+
+    #[test]
+    fn empty_failure_shrinks_to_empty() {
+        // Failure independent of the decisions (e.g. a bug on the default
+        // schedule): everything is removable.
+        let (min, _) = ddmin(&[4, 4, 4, 4], |_| true);
+        assert!(min.is_empty());
+    }
+}

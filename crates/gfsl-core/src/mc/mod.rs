@@ -1,0 +1,443 @@
+//! Schedule-exploring model checker for the GFSL lock protocol.
+//!
+//! PR 1's chaos layer *samples* interleavings from seeded randomness; this
+//! module *enumerates* them. Every `WordPool` atomic access (in `sched`
+//! builds of `gfsl-gpu-mem`) and every explicit gate (flat-engine lock
+//! acquisitions, the episode start gate) is a yield point parked in a
+//! [`controller::McController`] turnstile; a [`strategy::Scheduler`]
+//! decides, at each point where two or more threads could run, which one
+//! does. Three strategies: seeded [`strategy::RandomWalk`] (subsumes the
+//! chaos scheduler), [`strategy::Replay`] of a recorded decision list, and
+//! [`strategy::DfsBounded`] — bounded-exhaustive DFS with a preemption
+//! bound and optional partial-order pruning.
+//!
+//! An **episode** is one complete run of a small configuration
+//! ([`McConfig`]): build a fresh structure, prefill it, run each thread's
+//! scripted ops under the turnstile, then check at quiescence —
+//!
+//! * full structure validation ([`crate::skiplist::Gfsl::validate`],
+//!   whose `quiescent-unlocked` rule is also the leaked-lock-word check),
+//! * per-key linearizability of the recorded history (PR 1's checker),
+//! * no worker panics (protocol asserts, the livelock step bomb).
+//!
+//! Any failure is a **counterexample**: the episode's decision byte list,
+//! ddmin-minimized ([`minimize::ddmin`]) and stamped with the trace hash,
+//! printable as a one-line `<trace-hash>:<decision-hex>` spec that
+//! `stress --schedule` replays from the CLI.
+//!
+//! Determinism is the load-bearing property: with all live threads parked
+//! between grants, everything a thread does between two yield points —
+//! history-clock ticks, handle construction, non-pool atomics — runs
+//! while its peers are parked, so an episode is a pure function of the
+//! decision list. The DFS's prefix replay and ddmin both rest on this.
+
+pub mod configs;
+pub mod controller;
+pub mod minimize;
+pub mod strategy;
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use gfsl_gpu_mem::schedule::{self, AccessKind, SchedHook};
+use gfsl_gpu_mem::NoProbe;
+use gfsl_simt::BallotKernel;
+
+use crate::flat::{FlatSkiplist, KvEngine};
+use crate::history::{check_linearizable, HistoryClock, OpAction, OpRecord, Recorder};
+use crate::params::GfslParams;
+use crate::skiplist::Gfsl;
+
+use controller::{McController, SharedScheduler, SYNTH_START};
+use minimize::ddmin;
+use strategy::{Replay, Scheduler};
+
+/// One scripted client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McOp {
+    /// `insert(k, v)`.
+    Insert(u32, u32),
+    /// `remove(k)`.
+    Remove(u32),
+    /// `get(k)`.
+    Get(u32),
+}
+
+/// Which engine an episode drives.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// The chunked GFSL under `params` (pool accesses are the yield
+    /// points — requires the `sched` feature on `gfsl-gpu-mem`).
+    Chunked(Box<GfslParams>),
+    /// The flat-bottom engine with the given leaf capacity (lock
+    /// acquisitions are the yield points — always instrumented).
+    Flat {
+        /// Leaf capacity (tiny values force the split path).
+        leaf_cap: usize,
+    },
+}
+
+/// A model-check configuration: a small, fully scripted concurrent run.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Registry name (`stress --modelcheck <name>`).
+    pub name: &'static str,
+    /// What the configuration exercises (printed in reports).
+    pub about: &'static str,
+    /// Engine and its parameters.
+    pub target: Target,
+    /// Keys present before the scripted ops run.
+    pub prefill: Vec<(u32, u32)>,
+    /// Per-thread operation scripts (`threads.len()` participants).
+    pub threads: Vec<Vec<McOp>>,
+    /// Per-episode granted-step bound (livelock bomb). 0 = unbounded.
+    pub max_steps: u64,
+}
+
+/// The outcome of one episode.
+#[derive(Debug)]
+pub struct EpisodeOutcome {
+    /// `Some(description)` if any teardown check failed.
+    pub failure: Option<String>,
+    /// Decision byte log (replayable via [`strategy::Replay`]).
+    pub decisions: Vec<u8>,
+    /// Trace hash of the episode.
+    pub trace: u64,
+    /// Granted turns.
+    pub steps: u64,
+}
+
+/// A minimized, replayable failing schedule.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// What check failed and how.
+    pub description: String,
+    /// Trace hash of the *minimized* episode.
+    pub trace: u64,
+    /// Minimized decision bytes.
+    pub decisions: Vec<u8>,
+}
+
+impl Counterexample {
+    /// One-line replayable spec: `<trace-hash-hex>:<decision-hex>`.
+    pub fn spec(&self) -> String {
+        format_spec(self.trace, &self.decisions)
+    }
+}
+
+/// Format a `<trace-hash-hex>:<decision-hex>` schedule spec.
+pub fn format_spec(trace: u64, decisions: &[u8]) -> String {
+    let hex: String = decisions.iter().map(|b| format!("{b:02x}")).collect();
+    format!("{trace:016x}:{hex}")
+}
+
+/// Parse a schedule spec produced by [`format_spec`].
+pub fn parse_spec(s: &str) -> Result<(u64, Vec<u8>), String> {
+    let (hash, hex) = s
+        .split_once(':')
+        .ok_or_else(|| format!("schedule spec `{s}` is not <trace-hash>:<decision-hex>"))?;
+    let trace =
+        u64::from_str_radix(hash, 16).map_err(|e| format!("bad trace hash `{hash}`: {e}"))?;
+    if hex.len() % 2 != 0 {
+        return Err(format!("decision hex `{hex}` has odd length"));
+    }
+    let bytes = (0..hex.len() / 2)
+        .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16))
+        .collect::<Result<Vec<u8>, _>>()
+        .map_err(|e| format!("bad decision hex `{hex}`: {e}"))?;
+    Ok((trace, bytes))
+}
+
+/// Aggregate result of an exploration run.
+#[derive(Debug)]
+pub struct McReport {
+    /// Configuration name.
+    pub config: &'static str,
+    /// Episodes explored (excluding minimization replays).
+    pub episodes: u64,
+    /// Total granted turns across explored episodes.
+    pub total_steps: u64,
+    /// Exploration hit the strategy's episode cap before exhausting.
+    pub truncated: bool,
+    /// First failure found, minimized; `None` = all schedules passed.
+    pub counterexample: Option<Counterexample>,
+    /// Replay episodes spent minimizing (0 when nothing failed).
+    pub minimize_episodes: u64,
+}
+
+impl McReport {
+    /// Render for logs / the stats artifact.
+    pub fn summary(&self) -> String {
+        match &self.counterexample {
+            None => format!(
+                "{}: PASS — {} schedules explored ({} steps{})",
+                self.config,
+                self.episodes,
+                self.total_steps,
+                if self.truncated { ", TRUNCATED by episode cap" } else { "" }
+            ),
+            Some(cx) => format!(
+                "{}: FAIL after {} schedules — {} | minimized repro ({} replays): {}",
+                self.config, self.episodes, cx.description, self.minimize_episodes, cx.spec()
+            ),
+        }
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_ops<E: KvEngine>(h: &mut E, ops: &[McOp], rec: &mut Recorder<'_>) {
+    for op in ops {
+        let inv = rec.invoke();
+        match *op {
+            McOp::Insert(k, v) => {
+                let ok = h.insert(k, v);
+                rec.finish(k, OpAction::Insert { value: v, ok }, inv);
+            }
+            McOp::Remove(k) => {
+                let ok = h.remove(k);
+                rec.finish(k, OpAction::Remove { ok }, inv);
+            }
+            McOp::Get(k) => {
+                let found = h.get(k);
+                rec.finish(k, OpAction::Get { found }, inv);
+            }
+        }
+    }
+}
+
+/// Run one episode of `config` under `strategy` (whose `begin_episode`
+/// must already have returned `true`).
+pub fn run_episode(config: &McConfig, strategy: &SharedScheduler) -> EpisodeOutcome {
+    let threads = config.threads.len();
+    assert!(threads >= 1, "config needs at least one thread");
+    let ctl = McController::new(threads, strategy.clone(), config.max_steps);
+    let clock = HistoryClock::new();
+
+    // Worker body shared by both engines: gate at the start line, run the
+    // script, and always retire (a panicking worker that stays registered
+    // as live would wedge every parked peer).
+    let worker = |id: usize,
+                  ops: &[McOp],
+                  mut with_handle: Box<dyn FnMut(&mut Recorder<'_>) + '_>|
+     -> (Vec<OpRecord>, Option<String>) {
+        let hook: Arc<dyn SchedHook> = ctl.hook(id);
+        let mut rec = Recorder::new(&clock);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = schedule::register(hook);
+            schedule::yield_point(AccessKind::Load, SYNTH_START);
+            with_handle(&mut rec);
+        }));
+        ctl.retire(id);
+        let _ = ops;
+        (rec.records, res.err().map(panic_text))
+    };
+
+    type WorkerResults = Vec<(Vec<OpRecord>, Option<String>)>;
+    let (results, structure_failure): (WorkerResults, Option<String>) =
+        match &config.target {
+            Target::Chunked(params) => {
+                let list = Gfsl::new(**params).expect("mc: structure construction");
+                {
+                    let mut h = list.handle_with(NoProbe);
+                    for &(k, v) in &config.prefill {
+                        assert!(h.insert(k, v).expect("mc: prefill"), "mc: prefill dup {k}");
+                    }
+                }
+                let results = std::thread::scope(|s| {
+                    let handles: Vec<_> = config
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .map(|(id, ops)| {
+                            let list = &list;
+                            let worker = &worker;
+                            s.spawn(move || {
+                                worker(
+                                    id,
+                                    ops,
+                                    Box::new(move |rec| {
+                                        let mut h = list.handle_with(NoProbe);
+                                        run_ops(&mut h, ops, rec);
+                                    }),
+                                )
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                let violations = list.validate();
+                let failure = (!violations.is_empty()).then(|| {
+                    format!(
+                        "structure invariant violated: {}",
+                        violations
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    )
+                });
+                (results, failure)
+            }
+            Target::Flat { leaf_cap } => {
+                let list = FlatSkiplist::with_leaf_cap(BallotKernel::Scalar, *leaf_cap);
+                {
+                    let mut h = list.handle();
+                    for &(k, v) in &config.prefill {
+                        assert!(h.insert(k, v), "mc: prefill dup {k}");
+                    }
+                }
+                let results = std::thread::scope(|s| {
+                    let handles: Vec<_> = config
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .map(|(id, ops)| {
+                            let list = &list;
+                            let worker = &worker;
+                            s.spawn(move || {
+                                worker(
+                                    id,
+                                    ops,
+                                    Box::new(move |rec| {
+                                        let mut h = list.handle();
+                                        run_ops(&mut h, ops, rec);
+                                    }),
+                                )
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                });
+                let failure = catch_unwind(AssertUnwindSafe(|| list.assert_valid()))
+                    .err()
+                    .map(|p| format!("flat invariant violated: {}", panic_text(p)));
+                (results, failure)
+            }
+        };
+
+    let steps = ctl.steps();
+    // Silent no-op guard: a multi-threaded chunked episode whose only
+    // granted turns are the start gates means the pool was built without
+    // per-access gating — exploration would trivially "pass" over one
+    // schedule. Fail loudly instead.
+    if threads > 1 && steps <= threads as u64 {
+        panic!(
+            "mc: episode granted only {steps} turns for {threads} threads — \
+             gfsl-gpu-mem was built without the `sched` feature (run model \
+             checks via `cargo test -p gfsl` or a `modelcheck`-featured \
+             harness so pool atomics become yield points)"
+        );
+    }
+
+    let mut failure = structure_failure;
+    for (id, (_, panic_msg)) in results.iter().enumerate() {
+        if failure.is_some() {
+            break;
+        }
+        if let Some(msg) = panic_msg {
+            failure = Some(format!("worker {id} panicked: {msg}"));
+        }
+    }
+    if failure.is_none() {
+        let mut records: Vec<OpRecord> = Vec::new();
+        for (r, _) in &results {
+            records.extend_from_slice(r);
+        }
+        let initial: HashMap<u32, u32> = config.prefill.iter().copied().collect();
+        if let Err(errors) = check_linearizable(&records, &initial) {
+            failure = Some(format!("non-linearizable history: {}", errors.join("; ")));
+        }
+    }
+
+    EpisodeOutcome {
+        failure,
+        decisions: ctl.decisions(),
+        trace: ctl.trace_hash(),
+        steps,
+    }
+}
+
+/// Replay one episode from a decision byte list.
+pub fn replay(config: &McConfig, decisions: Vec<u8>) -> EpisodeOutcome {
+    let shared: SharedScheduler = Arc::new(Mutex::new(Box::new(Replay::new(decisions))));
+    assert!(shared.lock().unwrap().begin_episode());
+    run_episode(config, &shared)
+}
+
+/// Explore `config` under `strategy` until a failure is found or the
+/// strategy exhausts its schedule space. On failure the decision list is
+/// ddmin-minimized before being reported.
+pub fn explore(config: &McConfig, strategy: Box<dyn Scheduler>) -> McReport {
+    let shared: SharedScheduler = Arc::new(Mutex::new(strategy));
+    let mut episodes = 0u64;
+    let mut total_steps = 0u64;
+    loop {
+        if !shared.lock().unwrap().begin_episode() {
+            let truncated = shared.lock().unwrap().truncated();
+            return McReport {
+                config: config.name,
+                episodes,
+                total_steps,
+                truncated,
+                counterexample: None,
+                minimize_episodes: 0,
+            };
+        }
+        let out = run_episode(config, &shared);
+        episodes += 1;
+        total_steps += out.steps;
+        if let Some(description) = out.failure {
+            let (min_bytes, mut replays) =
+                ddmin(&out.decisions, |bytes| {
+                    replay(config, bytes.to_vec()).failure.is_some()
+                });
+            // One final replay pins the minimized schedule's trace hash
+            // and its (possibly more specific) failure description.
+            let final_out = replay(config, min_bytes.clone());
+            replays += 1;
+            let description = final_out.failure.unwrap_or(description);
+            return McReport {
+                config: config.name,
+                episodes,
+                total_steps,
+                truncated: false,
+                counterexample: Some(Counterexample {
+                    description,
+                    trace: final_out.trace,
+                    decisions: min_bytes,
+                }),
+                minimize_episodes: replays,
+            };
+        }
+        shared.lock().unwrap().end_episode();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrip() {
+        let spec = format_spec(0xDEAD_BEEF_0123_4567, &[0, 1, 255, 16]);
+        assert_eq!(spec, "deadbeef01234567:0001ff10");
+        assert_eq!(
+            parse_spec(&spec).unwrap(),
+            (0xDEAD_BEEF_0123_4567, vec![0, 1, 255, 16])
+        );
+        assert_eq!(parse_spec("abc:").unwrap(), (0xabc, vec![]));
+        assert!(parse_spec("nocolon").is_err());
+        assert!(parse_spec("12:abc").is_err(), "odd hex length");
+        assert!(parse_spec("zz:00").is_err());
+    }
+}

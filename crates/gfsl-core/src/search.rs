@@ -500,6 +500,17 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     });
                 }
                 LateralStep::NotFound => {
+                    if crate::bug_knobs::revert_remove_shift() {
+                        // Seed-era reader: trust the single team read with
+                        // no lock-word bracketing. Combined with the
+                        // reverted right-to-left shift this re-opens the
+                        // PR 1 torn-read race for the model-check oracle.
+                        return Some(LateralResult {
+                            enclosing: cur,
+                            found: None,
+                            word: None,
+                        });
+                    }
                     // The lock lane is read after every data lane of `view`.
                     let after = view.lock_word(&team);
                     if certify == Some(after)
@@ -597,6 +608,15 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                     };
                 }
                 LateralStep::NotFound => {
+                    if crate::bug_knobs::revert_remove_shift() {
+                        // Seed-era uncertified reader; see
+                        // `search_lateral_bounded`.
+                        return LateralResult {
+                            enclosing: cur,
+                            found: None,
+                            word: None,
+                        };
+                    }
                     let after = view.lock_word(&team);
                     if certify == Some(after)
                         && crate::chunk::lock_state(after) == crate::chunk::LOCK_UNLOCKED

@@ -850,13 +850,19 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                         })
                     }
                     Err(_) => {
-                        let chunk = self.quarantine_held();
-                        self.list.recovery.crashed_ops.fetch_add(1, Ordering::Relaxed);
                         // A killing probe (chaos) deregistered this team from
                         // its scheduler mid-panic; we caught the kill, so tell
                         // the probe the team lives on — even when the crash is
-                        // reported to the caller as a committed `Ok`.
+                        // reported to the caller as a committed `Ok`. This
+                        // must happen *before* any quarantine bookkeeping: if
+                        // that bookkeeping ever performs a probed or
+                        // schedule-gated access (the pool accesses are gated
+                        // under the `sched` feature), a still-retired
+                        // participant would park in the turnstile waiting for
+                        // a turn no scheduler grants to the retired.
                         self.probe.crash_recovered();
+                        let chunk = self.quarantine_held();
+                        self.list.recovery.crashed_ops.fetch_add(1, Ordering::Relaxed);
                         Err(OpAbort {
                             reason: AbortReason::Crashed,
                             chunk,
@@ -1334,6 +1340,13 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     pub(crate) fn certify_poison_check(&mut self, ch: u32) {
         self.stats.certify_retries += 1;
         self.note_wait(ch);
+        // Tell the model checker (if one is driving this thread) that we are
+        // spinning on this chunk's lock word: exploration deprioritizes and
+        // never branches into a waiting thread, so bounded-exhaustive search
+        // does not enumerate futile spin permutations.
+        gfsl_gpu_mem::schedule::wait_hint(
+            self.list.chunk(ch).entry_addr(self.list.team.lock_lane()),
+        );
         if let Some(report) = self.list.poison_report() {
             panic!("read certification on chunk {ch} aborted: structure poisoned ({report})");
         }
@@ -1375,6 +1388,10 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         *spins += 1;
         let n = *spins;
         self.note_wait(ch);
+        // Spin-wait advisory for the model checker (see certify_poison_check).
+        gfsl_gpu_mem::schedule::wait_hint(
+            self.list.chunk(ch).entry_addr(self.list.team.lock_lane()),
+        );
         if n.is_multiple_of(64) {
             if let Some(report) = self.list.poison_report() {
                 panic!("lock wait on chunk {ch} aborted: structure poisoned ({report})");

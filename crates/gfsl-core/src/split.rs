@@ -158,7 +158,8 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         // went into the old half, raise k itself; when k went into the new
         // half, max(k, min-of-new-chunk) also lives there and is safe.
         let min_moved = view.entry(half).key();
-        let raised = if level == 0 && p_insert == p_new {
+        let unsafe_raise = crate::bug_knobs::revert_split_raised_key();
+        let raised = if level == 0 && (p_insert == p_new || unsafe_raise) {
             k.max(min_moved)
         } else {
             k

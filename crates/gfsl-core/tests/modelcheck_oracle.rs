@@ -1,0 +1,117 @@
+//! Differential oracles for the model checker (ISSUE 9 satellite):
+//! re-introduce each of PR 1's two seed races via the `bug_knobs`
+//! test-only reverts and assert the schedule explorer **finds** the bug,
+//! minimizes it, and emits a trace-hash-replayable counterexample — then
+//! that the *fixed* code passes the exact same schedule.
+//!
+//! This is the calibration that keeps "0 counterexamples found" in
+//! `modelcheck.rs` meaningful: a checker that cannot re-find known bugs
+//! proves nothing by finding none.
+
+use gfsl::bug_knobs;
+use gfsl::mc::strategy::{DfsBounded, RandomWalk, Scheduler};
+use gfsl::mc::{configs, explore, replay, McReport};
+
+/// Explore with bounded DFS, escalating to a seeded random walk if the
+/// preemption-bounded space misses the bug (it should not — both seed
+/// races need a single preemption — but the oracle must not flake on a
+/// default-policy change).
+fn find_bug(config_name: &str) -> McReport {
+    let cfg = configs::by_name(config_name).expect("config registered");
+    let strategies: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(DfsBounded::new(2, true, 500_000)),
+        Box::new(RandomWalk::new(0xB00B_5EED, 2_000)),
+    ];
+    let mut last = None;
+    for strategy in strategies {
+        let report = explore(&cfg, strategy);
+        println!("oracle {}", report.summary());
+        if report.counterexample.is_some() {
+            return report;
+        }
+        last = Some(report);
+    }
+    last.expect("at least one strategy ran")
+}
+
+fn assert_found_minimized_and_differential(config_name: &str, revert: &str) {
+    let report = find_bug(config_name);
+    let cx = report
+        .counterexample
+        .unwrap_or_else(|| panic!("{config_name}: reverting {revert} must produce a counterexample"));
+    assert!(
+        report.minimize_episodes > 0,
+        "counterexample must have gone through ddmin"
+    );
+
+    // The one-line spec replays: same decisions -> same trace hash, still
+    // failing. This is exactly what `stress --schedule <spec>` does.
+    let cfg = configs::by_name(config_name).expect("config registered");
+    let out = replay(&cfg, cx.decisions.clone());
+    assert_eq!(
+        out.trace, cx.trace,
+        "minimized schedule must replay to its recorded trace hash"
+    );
+    assert!(
+        out.failure.is_some(),
+        "minimized schedule must still fail on replay"
+    );
+    println!(
+        "oracle {config_name}: minimized to {} decision byte(s), spec {}",
+        cx.decisions.len(),
+        cx.spec()
+    );
+}
+
+#[test]
+fn split_raised_key_revert_is_refound() {
+    let guard = bug_knobs::revert_split_raised_key_guard();
+    assert_found_minimized_and_differential("split-raise-2t", "the split raised-key fix");
+    drop(guard);
+
+    // Differential direction: with the fix restored, the *same minimized
+    // schedule* must pass. Re-derive it under the knob, then replay
+    // without it.
+    let guard = bug_knobs::revert_split_raised_key_guard();
+    let cx = find_bug("split-raise-2t").counterexample.expect("refound");
+    drop(guard);
+    let cfg = configs::by_name("split-raise-2t").unwrap();
+    let out = replay(&cfg, cx.decisions);
+    assert!(
+        out.failure.is_none(),
+        "fixed split must pass the bug's schedule, got: {:?}",
+        out.failure
+    );
+}
+
+#[test]
+fn remove_shift_revert_is_refound() {
+    let guard = bug_knobs::revert_remove_shift_guard();
+    assert_found_minimized_and_differential("remove-shift-2t", "the remove left-to-right shift fix");
+    drop(guard);
+
+    let guard = bug_knobs::revert_remove_shift_guard();
+    let cx = find_bug("remove-shift-2t").counterexample.expect("refound");
+    drop(guard);
+    let cfg = configs::by_name("remove-shift-2t").unwrap();
+    let out = replay(&cfg, cx.decisions);
+    assert!(
+        out.failure.is_none(),
+        "fixed remove must pass the bug's schedule, got: {:?}",
+        out.failure
+    );
+}
+
+#[test]
+fn clean_build_passes_the_oracle_configs() {
+    // Sanity inverse: with no knob set, the same exploration budget finds
+    // nothing on the oracle configs (they are ordinary workloads then).
+    for name in ["split-raise-2t", "remove-shift-2t"] {
+        let report = find_bug(name);
+        assert!(
+            report.counterexample.is_none(),
+            "{name} must be clean without a revert knob: {}",
+            report.summary()
+        );
+    }
+}

@@ -32,6 +32,7 @@ pub mod pool;
 pub mod probe;
 pub mod reclaim;
 pub mod sched_probe;
+pub mod schedule;
 pub mod traffic;
 
 pub use l2::L2Cache;
@@ -40,4 +41,5 @@ pub use pool::{PoolExhausted, WordPool};
 pub use probe::{CountingProbe, CrashPoint, MemProbe, NoProbe, Prefetch};
 pub use reclaim::{EpochReclaimer, ReclaimStats, SlotId};
 pub use sched_probe::{Turnstile, YieldProbe};
+pub use schedule::{AccessKind, HookGuard, ScheduledAtomicU64, SchedHook};
 pub use traffic::Traffic;

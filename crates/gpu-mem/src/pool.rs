@@ -1,8 +1,9 @@
 //! The device-memory word pool and its bump allocator.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::layout::WordAddr;
+use crate::schedule::ScheduledAtomicU64;
 
 /// Error returned when the pool's fixed capacity is exhausted.
 ///
@@ -36,7 +37,7 @@ impl std::error::Error for PoolExhausted {}
 /// index as a pointer", §4.1). There is no free: like the paper's
 /// implementation, removed chunks/nodes are never reclaimed within a run.
 pub struct WordPool {
-    words: Box<[AtomicU64]>,
+    words: Box<[ScheduledAtomicU64]>,
     next: AtomicU32,
 }
 
@@ -52,7 +53,7 @@ impl WordPool {
             "pool capacity must fit 32-bit word addressing"
         );
         let mut v = Vec::with_capacity(capacity_words);
-        v.resize_with(capacity_words, || AtomicU64::new(0));
+        v.resize_with(capacity_words, || ScheduledAtomicU64::new(0));
         WordPool {
             words: v.into_boxed_slice(),
             next: AtomicU32::new(0),
@@ -87,6 +88,15 @@ impl WordPool {
                     capacity: self.capacity(),
                 });
             }
+            // The bump counter is not a pool word, but concurrent alloc
+            // races are real schedules; gate each CAS attempt on the
+            // reserved synthetic address so the model checker can
+            // interleave allocators too.
+            #[cfg(feature = "sched")]
+            crate::schedule::yield_point(
+                crate::schedule::AccessKind::Rmw,
+                crate::schedule::SYNTH_ALLOC,
+            );
             match self
                 .next
                 .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
@@ -100,19 +110,19 @@ impl WordPool {
     /// Acquire-load the word at `addr`.
     #[inline]
     pub fn read(&self, addr: WordAddr) -> u64 {
-        self.words[addr as usize].load(Ordering::Acquire)
+        self.words[addr as usize].load(addr, Ordering::Acquire)
     }
 
     /// Relaxed load (for validation/diagnostic scans at quiescence).
     #[inline]
     pub fn read_relaxed(&self, addr: WordAddr) -> u64 {
-        self.words[addr as usize].load(Ordering::Relaxed)
+        self.words[addr as usize].load(addr, Ordering::Relaxed)
     }
 
     /// Release-store the word at `addr` (the paper's `AtomicWrite`).
     #[inline]
     pub fn write(&self, addr: WordAddr, value: u64) {
-        self.words[addr as usize].store(value, Ordering::Release);
+        self.words[addr as usize].store(addr, value, Ordering::Release);
     }
 
     /// Compare-and-swap the word at `addr` (used for lock words and for
@@ -121,6 +131,7 @@ impl WordPool {
     #[inline]
     pub fn cas(&self, addr: WordAddr, expected: u64, new: u64) -> Result<u64, u64> {
         self.words[addr as usize].compare_exchange(
+            addr,
             expected,
             new,
             Ordering::AcqRel,

@@ -3,6 +3,8 @@
 //! ```text
 //! stress [--seconds N] [--threads N] [--range N] [--mix i,d,c] [--team 16|32] [--seed S]
 //! stress --chaos [--seeds N] [--threads N] [--seed S]
+//! stress --modelcheck <config|all> [--strategy dfs|walk] [--bound N] [--episodes N] [--no-por] [--seed S]
+//! stress --modelcheck <config> --schedule <trace>:<decisions>
 //! ```
 //!
 //! Default mode runs a randomized mixed workload from many threads,
@@ -19,6 +21,15 @@
 //! for per-key linearizability; structural invariants are validated at
 //! every quiescence point. The first seed is re-run at the end and must
 //! reproduce the identical crash-point trace hash (replay determinism).
+//!
+//! `--modelcheck` runs the systematic schedule explorer (see
+//! `gfsl::mc`) on a named configuration from the shared registry — or
+//! `all` of them — with bounded-exhaustive DFS (`--strategy dfs`, default)
+//! or a seeded random walk (`--strategy walk`). Any counterexample prints
+//! a one-line `--schedule` spec; passing that spec back replays the exact
+//! schedule, which is how a CI failure becomes a local repro. Both modes
+//! need the pool's accesses compiled as yield points: build with
+//! `--features modelcheck` (forwards `gfsl-gpu-mem/sched`).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -41,6 +52,12 @@ struct Args {
     seed: u64,
     chaos: bool,
     seeds: u32,
+    modelcheck: Option<String>,
+    schedule: Option<String>,
+    strategy: String,
+    bound: u32,
+    episodes: u64,
+    no_por: bool,
 }
 
 fn parse() -> Args {
@@ -53,6 +70,12 @@ fn parse() -> Args {
         seed: 0xD06_F00D,
         chaos: false,
         seeds: 16,
+        modelcheck: None,
+        schedule: None,
+        strategy: "dfs".to_string(),
+        bound: 2,
+        episodes: 1 << 20,
+        no_por: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,6 +95,12 @@ fn parse() -> Args {
             }
             "--chaos" => a.chaos = true,
             "--seeds" => a.seeds = val().parse().expect("seeds"),
+            "--modelcheck" => a.modelcheck = Some(val()),
+            "--schedule" => a.schedule = Some(val()),
+            "--strategy" => a.strategy = val(),
+            "--bound" => a.bound = val().parse().expect("bound"),
+            "--episodes" => a.episodes = val().parse().expect("episodes"),
+            "--no-por" => a.no_por = true,
             "--team" => {
                 a.team = match val().as_str() {
                     "16" => TeamSize::Sixteen,
@@ -330,8 +359,114 @@ fn chaos_main(a: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--modelcheck`: systematic schedule exploration over a registered
+/// configuration, or replay of one counterexample spec.
+fn modelcheck_main(a: &Args) -> ExitCode {
+    use gfsl::mc::strategy::{DfsBounded, RandomWalk, Scheduler};
+    use gfsl::mc::{self, configs};
+
+    if !gfsl_gpu_mem::schedule::POOL_GATED {
+        eprintln!(
+            "stress --modelcheck needs the pool's accesses compiled as yield points;\n\
+             rebuild with: cargo run --release -p gfsl-harness --bin stress \
+             --features modelcheck -- --modelcheck ..."
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let sel = a.modelcheck.as_deref().expect("dispatched on --modelcheck");
+    let cfgs: Vec<mc::McConfig> = if sel == "all" {
+        configs::all()
+    } else {
+        match configs::by_name(sel) {
+            Some(c) => vec![c],
+            None => {
+                eprintln!("unknown model-check config {sel:?}; registered configs:");
+                for c in configs::all() {
+                    eprintln!("  {:<16} {}", c.name, c.about);
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    // Replay mode: one spec (as printed by a failing exploration or the CI
+    // modelcheck job) pins one exact schedule against one configuration.
+    if let Some(spec) = &a.schedule {
+        if cfgs.len() != 1 {
+            eprintln!("--schedule replays one schedule: name a single --modelcheck <config>");
+            return ExitCode::FAILURE;
+        }
+        let (want_trace, decisions) = match mc::parse_spec(spec) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bad --schedule spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cfg = &cfgs[0];
+        let out = mc::replay(cfg, decisions);
+        println!(
+            "replay {}: trace 0x{:016x}, {} scheduled steps",
+            cfg.name, out.trace, out.steps
+        );
+        if out.trace != want_trace {
+            println!(
+                "WARNING: replayed trace differs from the spec's 0x{want_trace:016x} \
+                 (code changed since the schedule was captured?)"
+            );
+        }
+        return match out.failure {
+            Some(f) => {
+                println!("schedule FAILS: {f}");
+                ExitCode::FAILURE
+            }
+            None => {
+                println!("schedule passes");
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    let mut clean = true;
+    for cfg in &cfgs {
+        let strategy: Box<dyn Scheduler> = match a.strategy.as_str() {
+            "dfs" => Box::new(DfsBounded::new(a.bound, !a.no_por, a.episodes)),
+            "walk" => Box::new(RandomWalk::new(a.seed, a.episodes)),
+            other => {
+                eprintln!("--strategy must be dfs or walk, got {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = mc::explore(cfg, strategy);
+        println!("modelcheck {}", report.summary());
+        if let Some(cx) = &report.counterexample {
+            clean = false;
+            println!("  counterexample: {}", cx.description);
+            println!(
+                "  replay with: stress --modelcheck {} --schedule {}",
+                cfg.name,
+                cx.spec()
+            );
+        }
+    }
+    if clean {
+        println!("modelcheck PASSED: no counterexamples");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let a = parse();
+    if a.modelcheck.is_some() {
+        return modelcheck_main(&a);
+    }
+    if a.schedule.is_some() {
+        eprintln!("--schedule needs --modelcheck <config> to replay against");
+        return ExitCode::FAILURE;
+    }
     if a.chaos {
         return chaos_main(&a);
     }

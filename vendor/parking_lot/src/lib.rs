@@ -89,6 +89,24 @@ impl<T: ?Sized> RwLock<T> {
             Err(p) => p.into_inner(),
         }
     }
+
+    /// Try to acquire a shared read guard without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Try to acquire an exclusive write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +127,22 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(0u32);
+        {
+            let r = l.try_read().expect("uncontended try_read");
+            assert!(l.try_read().is_some(), "readers share");
+            assert!(l.try_write().is_none(), "writer excluded by reader");
+            assert_eq!(*r, 0);
+        }
+        {
+            let mut w = l.try_write().expect("uncontended try_write");
+            *w = 7;
+            assert!(l.try_read().is_none(), "reader excluded by writer");
+        }
+        assert_eq!(*l.read(), 7);
     }
 }
