@@ -319,6 +319,57 @@ impl Cluster {
             .collect())
     }
 
+    /// Run `f` once per live shard overlapping `[lo, hi]` against a
+    /// **version-pinned cut** (mvcc only): every overlapped shard's fence
+    /// is write-held just long enough to pin one version per shard — the
+    /// instant `T` of the cut — then the fences drop and `f` runs against
+    /// the tickets, wait-free with respect to resumed writers.
+    ///
+    /// Lock order matches the global protocol: fences (write, ascending
+    /// shard index) before the map read. A concurrent migration takes its
+    /// victims' fences in the same index order, so the two cannot deadlock;
+    /// an epoch bump between routing and fencing surfaces as the usual
+    /// [`ClusterError::WrongShard`] redirect.
+    pub(crate) fn with_range_shards_pinned<T>(
+        &self,
+        lo: u32,
+        hi: u32,
+        mut f: impl FnMut(&Shard, &gfsl::ReadTicket<'_>, u32, u32) -> T,
+    ) -> Result<Vec<T>, ClusterError> {
+        assert!(lo >= 1 && hi < KEY_INF && lo <= hi, "bad window [{lo}, {hi}]");
+        debug_assert!(self.params.mvcc, "pinned fan-out needs the mvcc knob");
+        let (shards, routed_epoch) = {
+            let m = self.map.read();
+            (m.shards[m.overlapping(lo, hi)].to_vec(), m.epoch)
+        };
+        // Write fences in index order: drain in-flight routed ops so the
+        // pins below jointly name one instant across all overlapped shards.
+        let fences: Vec<_> = shards.iter().map(|s| s.fence.write()).collect();
+        {
+            let m = self.map.read();
+            if m.epoch != routed_epoch {
+                return Err(ClusterError::WrongShard {
+                    key: lo,
+                    routed_epoch,
+                    current_epoch: m.epoch,
+                });
+            }
+        }
+        let tickets: Vec<_> = shards
+            .iter()
+            .map(|s| s.list.pin_version().expect("mvcc knob is on"))
+            .collect();
+        drop(fences);
+        Ok(shards
+            .iter()
+            .zip(&tickets)
+            .map(|(s, t)| {
+                s.note(false);
+                f(s, t, lo.max(s.lo), hi.min(s.hi - 1))
+            })
+            .collect())
+    }
+
     // ---- one-shot routed operations (surface WrongShard) ----
 
     /// Routed lookup; one routing attempt.
@@ -430,19 +481,33 @@ impl Cluster {
     // ---- fan-out reads ----
 
     /// All pairs in the inclusive window `[lo, hi]`, stitched across shard
-    /// boundaries from a consistent fenced cut; one routing attempt.
+    /// boundaries from a consistent cut; one routing attempt. With mvcc on
+    /// the cut is version-pinned (fences held only to stamp it, the walk
+    /// wait-free w.r.t. writers); otherwise every overlapped fence stays
+    /// read-held for the walk.
     pub fn try_range(&self, lo: u32, hi: u32) -> Result<Vec<(u32, u32)>, ClusterError> {
-        let per = self.with_range_shards(lo, hi, |s, clo, chi| s.list.handle().range(clo, chi))?;
         // Shards are visited in ascending range order, so concatenation is
         // already globally sorted.
+        let per = if self.params.mvcc {
+            self.with_range_shards_pinned(lo, hi, |s, t, clo, chi| {
+                s.list.handle().range_at(clo, chi, t)
+            })?
+        } else {
+            self.with_range_shards(lo, hi, |s, clo, chi| s.list.handle().range(clo, chi))?
+        };
         Ok(per.into_iter().flatten().collect())
     }
 
     /// Count keys in the inclusive window `[lo, hi]` across shards; one
-    /// routing attempt.
+    /// routing attempt. Same cut modes as [`Cluster::try_range`].
     pub fn try_count_range(&self, lo: u32, hi: u32) -> Result<usize, ClusterError> {
-        let per =
-            self.with_range_shards(lo, hi, |s, clo, chi| s.list.handle().count_range(clo, chi))?;
+        let per = if self.params.mvcc {
+            self.with_range_shards_pinned(lo, hi, |s, t, clo, chi| {
+                s.list.handle().count_range_at(clo, chi, t)
+            })?
+        } else {
+            self.with_range_shards(lo, hi, |s, clo, chi| s.list.handle().count_range(clo, chi))?
+        };
         Ok(per.into_iter().sum())
     }
 
@@ -454,6 +519,31 @@ impl Cluster {
     /// Stitched range count, re-routing through migrations.
     pub fn count_range(&self, lo: u32, hi: u32) -> Result<usize, Error> {
         self.retry(|| self.try_count_range(lo, hi))
+    }
+
+    /// Version-stamped spanning count: `(version, count)`; one routing
+    /// attempt. With mvcc on the count is read from a version-pinned cut
+    /// and `version` names it (the newest shard version in the cut — the
+    /// clock value the fences jointly stamped at the cut instant); with
+    /// mvcc off it falls back to the fence-held legacy count and reports
+    /// version 0, so callers (the edge wire, notably) never need to know
+    /// which engine they are talking to.
+    pub fn try_snap_count_range(&self, lo: u32, hi: u32) -> Result<(u64, u64), ClusterError> {
+        if !self.params.mvcc {
+            return self.try_count_range(lo, hi).map(|n| (0, n as u64));
+        }
+        let per = self.with_range_shards_pinned(lo, hi, |s, t, clo, chi| {
+            (t.version(), s.list.handle().count_range_at(clo, chi, t) as u64)
+        })?;
+        let version = per.iter().map(|&(v, _)| v).max().unwrap_or(0);
+        let count = per.iter().map(|&(_, n)| n).sum();
+        Ok((version, count))
+    }
+
+    /// Version-stamped spanning count, re-routing through migrations; see
+    /// [`Cluster::try_snap_count_range`].
+    pub fn snap_count_range(&self, lo: u32, hi: u32) -> Result<(u64, u64), Error> {
+        self.retry(|| self.try_snap_count_range(lo, hi))
     }
 
     // ---- priority-queue front (min-entry scan) ----
@@ -513,6 +603,15 @@ impl Cluster {
     /// Per-shard statistics for the current map.
     pub fn stats(&self) -> Vec<ShardStats> {
         self.shards().iter().map(|s| s.stats()).collect()
+    }
+
+    /// Per-shard mvcc counters for the current map (`None` when the knob
+    /// is off). Shard order matches [`Cluster::shards`].
+    pub fn mvcc_stats(&self) -> Option<Vec<gfsl::MvccStats>> {
+        self.shards()
+            .iter()
+            .map(|s| s.list.mvcc_stats())
+            .collect()
     }
 
     /// Every pair in the cluster, ascending. Quiescent use only.

@@ -68,6 +68,11 @@ pub struct Manifest {
     pub n_pairs: u64,
     /// Pages in the data file.
     pub n_pages: u64,
+    /// Per-shard pinned mvcc versions at the cut, aligned with
+    /// `shard_bounds`. Empty for a legacy write-held cut (or a manifest
+    /// written before version-pinned checkpoints existed) — the trailing
+    /// section is optional on disk, so old manifests still decode.
+    pub shard_versions: Vec<u64>,
 }
 
 impl Manifest {
@@ -87,6 +92,19 @@ impl Manifest {
         }
         b.extend_from_slice(&self.n_pairs.to_le_bytes());
         b.extend_from_slice(&self.n_pages.to_le_bytes());
+        // Optional trailing section: per-shard pinned versions. When
+        // present it must cover every shard, so the decoder can tell a
+        // legacy manifest (nothing after n_pages) from a truncated one.
+        if !self.shard_versions.is_empty() {
+            assert_eq!(
+                self.shard_versions.len(),
+                self.shard_bounds.len(),
+                "shard_versions must align with shard_bounds"
+            );
+            for &v in &self.shard_versions {
+                b.extend_from_slice(&v.to_le_bytes());
+            }
+        }
         let crc = crc32c(&b);
         b.extend_from_slice(&crc.to_le_bytes());
         b
@@ -124,8 +142,17 @@ impl Manifest {
         }
         let n_pairs = rd_u64(off)?;
         let n_pages = rd_u64(off + 8)?;
-        if off + 16 != body.len() {
-            return None;
+        off += 16;
+        let mut shard_versions = Vec::new();
+        if off != body.len() {
+            // The optional versions section is all-or-nothing.
+            if off + 8 * n_shards != body.len() {
+                return None;
+            }
+            for _ in 0..n_shards {
+                shard_versions.push(rd_u64(off)?);
+                off += 8;
+            }
         }
         Some(Manifest {
             seq,
@@ -134,6 +161,7 @@ impl Manifest {
             shard_bounds,
             n_pairs,
             n_pages,
+            shard_versions,
         })
     }
 }
@@ -409,6 +437,7 @@ mod tests {
             shard_bounds: Vec::new(),
             n_pairs: 0,
             n_pages: 0,
+            shard_versions: Vec::new(),
         }
     }
 
@@ -421,6 +450,7 @@ mod tests {
             shard_bounds: vec![(0, 100), (100, 200), (200, 300)],
             n_pairs: 999,
             n_pages: 2,
+            shard_versions: vec![4, 9, 2],
         };
         let bytes = m.encode();
         assert_eq!(Manifest::decode(&bytes), Some(m));

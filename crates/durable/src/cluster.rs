@@ -263,6 +263,14 @@ impl DurableCluster {
         let snap: ClusterSnapshot = self.cluster.snapshot();
         let shard_bounds: Vec<(u32, u32)> =
             snap.cuts.iter().map(|c| (c.lo, c.hi)).collect();
+        // With mvcc on the snapshot is a version-pinned cut; record the
+        // per-shard pinned versions so the manifest says which cut
+        // discipline produced the data file (empty = legacy write-held).
+        let shard_versions: Vec<u64> = if snap.pinned() {
+            snap.cuts.iter().map(|c| c.version).collect()
+        } else {
+            Vec::new()
+        };
         let manifest = ckpt::write_checkpoint(
             &self.ckpt_dir,
             &Manifest {
@@ -272,6 +280,7 @@ impl DurableCluster {
                 shard_bounds,
                 n_pairs: 0,
                 n_pages: 0,
+                shard_versions,
             },
             &snap.pairs,
             self.contract,
@@ -392,6 +401,47 @@ mod tests {
         assert_eq!(report.checkpoint_seq, Some(1));
         assert_eq!(report.replayed, 40, "only post-cut lane tails replay");
         assert_eq!(dc.cluster().bounds(), bounds_before, "layout restored");
+        assert_eq!(dc.cluster().pairs(), expect);
+        dc.cluster().assert_valid();
+        destroy(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn mvcc_checkpoints_are_version_pinned_and_recover() {
+        let cfg = DurableClusterConfig {
+            params: GfslParams {
+                mvcc: true,
+                ..GfslParams::default()
+            },
+            ..cfg("mvcc")
+        };
+        let mut dc = DurableCluster::create(&cfg).unwrap();
+        for k in 1..=200u32 {
+            dc.insert(k * 17 % 9901 + 1, k).unwrap();
+        }
+        let m = dc.checkpoint().unwrap();
+        assert_eq!(
+            m.shard_versions.len(),
+            m.shard_bounds.len(),
+            "pinned cut records one version per shard"
+        );
+        assert!(
+            m.shard_versions.iter().all(|&v| v != 0),
+            "version clocks start at 1: {:?}",
+            m.shard_versions
+        );
+        // The manifest (with its optional versions section) survives the
+        // disk roundtrip: reopen reads it back and recovery replays only
+        // the post-cut tails.
+        for k in 300..330u32 {
+            dc.insert(k * 37 + 50_000, k).unwrap();
+        }
+        let expect = dc.cluster().pairs();
+        drop(dc);
+
+        let (dc, report) = DurableCluster::open(&cfg).unwrap();
+        assert_eq!(report.checkpoint_seq, Some(1));
+        assert_eq!(report.replayed, 30, "only post-cut lane tails replay");
         assert_eq!(dc.cluster().pairs(), expect);
         dc.cluster().assert_valid();
         destroy(&cfg.dir).unwrap();

@@ -273,6 +273,7 @@ impl DurableGfsl {
                 shard_bounds: Vec::new(),
                 n_pairs: 0,
                 n_pages: 0,
+                shard_versions: Vec::new(),
             },
             &pairs,
             self.contract,

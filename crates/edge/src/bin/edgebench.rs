@@ -8,10 +8,14 @@
 //!           [--conns N] [--clients N] [--think-us N] [--open-rate R]
 //!           [--duration-ms N] [--mix c80|range10|pq] [--span N]
 //!           [--theta F] [--seed N] [--prefill N] [--addr HOST:PORT]
+//!           [--mvcc] [--snap-scans]
 //! ```
 //!
 //! `--open-rate R` switches to open-loop at `R` requests/s per connection;
-//! the default (0) runs the closed-loop population.
+//! the default (0) runs the closed-loop population. `--mvcc` builds the
+//! self-hosted engine with the multiversion knob on; `--snap-scans` sends
+//! every drawn range as a version-pinned `SnapRange` (the scan-tenant
+//! mix — pair with `--mix range10`).
 
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -30,6 +34,7 @@ struct Summary {
     duration_ms: u64,
     ops_ok: u64,
     failures: u64,
+    snaps: u64,
     sheds: u64,
     retries: u64,
     local_drops: u64,
@@ -39,6 +44,7 @@ struct Summary {
     p99_us: f64,
     p999_us: f64,
     server_epochs: u64,
+    server_snaps: u64,
     server_sheds: u64,
     server_proto_errors: u64,
     server_timeouts: u64,
@@ -74,6 +80,8 @@ fn main() {
         "pq" => ServeMix::PQ,
         other => panic!("unknown mix {other:?} (want c80|range10|pq)"),
     };
+    let mvcc = args.iter().any(|a| a == "--mvcc");
+    let snap_scans = args.iter().any(|a| a == "--snap-scans");
     let cfg = LoadConfig {
         conns: parse(&args, "--conns", 4),
         clients_per_conn: parse(&args, "--clients", 8),
@@ -85,7 +93,9 @@ fn main() {
         key_span: parse(&args, "--span", 10_000),
         zipf_theta: parse(&args, "--theta", 0.6),
         seed: parse(&args, "--seed", 42),
+        snap_scans,
     };
+    let params = GfslParams { mvcc, ..GfslParams::default() };
 
     // Target an external server, or self-host one on loopback.
     let external: Option<SocketAddr> = args
@@ -98,16 +108,14 @@ fn main() {
         let engine = match engine_kind.as_str() {
             "single" => {
                 let list = if prefill > 0 {
-                    Arc::new(
-                        Gfsl::prefilled(GfslParams::default(), 1..=prefill).expect("prefill"),
-                    )
+                    Arc::new(Gfsl::prefilled(params, 1..=prefill).expect("prefill"))
                 } else {
-                    Arc::new(Gfsl::new(GfslParams::default()).expect("gfsl"))
+                    Arc::new(Gfsl::new(params).expect("gfsl"))
                 };
                 EdgeEngine::Single(list)
             }
             "cluster" => {
-                let c = Arc::new(Cluster::new(GfslParams::default(), shards).expect("cluster"));
+                let c = Arc::new(Cluster::new(params, shards).expect("cluster"));
                 for k in 1..=prefill {
                     c.insert(k, k).expect("prefill insert");
                 }
@@ -134,6 +142,7 @@ fn main() {
         duration_ms: report.wall_ms,
         ops_ok: report.ops_ok,
         failures: report.failures,
+        snaps: report.snaps,
         sheds: report.sheds,
         retries: report.retries,
         local_drops: report.local_drops,
@@ -143,6 +152,7 @@ fn main() {
         p99_us: report.histo.quantile_ns(0.99) as f64 / 1e3,
         p999_us: report.histo.quantile_ns(0.999) as f64 / 1e3,
         server_epochs: stats.epochs,
+        server_snaps: stats.snaps,
         server_sheds: stats.sheds,
         server_proto_errors: stats.proto_errors,
         server_timeouts: stats.timeouts,

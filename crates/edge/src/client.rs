@@ -166,6 +166,11 @@ impl EdgeClient {
         self.call(Req::PopMin)
     }
 
+    /// Round-trip a `SnapRange` (version-pinned window count).
+    pub fn snap_range(&mut self, lo: u32, hi: u32) -> io::Result<Resp> {
+        self.call(Req::SnapRange(lo, hi))
+    }
+
     /// Access the underlying socket (tests use this to misbehave on
     /// purpose — raw writes that violate framing).
     pub fn stream(&mut self) -> &mut TcpStream {

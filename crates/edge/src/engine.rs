@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use gfsl::batch::{BatchOp, BatchReply};
-use gfsl::{Error as GfslError, Gfsl};
+use gfsl::{Error as GfslError, Gfsl, KEY_INF};
 use gfsl_cluster::Cluster;
 use gfsl_serve::{request::to_batch_op, Reply};
 use gfsl_workload::ServeOp;
@@ -40,6 +40,33 @@ impl EdgeEngine {
             EdgeEngine::Cluster(c) => {
                 out.extend(ops.iter().map(|&op| route_one(c, op)));
             }
+        }
+    }
+
+    /// Version-pinned count of keys in `[lo, hi]`: `(version, count)`.
+    /// Runs outside the epoch batch — with mvcc on, the pin is the only
+    /// moment that touches the writer path (fence drain), and the count
+    /// itself never blocks on chunk locks. Without the mvcc knob the
+    /// count falls back to the engine's ordinary range count and reports
+    /// version 0. The window is validated *here*, before the engine's
+    /// internal asserts see it — this is the trust boundary for hostile
+    /// wire input.
+    pub fn snap_count(&self, lo: u32, hi: u32) -> Result<(u64, u64), GfslError> {
+        if lo < 1 || hi >= KEY_INF || lo > hi {
+            return Err(GfslError::InvalidKey(if lo < 1 { lo } else { hi }));
+        }
+        match self {
+            EdgeEngine::Single(list) => match list.pin_version() {
+                Some(ticket) => {
+                    let n = list.handle().count_range_at(lo, hi, &ticket);
+                    Ok((ticket.version(), n as u64))
+                }
+                None => list
+                    .handle()
+                    .try_count_range(lo, hi)
+                    .map(|n| (0, n as u64)),
+            },
+            EdgeEngine::Cluster(c) => c.snap_count_range(lo, hi),
         }
     }
 
@@ -107,6 +134,40 @@ mod tests {
             ],
             "index-aligned replies; same-key order preserved"
         );
+    }
+
+    #[test]
+    fn snap_count_pins_when_mvcc_is_on_and_falls_back_when_off() {
+        // mvcc off: count still answers, version 0.
+        let plain = EdgeEngine::Single(Arc::new(
+            Gfsl::prefilled(params(), 1..=100).unwrap(),
+        ));
+        assert_eq!(plain.snap_count(10, 20).unwrap(), (0, 11));
+
+        // mvcc on: version comes from the pinned clock (nonzero).
+        let mvcc = GfslParams { mvcc: true, ..params() };
+        let eng = EdgeEngine::Single(Arc::new(Gfsl::prefilled(mvcc, 1..=100).unwrap()));
+        let (v, n) = eng.snap_count(10, 20).unwrap();
+        assert!(v >= 1, "pinned version names a clock instant");
+        assert_eq!(n, 11);
+
+        // Hostile windows fail typed instead of tripping engine asserts.
+        assert!(eng.snap_count(0, 5).is_err());
+        assert!(eng.snap_count(9, 3).is_err());
+        assert!(eng.snap_count(1, u32::MAX).is_err());
+    }
+
+    #[test]
+    fn snap_count_spans_cluster_shards() {
+        let mvcc = GfslParams { mvcc: true, ..params() };
+        let c = Arc::new(Cluster::new(mvcc, 4).unwrap());
+        for k in [10u32, 1_000_000_000, 2_000_000_000, 3_000_000_000] {
+            c.insert(k, k).unwrap();
+        }
+        let eng = EdgeEngine::Cluster(c);
+        let (v, n) = eng.snap_count(1, 3_000_000_001).unwrap();
+        assert!(v >= 1);
+        assert_eq!(n, 4, "pinned count stitches across all four shards");
     }
 
     #[test]

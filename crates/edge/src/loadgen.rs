@@ -55,6 +55,11 @@ pub struct LoadConfig {
     pub zipf_theta: f64,
     /// RNG seed (per-connection streams derive from it).
     pub seed: u64,
+    /// Scan-tenant mode: every `Range` op the mix draws goes on the wire
+    /// as a `SnapRange` — a version-pinned count answered at the edge
+    /// outside the epoch batch. Pair with a range-bearing mix
+    /// (e.g. `ServeMix::RANGE10`).
+    pub snap_scans: bool,
 }
 
 impl Default for LoadConfig {
@@ -70,6 +75,7 @@ impl Default for LoadConfig {
             key_span: 10_000,
             zipf_theta: 0.6,
             seed: 42,
+            snap_scans: false,
         }
     }
 }
@@ -138,6 +144,9 @@ pub struct LoadReport {
     pub ops_ok: u64,
     /// `Failed` replies from the engine.
     pub failures: u64,
+    /// `Snapped` replies received (pinned snapshot counts; also counted
+    /// in `ops_ok`).
+    pub snaps: u64,
     /// `Shed` frames received.
     pub sheds: u64,
     /// Shed requests retried (closed loop honors `retry_after_ms`).
@@ -158,6 +167,7 @@ impl LoadReport {
     fn fold(&mut self, other: LoadReport) {
         self.ops_ok += other.ops_ok;
         self.failures += other.failures;
+        self.snaps += other.snaps;
         self.sheds += other.sheds;
         self.retries += other.retries;
         self.local_drops += other.local_drops;
@@ -169,6 +179,13 @@ impl LoadReport {
 /// Tenant `t`'s key for a zipf draw `z` in `1..=span`.
 fn tenant_key(tenant: usize, span: u32, z: u32) -> u32 {
     (tenant as u32) * span + z
+}
+
+/// The top key of tenant `t`'s window — what range draws clamp to. Passing
+/// the span alone would invert the window for every tenant but the first
+/// (`lo` is a global key, so the clamp must be too).
+fn tenant_top(tenant: usize, span: u32) -> u32 {
+    (tenant as u32 + 1) * span
 }
 
 /// Run the configured population against `addr`; blocks for the duration
@@ -217,7 +234,10 @@ fn account(r: &mut LoadReport, out: &Outstanding, resp: &Resp, now: Instant) -> 
             r.failures += 1;
             None
         }
-        _ => {
+        resp => {
+            if matches!(resp, Resp::Snapped { .. }) {
+                r.snaps += 1;
+            }
             r.ops_ok += 1;
             r.histo.record(now.duration_since(out.sent).as_nanos() as u64);
             None
@@ -266,9 +286,9 @@ fn closed_loop_conn(addr: SocketAddr, cfg: &LoadConfig, conn_idx: usize) -> Load
                     let op = retry_of.take().unwrap_or_else(|| {
                         let z = zipf.draw(&mut rng);
                         let k = tenant_key(conn_idx, cfg.key_span, z);
-                        cfg.mix.draw_keyed(&mut rng, k, cfg.key_span)
+                        cfg.mix.draw_keyed(&mut rng, k, tenant_top(conn_idx, cfg.key_span))
                     });
-                    let id = client.send(op_req(op));
+                    let id = client.send(op_req(op, cfg.snap_scans));
                     inflight.insert(id, Outstanding { op, sent: now, slot: s });
                     *slot = Slot::Waiting;
                 }
@@ -328,8 +348,8 @@ fn open_loop_conn(addr: SocketAddr, cfg: &LoadConfig, conn_idx: usize) -> LoadRe
             }
             let z = zipf.draw(&mut rng);
             let k = tenant_key(conn_idx, cfg.key_span, z);
-            let op = cfg.mix.draw_keyed(&mut rng, k, cfg.key_span);
-            let id = client.send(op_req(op));
+            let op = cfg.mix.draw_keyed(&mut rng, k, tenant_top(conn_idx, cfg.key_span));
+            let id = client.send(op_req(op, cfg.snap_scans));
             inflight.insert(id, Outstanding { op, sent: now, slot: usize::MAX });
         }
         if client.poll().is_err() {
@@ -347,12 +367,14 @@ fn open_loop_conn(addr: SocketAddr, cfg: &LoadConfig, conn_idx: usize) -> LoadRe
     report
 }
 
-/// The wire request for a drawn serve op.
-fn op_req(op: ServeOp) -> Req {
+/// The wire request for a drawn serve op. In scan-tenant mode every range
+/// goes out as a version-pinned `SnapRange`.
+fn op_req(op: ServeOp, snap_scans: bool) -> Req {
     match op {
         ServeOp::Get(k) => Req::Get(k),
         ServeOp::Insert(k, v) => Req::Insert(k, v),
         ServeOp::Delete(k) => Req::Delete(k),
+        ServeOp::Range(lo, hi) if snap_scans => Req::SnapRange(lo, hi),
         ServeOp::Range(lo, hi) => Req::Range(lo, hi),
         ServeOp::MinEntry => Req::MinEntry,
         ServeOp::PopMin => Req::PopMin,

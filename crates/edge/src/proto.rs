@@ -31,8 +31,9 @@ pub const VERSION: u16 = 1;
 /// Handshake length, bytes.
 pub const HELLO_LEN: usize = 8;
 /// Largest legal frame payload (tag + req_id + fields). The widest frame
-/// today is 18 bytes; the cap leaves headroom for one more field without a
-/// version bump while still rejecting garbage lengths immediately.
+/// today is 25 bytes ([`Resp::Snapped`]); the cap leaves headroom for one
+/// more field without a version bump while still rejecting garbage lengths
+/// immediately.
 pub const MAX_PAYLOAD: usize = 32;
 /// Frame header (length field) size, bytes.
 pub const LEN_BYTES: usize = 2;
@@ -54,6 +55,12 @@ pub enum Req {
     MinEntry,
     /// Extract-min.
     PopMin,
+    /// Version-pinned count of keys in the inclusive window `[lo, hi]`:
+    /// answered from a pinned multiversion snapshot at the edge, never
+    /// batched — the read does not wait for an epoch or block on writer
+    /// locks. On an engine without the mvcc knob the count is served
+    /// unpinned and the reply carries version 0.
+    SnapRange(u32, u32),
 }
 
 /// One server response frame.
@@ -73,6 +80,16 @@ pub enum Resp {
     MinIs(Option<(u32, u32)>),
     /// `PopMin`: the extracted entry, or `None` on empty.
     Popped(Option<(u32, u32)>),
+    /// `SnapRange`: the pinned snapshot version the count was read at
+    /// (0 = engine served it unpinned) and the number of keys in the
+    /// window at that version.
+    Snapped {
+        /// Snapshot version of the cut (per-structure clock; for a
+        /// cluster, the newest shard version in the cut).
+        version: u64,
+        /// Keys present in `[lo, hi]` at `version`.
+        count: u64,
+    },
     /// The request was shed at admission: the supervisor rung that refused
     /// it ([`gfsl_serve::ServiceMode::severity`]) and the retry-after hint
     /// in milliseconds (ms on the wire; rounded up, clamped — never a
@@ -104,6 +121,7 @@ mod tags {
     pub const RANGE: u8 = 0x05;
     pub const MIN_ENTRY: u8 = 0x06;
     pub const POP_MIN: u8 = 0x07;
+    pub const SNAP_RANGE: u8 = 0x08;
 
     pub const PONG: u8 = 0x81;
     pub const GOT: u8 = 0x82;
@@ -112,6 +130,7 @@ mod tags {
     pub const RANGED: u8 = 0x85;
     pub const MIN_IS: u8 = 0x86;
     pub const POPPED: u8 = 0x87;
+    pub const SNAPPED: u8 = 0x88;
     pub const SHED: u8 = 0xE0;
     pub const FAILED: u8 = 0xE1;
     pub const PROTO: u8 = 0xE2;
@@ -239,14 +258,21 @@ impl Req {
             }
             Req::MinEntry => frame(buf, tags::MIN_ENTRY, req_id, &[]),
             Req::PopMin => frame(buf, tags::POP_MIN, req_id, &[]),
+            Req::SnapRange(lo, hi) => {
+                let mut b = [0u8; 8];
+                b[..4].copy_from_slice(&lo.to_le_bytes());
+                b[4..].copy_from_slice(&hi.to_le_bytes());
+                frame(buf, tags::SNAP_RANGE, req_id, &b);
+            }
         }
     }
 
     /// The serve-layer operation this request maps to; `None` for `Ping`
-    /// (answered at the edge, never batched).
+    /// and `SnapRange`, which are answered at the edge and never enter the
+    /// epoch batch.
     pub fn op(&self) -> Option<ServeOp> {
         match *self {
-            Req::Ping => None,
+            Req::Ping | Req::SnapRange(..) => None,
             Req::Get(k) => Some(ServeOp::Get(k)),
             Req::Insert(k, v) => Some(ServeOp::Insert(k, v)),
             Req::Delete(k) => Some(ServeOp::Delete(k)),
@@ -275,6 +301,12 @@ impl Resp {
             Resp::Ranged(n) => frame(buf, tags::RANGED, req_id, &n.to_le_bytes()),
             Resp::MinIs(kv) => frame(buf, tags::MIN_IS, req_id, &opt_entry(kv)),
             Resp::Popped(kv) => frame(buf, tags::POPPED, req_id, &opt_entry(kv)),
+            Resp::Snapped { version, count } => {
+                let mut b = [0u8; 16];
+                b[..8].copy_from_slice(&version.to_le_bytes());
+                b[8..].copy_from_slice(&count.to_le_bytes());
+                frame(buf, tags::SNAPPED, req_id, &b);
+            }
             Resp::Shed { mode, retry_after_ms } => {
                 let mut b = [0u8; 5];
                 b[0] = mode;
@@ -316,6 +348,15 @@ impl<'a> Fields<'a> {
         let (head, rest) = self.b.split_at(4);
         self.b = rest;
         Ok(u32::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        if self.b.len() < 8 {
+            return Err(DecodeError::Truncated(self.tag));
+        }
+        let (head, rest) = self.b.split_at(8);
+        self.b = rest;
+        Ok(u64::from_le_bytes(head.try_into().unwrap()))
     }
 
     fn opt_u32(&mut self) -> Result<Option<u32>, DecodeError> {
@@ -378,6 +419,7 @@ pub fn decode_req(buf: &[u8]) -> Result<(u64, Req, usize), DecodeError> {
         tags::RANGE => Req::Range(f.u32()?, f.u32()?),
         tags::MIN_ENTRY => Req::MinEntry,
         tags::POP_MIN => Req::PopMin,
+        tags::SNAP_RANGE => Req::SnapRange(f.u32()?, f.u32()?),
         t => return Err(DecodeError::BadTag(t)),
     };
     f.done()?;
@@ -395,6 +437,7 @@ pub fn decode_resp(buf: &[u8]) -> Result<(u64, Resp, usize), DecodeError> {
         tags::RANGED => Resp::Ranged(f.u32()?),
         tags::MIN_IS => Resp::MinIs(f.opt_entry()?),
         tags::POPPED => Resp::Popped(f.opt_entry()?),
+        tags::SNAPPED => Resp::Snapped { version: f.u64()?, count: f.u64()? },
         tags::SHED => Resp::Shed { mode: f.u8()?, retry_after_ms: f.u32()? },
         tags::FAILED => Resp::Failed { code: f.u8()? },
         tags::PROTO => Resp::Proto { code: f.u8()? },
@@ -471,6 +514,7 @@ mod tests {
             Req::Range(10, 20),
             Req::MinEntry,
             Req::PopMin,
+            Req::SnapRange(5, 500),
         ];
         let mut buf = Vec::new();
         for (i, r) in reqs.iter().enumerate() {
@@ -497,6 +541,8 @@ mod tests {
             Resp::MinIs(None),
             Resp::MinIs(Some((2, 3))),
             Resp::Popped(Some((u32::MAX - 1, 0))),
+            Resp::Snapped { version: 0, count: 0 },
+            Resp::Snapped { version: u64::MAX, count: 1 << 40 },
             Resp::Shed { mode: 2, retry_after_ms: 250 },
             Resp::Failed { code: 3 },
             Resp::Proto { code: 1 },
@@ -596,5 +642,25 @@ mod tests {
             assert_eq!(back.op(), Some(op));
         }
         assert_eq!(Req::Ping.op(), None, "ping never reaches the engine");
+        assert_eq!(
+            Req::SnapRange(1, 2).op(),
+            None,
+            "snapshot reads answer at the edge, outside the epoch batch"
+        );
+    }
+
+    #[test]
+    fn snapped_is_the_widest_frame_and_fits_the_payload_cap() {
+        // Snapped carries two u64 fields — the protocol's widest frame. If
+        // this grows past MAX_PAYLOAD the decoder would reject our own
+        // frames as hostile.
+        let mut buf = Vec::new();
+        Resp::Snapped { version: u64::MAX, count: u64::MAX }.encode(0, &mut buf);
+        let payload = buf.len() - LEN_BYTES;
+        assert_eq!(payload, 25);
+        assert!(payload <= MAX_PAYLOAD);
+        let (_, back, used) = decode_resp(&buf).unwrap();
+        assert_eq!(back, Resp::Snapped { version: u64::MAX, count: u64::MAX });
+        assert_eq!(used, buf.len());
     }
 }

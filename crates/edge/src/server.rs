@@ -94,6 +94,8 @@ pub struct EdgeStats {
     pub sheds: AtomicU64,
     /// Pings answered at the edge.
     pub pings: AtomicU64,
+    /// Pinned snapshot counts answered at the edge (never batched).
+    pub snaps: AtomicU64,
     /// Epoch batches executed.
     pub epochs: AtomicU64,
     /// Read-your-writes violations observed across all sessions.
@@ -121,6 +123,8 @@ pub struct StatsSnapshot {
     pub sheds: u64,
     /// Pings answered.
     pub pings: u64,
+    /// Pinned snapshot counts answered.
+    pub snaps: u64,
     /// Epochs executed.
     pub epochs: u64,
     /// Read-your-writes violations.
@@ -140,6 +144,7 @@ impl EdgeStats {
             ops_failed: self.ops_failed.load(Ordering::Relaxed),
             sheds: self.sheds.load(Ordering::Relaxed),
             pings: self.pings.load(Ordering::Relaxed),
+            snaps: self.snaps.load(Ordering::Relaxed),
             epochs: self.epochs.load(Ordering::Relaxed),
             ryw_violations: self.ryw_violations.load(Ordering::Relaxed),
             max_mode: self.max_mode.load(Ordering::Relaxed),
@@ -354,6 +359,20 @@ fn worker_loop(
                 progressed = true;
             }
             for (req_id, req) in io.reqs {
+                if let proto::Req::SnapRange(lo, hi) = req {
+                    // Answered at admission from a pinned snapshot: the
+                    // read is wait-free w.r.t. writers, so queueing it
+                    // behind the epoch batch would only add latency — and
+                    // it consumes no epoch-buffer slot, so it is never
+                    // shed for depth.
+                    stats.snaps.fetch_add(1, Ordering::Relaxed);
+                    let resp = match engine.snap_count(lo, hi) {
+                        Ok((version, count)) => Resp::Snapped { version, count },
+                        Err(e) => Resp::Failed { code: proto::error_code(&e) },
+                    };
+                    conn.sess.push_resp(req_id, &resp);
+                    continue;
+                }
                 let Some(op) = req.op() else {
                     stats.pings.fetch_add(1, Ordering::Relaxed);
                     conn.sess.push_resp(req_id, &Resp::Pong);

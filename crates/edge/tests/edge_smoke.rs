@@ -223,6 +223,61 @@ fn slow_clients_time_out_but_idle_clients_do_not() {
 }
 
 #[test]
+fn snap_range_serves_pinned_counts_over_the_wire() {
+    // A scan tenant against an mvcc cluster engine: pinned counts answer
+    // at the edge (outside the epoch batch), carry a nondecreasing
+    // snapshot version, and a hostile window fails typed — the
+    // connection survives all of it.
+    let params = GfslParams { mvcc: true, ..GfslParams::default() };
+    let cluster = Arc::new(Cluster::new(params, 2).unwrap());
+    let server = EdgeServer::start(
+        EdgeEngine::Cluster(cluster.clone()),
+        EdgeConfig::default(),
+    )
+    .unwrap();
+    let mut c = connect(&server);
+
+    for k in 1..=50u32 {
+        assert!(matches!(c.insert(k, k).unwrap(), Resp::Inserted(true)));
+    }
+    let Resp::Snapped { version: v1, count } = c.snap_range(1, 100).unwrap() else {
+        panic!("expected Snapped");
+    };
+    assert_eq!(count, 50);
+    assert!(v1 >= 1, "mvcc engine stamps a real version");
+
+    // More writes advance the clock; a later snapshot never reads older.
+    for k in 51..=80u32 {
+        assert!(matches!(c.insert(k, k).unwrap(), Resp::Inserted(true)));
+    }
+    let Resp::Snapped { version: v2, count } = c.snap_range(1, 100).unwrap() else {
+        panic!("expected Snapped");
+    };
+    assert_eq!(count, 80);
+    assert!(v2 > v1, "snapshot versions advance with the write clock");
+
+    // Hostile windows: typed failure, connection intact.
+    assert!(matches!(c.snap_range(0, 10).unwrap(), Resp::Failed { .. }));
+    assert!(matches!(c.snap_range(9, 3).unwrap(), Resp::Failed { .. }));
+    assert_eq!(c.get(1).unwrap(), Resp::Got(Some(1)));
+
+    // An engine without the knob still answers, unpinned.
+    let plain = EdgeServer::start(single_engine(), EdgeConfig::default()).unwrap();
+    let mut p = connect(&plain);
+    assert!(matches!(p.insert(5, 5).unwrap(), Resp::Inserted(true)));
+    assert_eq!(
+        p.snap_range(1, 10).unwrap(),
+        Resp::Snapped { version: 0, count: 1 },
+        "mvcc-off fallback reports version 0"
+    );
+    plain.shutdown();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.snaps, 4, "two pinned counts + two rejected windows");
+    assert_eq!(stats.proto_errors, 0);
+}
+
+#[test]
 fn read_your_writes_holds_across_live_shard_migrations() {
     // The satellite regression test: sessions hammer write→read cycles in
     // disjoint key namespaces over a cluster engine while a churn thread

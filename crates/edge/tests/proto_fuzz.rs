@@ -22,6 +22,7 @@ fn req_strategy() -> impl Strategy<Value = Req> {
         (any::<u32>(), any::<u32>()).prop_map(|(lo, hi)| Req::Range(lo, hi)),
         Just(Req::MinEntry),
         Just(Req::PopMin),
+        (any::<u32>(), any::<u32>()).prop_map(|(lo, hi)| Req::SnapRange(lo, hi)),
     ]
 }
 

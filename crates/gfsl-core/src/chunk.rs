@@ -134,6 +134,17 @@ impl ChunkView {
         ChunkView { regs }
     }
 
+    /// Build a view from lanes already captured elsewhere (an mvcc version
+    /// pre-image): versioned readers decode a chain image with the same
+    /// ballot machinery a live chunk read uses.
+    #[inline]
+    pub(crate) fn from_lanes(team: &Team, lanes: &[u64]) -> Self {
+        debug_assert_eq!(lanes.len(), team.lanes());
+        ChunkView {
+            regs: team.each_lane(|lane| lanes[lane]),
+        }
+    }
+
     /// Entry held by lane `lane`.
     #[inline]
     pub fn entry(&self, lane: LaneId) -> Entry {

@@ -27,11 +27,14 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !is_user_key(k) {
             return false;
         }
-        // Reclamation maintenance runs only here, before any lock is taken:
-        // the verification scan does certified reads and must never wait on
-        // a chunk this handle itself holds locked.
-        self.maybe_reclaim();
-        self.with_pin(|h| h.remove_pinned(k))
+        // Stamped with the mvcc version clock (a passthrough without the
+        // knob). Reclamation maintenance runs inside the stamp but before
+        // any lock is taken: the verification scan does certified reads and
+        // must never wait on a chunk this handle itself holds locked.
+        self.with_version_stamp(|h| {
+            h.maybe_reclaim();
+            h.with_pin(|h| h.remove_pinned(k))
+        })
     }
 
     fn remove_pinned(&mut self, k: u32) -> bool {

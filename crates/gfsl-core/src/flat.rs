@@ -96,11 +96,29 @@ pub trait KvEngine {
     fn contains(&mut self, k: u32) -> bool {
         self.get(k).is_some()
     }
+    /// Snapshot lookup: read `k` at a freshly pinned version (see
+    /// `gfsl::mvcc`). Engines without multiversioning fall back to a plain
+    /// `get` — indistinguishable for a single key; the distinct entry
+    /// point exists so scripted model-check runs drive the version
+    /// pin/publish/resolve protocol.
+    fn snap_get(&mut self, k: u32) -> Option<u32> {
+        self.get(k)
+    }
 }
 
 impl<P: MemProbe> KvEngine for GfslHandle<'_, P> {
     fn get(&mut self, k: u32) -> Option<u32> {
         GfslHandle::get(self, k)
+    }
+
+    fn snap_get(&mut self, k: u32) -> Option<u32> {
+        // Pin borrows the list (not the handle), so the ticket can live
+        // across the `&mut self` versioned read.
+        let list = self.list;
+        match list.pin_version() {
+            Some(t) => self.get_at(k, &t),
+            None => GfslHandle::get(self, k),
+        }
     }
 
     fn insert(&mut self, k: u32, v: u32) -> bool {

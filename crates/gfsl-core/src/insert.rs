@@ -37,10 +37,14 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !is_user_key(k) {
             return Err(Error::InvalidKey(k));
         }
-        // Reclamation maintenance runs only here, before any lock is taken
-        // (the verification scan must never wait on our own locks).
-        self.maybe_reclaim();
-        self.with_pin(|h| h.insert_pinned(k, v))
+        // Stamped with the mvcc version clock (a passthrough without the
+        // knob); reclamation maintenance runs inside the stamp but before
+        // any lock is taken (the verification scan must never wait on our
+        // own locks).
+        self.with_version_stamp(|h| {
+            h.maybe_reclaim();
+            h.with_pin(|h| h.insert_pinned(k, v))
+        })
     }
 
     fn insert_pinned(&mut self, k: u32, v: u32) -> Result<bool, Error> {
@@ -118,8 +122,10 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !is_user_key(k) {
             return Err(Error::InvalidKey(k));
         }
-        self.maybe_reclaim();
-        self.with_pin(|h| h.upsert_pinned(k, v))
+        self.with_version_stamp(|h| {
+            h.maybe_reclaim();
+            h.with_pin(|h| h.upsert_pinned(k, v))
+        })
     }
 
     fn upsert_pinned(&mut self, k: u32, v: u32) -> Result<Option<u32>, Error> {

@@ -82,6 +82,7 @@ pub mod history;
 pub mod insert;
 pub mod introspect;
 pub mod mc;
+pub mod mvcc;
 pub mod params;
 pub mod range;
 pub mod repair;
@@ -102,6 +103,7 @@ pub use skiplist::{
 };
 pub use flat::{EngineKind, FlatSkiplist, KvEngine};
 pub use mc::{Counterexample, McConfig, McOp, McReport, Target};
+pub use mvcc::{MvccStats, ReadTicket};
 pub use introspect::{LevelShape, Shape};
 pub use stats::{OpStats, FINGER_LEVELS};
 pub use validate::Violation;

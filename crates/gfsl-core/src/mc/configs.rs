@@ -40,6 +40,16 @@ fn full_chunk_prefill() -> Vec<(u32, u32)> {
     (1..=13u32).map(|i| (2 * i, 100 + i)).collect()
 }
 
+/// [`mc_params`] with the multiversion engine on: updates stamp through
+/// the version fence and capture chunk pre-images, `SnapGet` ops pin and
+/// resolve — the publish/pin/retire path is what gets explored.
+fn mvcc_params() -> GfslParams {
+    GfslParams {
+        mvcc: true,
+        ..mc_params()
+    }
+}
+
 /// All registered configurations.
 pub fn all() -> Vec<McConfig> {
     vec![
@@ -105,6 +115,38 @@ pub fn all() -> Vec<McConfig> {
                 vec![McOp::Get(30), McOp::Get(40)],
             ],
             max_steps: 20_000,
+        },
+        McConfig {
+            name: "mvcc-snap-2t",
+            about: "pinned snapshot reads racing a stamped split: version \
+                    publish (fence-shared stamp + capture-on-lock) vs pin \
+                    (fence-exclusive drain) vs ticket release",
+            target: Target::Chunked(Box::new(mvcc_params())),
+            prefill: full_chunk_prefill(),
+            threads: vec![
+                // Splitter: stamped insert into the full chunk — the split
+                // locks (and therefore captures) both halves.
+                vec![McOp::Insert(1, 1)],
+                // Snapshot reader: each SnapGet pins a version (draining
+                // the stamp fence), resolves through the version chain,
+                // and releases the ticket. Key 14 moves to the new chunk
+                // in a split, 26 stays rightmost — both sides covered.
+                vec![McOp::SnapGet(14), McOp::SnapGet(26)],
+            ],
+            max_steps: 30_000,
+        },
+        McConfig {
+            name: "mvcc-snap-3t",
+            about: "pinned snapshot read racing a stamped split and a \
+                    stamped removal (two writers contending on the fence)",
+            target: Target::Chunked(Box::new(mvcc_params())),
+            prefill: full_chunk_prefill(),
+            threads: vec![
+                vec![McOp::Insert(1, 1)],
+                vec![McOp::Remove(26)],
+                vec![McOp::SnapGet(26)],
+            ],
+            max_steps: 40_000,
         },
         McConfig {
             name: "flat-split-2t",

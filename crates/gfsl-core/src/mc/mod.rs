@@ -62,6 +62,10 @@ pub enum McOp {
     Remove(u32),
     /// `get(k)`.
     Get(u32),
+    /// `snap_get(k)`: pin a version, read `k` at it, release. Drives the
+    /// mvcc publish/pin/resolve protocol; recorded as a plain get (a
+    /// single-key snapshot read has get semantics).
+    SnapGet(u32),
 }
 
 /// Which engine an episode drives.
@@ -209,6 +213,10 @@ fn run_ops<E: KvEngine>(h: &mut E, ops: &[McOp], rec: &mut Recorder<'_>) {
             }
             McOp::Get(k) => {
                 let found = h.get(k);
+                rec.finish(k, OpAction::Get { found }, inv);
+            }
+            McOp::SnapGet(k) => {
+                let found = h.snap_get(k);
                 rec.finish(k, OpAction::Get { found }, inv);
             }
         }

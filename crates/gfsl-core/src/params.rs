@@ -75,6 +75,13 @@ pub struct GfslParams {
     /// checked at the same wait points as the retry budget. `0` = none.
     /// Only consulted when [`contain`](Self::contain) is on.
     pub op_deadline_ns: u64,
+    /// Enable multiversion reads (DESIGN.md §19): a global version clock,
+    /// per-chunk copy-on-write version chains captured at lock acquisition,
+    /// and `pin_version` read tickets that serve `get`/`range`/snapshot
+    /// walks at a frozen version without blocking on writer locks. Off by
+    /// default: writers then skip all capture bookkeeping and versioned
+    /// read entry points return `None`.
+    pub mvcc: bool,
 }
 
 impl Default for GfslParams {
@@ -93,6 +100,7 @@ impl Default for GfslParams {
             contain: false,
             retry_budget: 0,
             op_deadline_ns: 0,
+            mvcc: false,
         }
     }
 }
@@ -193,6 +201,13 @@ mod tests {
         assert!(!p.contain);
         assert_eq!(p.retry_budget, 0);
         assert_eq!(p.op_deadline_ns, 0);
+    }
+
+    #[test]
+    fn mvcc_defaults_off() {
+        // Versioned reads are opt-in: the default config must not pay for
+        // capture bookkeeping on the write path.
+        assert!(!GfslParams::default().mvcc);
     }
 
     #[test]

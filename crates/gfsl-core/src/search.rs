@@ -695,6 +695,16 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// the skipped run (see [`Self::retire_run`]).
     pub(crate) fn update_head(&mut self, level: usize, old: u32, new: u32) {
         use std::sync::atomic::Ordering;
+        // Mvcc: record the pre-swing head *before* the CAS so a versioned
+        // reader's raw head read racing the swing is always caught by its
+        // chain re-check (a push for a CAS that then fails is harmless —
+        // the recorded head is the current head). Level 0 only: versioned
+        // walks never consult the upper index levels.
+        if level == 0 {
+            if let Some(mvcc) = self.list.mvcc.as_deref() {
+                mvcc.note_head0(old, self.held.stamp);
+            }
+        }
         if self.list.head[level]
             .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()

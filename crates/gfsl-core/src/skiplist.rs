@@ -224,6 +224,10 @@ pub struct Gfsl {
     pub(crate) recovery: RecoveryCounters,
     /// Background scrubber cursor: `(level, next chunk to visit)`.
     pub(crate) scrub_cursor: Mutex<(usize, u32)>,
+    /// Multiversion engine (`None` when [`GfslParams::mvcc`] is off):
+    /// version clock, per-chunk copy-on-write version chains, read-ticket
+    /// registry. See `mvcc.rs` and DESIGN.md §19.
+    pub(crate) mvcc: Option<Box<crate::mvcc::MvccEngine>>,
 }
 
 /// Maximum concurrently-live handles when reclamation is enabled (epoch
@@ -283,6 +287,9 @@ impl Gfsl {
             quarantine_len: AtomicUsize::new(0),
             recovery: RecoveryCounters::default(),
             scrub_cursor: Mutex::new((0, sentinels[0])),
+            mvcc: params
+                .mvcc
+                .then(|| Box::new(crate::mvcc::MvccEngine::new(params.pool_chunks))),
             params,
         })
     }
@@ -491,6 +498,10 @@ pub(crate) struct HeldLocks<'a> {
     /// lock CAS preceding the capture means no other writer can have
     /// touched the chunk since).
     snaps: Vec<(u32, Vec<u64>)>,
+    /// The in-flight update's mvcc publish stamp (`0` = unstamped). Set by
+    /// `with_version_stamp` while the operation holds the version fence
+    /// shared; lock acquisitions capture version pre-images tagged with it.
+    pub(crate) stamp: u64,
 }
 
 impl<'a> HeldLocks<'a> {
@@ -499,6 +510,7 @@ impl<'a> HeldLocks<'a> {
             list,
             chunks: Vec::new(),
             snaps: Vec::new(),
+            stamp: 0,
         }
     }
 
@@ -509,6 +521,24 @@ impl<'a> HeldLocks<'a> {
             let base = self.list.chunk(ch);
             let snap = (0..lanes).map(|i| self.list.pool.read(base.entry_addr(i))).collect();
             self.snaps.push((ch, snap));
+        }
+        // Mvcc capture-on-lock-acquire: the first time a stamped update
+        // locks a chunk in its stamp epoch (with readers outstanding), the
+        // chunk's pre-image goes onto its version chain *before any
+        // mutation* — this is what lets a pinned reader resolve the chunk
+        // without waiting for the lock. The lanes are read here (gated pool
+        // reads, outside the chain mutex); unstamped lock holders (the
+        // reclamation sweeps) skip capture — their mutations are
+        // single-word zombie-unlink swings that never move keys.
+        if let Some(mvcc) = self.list.mvcc.as_deref() {
+            if self.stamp != 0 && mvcc.wants_capture(ch, self.stamp) {
+                let lanes = self.list.params.lanes();
+                let base = self.list.chunk(ch);
+                let img: Vec<u64> = (0..lanes)
+                    .map(|i| self.list.pool.read(base.entry_addr(i)))
+                    .collect();
+                mvcc.capture(ch, self.stamp, img);
+            }
         }
         self.chunks.push(ch);
     }
@@ -804,6 +834,39 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         f(self)
     }
 
+    /// Run one update operation stamped with the mvcc version clock: the
+    /// fence is held **shared** for the whole call (so [`Gfsl::pin_version`]
+    /// drains this op before minting a ticket) and `held.stamp` carries the
+    /// observed clock value for the capture hook in [`HeldLocks::acquired`].
+    /// A zero-cost passthrough when [`GfslParams::mvcc`] is off, and a
+    /// plain call when already stamped (no update nests inside another
+    /// today; the guard keeps a future composite from deadlocking on the
+    /// non-reentrant fence).
+    ///
+    /// On panic the shared guard releases during unwind; the stale
+    /// `held.stamp` is reset by [`Self::contained`]'s abort path (the only
+    /// way a handle survives a panic).
+    #[inline]
+    pub(crate) fn with_version_stamp<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let Some(mvcc) = self.list.mvcc.as_deref() else {
+            return f(self);
+        };
+        if self.held.stamp != 0 {
+            return f(self);
+        }
+        let fence = mvcc.writer_fence();
+        self.held.stamp = *fence;
+        let r = f(self);
+        self.held.stamp = 0;
+        // Opportunistic retention bound, paid by the path that created the
+        // retention: if this op's captures pushed the live-image count past
+        // the high water, sweep once before releasing the fence (still held
+        // shared, as `vacuum_locked` requires). Readers never sweep.
+        mvcc.try_vacuum(self.list.reclaim.as_ref());
+        drop(fence);
+        r
+    }
+
     /// Run one operation inside the containment unwind boundary. A no-op
     /// passthrough when [`GfslParams::contain`] is off (plain call, zero
     /// bookkeeping). With containment on: resets the op journal and
@@ -840,6 +903,11 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
                 Ok(r)
             }
             Err(payload) => {
+                // The panic unwound through `with_version_stamp`: its fence
+                // guard released on the way out, but the stamp field stayed
+                // set. Reset it, or the handle's next update would skip
+                // stamping (and run unfenced).
+                self.held.stamp = 0;
                 self.list.recovery.aborts.fetch_add(1, Ordering::Relaxed);
                 match payload.downcast::<AbortSignal>() {
                     Ok(sig) => {
@@ -1443,6 +1511,28 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         let ch = self.list.chunk(idx);
         let team = &self.list.team;
         let pool = &self.list.pool;
+        // Mvcc: a long-lived ticket may still resolve this chunk's *old*
+        // incarnation through an image's next pointer (ticket pins outlive
+        // reclaimer grace). Before the lanes are overwritten, push the dead
+        // incarnation's terminal zombie state onto the chain so those walks
+        // keep seeing it; for a bump-fresh chunk there is no prior state
+        // and the mark merely keeps this stamp epoch's later lock
+        // acquisitions from capturing the half-built chunk.
+        if let Some(mvcc) = self.list.mvcc.as_deref() {
+            let tag = if self.held.stamp != 0 {
+                self.held.stamp
+            } else {
+                mvcc.clock_now() + 1
+            };
+            if recycled && mvcc.wants_capture(idx, tag) {
+                let img: Vec<u64> = (0..team.lanes())
+                    .map(|i| pool.read(ch.entry_addr(i)))
+                    .collect();
+                mvcc.capture(idx, tag, img);
+            } else {
+                mvcc.mark_created(idx, tag);
+            }
+        }
         let mut addrs = [0u32; gfsl_simt::WARP_SIZE];
         for (i, a) in addrs.iter_mut().enumerate().take(team.lanes()) {
             *a = ch.entry_addr(i);
@@ -1517,6 +1607,7 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
     /// tests and maintenance loops may call it directly.
     pub fn reclaim_pass(&mut self) -> usize {
         if self.list.reclaim.is_none() {
+            self.vacuum_versions();
             return 0;
         }
         self.sweep_head_edge();
@@ -1530,7 +1621,25 @@ impl<'a, P: MemProbe> GfslHandle<'a, P> {
         if !cands.is_empty() {
             self.with_pin(|h| h.verify_candidates(cands));
         }
+        self.vacuum_versions();
         freed
+    }
+
+    /// Vacuum the mvcc version chains (no-op without the knob). The vacuum
+    /// must run with the version fence held so no ticket can be minted
+    /// mid-pass: a stamped caller (the periodic pass inside an update)
+    /// already holds it shared via `with_version_stamp`; direct callers
+    /// (tests, maintenance loops) acquire it here.
+    fn vacuum_versions(&mut self) {
+        let Some(mvcc) = self.list.mvcc.as_deref() else {
+            return;
+        };
+        if self.held.stamp != 0 {
+            mvcc.vacuum_locked(self.list.reclaim.as_ref());
+        } else {
+            let _fence = mvcc.writer_fence();
+            mvcc.vacuum_locked(self.list.reclaim.as_ref());
+        }
     }
 
     /// Unlink zombie runs parked at the head edge of every level.

@@ -69,6 +69,30 @@ fn cert_read_3t_bounded() {
 }
 
 #[test]
+fn mvcc_snap_2t_bounded() {
+    // Pinned snapshot reads vs a stamped split: the version fence adds a
+    // yield point per acquisition attempt on both sides, so the space is
+    // larger than cert-read-2t — capped, every schedule reached within
+    // the cap is checked.
+    check_exhaustive(
+        "mvcc-snap-2t",
+        bound(1, 2),
+        if cfg!(debug_assertions) { 30_000 } else { 300_000 },
+        true,
+    );
+}
+
+#[test]
+fn mvcc_snap_3t_bounded() {
+    check_exhaustive(
+        "mvcc-snap-3t",
+        bound(1, 2),
+        if cfg!(debug_assertions) { 30_000 } else { 300_000 },
+        true,
+    );
+}
+
+#[test]
 fn random_walk_soak_finds_nothing() {
     // Seeded random walks over every registered config — the strategy the
     // CI soak job runs for much longer. Complements DFS: walks routinely

@@ -75,6 +75,10 @@ pub struct ReclaimStats {
     pub staged_len: u64,
     /// Chunks currently on the free list.
     pub free_len: u64,
+    /// Opaque deferred tokens (mvcc version pre-images) still in grace.
+    pub deferred_len: u64,
+    /// Deferred tokens whose grace elapsed and were drained back.
+    pub deferred_drained: u64,
 }
 
 /// Epoch-based reclaimer for fixed-size chunk slots.
@@ -93,10 +97,16 @@ pub struct EpochReclaimer {
     /// epoch record).
     verified: Mutex<Vec<Retired>>,
     free: Mutex<Vec<u32>>,
+    /// Opaque tokens (not chunk indices) riding the same two-advance grace
+    /// pipeline as limbo chunks. The mvcc layer defers condemned version
+    /// pre-images here so a reader that resolved a chain entry just before
+    /// it was condemned has quiesced before the image is dropped.
+    deferred: Mutex<Vec<(u64, u64)>>,
     epochs_advanced: AtomicU64,
     retired_total: AtomicU64,
     reclaimed_total: AtomicU64,
     reused_total: AtomicU64,
+    deferred_drained_total: AtomicU64,
 }
 
 impl EpochReclaimer {
@@ -117,10 +127,12 @@ impl EpochReclaimer {
             limbo: Mutex::new(Vec::new()),
             verified: Mutex::new(Vec::new()),
             free: Mutex::new(Vec::new()),
+            deferred: Mutex::new(Vec::new()),
             epochs_advanced: AtomicU64::new(0),
             retired_total: AtomicU64::new(0),
             reclaimed_total: AtomicU64::new(0),
             reused_total: AtomicU64::new(0),
+            deferred_drained_total: AtomicU64::new(0),
         }
     }
 
@@ -296,6 +308,36 @@ impl EpochReclaimer {
         out.extend(self.verified.lock().unwrap().iter().map(|r| r.chunk));
     }
 
+    /// Defer an opaque token until two epoch advances have passed.
+    ///
+    /// Tokens are never interpreted: the caller (the mvcc engine) maps them
+    /// back to condemned version pre-images when [`Self::drain_deferred`]
+    /// hands them back, and only then drops the backing memory. The grace
+    /// rule is identical to retired chunks — any reader that could have
+    /// been resolving the image when it was condemned was pinned then, and
+    /// two advances prove every such pin has since quiesced.
+    pub fn defer(&self, token: u64) {
+        let epoch = self.global.load(Ordering::SeqCst);
+        self.deferred.lock().unwrap().push((token, epoch));
+    }
+
+    /// Move every deferred token whose grace period has elapsed into `out`.
+    /// Tries an epoch advance first, like [`Self::drain_candidates`].
+    pub fn drain_deferred(&self, out: &mut Vec<u64>) {
+        let now = self.try_advance();
+        let mut deferred = self.deferred.lock().unwrap();
+        let mut i = 0;
+        while i < deferred.len() {
+            if now >= deferred[i].1 + 2 {
+                let (tok, _) = deferred.swap_remove(i);
+                out.push(tok);
+                self.deferred_drained_total.fetch_add(1, Ordering::Relaxed);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     /// Pop a recycled chunk index, if any.
     pub fn try_alloc(&self) -> Option<u32> {
         let c = self.free.lock().unwrap().pop();
@@ -321,6 +363,8 @@ impl EpochReclaimer {
             limbo_len: self.limbo.lock().unwrap().len() as u64,
             staged_len: self.verified.lock().unwrap().len() as u64,
             free_len: self.free.lock().unwrap().len() as u64,
+            deferred_len: self.deferred.lock().unwrap().len() as u64,
+            deferred_drained: self.deferred_drained_total.load(Ordering::Relaxed),
         }
     }
 }
@@ -467,6 +511,39 @@ mod tests {
         r.pending_chunks(&mut out);
         out.sort_unstable();
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn deferred_tokens_wait_out_grace() {
+        let r = EpochReclaimer::new(4);
+        r.defer(0xdead_beef);
+        let mut out = Vec::new();
+        r.drain_deferred(&mut out);
+        assert!(out.is_empty(), "one advance is not grace");
+        r.drain_deferred(&mut out);
+        assert_eq!(out, vec![0xdead_beef]);
+        let s = r.stats();
+        assert_eq!(s.deferred_len, 0);
+        assert_eq!(s.deferred_drained, 1);
+    }
+
+    #[test]
+    fn pinned_slot_blocks_deferred_drain() {
+        let r = EpochReclaimer::new(4);
+        let slot = r.register().unwrap();
+        r.pin(slot);
+        r.defer(42);
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            r.drain_deferred(&mut out);
+        }
+        assert!(out.is_empty(), "pinned reader holds deferred grace back");
+        assert_eq!(r.stats().deferred_len, 1);
+        r.unpin(slot);
+        r.drain_deferred(&mut out);
+        r.drain_deferred(&mut out);
+        assert_eq!(out, vec![42]);
+        r.unregister(slot);
     }
 
     #[test]

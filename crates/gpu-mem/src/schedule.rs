@@ -56,6 +56,14 @@ pub const POOL_GATED: bool = cfg!(feature = "sched");
 /// smaller).
 pub const SYNTH_ALLOC: WordAddr = 0xFFFF_FFFD;
 
+/// Synthetic address of the mvcc version-clock fence (`RwLock<u64>`).
+/// Writers take it shared to stamp their publish version; `pin_version`
+/// takes it exclusive to mint a read ticket, draining in-flight writers so
+/// the pinned version is operation-quiescent. Both sides gate every
+/// acquisition attempt on this address so the model checker owns the
+/// interleaving of stamp vs pin.
+pub const SYNTH_MVCC_FENCE: WordAddr = 0xFFFF_FFFC;
+
 /// Synthetic address of the flat engine's index `RwLock`.
 pub const SYNTH_FLAT_INDEX: WordAddr = 0xFFFF_FFFE;
 

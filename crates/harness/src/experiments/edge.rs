@@ -135,6 +135,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         key_span: 10_000,
         zipf_theta: 0.6,
         seed: cfg.seed,
+        snap_scans: false,
     };
 
     // Cell 1: closed-loop peak — the capacity estimate.

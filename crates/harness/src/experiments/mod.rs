@@ -9,6 +9,7 @@ pub mod durable;
 pub mod edge;
 pub mod figures;
 pub mod hotpath;
+pub mod mvcc;
 pub mod pkey;
 pub mod serve;
 pub mod table_warps;
@@ -113,7 +114,7 @@ impl ExpConfig {
 /// Names of all experiments, in run order.
 pub const ALL: &[&str] = &[
     "table5_1", "table5_2", "fig5_1", "fig5_2", "fig5_3", "fig5_4", "pkey", "ablate", "cyclesim",
-    "diag", "serve", "hotpath", "churn_diag", "cluster", "durable", "edge",
+    "diag", "serve", "hotpath", "churn_diag", "cluster", "durable", "edge", "mvcc",
 ];
 
 /// Run one experiment by id, returning its rendered tables.
@@ -135,6 +136,7 @@ pub fn run(id: &str, cfg: &ExpConfig) -> Vec<Table> {
         "cluster" => cluster::run(cfg),
         "durable" => durable::run(cfg),
         "edge" => edge::run(cfg),
+        "mvcc" => mvcc::run(cfg),
         other => panic!("unknown experiment '{other}'; known: {ALL:?}"),
     }
 }
@@ -194,7 +196,7 @@ mod tests {
 
     #[test]
     fn experiment_registry_is_complete() {
-        assert_eq!(ALL.len(), 16);
+        assert_eq!(ALL.len(), 17);
         assert!(ALL.contains(&"table5_1"));
         assert!(ALL.contains(&"fig5_4"));
         assert!(ALL.contains(&"diag"));
@@ -204,5 +206,6 @@ mod tests {
         assert!(ALL.contains(&"cluster"));
         assert!(ALL.contains(&"durable"));
         assert!(ALL.contains(&"edge"));
+        assert!(ALL.contains(&"mvcc"));
     }
 }

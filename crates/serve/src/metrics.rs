@@ -208,6 +208,22 @@ pub struct ServiceMetrics {
     /// Lateral steps that skimmed only the `(max, next)` word instead of
     /// reading the whole chunk.
     pub skip_reads: u64,
+    /// Multiversion clock at the end of the run (0 = mvcc knob off).
+    pub mvcc_clock: u64,
+    /// Version pre-images still retained on chains at the end of the run.
+    pub mvcc_images: u64,
+    /// Deepest single-chunk version chain observed over the whole run —
+    /// the bounded-retention signal the mvcc bench gates on.
+    pub mvcc_chain_hwm: u64,
+    /// Chunk pre-images captured by stamped writers.
+    pub mvcc_captures: u64,
+    /// Images condemned by vacuum passes.
+    pub mvcc_vacuumed: u64,
+    /// Read tickets minted (pinned snapshots taken through the engine).
+    pub mvcc_pins: u64,
+    /// Versioned chunk resolutions served from a chain image rather than
+    /// the live chunk.
+    pub mvcc_image_resolves: u64,
     #[serde(skip)]
     occupancy_sum: f64,
     #[serde(skip)]
@@ -259,6 +275,20 @@ impl ServiceMetrics {
         self.finger_misses = s.finger_misses;
         self.prefetch_issued = s.prefetch_issued;
         self.skip_reads = s.skip_reads;
+    }
+
+    /// Fold the engine's multiversion counters into the report (no-op —
+    /// all zeros — when the mvcc knob is off and the engine returns
+    /// `None`).
+    pub fn absorb_mvcc_stats(&mut self, s: Option<gfsl::MvccStats>) {
+        let Some(s) = s else { return };
+        self.mvcc_clock = s.clock;
+        self.mvcc_images = s.images;
+        self.mvcc_chain_hwm = s.chain_hwm;
+        self.mvcc_captures = s.captures;
+        self.mvcc_vacuumed = s.vacuumed;
+        self.mvcc_pins = s.pins;
+        self.mvcc_image_resolves = s.image_resolves;
     }
 
     /// Completed throughput over the whole run wall-clock, Mops/s.
@@ -376,6 +406,29 @@ mod tests {
         );
         assert!(json.contains("\"prefetch_issued\":11"), "{json}");
         assert!(json.contains("\"skip_reads\":5"), "{json}");
+    }
+
+    #[test]
+    fn mvcc_counters_fold_in_and_stay_zero_when_off() {
+        let mut m = ServiceMetrics::default();
+        m.absorb_mvcc_stats(None);
+        assert_eq!(m.mvcc_clock, 0, "knob off: all zeros");
+        let s = gfsl::MvccStats {
+            clock: 42,
+            images: 3,
+            chain_hwm: 2,
+            captures: 9,
+            vacuumed: 6,
+            pins: 5,
+            image_resolves: 4,
+            ..Default::default()
+        };
+        m.absorb_mvcc_stats(Some(s));
+        assert_eq!(m.mvcc_clock, 42);
+        assert_eq!(m.mvcc_chain_hwm, 2);
+        let json = serde::to_json_string(&m);
+        assert!(json.contains("\"mvcc_clock\":42"), "{json}");
+        assert!(json.contains("\"mvcc_pins\":5"), "{json}");
     }
 
     #[test]

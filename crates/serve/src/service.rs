@@ -805,6 +805,7 @@ fn serve_inner(
     // Workers have joined (scope end): fold their structure-level locality
     // counters into the service report.
     metrics.absorb_op_stats(&op_stats.into_inner().unwrap());
+    metrics.absorb_mvcc_stats(list.mvcc_stats());
     ServiceReport {
         policy: policy.name(),
         metrics,
